@@ -1,0 +1,280 @@
+package stateslice_test
+
+// The benchmarks regenerate every table and figure of the paper's evaluation
+// in testing.B form, one benchmark (family) per exhibit, reporting the
+// paper's metrics through b.ReportMetric:
+//
+//   - tuples-in-state  : Figure 17's memory metric (avg join-state size)
+//   - tuples/Mcmp      : the comparison-count service-rate proxy (Fig. 18/19)
+//   - tuples/s         : wall-clock service rate on this host
+//
+// Workloads are scaled to ~20 virtual seconds per iteration so `go test
+// -bench=.` finishes quickly; cmd/slicebench runs the full 90-second sweeps.
+// Ablation benchmarks cover the design choices DESIGN.md calls out: hash vs
+// nested-loop probing, lineage marks vs predicate re-evaluation, and the
+// slice-count trade-off behind the CPU-Opt chain.
+
+import (
+	"fmt"
+	"testing"
+
+	"stateslice"
+	"stateslice/internal/bench"
+	"stateslice/internal/workload"
+)
+
+const (
+	benchDuration = 20.0
+	benchSeed     = 2006
+	benchRate     = 60.0
+)
+
+// reportStrategy publishes one strategy's measurements.
+func reportStrategy(b *testing.B, m bench.Measurement, prefix string) {
+	b.Helper()
+	b.ReportMetric(m.AvgStateTuples, prefix+"tuples-in-state")
+	b.ReportMetric(m.CompRate, prefix+"tuples/Mcmp")
+}
+
+// BenchmarkTable2Trace replays the paper's Table 2 execution trace.
+func BenchmarkTable2Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2Trace(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Savings evaluates the Eq. (4) savings surfaces of Figure 11.
+func BenchmarkFig11Savings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig11Series(9)
+		if len(series) != 8 {
+			b.Fatalf("unexpected series count %d", len(series))
+		}
+	}
+}
+
+// benchPanel runs one Figure 17/18 panel at the benchmark rate for each of
+// the three strategies and reports the paper's metrics.
+func benchPanel(b *testing.B, p bench.Fig17Panel, s bench.Strategy) {
+	b.Helper()
+	w, err := workload.ThreeQueries(p.Dist, p.SSigma, p.S1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := bench.RunConfig{Rate: benchRate, DurationSec: benchDuration, Seed: benchSeed}
+	var last bench.Measurement
+	for i := 0; i < b.N; i++ {
+		m, err := bench.RunStrategies(w, []bench.Strategy{s}, rc, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m[s]
+	}
+	reportStrategy(b, last, "")
+	b.ReportMetric(last.ServiceRate, "tuples/s")
+}
+
+// BenchmarkFig17Memory regenerates the six memory panels of Figure 17.
+func BenchmarkFig17Memory(b *testing.B) {
+	for _, p := range bench.Fig17Panels() {
+		for _, s := range bench.Strategies3() {
+			b.Run(fmt.Sprintf("%s/%s", p.Label, s), func(b *testing.B) {
+				benchPanel(b, p, s)
+			})
+		}
+	}
+}
+
+// BenchmarkFig18ServiceRate regenerates the six service-rate panels of
+// Figure 18.
+func BenchmarkFig18ServiceRate(b *testing.B) {
+	for _, p := range bench.Fig18Panels() {
+		for _, s := range bench.Strategies3() {
+			b.Run(fmt.Sprintf("%s/%s", p.Label, s), func(b *testing.B) {
+				benchPanel(b, p, s)
+			})
+		}
+	}
+}
+
+// BenchmarkFig19MemVsCPUOpt regenerates the five Mem-Opt vs CPU-Opt panels
+// of Figure 19.
+func BenchmarkFig19MemVsCPUOpt(b *testing.B) {
+	for _, p := range bench.Fig19Panels() {
+		b.Run(p.Label, func(b *testing.B) {
+			w, err := workload.NQueries(p.Dist, p.Queries, 0.025)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rc := bench.RunConfig{
+				Rate: 40, DurationSec: benchDuration, Seed: benchSeed,
+				MetricCsys: bench.DefaultCsys,
+			}
+			var meas map[bench.ChainVariant]bench.Measurement
+			for i := 0; i < b.N; i++ {
+				var err error
+				meas, _, err = bench.RunChainVariants(w, rc, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(meas[bench.MemOpt].CompRate, "memopt-tuples/Mcmp")
+			b.ReportMetric(meas[bench.CPUOpt].CompRate, "cpuopt-tuples/Mcmp")
+			b.ReportMetric(meas[bench.MemOpt].ServiceRate, "memopt-tuples/s")
+			b.ReportMetric(meas[bench.CPUOpt].ServiceRate, "cpuopt-tuples/s")
+		})
+	}
+}
+
+// benchWorkload is the shared two-query workload of the ablations.
+func benchWorkload(filter stateslice.Predicate) stateslice.Workload {
+	return stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Window: 3 * stateslice.Second},
+			{Window: 12 * stateslice.Second, Filter: filter},
+		},
+		Join: stateslice.Equijoin{},
+	}
+}
+
+func benchInput(b *testing.B, domain int64) []*stateslice.Tuple {
+	b.Helper()
+	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+		RateA: benchRate, RateB: benchRate,
+		Duration:  stateslice.Seconds(benchDuration),
+		KeyDomain: domain,
+		Seed:      benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return input
+}
+
+// BenchmarkAblationLineageVsReeval compares the Section 6.1 lineage marks
+// against re-evaluating pushed-down predicates at every slice gate.
+func BenchmarkAblationLineageVsReeval(b *testing.B) {
+	w := benchWorkload(stateslice.Threshold{S: 0.3})
+	input := benchInput(b, 20)
+	for name, disable := range map[string]bool{"lineage": false, "reeval": true} {
+		b.Run(name, func(b *testing.B) {
+			var filterCmp float64
+			for i := 0; i < b.N; i++ {
+				sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{DisableLineage: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{SampleEvery: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				filterCmp = float64(res.Meter.Filter)
+			}
+			b.ReportMetric(filterCmp, "filter-comparisons")
+		})
+	}
+}
+
+// BenchmarkAblationChainLength sweeps the number of slices for a fixed
+// workload, exposing the purge-and-overhead vs routing trade-off that the
+// CPU-Opt optimizer navigates (Section 5.2).
+func BenchmarkAblationChainLength(b *testing.B) {
+	maxW := 12.0
+	w := stateslice.Workload{
+		Queries: []stateslice.Query{{Window: stateslice.Seconds(maxW)}},
+		Join:    stateslice.FractionMatch{S: 0.1},
+	}
+	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+		RateA: benchRate, RateB: benchRate,
+		Duration: stateslice.Seconds(benchDuration),
+		Seed:     benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, slices := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("slices=%d", slices), func(b *testing.B) {
+			var ends []stateslice.Time
+			for i := 1; i <= slices; i++ {
+				ends = append(ends, stateslice.Seconds(maxW*float64(i)/float64(slices)))
+			}
+			var cmp uint64
+			for i := 0; i < b.N; i++ {
+				sp, err := stateslice.ChainPlanWithEnds(w, ends, stateslice.ChainConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{SampleEvery: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmp = res.Meter.Comparisons()
+			}
+			b.ReportMetric(float64(cmp), "comparisons")
+		})
+	}
+}
+
+// BenchmarkAblationHashVsNL compares nested-loop probing (the paper's cost
+// model) with the hash-index probing variant cited from Kang et al. [14].
+func BenchmarkAblationHashVsNL(b *testing.B) {
+	input := benchInput(b, 50)
+	w := benchWorkload(nil)
+	for _, mode := range []string{"nested-loop", "hash"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := stateslice.PullUpPlan(w, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "hash" {
+					if err := stateslice.EnableHashProbing(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := stateslice.Run(p, input, stateslice.RunConfig{SampleEvery: 16}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMigration measures the cost of one merge plus one split on a
+// running chain (the Section 5.3 "constant system cost").
+func BenchmarkMigration(b *testing.B) {
+	w := stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Window: 2 * stateslice.Second},
+			{Window: 6 * stateslice.Second},
+		},
+		Join: stateslice.FractionMatch{S: 0.1},
+	}
+	input := benchInput(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Migratable: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := stateslice.NewSession(sp.Plan, stateslice.RunConfig{SampleEvery: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tp := range input[:len(input)/4] {
+			if err := s.Feed(tp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := sp.MergeSlices(s, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := sp.SplitSlice(s, 0, 2*stateslice.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

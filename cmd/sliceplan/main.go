@@ -1,0 +1,119 @@
+// Command sliceplan explores chain layouts for a query workload: it prints
+// the Mem-Opt chain (Section 5.1 of the State-Slice paper), the CPU-Opt
+// chain found by Dijkstra's algorithm over the slice-merge graph
+// (Section 5.2), their modelled memory and CPU costs, and the online
+// migration script between them (Section 5.3).
+//
+// Usage:
+//
+//	sliceplan -windows 1,2,3,4,5,6,25,26,27,28,29,30 -rate 40 -s1 0.025 -csys 3
+//	sliceplan -windows 10,20,30 -sels 1,0.5,0.5 -rate 60 -s1 0.1
+//
+// Windows are in seconds; -sels gives the per-query selection selectivities
+// (1 = unfiltered) and defaults to all-unfiltered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stateslice"
+)
+
+func main() {
+	var (
+		windows = flag.String("windows", "2.5,5,7.5,10,12.5,15,17.5,20,22.5,25,27.5,30", "query windows in seconds, comma-separated, ascending")
+		sels    = flag.String("sels", "", "per-query selection selectivities in (0,1], comma-separated (default: all 1)")
+		rate    = flag.Float64("rate", 40, "per-stream arrival rate (tuples/sec)")
+		s1      = flag.Float64("s1", 0.025, "join selectivity S1")
+		csys    = flag.Float64("csys", 3, "system overhead factor C_sys (comparisons per tuple per operator)")
+		tupleKB = flag.Float64("tuplekb", 0.1, "tuple size Mt in KB")
+	)
+	flag.Parse()
+
+	ws, err := parseFloats(*windows)
+	check(err)
+	var ss []float64
+	if *sels != "" {
+		ss, err = parseFloats(*sels)
+		check(err)
+		if len(ss) != len(ws) {
+			check(fmt.Errorf("need one selectivity per window (%d windows, %d selectivities)", len(ws), len(ss)))
+		}
+	}
+	queries := make([]stateslice.QuerySpec, len(ws))
+	for i, w := range ws {
+		sel := 1.0
+		if ss != nil {
+			sel = ss[i]
+		}
+		queries[i] = stateslice.QuerySpec{Window: w, Sel: sel}
+	}
+	params := stateslice.ChainParams{
+		LambdaA: *rate, LambdaB: *rate,
+		TupleKB: *tupleKB, SelJoin: *s1, Csys: *csys,
+	}
+
+	fmt.Printf("workload: %d queries, lambda=%g t/s per stream, S1=%g, Csys=%g\n\n", len(queries), *rate, *s1, *csys)
+
+	memEnds := stateslice.MemOptEnds(queries)
+	cpuRes, err := stateslice.CPUOptEnds(queries, params)
+	check(err)
+
+	memCost, err := chainCost(queries, memEnds, params)
+	check(err)
+	fmt.Printf("Mem-Opt chain  (%2d slices): %v\n", len(memEnds), memEnds)
+	fmt.Printf("  modelled state memory: %10.1f KB   CPU: %12.0f comparisons/s\n\n", memCost.MemoryKB, memCost.CPU)
+
+	fmt.Printf("CPU-Opt chain  (%2d slices): %v\n", len(cpuRes.Ends), cpuRes.Ends)
+	fmt.Printf("  modelled state memory: %10.1f KB   CPU: %12.0f comparisons/s\n\n", cpuRes.MemoryKB, cpuRes.CPU)
+
+	if memCost.CPU > 0 {
+		fmt.Printf("CPU-Opt saves %.1f%% CPU over Mem-Opt", 100*(memCost.CPU-cpuRes.CPU)/memCost.CPU)
+		if cpuRes.MemoryKB > memCost.MemoryKB {
+			fmt.Printf(" at %.1f%% extra state memory", 100*(cpuRes.MemoryKB-memCost.MemoryKB)/memCost.MemoryKB)
+		}
+		fmt.Println(".")
+	}
+
+	steps, err := stateslice.PlanMigration(memEnds, cpuRes.Ends)
+	check(err)
+	if len(steps) == 0 {
+		fmt.Println("The chains coincide; no migration needed.")
+		return
+	}
+	fmt.Printf("\nonline migration Mem-Opt -> CPU-Opt (%d steps):\n", len(steps))
+	for _, s := range steps {
+		fmt.Printf("  %s\n", s)
+	}
+}
+
+// chainCost evaluates the chain model through the public facade types.
+func chainCost(queries []stateslice.QuerySpec, ends []float64, p stateslice.ChainParams) (stateslice.Cost, error) {
+	// The facade exposes the optimizer; evaluating an explicit layout
+	// reuses the same model through CPUOptEnds' building block.
+	return stateslice.ChainCostOf(queries, ends, p)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sliceplan:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,218 @@
+// Package bench contains the experiment harness that regenerates every
+// table and figure of the State-Slice paper's evaluation (Section 7). The
+// cmd/slicebench binary and the repository's Go benchmarks are thin wrappers
+// over the runners here, so the printed series and the benchmark metrics
+// always agree.
+package bench
+
+import (
+	"fmt"
+
+	"stateslice/internal/chain"
+	"stateslice/internal/cost"
+	"stateslice/internal/engine"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+	"stateslice/internal/workload"
+)
+
+// Strategy names the sharing strategies compared in Figures 17 and 18.
+type Strategy string
+
+// The strategies of Section 7.2 plus the unshared reference.
+const (
+	PullUp     Strategy = "selection-pullup"
+	StateSlice Strategy = "state-slice-chain"
+	PushDown   Strategy = "selection-pushdown"
+	Unshared   Strategy = "unshared"
+)
+
+// Strategies3 lists the strategies of the Section 7.2 comparison, in the
+// paper's legend order.
+func Strategies3() []Strategy { return []Strategy{PullUp, StateSlice, PushDown} }
+
+// RunConfig parameterises one engine execution of a workload.
+type RunConfig struct {
+	// Rate is the per-stream arrival rate lambda in tuples/sec.
+	Rate float64
+	// DurationSec is the virtual run length (the paper uses 90 s).
+	DurationSec float64
+	// Seed seeds the generator; all strategies share the same input.
+	Seed int64
+	// MetricCsys weighs per-invocation overhead in the comparison-based
+	// service-rate proxy. The default 0 reports the paper's pure
+	// comparison-count metric of Section 3 (Eq. (1)-(3) charge no
+	// per-operator overhead); wall-clock service rate captures the real
+	// overhead independently.
+	MetricCsys float64
+	// OptimizerCsys is the C_sys system-overhead factor fed to the
+	// CPU-Opt chain optimizer (Section 5.2), where per-operator overhead
+	// is exactly what merging slices trades against routing cost. Zero
+	// selects DefaultCsys.
+	OptimizerCsys float64
+}
+
+// DefaultCsys is the optimizer's system-overhead factor when none is given:
+// about three comparisons' worth of work per operator invocation, covering
+// queue transfers and scheduling, per the discussion in Section 5.2.
+const DefaultCsys = 3.0
+
+// Measurement is one strategy's measured statistics for one run.
+type Measurement struct {
+	// AvgStateTuples is the mean total join-state size in tuples, the
+	// Figure 17 metric.
+	AvgStateTuples float64
+	// MaxStateTuples is the peak total state size.
+	MaxStateTuples int
+	// ServiceRate is tuples (inputs + outputs) per wall-clock second, the
+	// Figure 18/19 metric on the host machine.
+	ServiceRate float64
+	// CompRate is tuples per million modelled comparisons, the
+	// hardware-independent service-rate proxy (higher is better).
+	CompRate float64
+	// Comparisons is the total comparison count of the run.
+	Comparisons uint64
+	// Outputs is the total number of result tuples delivered.
+	Outputs uint64
+	// Inputs is the number of source tuples processed.
+	Inputs int
+}
+
+// measure converts an engine result.
+func measure(res *engine.Result, csys float64) Measurement {
+	return Measurement{
+		AvgStateTuples: res.Memory.Avg,
+		MaxStateTuples: res.Memory.Max,
+		ServiceRate:    res.ServiceRate(),
+		CompRate:       res.ComparisonRate(csys),
+		Comparisons:    res.Meter.Comparisons(),
+		Outputs:        res.TotalOutputs(),
+		Inputs:         res.Inputs,
+	}
+}
+
+// generate produces the shared input for a run configuration.
+func generate(rc RunConfig) ([]*stream.Tuple, error) {
+	return stream.Generate(stream.GeneratorConfig{
+		RateA:    rc.Rate,
+		RateB:    rc.Rate,
+		Duration: stream.Seconds(rc.DurationSec),
+		Seed:     rc.Seed,
+	})
+}
+
+// buildStrategy assembles the plan for one strategy over a workload.
+func buildStrategy(s Strategy, w plan.Workload) (*engine.Plan, error) {
+	switch s {
+	case PullUp:
+		return BuildPullUpPlan(w)
+	case PushDown:
+		return BuildPushDownPlan(w)
+	case StateSlice:
+		sp, err := plan.BuildStateSlice(w, plan.StateSliceConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return sp.Plan, nil
+	case Unshared:
+		return plan.BuildUnshared(w, false)
+	default:
+		return nil, fmt.Errorf("bench: unknown strategy %q", s)
+	}
+}
+
+// BuildPullUpPlan exposes the pull-up builder without result collection.
+func BuildPullUpPlan(w plan.Workload) (*engine.Plan, error) { return plan.BuildPullUp(w, false) }
+
+// BuildPushDownPlan exposes the push-down builder without result collection.
+func BuildPushDownPlan(w plan.Workload) (*engine.Plan, error) { return plan.BuildPushDown(w, false) }
+
+// RunStrategies executes the given strategies over the same generated input
+// and returns per-strategy measurements. SampleEvery tunes the memory
+// monitor (1 = every arrival).
+func RunStrategies(w plan.Workload, strategies []Strategy, rc RunConfig, sampleEvery int) (map[Strategy]Measurement, error) {
+	input, err := generate(rc)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Strategy]Measurement, len(strategies))
+	for _, s := range strategies {
+		p, err := buildStrategy(s, w)
+		if err != nil {
+			return nil, fmt.Errorf("bench: build %s: %w", s, err)
+		}
+		res, err := engine.Run(p, input, engine.Config{SampleEvery: sampleEvery})
+		if err != nil {
+			return nil, fmt.Errorf("bench: run %s: %w", s, err)
+		}
+		if res.OrderViolations != 0 {
+			return nil, fmt.Errorf("bench: %s delivered %d results out of order", s, res.OrderViolations)
+		}
+		out[s] = measure(res, rc.MetricCsys)
+	}
+	return out, nil
+}
+
+// ChainVariant names the two chain build-ups compared in Figure 19.
+type ChainVariant string
+
+// The Figure 19 variants.
+const (
+	MemOpt ChainVariant = "mem-opt"
+	CPUOpt ChainVariant = "cpu-opt"
+)
+
+// RunChainVariants executes the Mem-Opt and CPU-Opt chains for a workload
+// over the same input, as in Section 7.3. It returns the measurements plus
+// the slice counts of both chains.
+func RunChainVariants(w plan.Workload, rc RunConfig, sampleEvery int) (map[ChainVariant]Measurement, map[ChainVariant]int, error) {
+	optCsys := rc.OptimizerCsys
+	if optCsys == 0 {
+		optCsys = DefaultCsys
+	}
+	specs := workload.Specs(w)
+	cpuEnds, err := chain.CPUOptEnds(specs, cost.ChainParams{
+		LambdaA: rc.Rate,
+		LambdaB: rc.Rate,
+		TupleKB: 1,
+		SelJoin: joinSelectivity(w),
+		Csys:    optCsys,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	variants := map[ChainVariant][]stream.Time{
+		MemOpt: nil, // nil selects the Mem-Opt boundaries
+		CPUOpt: workload.EndsToTimes(cpuEnds.Ends),
+	}
+	input, err := generate(rc)
+	if err != nil {
+		return nil, nil, err
+	}
+	meas := make(map[ChainVariant]Measurement, 2)
+	slices := make(map[ChainVariant]int, 2)
+	for v, ends := range variants {
+		sp, err := plan.BuildStateSlice(w, plan.StateSliceConfig{Ends: ends, Name: string(v)})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: build %s: %w", v, err)
+		}
+		res, err := engine.Run(sp.Plan, input, engine.Config{SampleEvery: sampleEvery})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: run %s: %w", v, err)
+		}
+		if res.OrderViolations != 0 {
+			return nil, nil, fmt.Errorf("bench: %s delivered %d results out of order", v, res.OrderViolations)
+		}
+		meas[v] = measure(res, rc.MetricCsys)
+		slices[v] = len(sp.Slices())
+	}
+	return meas, slices, nil
+}
+
+// joinSelectivity extracts the modelled join selectivity of a workload.
+func joinSelectivity(w plan.Workload) float64 {
+	if fm, ok := w.Join.(stream.FractionMatch); ok {
+		return fm.S
+	}
+	return 0.1
+}

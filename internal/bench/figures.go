@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+
+	"stateslice/internal/cost"
+	"stateslice/internal/workload"
+)
+
+// Fig17Panel identifies one panel of Figure 17 or 18: a window
+// distribution plus the two selectivities.
+type Fig17Panel struct {
+	// Label is the paper's sub-figure tag, e.g. "17a".
+	Label string
+	// Dist is the window distribution.
+	Dist workload.Distribution
+	// S1 is the join selectivity.
+	S1 float64
+	// SSigma is the selection selectivity.
+	SSigma float64
+}
+
+// String renders the panel header like the paper's captions.
+func (p Fig17Panel) String() string {
+	return fmt.Sprintf("%s: %s, S1=%g, Ssigma=%g", p.Label, p.Dist, p.S1, p.SSigma)
+}
+
+// Fig17Panels returns the six memory-comparison panels of Figure 17.
+func Fig17Panels() []Fig17Panel {
+	return []Fig17Panel{
+		{"17a", workload.MostlySmall, 0.1, 0.5},
+		{"17b", workload.Uniform, 0.1, 0.5},
+		{"17c", workload.MostlyLarge, 0.1, 0.5},
+		{"17d", workload.Uniform, 0.025, 0.2},
+		{"17e", workload.Uniform, 0.025, 0.5},
+		{"17f", workload.Uniform, 0.025, 0.8},
+	}
+}
+
+// Fig18Panels returns the six service-rate panels of Figure 18.
+func Fig18Panels() []Fig17Panel {
+	return []Fig17Panel{
+		{"18a", workload.MostlySmall, 0.1, 0.5},
+		{"18b", workload.Uniform, 0.1, 0.5},
+		{"18c", workload.MostlyLarge, 0.1, 0.5},
+		{"18d", workload.Uniform, 0.025, 0.8},
+		{"18e", workload.Uniform, 0.1, 0.8},
+		{"18f", workload.Uniform, 0.4, 0.8},
+	}
+}
+
+// PanelPoint is one (rate, per-strategy measurement) sample of a panel.
+type PanelPoint struct {
+	// Rate is the per-stream input rate in tuples/sec.
+	Rate float64
+	// By holds the measurements keyed by strategy.
+	By map[Strategy]Measurement
+}
+
+// RunPanel sweeps the input rates for one Figure 17/18 panel and returns the
+// per-rate measurements of the three strategies.
+func RunPanel(p Fig17Panel, rates []float64, durationSec float64, seed int64) ([]PanelPoint, error) {
+	w, err := workload.ThreeQueries(p.Dist, p.SSigma, p.S1)
+	if err != nil {
+		return nil, err
+	}
+	var out []PanelPoint
+	for _, rate := range rates {
+		rc := RunConfig{Rate: rate, DurationSec: durationSec, Seed: seed}
+		m, err := RunStrategies(w, Strategies3(), rc, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: panel %s rate %g: %w", p.Label, rate, err)
+		}
+		out = append(out, PanelPoint{Rate: rate, By: m})
+	}
+	return out, nil
+}
+
+// Fig19Panel identifies one panel of Figure 19: a window distribution and a
+// query count.
+type Fig19Panel struct {
+	// Label is the paper's sub-figure tag, e.g. "19a".
+	Label string
+	// Dist is the window distribution.
+	Dist workload.Distribution
+	// Queries is the number of registered continuous queries.
+	Queries int
+}
+
+// String renders the panel header.
+func (p Fig19Panel) String() string {
+	return fmt.Sprintf("%s: %s, %d queries", p.Label, p.Dist, p.Queries)
+}
+
+// Fig19Panels returns the five Mem-Opt vs CPU-Opt panels of Figure 19.
+func Fig19Panels() []Fig19Panel {
+	return []Fig19Panel{
+		{"19a", workload.Uniform, 12},
+		{"19b", workload.MostlySmall, 12},
+		{"19c", workload.SmallLarge, 12},
+		{"19d", workload.SmallLarge, 24},
+		{"19e", workload.SmallLarge, 36},
+	}
+}
+
+// Fig19Point is one (rate, per-variant measurement) sample.
+type Fig19Point struct {
+	// Rate is the per-stream input rate in tuples/sec.
+	Rate float64
+	// By holds the measurements keyed by chain variant.
+	By map[ChainVariant]Measurement
+	// Slices counts the sliced joins per variant.
+	Slices map[ChainVariant]int
+}
+
+// RunFig19Panel sweeps the input rates for one Figure 19 panel. The join
+// selectivity is 0.025 and the queries carry no selections, per Section 7.3.
+func RunFig19Panel(p Fig19Panel, rates []float64, durationSec float64, seed int64) ([]Fig19Point, error) {
+	w, err := workload.NQueries(p.Dist, p.Queries, 0.025)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig19Point
+	for _, rate := range rates {
+		rc := RunConfig{Rate: rate, DurationSec: durationSec, Seed: seed}
+		m, slices, err := RunChainVariants(w, rc, 4)
+		if err != nil {
+			return nil, fmt.Errorf("bench: panel %s rate %g: %w", p.Label, rate, err)
+		}
+		out = append(out, Fig19Point{Rate: rate, By: m, Slices: slices})
+	}
+	return out, nil
+}
+
+// Fig11Series regenerates the analytic savings surfaces of Figure 11.
+// Panel (a) holds the two memory surfaces; panels (b) and (c) hold the CPU
+// surfaces at the three join selectivities the paper plots.
+func Fig11Series(gridN int) map[string][]cost.SurfacePoint {
+	out := make(map[string][]cost.SurfacePoint)
+	out["11a/mem-vs-pullup"] = cost.Surface(cost.MemVsPullUpMetric, 0.1, gridN)
+	out["11a/mem-vs-pushdown"] = cost.Surface(cost.MemVsPushDownMetric, 0.1, gridN)
+	for _, s1 := range workload.JoinSelectivities {
+		out[fmt.Sprintf("11b/cpu-vs-pullup/S1=%g", s1)] = cost.Surface(cost.CPUVsPullUpMetric, s1, gridN)
+		out[fmt.Sprintf("11c/cpu-vs-pushdown/S1=%g", s1)] = cost.Surface(cost.CPUVsPushDownMetric, s1, gridN)
+	}
+	return out
+}

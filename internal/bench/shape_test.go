@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"testing"
+
+	"stateslice/internal/workload"
+)
+
+// The tests here verify the qualitative results of the paper's evaluation
+// (Section 7) on scaled-down runs: who wins, by roughly what factor, and
+// how the gap moves with the workload parameters. Absolute numbers differ
+// from the paper (different hardware and engine), but the orderings are the
+// reproduction target.
+
+const (
+	testDuration = 25.0 // virtual seconds (paper: 90; scaled for test speed)
+	testSeed     = 1234
+)
+
+func testRates() []float64 { return []float64{20, 60} }
+
+func TestFig17StateSliceMinimizesMemory(t *testing.T) {
+	// Figure 17: "the state-slice sharing always achieves the minimal
+	// memory consumption, with the memory savings ranging from 20% to
+	// 30%" (against the worse alternative per panel).
+	for _, p := range Fig17Panels() {
+		pts, err := RunPanel(p, testRates(), testDuration, testSeed)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label, err)
+		}
+		for _, pt := range pts {
+			sl := pt.By[StateSlice].AvgStateTuples
+			pu := pt.By[PullUp].AvgStateTuples
+			pd := pt.By[PushDown].AvgStateTuples
+			if sl > pu || sl > pd {
+				t.Errorf("%s rate %g: state-slice %f not minimal (pullup %f, pushdown %f)",
+					p.Label, pt.Rate, sl, pu, pd)
+			}
+			worst := pu
+			if pd > worst {
+				worst = pd
+			}
+			if saving := (worst - sl) / worst; saving < 0.08 {
+				t.Errorf("%s rate %g: memory saving vs worst alternative only %.1f%%",
+					p.Label, pt.Rate, 100*saving)
+			}
+		}
+	}
+}
+
+func TestFig17MemoryGrowsLinearlyWithRate(t *testing.T) {
+	// States hold lambda*W tuples, so doubling the rate roughly doubles
+	// the sampled state size for every strategy.
+	p := Fig17Panels()[1] // uniform windows
+	pts, err := RunPanel(p, []float64{20, 40}, testDuration, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies3() {
+		ratio := pts[1].By[s].AvgStateTuples / pts[0].By[s].AvgStateTuples
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("%s: memory ratio at 2x rate = %.2f, want about 2", s, ratio)
+		}
+	}
+}
+
+func TestFig17JoinSelectivityDoesNotAffectMemory(t *testing.T) {
+	// Comparing Figures 17(b) and 17(e): "S1 does not affect the memory
+	// usage since the number of joined tuples is unrelated to the state
+	// memory of the join."
+	b := Fig17Panel{"17b", workload.Uniform, 0.1, 0.5}
+	e := Fig17Panel{"17e", workload.Uniform, 0.025, 0.5}
+	ptsB, err := RunPanel(b, []float64{40}, testDuration, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptsE, err := RunPanel(e, []float64{40}, testDuration, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies3() {
+		mb, me := ptsB[0].By[s].AvgStateTuples, ptsE[0].By[s].AvgStateTuples
+		if diff := (mb - me) / mb; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: memory differs with join selectivity: %f vs %f", s, mb, me)
+		}
+	}
+}
+
+func TestFig18StateSliceBeatsPullUp(t *testing.T) {
+	// Figure 18: the state-slice chain outperforms selection pull-up on
+	// every panel, by a margin that grows with the input rate and the
+	// join selectivity (up to about 40%).
+	for _, p := range Fig18Panels() {
+		pts, err := RunPanel(p, testRates(), testDuration, testSeed)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label, err)
+		}
+		for _, pt := range pts {
+			sl := pt.By[StateSlice].Comparisons
+			pu := pt.By[PullUp].Comparisons
+			if sl >= pu {
+				t.Errorf("%s rate %g: state-slice comparisons %d not below pull-up %d",
+					p.Label, pt.Rate, sl, pu)
+				continue
+			}
+			// Eq. (4) predicts savings from about 10% (low S1, high
+			// Ssigma) up to 60%; allow warm-up attenuation on the
+			// short test runs.
+			if saving := float64(pu-sl) / float64(pu); saving < 0.05 {
+				t.Errorf("%s rate %g: CPU saving vs pull-up only %.1f%%", p.Label, pt.Rate, 100*saving)
+			}
+		}
+	}
+}
+
+func TestFig18StateSliceVsPushDown(t *testing.T) {
+	// Against push-down the paper's analytical saving is
+	// Ssigma*S1/(rho(1-Ssigma)+Ssigma+Ssigma*S1+rho*S1) — small at low
+	// selectivities and growing with S1 and Ssigma. The measured
+	// comparison counts must match that shape: state-slice wins clearly
+	// on the high-S1 panel and never loses more than a whisker on the
+	// low-S1 low-Ssigma panel, where the predicted saving is under 1%.
+	high := Fig17Panel{"18f", workload.Uniform, 0.4, 0.8}
+	pts, err := RunPanel(high, testRates(), testDuration, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		sl := pt.By[StateSlice].Comparisons
+		pd := pt.By[PushDown].Comparisons
+		if sl >= pd {
+			t.Errorf("high-selectivity panel rate %g: state-slice %d not below push-down %d",
+				pt.Rate, sl, pd)
+		} else if saving := float64(pd-sl) / float64(pd); saving < 0.1 {
+			t.Errorf("high-selectivity panel rate %g: saving vs push-down only %.1f%%", pt.Rate, 100*saving)
+		}
+	}
+	low := Fig17Panel{"17d", workload.Uniform, 0.025, 0.2}
+	pts, err = RunPanel(low, testRates(), testDuration, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		sl := float64(pt.By[StateSlice].Comparisons)
+		pd := float64(pt.By[PushDown].Comparisons)
+		if sl > 1.03*pd {
+			t.Errorf("low-selectivity panel rate %g: state-slice %0.f more than 3%% above push-down %0.f",
+				pt.Rate, sl, pd)
+		}
+	}
+}
+
+func TestFig18GapGrowsWithRate(t *testing.T) {
+	// "with increasing data input rate, more performance improvements can
+	// be expected from the state-slice sharing": the routing cost of the
+	// alternatives grows quadratically with lambda, the extra purging of
+	// the chain only linearly.
+	p := Fig18Panels()[1]
+	pts, err := RunPanel(p, []float64{20, 80}, testDuration, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	savingAt := func(pt PanelPoint) float64 {
+		pu := float64(pt.By[PullUp].Comparisons)
+		sl := float64(pt.By[StateSlice].Comparisons)
+		return (pu - sl) / pu
+	}
+	if s20, s80 := savingAt(pts[0]), savingAt(pts[1]); s80 < s20-0.02 {
+		t.Errorf("saving shrank with rate: %.1f%% at 20 t/s vs %.1f%% at 80 t/s", 100*s20, 100*s80)
+	}
+}
+
+func TestFig19CPUOptVsMemOpt(t *testing.T) {
+	// Figure 19: on uniform window distributions the CPU-Opt chain is
+	// (nearly) the Mem-Opt chain; on skewed distributions it merges the
+	// clustered small windows, runs fewer sliced joins, and achieves a
+	// higher service rate. The harness reports the overhead-weighted
+	// comparison metric (MetricCsys = DefaultCsys), which stands in for
+	// the paper's wall-clock service rate.
+	for _, p := range []Fig19Panel{
+		{"19a", workload.Uniform, 12},
+		{"19b", workload.MostlySmall, 12},
+		{"19c", workload.SmallLarge, 12},
+	} {
+		w, err := workload.NQueries(p.Dist, p.Queries, 0.025)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := RunConfig{Rate: 20, DurationSec: testDuration, Seed: testSeed, MetricCsys: DefaultCsys}
+		meas, slices, err := RunChainVariants(w, rc, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label, err)
+		}
+		if slices[MemOpt] != 12 {
+			t.Errorf("%s: Mem-Opt chain has %d slices, want 12", p.Label, slices[MemOpt])
+		}
+		if p.Dist != workload.Uniform && slices[CPUOpt] >= slices[MemOpt] {
+			t.Errorf("%s: CPU-Opt should merge skewed windows (got %d slices)", p.Label, slices[CPUOpt])
+		}
+		if m, c := meas[MemOpt].CompRate, meas[CPUOpt].CompRate; c < 0.99*m {
+			t.Errorf("%s: CPU-Opt rate %.0f below Mem-Opt %.0f", p.Label, c, m)
+		}
+		if p.Dist == workload.SmallLarge {
+			if m, c := meas[MemOpt].CompRate, meas[CPUOpt].CompRate; c < 1.02*m {
+				t.Errorf("%s: CPU-Opt should clearly beat Mem-Opt on skewed windows (%.0f vs %.0f)",
+					p.Label, c, m)
+			}
+		}
+	}
+}
+
+func TestFig19BenefitGrowsWithQueryCount(t *testing.T) {
+	// Figures 19(c)-(e): "The benefit of CPU-Opt over Mem-Opt chain also
+	// increases along with the number of queries."
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	gain := func(n int) float64 {
+		w, err := workload.NQueries(workload.SmallLarge, n, 0.025)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := RunConfig{Rate: 20, DurationSec: testDuration, Seed: testSeed, MetricCsys: DefaultCsys}
+		meas, _, err := RunChainVariants(w, rc, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas[CPUOpt].CompRate / meas[MemOpt].CompRate
+	}
+	g12, g36 := gain(12), gain(36)
+	if g36 < g12 {
+		t.Errorf("CPU-Opt gain fell with query count: %.3f at 12 vs %.3f at 36", g12, g36)
+	}
+}
+
+func TestFig11SeriesCoverage(t *testing.T) {
+	series := Fig11Series(8)
+	wantKeys := []string{
+		"11a/mem-vs-pullup", "11a/mem-vs-pushdown",
+		"11b/cpu-vs-pullup/S1=0.025", "11b/cpu-vs-pullup/S1=0.1", "11b/cpu-vs-pullup/S1=0.4",
+		"11c/cpu-vs-pushdown/S1=0.025", "11c/cpu-vs-pushdown/S1=0.1", "11c/cpu-vs-pushdown/S1=0.4",
+	}
+	for _, k := range wantKeys {
+		pts, ok := series[k]
+		if !ok {
+			t.Errorf("missing series %q", k)
+			continue
+		}
+		if len(pts) != 64 {
+			t.Errorf("series %q has %d points, want 64", k, len(pts))
+		}
+		for _, pt := range pts {
+			if pt.Value < 0 {
+				t.Errorf("series %q has negative saving %.2f%% at rho=%.2f Ssigma=%.2f — "+
+					"Eq. (4) savings are always positive", k, pt.Value, pt.Rho, pt.SSigma)
+			}
+		}
+	}
+}
+
+func TestRunStrategiesUnknown(t *testing.T) {
+	w, err := workload.ThreeQueries(workload.Uniform, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Rate: 10, DurationSec: 2, Seed: 1}
+	if _, err := RunStrategies(w, []Strategy{"nonsense"}, rc, 1); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestUnsharedStrategyRuns(t *testing.T) {
+	w, err := workload.ThreeQueries(workload.Uniform, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Rate: 20, DurationSec: 10, Seed: 3}
+	m, err := RunStrategies(w, []Strategy{Unshared, StateSlice}, rc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharing must not use more state than the unshared plans (Theorem 3
+	// plus selection push-down: the chain holds a subset).
+	if m[StateSlice].AvgStateTuples > m[Unshared].AvgStateTuples {
+		t.Errorf("state-slice %f tuples above unshared %f",
+			m[StateSlice].AvgStateTuples, m[Unshared].AvgStateTuples)
+	}
+	if m[StateSlice].Outputs != m[Unshared].Outputs {
+		t.Errorf("outputs differ: %d vs %d", m[StateSlice].Outputs, m[Unshared].Outputs)
+	}
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// TraceRow is one row of the Table 2 execution trace: the operator scheduled
+// at second T, the resulting states of both sliced joins, the connecting
+// queue, and the emitted join results. Lists are rendered newest-first,
+// matching the paper's notation.
+type TraceRow struct {
+	// T is the schedule second (1-10).
+	T int
+	// Arrival names the tuple arriving at the start of the second, if any.
+	Arrival string
+	// Op is the operator that ran ("J1" or "J2").
+	Op string
+	// StateJ1 and StateJ2 are the A-state contents after the run.
+	StateJ1, StateJ2 []string
+	// Queue is the connecting queue content after the run.
+	Queue []string
+	// Output lists the join results emitted during the run.
+	Output []string
+}
+
+// String renders the row like a Table 2 line.
+func (r TraceRow) String() string {
+	return fmt.Sprintf("%2d %-4s %-3s A::[0,2]=%-14s Q=%-22s A::[2,4]=%-12s out=%s",
+		r.T, r.Arrival, r.Op,
+		"["+strings.Join(r.StateJ1, ",")+"]",
+		"["+strings.Join(r.Queue, ",")+"]",
+		"["+strings.Join(r.StateJ2, ",")+"]",
+		strings.Join(r.Output, " "))
+}
+
+// Table2Trace replays the execution of the paper's Table 2: a chain of two
+// sliced one-way window joins A[0,2s] |>< B and A[2s,4s] |>< B under
+// Cartesian-product semantics, with one tuple arriving per second
+// (a1,a2,a3,b1,b2 at seconds 1-5, a4 at second 8) and one operator run per
+// second (J1 at seconds 1-5 and 8, J2 at 6,7,9,10).
+//
+// selfPurge enables purging of the A state by arriving A tuples (footnote 1
+// of the paper). The published table is internally inconsistent around row
+// 8: rows 1-7 show pure cross-purge behaviour, while rows 9-10 show a3
+// already moved to the queue, which only self-purge explains. With selfPurge
+// set, rows 9 and 10 match the paper exactly and row 8 differs only in
+// showing a3 already purged; without it, rows 1-8 match and a3 stays in J1.
+func Table2Trace(selfPurge bool) ([]TraceRow, error) {
+	inQ := stream.NewQueue()
+	j1, err := operator.NewSlicedOneWayJoin("J1", 0, 2*stream.Second, stream.CrossProduct{}, inQ)
+	if err != nil {
+		return nil, err
+	}
+	midQ := j1.Next().NewQueue()
+	j2, err := operator.NewSlicedOneWayJoin("J2", 2*stream.Second, 4*stream.Second, stream.CrossProduct{}, midQ)
+	if err != nil {
+		return nil, err
+	}
+	if selfPurge {
+		j1.WithSelfPurge()
+		j2.WithSelfPurge()
+	}
+	out1 := j1.Result().NewQueue()
+	out2 := j2.Result().NewQueue()
+
+	var mb stream.ManualBuilder
+	arrivals := map[int]*stream.Tuple{
+		1: mb.Add(stream.StreamA, 1*stream.Second),
+		2: mb.Add(stream.StreamA, 2*stream.Second),
+		3: mb.Add(stream.StreamA, 3*stream.Second),
+		4: mb.Add(stream.StreamB, 4*stream.Second),
+		5: mb.Add(stream.StreamB, 5*stream.Second),
+		8: mb.Add(stream.StreamA, 8*stream.Second),
+	}
+	schedule := map[int]operator.Operator{
+		1: j1, 2: j1, 3: j1, 4: j1, 5: j1,
+		6: j2, 7: j2, 8: j1, 9: j2, 10: j2,
+	}
+
+	var rows []TraceRow
+	meter := &operator.CostMeter{}
+	for t := 1; t <= 10; t++ {
+		row := TraceRow{T: t}
+		if tp, ok := arrivals[t]; ok {
+			row.Arrival = tp.String()
+			inQ.PushTuple(tp)
+		}
+		op := schedule[t]
+		row.Op = op.Name()
+		op.Step(meter, 1) // each run processes one input tuple (Table 2)
+		row.StateJ1 = newestFirst(j1.StateSnapshot())
+		row.StateJ2 = newestFirst(j2.StateSnapshot())
+		row.Queue = newestFirstItems(midQ.Snapshot())
+		row.Output = drainResults(out1, out2)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// newestFirst renders tuples newest-first, the paper's notation.
+func newestFirst(ts []*stream.Tuple) []string {
+	out := make([]string, 0, len(ts))
+	for i := len(ts) - 1; i >= 0; i-- {
+		out = append(out, ts[i].String())
+	}
+	return out
+}
+
+// newestFirstItems renders queue items newest-first, skipping punctuations.
+func newestFirstItems(items []stream.Item) []string {
+	out := []string{}
+	for i := len(items) - 1; i >= 0; i-- {
+		if !items[i].IsPunct() {
+			out = append(out, items[i].Tuple.String())
+		}
+	}
+	return out
+}
+
+// drainResults pops all joined tuples from the result queues.
+func drainResults(qs ...*stream.Queue) []string {
+	out := []string{}
+	for _, q := range qs {
+		for !q.Empty() {
+			it := q.Pop()
+			if !it.IsPunct() {
+				out = append(out, it.Tuple.String())
+			}
+		}
+	}
+	return out
+}

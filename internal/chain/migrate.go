@@ -1,0 +1,101 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MigrationOp is the kind of a chain-maintenance step (Section 5.3): the
+// chain migrates between configurations through merges and splits of
+// adjacent sliced joins.
+type MigrationOp int
+
+// The two primitive operations.
+const (
+	// MergeOp removes a slice boundary by merging the slice ending there
+	// with its right neighbour.
+	MergeOp MigrationOp = iota
+	// SplitOp introduces a slice boundary by splitting the slice whose
+	// range contains it.
+	SplitOp
+)
+
+// String names the operation.
+func (op MigrationOp) String() string {
+	if op == MergeOp {
+		return "merge"
+	}
+	return "split"
+}
+
+// MigrationStep is one primitive chain-maintenance operation, identified by
+// the window boundary it removes (merge) or introduces (split).
+type MigrationStep struct {
+	// Op selects merge or split.
+	Op MigrationOp
+	// Boundary is the affected slice end window, in seconds.
+	Boundary float64
+}
+
+// String renders the step.
+func (s MigrationStep) String() string {
+	return fmt.Sprintf("%s@%gs", s.Op, s.Boundary)
+}
+
+// PlanMigration computes the minimal sequence of merge and split steps that
+// transforms a chain with boundaries `from` into one with boundaries `to`.
+// Both lists must be strictly ascending and share the final boundary (the
+// largest query window does not change). Merges are emitted before splits so
+// intermediate chains never hold more slices than max(len(from), len(to)).
+func PlanMigration(from, to []float64) ([]MigrationStep, error) {
+	if err := checkBoundaries(from); err != nil {
+		return nil, fmt.Errorf("chain: from: %w", err)
+	}
+	if err := checkBoundaries(to); err != nil {
+		return nil, fmt.Errorf("chain: to: %w", err)
+	}
+	if from[len(from)-1] != to[len(to)-1] {
+		return nil, fmt.Errorf("chain: final boundaries differ (%g vs %g)", from[len(from)-1], to[len(to)-1])
+	}
+	inTo := make(map[float64]bool, len(to))
+	for _, b := range to {
+		inTo[b] = true
+	}
+	inFrom := make(map[float64]bool, len(from))
+	for _, b := range from {
+		inFrom[b] = true
+	}
+	var steps []MigrationStep
+	// Remove boundaries right-to-left so every merge index stays valid on
+	// a live chain regardless of application order.
+	for i := len(from) - 2; i >= 0; i-- {
+		if !inTo[from[i]] {
+			steps = append(steps, MigrationStep{Op: MergeOp, Boundary: from[i]})
+		}
+	}
+	for _, b := range to[:len(to)-1] {
+		if !inFrom[b] {
+			steps = append(steps, MigrationStep{Op: SplitOp, Boundary: b})
+		}
+	}
+	return steps, nil
+}
+
+// checkBoundaries validates an ascending boundary list.
+func checkBoundaries(bs []float64) error {
+	if len(bs) == 0 {
+		return fmt.Errorf("empty boundary list")
+	}
+	if !sort.Float64sAreSorted(bs) {
+		return fmt.Errorf("boundaries must be ascending: %v", bs)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] == bs[i-1] {
+			return fmt.Errorf("duplicate boundary %g", bs[i])
+		}
+	}
+	if bs[0] <= 0 {
+		return fmt.Errorf("boundaries must be positive: %v", bs)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QuerySpec abstracts one continuous query for the cost model: its window
+// and the selectivity of its stream-A selection (1 = unfiltered). Queries
+// must be sorted by ascending window, the chain order.
+type QuerySpec struct {
+	// Window is the query's sliding window in seconds.
+	Window float64
+	// Sel is the selection selectivity in (0, 1]; 1 means no selection.
+	Sel float64
+}
+
+// ChainParams carries the workload-independent parameters of the N-query
+// chain cost model (Sections 5 and 6).
+type ChainParams struct {
+	// LambdaA and LambdaB are the stream rates in tuples/sec.
+	LambdaA, LambdaB float64
+	// TupleKB is the tuple size Mt.
+	TupleKB float64
+	// SelJoin is the join selectivity S1.
+	SelJoin float64
+	// Csys is the per-tuple-per-operator system overhead factor of
+	// Section 5.2, in comparisons (it covers queue moves and scheduling).
+	Csys float64
+}
+
+// Validate reports a parameter error, if any.
+func (p ChainParams) Validate() error {
+	if p.LambdaA <= 0 || p.LambdaB <= 0 {
+		return fmt.Errorf("cost: rates must be positive (got %g, %g)", p.LambdaA, p.LambdaB)
+	}
+	if p.SelJoin < 0 || p.SelJoin > 1 {
+		return fmt.Errorf("cost: join selectivity %g outside [0,1]", p.SelJoin)
+	}
+	if p.Csys < 0 || p.TupleKB < 0 {
+		return fmt.Errorf("cost: Csys and TupleKB must be non-negative")
+	}
+	return nil
+}
+
+// ValidateQueries checks the query list invariants.
+func ValidateQueries(queries []QuerySpec) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("cost: no queries")
+	}
+	for i, q := range queries {
+		if q.Window <= 0 {
+			return fmt.Errorf("cost: query %d has non-positive window", i)
+		}
+		if q.Sel <= 0 || q.Sel > 1 {
+			return fmt.Errorf("cost: query %d selectivity %g outside (0,1]", i, q.Sel)
+		}
+		if i > 0 && q.Window < queries[i-1].Window {
+			return fmt.Errorf("cost: queries must be sorted by window (index %d)", i)
+		}
+	}
+	return nil
+}
+
+// DistinctWindows returns the ascending distinct windows of the query set —
+// the Mem-Opt slice boundaries.
+func DistinctWindows(queries []QuerySpec) []float64 {
+	var out []float64
+	for _, q := range queries {
+		if len(out) == 0 || q.Window != out[len(out)-1] {
+			out = append(out, q.Window)
+		}
+	}
+	return out
+}
+
+// Survival returns the probability that a stream-A tuple is still useful for
+// some query whose window exceeds start — the selectivity of the disjunction
+// sigma'_i pushed before the slice starting there (Section 6.1). Threshold
+// predicates nest, so the disjunction selectivity is the maximum member
+// selectivity; an unfiltered query forces 1.
+func Survival(queries []QuerySpec, start float64) float64 {
+	max := 0.0
+	for _, q := range queries {
+		if q.Window > start && q.Sel > max {
+			max = q.Sel
+		}
+	}
+	if max == 0 {
+		return 1 // no query beyond: slice unused, nothing filtered
+	}
+	return max
+}
+
+// EdgeCost returns the CPU cost per second attributable to one (possibly
+// merged) slice covering the window range (start, end], the edge weight
+// l_{i,j} of the Section 5.2 shortest-path formulation extended with the
+// selection terms of Section 6.2. Lemma 2's independence holds: the cost
+// depends only on the slice's own range and the queries at or beyond it.
+func EdgeCost(queries []QuerySpec, start, end float64, p ChainParams) float64 {
+	width := end - start
+	pa := Survival(queries, start)
+	probe := 2 * p.LambdaA * pa * p.LambdaB * width
+	purge := p.LambdaA + p.LambdaB
+	sys := p.Csys * (p.LambdaA + p.LambdaB)
+
+	// Routing: results are discriminated among the distinct query windows
+	// inside the slice; the last boundary is implied (Section 5.2 charges
+	// (j-i) comparisons per result for a merge of slices i..j).
+	inside := 0
+	seen := -1.0
+	for _, q := range queries {
+		if q.Window > start && q.Window <= end && q.Window != seen {
+			inside++
+			seen = q.Window
+		}
+	}
+	resultRate := 2 * p.LambdaA * pa * p.LambdaB * width * p.SelJoin
+	route := 0.0
+	if inside > 1 {
+		route = resultRate * float64(inside-1)
+	}
+
+	// Result-side sigma' filters: one comparison per result per distinct
+	// predicate that the slice's entry guarantee does not imply
+	// (Figure 10: slice-1 results are filtered for Q2).
+	filterGroups := make(map[float64]bool)
+	for _, q := range queries {
+		if q.Window > start && q.Sel < 1 && q.Sel < pa {
+			filterGroups[q.Sel] = true
+		}
+	}
+	sigma := resultRate * float64(len(filterGroups))
+
+	// First-slice extras: unions for the queries served by later slices
+	// (punctuation processing, Section 4.3) and the single lineage
+	// evaluation of the pushed-down selections (Section 6.1).
+	head := 0.0
+	if start == 0 {
+		unions := 0
+		anyFilter := false
+		for _, q := range queries {
+			if q.Window > end {
+				unions++
+			}
+			if q.Sel < 1 {
+				anyFilter = true
+			}
+		}
+		head = float64(unions) * (p.LambdaA + p.LambdaB)
+		if anyFilter {
+			head += p.LambdaA
+		}
+	}
+	return probe + purge + sys + route + sigma + head
+}
+
+// SliceMemory returns the state memory in KB of one slice covering
+// (start, end]: both streams' windows, the A side thinned by the pushed-down
+// selection survival.
+func SliceMemory(queries []QuerySpec, start, end float64, p ChainParams) float64 {
+	pa := Survival(queries, start)
+	return (p.LambdaA*pa + p.LambdaB) * (end - start) * p.TupleKB
+}
+
+// ChainCost evaluates the full cost model of a chain with the given slice
+// end boundaries: total state memory in KB and total CPU comparisons per
+// second. Ends must be ascending and cover the largest query window.
+func ChainCost(queries []QuerySpec, ends []float64, p ChainParams) (Cost, error) {
+	if err := ValidateQueries(queries); err != nil {
+		return Cost{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Cost{}, err
+	}
+	if len(ends) == 0 {
+		return Cost{}, fmt.Errorf("cost: no slice boundaries")
+	}
+	if !sort.Float64sAreSorted(ends) {
+		return Cost{}, fmt.Errorf("cost: slice boundaries must be ascending")
+	}
+	if last, maxW := ends[len(ends)-1], queries[len(queries)-1].Window; last != maxW {
+		return Cost{}, fmt.Errorf("cost: last boundary %g must equal the largest window %g", last, maxW)
+	}
+	var c Cost
+	start := 0.0
+	for _, end := range ends {
+		if end <= start {
+			return Cost{}, fmt.Errorf("cost: non-increasing boundary %g", end)
+		}
+		c.CPU += EdgeCost(queries, start, end, p)
+		c.MemoryKB += SliceMemory(queries, start, end, p)
+		start = end
+	}
+	return c, nil
+}

@@ -1,0 +1,232 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func chainParams() ChainParams {
+	return ChainParams{LambdaA: 50, LambdaB: 50, TupleKB: 0.1, SelJoin: 0.1, Csys: 2}
+}
+
+func twoQueries() []QuerySpec {
+	return []QuerySpec{{Window: 10, Sel: 1}, {Window: 30, Sel: 0.5}}
+}
+
+func TestValidateQueries(t *testing.T) {
+	if err := ValidateQueries(twoQueries()); err != nil {
+		t.Fatalf("valid queries rejected: %v", err)
+	}
+	bad := [][]QuerySpec{
+		nil,
+		{{Window: 0, Sel: 1}},
+		{{Window: 5, Sel: 0}},
+		{{Window: 5, Sel: 1.2}},
+		{{Window: 9, Sel: 1}, {Window: 5, Sel: 1}},
+	}
+	for i, qs := range bad {
+		if err := ValidateQueries(qs); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSurvivalNestedThresholds(t *testing.T) {
+	qs := []QuerySpec{
+		{Window: 5, Sel: 1},
+		{Window: 10, Sel: 0.8},
+		{Window: 20, Sel: 0.3},
+	}
+	cases := []struct {
+		start float64
+		want  float64
+	}{
+		{0, 1},    // the unfiltered query keeps everything alive
+		{5, 0.8},  // disjunction of 0.8 and 0.3 thresholds
+		{10, 0.3}, // only the tightest query remains
+		{20, 1},   // nothing beyond: slice unused
+	}
+	for _, c := range cases {
+		if got := Survival(qs, c.start); got != c.want {
+			t.Errorf("Survival(%g) = %g, want %g", c.start, got, c.want)
+		}
+	}
+}
+
+func TestChainCostMatchesEq3ForMemOptChain(t *testing.T) {
+	// The generalized chain model evaluated on the two-query Mem-Opt
+	// chain must reproduce Eq. (3) exactly (with Csys = 0; Eq. (3) has no
+	// overhead term), except the per-male purge rate at the second slice,
+	// which the paper rounds to the unfiltered rate as we do.
+	qs := twoQueries()
+	cp := chainParams()
+	cp.Csys = 0
+	got, err := ChainCost(qs, []float64{10, 30}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StateSlice(Params{
+		LambdaA: cp.LambdaA, LambdaB: cp.LambdaB,
+		W1: 10, W2: 30, TupleKB: cp.TupleKB, SelSigma: 0.5, SelJoin: cp.SelJoin,
+	})
+	if math.Abs(got.MemoryKB-want.MemoryKB) > 1e-9 {
+		t.Errorf("chain memory %g, Eq3 %g", got.MemoryKB, want.MemoryKB)
+	}
+	if math.Abs(got.CPU-want.CPU) > 1e-9 {
+		t.Errorf("chain CPU %g, Eq3 %g", got.CPU, want.CPU)
+	}
+}
+
+func TestChainCostMergedMatchesEq1PlusLineage(t *testing.T) {
+	// Fully merging the two-query chain recreates the pull-up plan with a
+	// router; the model must agree with Eq. (1) up to the single lineage
+	// evaluation (lambda_A) that the chain's entry mark performs.
+	qs := twoQueries()
+	cp := chainParams()
+	cp.Csys = 0
+	got, err := ChainCost(qs, []float64{30}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PullUp(Params{
+		LambdaA: cp.LambdaA, LambdaB: cp.LambdaB,
+		W1: 10, W2: 30, TupleKB: cp.TupleKB, SelSigma: 0.5, SelJoin: cp.SelJoin,
+	})
+	if math.Abs(got.CPU-(want.CPU+cp.LambdaA)) > 1e-9 {
+		t.Errorf("merged chain CPU %g, Eq1+lambdaA %g", got.CPU, want.CPU+cp.LambdaA)
+	}
+	if math.Abs(got.MemoryKB-want.MemoryKB) > 1e-9 {
+		t.Errorf("merged chain memory %g, Eq1 %g", got.MemoryKB, want.MemoryKB)
+	}
+}
+
+func TestMemOptChainMinimizesMemory(t *testing.T) {
+	// Theorem 4: the Mem-Opt chain consumes minimal state memory. Compare
+	// against every coarser chain for a 4-window workload.
+	qs := []QuerySpec{
+		{Window: 5, Sel: 1},
+		{Window: 10, Sel: 0.6},
+		{Window: 20, Sel: 0.4},
+		{Window: 40, Sel: 0.2},
+	}
+	cp := chainParams()
+	memOpt, err := ChainCost(qs, DistinctWindows(qs), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := DistinctWindows(qs)
+	for mask := 0; mask < 1<<3; mask++ {
+		var ends []float64
+		for i := 0; i < 3; i++ {
+			if mask&(1<<i) != 0 {
+				ends = append(ends, windows[i])
+			}
+		}
+		ends = append(ends, windows[3])
+		c, err := ChainCost(qs, ends, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.MemoryKB < memOpt.MemoryKB-1e-9 {
+			t.Errorf("chain %v uses %g KB, less than Mem-Opt %g", ends, c.MemoryKB, memOpt.MemoryKB)
+		}
+	}
+}
+
+func TestMemoryEqualWithoutSelections(t *testing.T) {
+	// Section 5.2: "In case the queries do not have selections, the
+	// CPU-Opt chain will consume the same amount of memory as the
+	// Mem-Opt chain" — indeed any chain does.
+	qs := []QuerySpec{{Window: 5, Sel: 1}, {Window: 15, Sel: 1}, {Window: 40, Sel: 1}}
+	cp := chainParams()
+	a, err := ChainCost(qs, []float64{5, 15, 40}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChainCost(qs, []float64{40}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MemoryKB-b.MemoryKB) > 1e-9 {
+		t.Errorf("memory differs without selections: %g vs %g", a.MemoryKB, b.MemoryKB)
+	}
+	// And it equals the single largest-window join (Theorem 3).
+	want := (cp.LambdaA + cp.LambdaB) * 40 * cp.TupleKB
+	if math.Abs(a.MemoryKB-want) > 1e-9 {
+		t.Errorf("Mem-Opt memory %g, regular join %g", a.MemoryKB, want)
+	}
+}
+
+func TestEdgeCostIndependence(t *testing.T) {
+	// Lemma 2: edge costs are independent — the cost of a slice does not
+	// depend on how the chain is partitioned elsewhere. EdgeCost takes
+	// only the slice range, so sums must decompose.
+	qs := []QuerySpec{
+		{Window: 4, Sel: 1},
+		{Window: 9, Sel: 0.5},
+		{Window: 16, Sel: 0.5},
+	}
+	cp := chainParams()
+	whole, err := ChainCost(qs, []float64{4, 9, 16}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := EdgeCost(qs, 0, 4, cp) + EdgeCost(qs, 4, 9, cp) + EdgeCost(qs, 9, 16, cp)
+	if math.Abs(whole.CPU-sum) > 1e-9 {
+		t.Errorf("chain cost %g != edge sum %g", whole.CPU, sum)
+	}
+}
+
+func TestChainCostValidation(t *testing.T) {
+	qs := twoQueries()
+	cp := chainParams()
+	cases := [][]float64{
+		nil,
+		{30, 10},     // not ascending
+		{10},         // last != max window
+		{10, 10, 30}, // duplicate
+		{-5, 30},     // negative
+	}
+	for i, ends := range cases {
+		if _, err := ChainCost(qs, ends, cp); err == nil {
+			t.Errorf("case %d (%v): expected error", i, ends)
+		}
+	}
+	if err := (ChainParams{LambdaA: 0, LambdaB: 1}).Validate(); err == nil {
+		t.Error("zero rate must fail validation")
+	}
+	if err := (ChainParams{LambdaA: 1, LambdaB: 1, SelJoin: 2}).Validate(); err == nil {
+		t.Error("join selectivity > 1 must fail validation")
+	}
+	if err := (ChainParams{LambdaA: 1, LambdaB: 1, Csys: -1}).Validate(); err == nil {
+		t.Error("negative Csys must fail validation")
+	}
+}
+
+func TestRoutingCostGrowsWithMergedQueries(t *testing.T) {
+	// Merging more query boundaries into one slice raises its routing
+	// term: each result pays one more comparison per extra boundary.
+	qs := []QuerySpec{
+		{Window: 10, Sel: 1},
+		{Window: 20, Sel: 1},
+		{Window: 30, Sel: 1},
+	}
+	cp := chainParams()
+	cp.Csys = 0
+	oneQ := EdgeCost(qs, 20, 30, cp)  // one window inside: no routing
+	twoQ := EdgeCost(qs, 10, 30, cp)  // two windows inside: route each result once
+	threeQ := EdgeCost(qs, 0, 30, cp) // three windows: two comparisons per result
+	probe := func(w float64) float64 { return 2 * cp.LambdaA * cp.LambdaB * w }
+	results := func(w float64) float64 { return probe(w) * cp.SelJoin }
+	if math.Abs((twoQ-probe(20))-(cp.LambdaA+cp.LambdaB)-results(20)) > 1e-9 {
+		t.Errorf("two-window slice routing mismatch: %g", twoQ)
+	}
+	// threeQ starts at 0 and the workload has no selections, so the head
+	// term adds no lineage cost and no unions remain beyond the slice.
+	if math.Abs(threeQ-probe(30)-(cp.LambdaA+cp.LambdaB)-2*results(30)) > 1e-9 {
+		t.Errorf("three-window slice routing mismatch: %g", threeQ)
+	}
+	if oneQ >= twoQ || twoQ >= threeQ {
+		t.Errorf("routing cost must grow with merged boundaries: %g, %g, %g", oneQ, twoQ, threeQ)
+	}
+}

@@ -1,0 +1,117 @@
+// Package cost implements the paper's analytical cost model: the memory and
+// CPU formulas Eq. (1)-(3) for the three sharing strategies over the
+// two-query motivating workload (Section 3 and 4.3), the relative savings
+// Eq. (4) plotted in Figure 11, and the N-query generalisation used by the
+// chain-building optimizers of Sections 5 and 6.
+//
+// Memory cost is state memory in KB (tuple size Mt times tuples held); CPU
+// cost is the paper's metric, comparisons per second, covering join probing,
+// cross-purging, routing, unioning and selection evaluation.
+package cost
+
+import "fmt"
+
+// Params carries the system settings of Table 1 for the two-query analysis:
+// queries Q1 (window W1, no selection) and Q2 (window W2 > W1, selection
+// with selectivity SelSigma), joined with selectivity SelJoin.
+type Params struct {
+	// LambdaA and LambdaB are the stream arrival rates in tuples/sec.
+	LambdaA, LambdaB float64
+	// W1 and W2 are the two query windows in seconds, W1 <= W2.
+	W1, W2 float64
+	// TupleKB is the tuple size Mt in KB.
+	TupleKB float64
+	// SelSigma is the selectivity of Q2's selection on stream A.
+	SelSigma float64
+	// SelJoin is the join selectivity S1 (output over Cartesian product).
+	SelJoin float64
+}
+
+// Validate reports a parameter error, if any.
+func (p Params) Validate() error {
+	if p.LambdaA <= 0 || p.LambdaB <= 0 {
+		return fmt.Errorf("cost: rates must be positive (got %g, %g)", p.LambdaA, p.LambdaB)
+	}
+	if p.W1 <= 0 || p.W2 < p.W1 {
+		return fmt.Errorf("cost: need 0 < W1 <= W2 (got %g, %g)", p.W1, p.W2)
+	}
+	if p.SelSigma < 0 || p.SelSigma > 1 || p.SelJoin < 0 || p.SelJoin > 1 {
+		return fmt.Errorf("cost: selectivities must lie in [0,1] (got Ssigma=%g, S1=%g)", p.SelSigma, p.SelJoin)
+	}
+	if p.TupleKB < 0 {
+		return fmt.Errorf("cost: tuple size must be non-negative (got %g)", p.TupleKB)
+	}
+	return nil
+}
+
+// lambda returns the symmetric rate the paper's formulas assume
+// (lambda_A = lambda_B = lambda); asymmetric inputs use the mean, matching
+// the paper's note that the analysis "can be extended similarly for
+// unbalanced input stream rates".
+func (p Params) lambda() float64 { return (p.LambdaA + p.LambdaB) / 2 }
+
+// Cost is a (memory, CPU) pair: state memory in KB and comparisons/second.
+type Cost struct {
+	// MemoryKB is the state memory consumption Cm.
+	MemoryKB float64
+	// CPU is the comparison rate Cp.
+	CPU float64
+}
+
+// PullUp evaluates Eq. (1): naive sharing with selection pull-up. One join
+// with window W2 on unfiltered streams; a router splits results between the
+// queries; Q2's selection runs on routed results.
+func PullUp(p Params) Cost {
+	l := p.lambda()
+	mem := 2 * l * p.W2 * p.TupleKB
+	cpu := 2*l*l*p.W2 + // join probing
+		2*l + // cross-purge
+		2*l*l*p.W2*p.SelJoin + // routing (one comparison per result)
+		2*l*l*p.W2*p.SelJoin // selection on routed results
+	return Cost{MemoryKB: mem, CPU: cpu}
+}
+
+// PushDown evaluates Eq. (2): stream partition with selection push-down.
+// Stream A is split by the selection; the failing partition joins with
+// window W1, the passing partition with window W2; a router and an
+// order-preserving union reassemble the query answers.
+func PushDown(p Params) Cost {
+	l := p.lambda()
+	s := p.SelSigma
+	mem := (2-s)*l*p.W1*p.TupleKB + (1+s)*l*p.W2*p.TupleKB
+	cpu := l + // splitting
+		2*(1-s)*l*l*p.W1 + // probing of the failing-partition join
+		2*s*l*l*p.W2 + // probing of the passing-partition join
+		3*l + // cross-purge of both joins
+		2*s*l*l*p.W2*p.SelJoin + // routing of passing-partition results
+		2*l*l*p.W1*p.SelJoin // union merge of Q1's two result streams
+	return Cost{MemoryKB: mem, CPU: cpu}
+}
+
+// StateSlice evaluates Eq. (3): the chain of two sliced binary window joins
+// with the selection pushed between the slices (Figure 10).
+func StateSlice(p Params) Cost {
+	l := p.lambda()
+	s := p.SelSigma
+	mem := 2*l*p.W1*p.TupleKB + (1+s)*l*(p.W2-p.W1)*p.TupleKB
+	cpu := 2*l*l*p.W1 + // probing of slice [0,W1)
+		l + // sigma_A between the slices
+		2*l*l*s*(p.W2-p.W1) + // probing of slice [W1,W2)
+		4*l + // cross-purge of both slices
+		2*l + // union (punctuation-driven merge)
+		2*l*l*p.SelJoin*p.W1 // sigma'_A on slice-1 results for Q2
+	return Cost{MemoryKB: mem, CPU: cpu}
+}
+
+// Unshared evaluates the no-sharing baseline of Figure 2 for reference: two
+// independent query plans with selections pushed below the joins.
+func Unshared(p Params) Cost {
+	l := p.lambda()
+	s := p.SelSigma
+	mem := 2*l*p.W1*p.TupleKB + (1+s)*l*p.W2*p.TupleKB
+	cpu := 2*l*l*p.W1 + // Q1 join probing
+		l + // Q2 selection
+		2*s*l*l*p.W2 + // Q2 join probing
+		4*l // cross-purge of both joins
+	return Cost{MemoryKB: mem, CPU: cpu}
+}

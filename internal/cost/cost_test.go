@@ -1,0 +1,201 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func params() Params {
+	return Params{
+		LambdaA: 50, LambdaB: 50,
+		W1: 10, W2: 30,
+		TupleKB:  0.1,
+		SelSigma: 0.5,
+		SelJoin:  0.1,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := params()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.LambdaA = 0 },
+		func(p *Params) { p.LambdaB = -3 },
+		func(p *Params) { p.W1 = 0 },
+		func(p *Params) { p.W2 = p.W1 - 1 },
+		func(p *Params) { p.SelSigma = 1.5 },
+		func(p *Params) { p.SelJoin = -0.1 },
+		func(p *Params) { p.TupleKB = -1 },
+	}
+	for i, mutate := range bad {
+		p := params()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEq1PullUp(t *testing.T) {
+	p := params()
+	got := PullUp(p)
+	l := 50.0
+	wantMem := 2 * l * 30 * 0.1
+	wantCPU := 2*l*l*30 + 2*l + 2*l*l*30*0.1 + 2*l*l*30*0.1
+	if got.MemoryKB != wantMem {
+		t.Errorf("Eq1 Cm = %g, want %g", got.MemoryKB, wantMem)
+	}
+	if got.CPU != wantCPU {
+		t.Errorf("Eq1 Cp = %g, want %g", got.CPU, wantCPU)
+	}
+}
+
+func TestEq2PushDown(t *testing.T) {
+	p := params()
+	got := PushDown(p)
+	l, s := 50.0, 0.5
+	wantMem := (2-s)*l*10*0.1 + (1+s)*l*30*0.1
+	wantCPU := l + 2*(1-s)*l*l*10 + 2*s*l*l*30 + 3*l + 2*s*l*l*30*0.1 + 2*l*l*10*0.1
+	if got.MemoryKB != wantMem {
+		t.Errorf("Eq2 Cm = %g, want %g", got.MemoryKB, wantMem)
+	}
+	if got.CPU != wantCPU {
+		t.Errorf("Eq2 Cp = %g, want %g", got.CPU, wantCPU)
+	}
+}
+
+func TestEq3StateSlice(t *testing.T) {
+	p := params()
+	got := StateSlice(p)
+	l, s := 50.0, 0.5
+	wantMem := 2*l*10*0.1 + (1+s)*l*20*0.1
+	wantCPU := 2*l*l*10 + l + 2*l*l*s*20 + 4*l + 2*l + 2*l*l*0.1*10
+	if got.MemoryKB != wantMem {
+		t.Errorf("Eq3 Cm = %g, want %g", got.MemoryKB, wantMem)
+	}
+	if got.CPU != wantCPU {
+		t.Errorf("Eq3 Cp = %g, want %g", got.CPU, wantCPU)
+	}
+}
+
+func TestStateSliceAlwaysWins(t *testing.T) {
+	// The paper: "all the savings are positive ... the state-sliced
+	// sharing paradigm achieves the lowest memory and CPU costs under all
+	// these settings."
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for _, ss := range []float64{0.1, 0.5, 0.9, 1} {
+			for _, s1 := range []float64{0.025, 0.1, 0.4} {
+				p := Params{
+					LambdaA: 1000, LambdaB: 1000,
+					W1: 30 * rho, W2: 30,
+					TupleKB: 0.1, SelSigma: ss, SelJoin: s1,
+				}
+				sl, pu, pd := StateSlice(p), PullUp(p), PushDown(p)
+				if sl.MemoryKB > pu.MemoryKB+1e-9 || sl.MemoryKB > pd.MemoryKB+1e-9 {
+					t.Errorf("rho=%g ss=%g s1=%g: state-slice memory %g not minimal (pullup %g, pushdown %g)",
+						rho, ss, s1, sl.MemoryKB, pu.MemoryKB, pd.MemoryKB)
+				}
+				if sl.CPU > pu.CPU+1e-9 || sl.CPU > pd.CPU+1e-9 {
+					t.Errorf("rho=%g ss=%g s1=%g: state-slice CPU %g not minimal (pullup %g, pushdown %g)",
+						rho, ss, s1, sl.CPU, pu.CPU, pd.CPU)
+				}
+			}
+		}
+	}
+}
+
+func TestSavingsClosedFormsMatchCostsAtScale(t *testing.T) {
+	// Eq. (4) omits the O(lambda) terms; at large lambda the closed forms
+	// and the full Eq. (1)-(3) ratios converge.
+	for _, rho := range []float64{0.2, 0.5, 0.8} {
+		for _, ss := range []float64{0.2, 0.6, 1} {
+			for _, s1 := range []float64{0.025, 0.4} {
+				p := Params{
+					LambdaA: 1e6, LambdaB: 1e6,
+					W1: 100 * rho, W2: 100,
+					TupleKB: 1, SelSigma: ss, SelJoin: s1,
+				}
+				closed := ComputeSavings(rho, ss, s1)
+				full := SavingsFromCosts(p)
+				pairs := [][2]float64{
+					{closed.MemVsPullUp, full.MemVsPullUp},
+					{closed.MemVsPushDown, full.MemVsPushDown},
+					{closed.CPUVsPullUp, full.CPUVsPullUp},
+					{closed.CPUVsPushDown, full.CPUVsPushDown},
+				}
+				for i, pr := range pairs {
+					if math.Abs(pr[0]-pr[1]) > 1e-6 {
+						t.Errorf("rho=%g ss=%g s1=%g metric %d: closed %g vs full %g",
+							rho, ss, s1, i, pr[0], pr[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSavingsBaseCaseNoSelection(t *testing.T) {
+	// Section 4.3 base case: with Ssigma = 1 state-slice memory equals
+	// pull-up memory, and the CPU saving is proportional to S1.
+	s := ComputeSavings(0.5, 1, 0.1)
+	if s.MemVsPullUp != 0 {
+		t.Errorf("MemVsPullUp = %g, want 0 when Ssigma=1", s.MemVsPullUp)
+	}
+	want := (2 - 0.5) * 0.1 / (1 + 2*0.1)
+	if math.Abs(s.CPUVsPullUp-want) > 1e-12 {
+		t.Errorf("CPUVsPullUp = %g, want %g", s.CPUVsPullUp, want)
+	}
+}
+
+func TestSavingsExtremes(t *testing.T) {
+	// The paper reports savings approaching 50% memory and near-100% CPU
+	// at extreme settings (Figure 11 discussion).
+	s := ComputeSavings(0.01, 0.01, 0.4)
+	if s.MemVsPullUp < 0.45 {
+		t.Errorf("memory saving at extreme settings = %g, want close to 0.5", s.MemVsPullUp)
+	}
+	if s.CPUVsPullUp < 0.85 {
+		t.Errorf("CPU saving at extreme settings = %g, want close to 1", s.CPUVsPullUp)
+	}
+}
+
+func TestSurfaceShape(t *testing.T) {
+	pts := Surface(MemVsPullUpMetric, 0.1, 10)
+	if len(pts) != 100 {
+		t.Fatalf("surface has %d points, want 100", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Rho <= 0 || pt.Rho >= 1 || pt.SSigma <= 0 || pt.SSigma > 1 {
+			t.Fatalf("grid point outside domain: %+v", pt)
+		}
+		if pt.Value < 0 || pt.Value > 100 {
+			t.Fatalf("savings %g%% outside [0,100]", pt.Value)
+		}
+	}
+	// Memory saving vs pull-up decreases in both rho and sSigma.
+	s := func(rho, ss float64) float64 { return ComputeSavings(rho, ss, 0.1).MemVsPullUp }
+	if !(s(0.2, 0.3) > s(0.8, 0.3)) || !(s(0.2, 0.3) > s(0.2, 0.9)) {
+		t.Error("MemVsPullUp must decrease with rho and sSigma")
+	}
+	for _, m := range []Metric{MemVsPullUpMetric, MemVsPushDownMetric, CPUVsPullUpMetric, CPUVsPushDownMetric} {
+		if m.String() == "" {
+			t.Error("metric must have a name")
+		}
+	}
+}
+
+func TestUnsharedReference(t *testing.T) {
+	// Sharing via state-slice must never cost more than running the two
+	// queries separately.
+	p := params()
+	sl, un := StateSlice(p), Unshared(p)
+	if sl.MemoryKB > un.MemoryKB {
+		t.Errorf("state-slice memory %g exceeds unshared %g", sl.MemoryKB, un.MemoryKB)
+	}
+	if sl.CPU > un.CPU+3*p.lambda() {
+		// Allow the small constant punctuation/union overhead.
+		t.Errorf("state-slice CPU %g exceeds unshared %g", sl.CPU, un.CPU)
+	}
+}

@@ -1,0 +1,111 @@
+package cost
+
+// Savings holds the four relative savings of state-slice sharing over the
+// two alternatives, as defined by Eq. (4) of the paper and plotted in
+// Figure 11. Each value is a fraction in [0, 1): (C_other - C_slice) /
+// C_other.
+type Savings struct {
+	// MemVsPullUp is (Cm1-Cm3)/Cm1 = (1-rho)(1-Ssigma)/2.
+	MemVsPullUp float64
+	// MemVsPushDown is (Cm2-Cm3)/Cm2 = rho/(1+2rho+(1-rho)Ssigma).
+	MemVsPushDown float64
+	// CPUVsPullUp is (Cp1-Cp3)/Cp1 =
+	// ((1-rho)(1-Ssigma)+(2-rho)S1)/(1+2S1).
+	CPUVsPullUp float64
+	// CPUVsPushDown is (Cp2-Cp3)/Cp2 =
+	// Ssigma*S1/(rho(1-Ssigma)+Ssigma+Ssigma*S1+rho*S1).
+	CPUVsPushDown float64
+}
+
+// ComputeSavings evaluates Eq. (4) at window ratio rho = W1/W2, selection
+// selectivity sSigma and join selectivity s1. The paper omits the
+// O(lambda) terms for the CPU comparison ("its effect is small when the
+// number of queries is only 2"), and these closed forms do the same.
+func ComputeSavings(rho, sSigma, s1 float64) Savings {
+	return Savings{
+		MemVsPullUp:   (1 - rho) * (1 - sSigma) / 2,
+		MemVsPushDown: rho / (1 + 2*rho + (1-rho)*sSigma),
+		CPUVsPullUp:   ((1-rho)*(1-sSigma) + (2-rho)*s1) / (1 + 2*s1),
+		CPUVsPushDown: sSigma * s1 / (rho*(1-sSigma) + sSigma + sSigma*s1 + rho*s1),
+	}
+}
+
+// SurfacePoint is one grid sample of a Figure 11 surface.
+type SurfacePoint struct {
+	// Rho is the window ratio W1/W2.
+	Rho float64
+	// SSigma is the selection selectivity.
+	SSigma float64
+	// Value is the savings percentage (0-100).
+	Value float64
+}
+
+// Metric selects one of the four savings for surface generation.
+type Metric int
+
+// The four Figure 11 series.
+const (
+	MemVsPullUpMetric Metric = iota
+	MemVsPushDownMetric
+	CPUVsPullUpMetric
+	CPUVsPushDownMetric
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MemVsPullUpMetric:
+		return "memory: state-slice over selection-pullup"
+	case MemVsPushDownMetric:
+		return "memory: state-slice over selection-pushdown"
+	case CPUVsPullUpMetric:
+		return "cpu: state-slice over selection-pullup"
+	default:
+		return "cpu: state-slice over selection-pushdown"
+	}
+}
+
+// pick extracts the metric value as a percentage.
+func (s Savings) pick(m Metric) float64 {
+	switch m {
+	case MemVsPullUpMetric:
+		return 100 * s.MemVsPullUp
+	case MemVsPushDownMetric:
+		return 100 * s.MemVsPushDown
+	case CPUVsPullUpMetric:
+		return 100 * s.CPUVsPullUp
+	default:
+		return 100 * s.CPUVsPushDown
+	}
+}
+
+// Surface samples a Figure 11 savings surface on an n x n open grid of
+// (rho, sSigma) in (0,1) x (0,1] at join selectivity s1.
+func Surface(m Metric, s1 float64, n int) []SurfacePoint {
+	if n < 2 {
+		n = 2
+	}
+	var out []SurfacePoint
+	for i := 1; i <= n; i++ {
+		rho := float64(i) / float64(n+1)
+		for j := 1; j <= n; j++ {
+			sSigma := float64(j) / float64(n)
+			s := ComputeSavings(rho, sSigma, s1)
+			out = append(out, SurfacePoint{Rho: rho, SSigma: sSigma, Value: s.pick(m)})
+		}
+	}
+	return out
+}
+
+// SavingsFromCosts recomputes the savings from the full closed forms
+// Eq. (1)-(3), including the O(lambda) terms Eq. (4) drops. Tests verify the
+// closed forms above agree with these in the large-lambda limit.
+func SavingsFromCosts(p Params) Savings {
+	pu, pd, sl := PullUp(p), PushDown(p), StateSlice(p)
+	return Savings{
+		MemVsPullUp:   (pu.MemoryKB - sl.MemoryKB) / pu.MemoryKB,
+		MemVsPushDown: (pd.MemoryKB - sl.MemoryKB) / pd.MemoryKB,
+		CPUVsPullUp:   (pu.CPU - sl.CPU) / pu.CPU,
+		CPUVsPushDown: (pd.CPU - sl.CPU) / pd.CPU,
+	}
+}

@@ -1,0 +1,263 @@
+// Package engine executes shared stream query plans. It plays the role of
+// the CAPE query processor in the paper's experiments (Section 7.1): it
+// feeds generated tuples into a plan in global timestamp order, schedules
+// the operators, collects the comparison-count CPU metric and samples the
+// state memory of the stateful operators.
+//
+// Time is virtual: the engine never sleeps, it processes the workload as
+// fast as the host allows while the tuples' own timestamps drive all window
+// semantics. Service-rate experiments therefore finish a 90-virtual-second
+// workload in milliseconds and report both the comparison-count cost and the
+// real wall-clock throughput.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// Plan is an executable operator graph plus its wiring metadata. Plans are
+// assembled by the plan package; the engine only needs the operators in
+// topological order and the entry queues of the two input streams.
+type Plan struct {
+	// Name labels the plan in results (e.g. "state-slice(mem-opt)").
+	Name string
+	// Ops lists every operator in topological order: all predecessors of
+	// an operator appear before it. The scheduler relies on this to drain
+	// the whole graph in one pass per cycle.
+	Ops []operator.Operator
+	// EntryA and EntryB are the queues that receive raw stream-A and
+	// stream-B tuples respectively. A queue may appear in both.
+	EntryA, EntryB []*stream.Queue
+	// Sinks are the per-query result collectors, indexed like the query
+	// workload that produced the plan.
+	Sinks []*operator.Sink
+	// Stateful lists the operators whose state sizes the monitor samples.
+	Stateful []operator.StateSizer
+}
+
+// Validate checks the plan invariants the scheduler depends on.
+func (p *Plan) Validate() error {
+	if len(p.Ops) == 0 {
+		return errors.New("engine: plan has no operators")
+	}
+	if len(p.EntryA) == 0 || len(p.EntryB) == 0 {
+		return errors.New("engine: plan is missing entry queues")
+	}
+	if len(p.Sinks) == 0 {
+		return errors.New("engine: plan has no sinks")
+	}
+	return nil
+}
+
+// Config tunes a run.
+type Config struct {
+	// SampleEvery sets the monitor sampling period in input tuples; every
+	// SampleEvery-th arrival the total state size is recorded. Zero
+	// defaults to 1 (sample at every arrival, the most faithful
+	// reproduction of the paper's memory plots).
+	SampleEvery int
+	// Series, when true, retains the full state-size time series (used by
+	// plot-style output); otherwise only the running aggregate is kept.
+	Series bool
+	// WarmupFraction excludes the initial fraction of arrivals from the
+	// memory statistics, letting windows fill first. The paper's runs
+	// "start with empty states for all operators" and report averages
+	// over the whole run; the default 0 matches that.
+	WarmupFraction float64
+	// ExpectedInputs tells the monitor the total workload size for the
+	// warmup computation when feeding incrementally. Run sets it
+	// automatically.
+	ExpectedInputs int
+}
+
+// Result reports a finished run.
+type Result struct {
+	// PlanName echoes the executed plan.
+	PlanName string
+	// Inputs is the number of source tuples fed.
+	Inputs int
+	// Meter holds the comparison-count CPU metric.
+	Meter operator.CostMeter
+	// SinkCounts is the number of results delivered per query sink.
+	SinkCounts []uint64
+	// OrderViolations sums out-of-order deliveries across sinks (must be
+	// zero; unions preserve order).
+	OrderViolations int
+	// Memory aggregates the sampled total state size (tuples).
+	Memory MemoryStats
+	// Wall is the real time the run took.
+	Wall time.Duration
+	// VirtualDuration is the timestamp of the last input tuple.
+	VirtualDuration stream.Time
+}
+
+// TotalOutputs sums the per-sink result counts.
+func (r *Result) TotalOutputs() uint64 {
+	var n uint64
+	for _, c := range r.SinkCounts {
+		n += c
+	}
+	return n
+}
+
+// ServiceRate returns the paper's throughput measure (total throughput over
+// running time) in tuples per wall-clock second.
+func (r *Result) ServiceRate() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Inputs+int(r.TotalOutputs())) / r.Wall.Seconds()
+}
+
+// ComparisonRate returns tuples processed per million comparisons, the
+// hardware-independent service-rate proxy derived from the paper's CPU cost
+// metric (csys weighs per-invocation scheduling overhead). Higher is better,
+// like the paper's service rate.
+func (r *Result) ComparisonRate(csys float64) float64 {
+	total := r.Meter.Total(csys)
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.Inputs+int(r.TotalOutputs())) / total * 1e6
+}
+
+// Session drives a plan incrementally: tuples are fed one at a time, the
+// graph is drained to quiescence after each arrival, and the plan may be
+// migrated between feeds (Section 5.3 of the paper). Run is the convenience
+// wrapper that feeds a whole workload.
+type Session struct {
+	plan  *Plan
+	cfg   Config
+	meter *operator.CostMeter
+	mon   *monitor
+	start time.Time
+
+	fed      int
+	lastTime stream.Time
+	finished bool
+}
+
+// NewSession validates the plan and prepares a session.
+func NewSession(p *Plan, cfg Config) (*Session, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	return &Session{
+		plan:  p,
+		cfg:   cfg,
+		meter: &operator.CostMeter{},
+		mon:   newMonitor(p.Stateful, cfg),
+		start: time.Now(),
+	}, nil
+}
+
+// Meter exposes the session's cost meter.
+func (s *Session) Meter() *operator.CostMeter { return s.meter }
+
+// Plan returns the plan under execution (migrations mutate it in place).
+func (s *Session) Plan() *Plan { return s.plan }
+
+// Feed pushes one source tuple into the plan's entry queues and drains the
+// graph to quiescence. Tuples must arrive in global timestamp order.
+func (s *Session) Feed(t *stream.Tuple) error {
+	if s.finished {
+		return errors.New("engine: Feed after Finish")
+	}
+	if t.Time < s.lastTime {
+		return fmt.Errorf("engine: tuple %s out of timestamp order (last %s)", t, s.lastTime)
+	}
+	s.lastTime = t.Time
+	entries := s.plan.EntryA
+	if t.Stream == stream.StreamB {
+		entries = s.plan.EntryB
+	}
+	for _, q := range entries {
+		q.PushTuple(t)
+	}
+	s.Drain()
+	s.mon.observe(s.fed, s.cfg.ExpectedInputs)
+	s.fed++
+	return nil
+}
+
+// Drain runs every operator until the whole graph quiesces. It is exposed so
+// chain migration can empty inter-slice queues before merging.
+func (s *Session) Drain() {
+	for pass := 0; ; pass++ {
+		moved := false
+		for _, op := range s.plan.Ops {
+			if op.Step(s.meter, -1) > 0 {
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+		if pass > 4*len(s.plan.Ops)+8 {
+			panic(fmt.Sprintf("engine: plan %s does not quiesce; operator cycle?", s.plan.Name))
+		}
+	}
+}
+
+// Finish flushes the plan with a final punctuation and returns the run
+// statistics. The session cannot be fed afterwards.
+func (s *Session) Finish() *Result {
+	if !s.finished {
+		for _, q := range dedupQueues(s.plan.EntryA, s.plan.EntryB) {
+			q.PushPunct(stream.MaxTime)
+		}
+		s.Drain()
+		s.finished = true
+	}
+	res := &Result{
+		PlanName:        s.plan.Name,
+		Inputs:          s.fed,
+		Meter:           *s.meter,
+		Memory:          s.mon.stats(),
+		Wall:            time.Since(s.start),
+		VirtualDuration: s.lastTime,
+	}
+	for _, sk := range s.plan.Sinks {
+		res.SinkCounts = append(res.SinkCounts, sk.Count())
+		res.OrderViolations += sk.OrderViolations()
+	}
+	return res
+}
+
+// Run executes the plan over the input tuples (which must be in global
+// timestamp order) and returns the run statistics.
+func Run(p *Plan, input []*stream.Tuple, cfg Config) (*Result, error) {
+	cfg.ExpectedInputs = len(input)
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range input {
+		if err := s.Feed(t); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+// dedupQueues merges the entry queue lists without duplicates, so shared
+// entry queues receive one final punctuation only.
+func dedupQueues(a, b []*stream.Queue) []*stream.Queue {
+	seen := make(map[*stream.Queue]bool, len(a)+len(b))
+	var out []*stream.Queue
+	for _, q := range append(append([]*stream.Queue{}, a...), b...) {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"testing"
+
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// passthroughPlan builds a minimal plan: join both streams, count results.
+func passthroughPlan(t *testing.T, w stream.Time) (*Plan, *operator.Sink) {
+	t.Helper()
+	in := stream.NewQueue()
+	j, err := operator.NewWindowJoin("join", w, w, stream.CrossProduct{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := operator.NewSink("q", j.Out().NewQueue()).Collecting()
+	return &Plan{
+		Name:     "test",
+		Ops:      []operator.Operator{j, sink},
+		EntryA:   []*stream.Queue{in},
+		EntryB:   []*stream.Queue{in},
+		Sinks:    []*operator.Sink{sink},
+		Stateful: []operator.StateSizer{j},
+	}, sink
+}
+
+func genInput(t *testing.T, rate float64, dur stream.Time, seed int64) []*stream.Tuple {
+	t.Helper()
+	in, err := stream.Generate(stream.GeneratorConfig{RateA: rate, RateB: rate, Duration: dur, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRunBasics(t *testing.T) {
+	p, sink := passthroughPlan(t, 2*stream.Second)
+	input := genInput(t, 20, 20*stream.Second, 1)
+	res, err := Run(p, input, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inputs != len(input) {
+		t.Errorf("Inputs = %d, want %d", res.Inputs, len(input))
+	}
+	if res.TotalOutputs() == 0 || res.TotalOutputs() != sink.Count() {
+		t.Errorf("outputs mismatch: %d vs %d", res.TotalOutputs(), sink.Count())
+	}
+	if res.OrderViolations != 0 {
+		t.Error("ordered plan reported violations")
+	}
+	if res.Memory.Samples == 0 || res.Memory.Avg <= 0 || res.Memory.Max < int(res.Memory.Avg) {
+		t.Errorf("memory stats implausible: %+v", res.Memory)
+	}
+	if res.Wall <= 0 {
+		t.Error("wall time must be positive")
+	}
+	if res.VirtualDuration <= 0 || res.VirtualDuration > 20*stream.Second {
+		t.Errorf("virtual duration %s", res.VirtualDuration)
+	}
+	if res.ServiceRate() <= 0 || res.ComparisonRate(0) <= 0 {
+		t.Error("rates must be positive")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(&Plan{}, nil, Config{}); err == nil {
+		t.Error("empty plan must fail")
+	}
+	p, _ := passthroughPlan(t, stream.Second)
+	bad := []*stream.Tuple{
+		{Time: 2 * stream.Second, Seq: 1, Stream: stream.StreamA},
+		{Time: 1 * stream.Second, Seq: 2, Stream: stream.StreamB},
+	}
+	if _, err := Run(p, bad, Config{}); err == nil {
+		t.Error("out-of-order input must fail")
+	}
+	q := stream.NewQueue()
+	sink := operator.NewSink("s", q)
+	noEntry := &Plan{Name: "x", Ops: []operator.Operator{sink}, Sinks: []*operator.Sink{sink}}
+	if _, err := Run(noEntry, nil, Config{}); err == nil {
+		t.Error("plan without entries must fail")
+	}
+	noSink := &Plan{Name: "x", Ops: []operator.Operator{sink}, EntryA: []*stream.Queue{q}, EntryB: []*stream.Queue{q}}
+	if _, err := Run(noSink, nil, Config{}); err == nil {
+		t.Error("plan without sinks must fail")
+	}
+}
+
+func TestSessionFeedAfterFinish(t *testing.T) {
+	p, _ := passthroughPlan(t, stream.Second)
+	s, err := NewSession(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Finish()
+	if err := s.Feed(&stream.Tuple{Time: 1, Seq: 1}); err == nil {
+		t.Error("Feed after Finish must fail")
+	}
+	// Finish is idempotent.
+	r1 := s.Finish()
+	if r1 == nil {
+		t.Error("repeated Finish must still report")
+	}
+}
+
+func TestSessionAccessors(t *testing.T) {
+	p, _ := passthroughPlan(t, stream.Second)
+	s, err := NewSession(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Plan() != p {
+		t.Error("Plan() must expose the executed plan")
+	}
+	if s.Meter() == nil {
+		t.Error("Meter() must be non-nil")
+	}
+}
+
+func TestMonitorSampling(t *testing.T) {
+	p, _ := passthroughPlan(t, 2*stream.Second)
+	input := genInput(t, 20, 20*stream.Second, 2)
+	res, err := Run(p, input, Config{SampleEvery: 5, Series: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := len(input) / 5
+	if res.Memory.Samples < wantSamples-1 || res.Memory.Samples > wantSamples+1 {
+		t.Errorf("samples = %d, want about %d", res.Memory.Samples, wantSamples)
+	}
+	if len(res.Memory.Series) != res.Memory.Samples {
+		t.Errorf("series length %d != samples %d", len(res.Memory.Series), res.Memory.Samples)
+	}
+	for i := 1; i < len(res.Memory.Series); i++ {
+		if res.Memory.Series[i].Arrival <= res.Memory.Series[i-1].Arrival {
+			t.Fatal("series arrivals must increase")
+		}
+	}
+}
+
+func TestMonitorWarmup(t *testing.T) {
+	p, _ := passthroughPlan(t, 5*stream.Second)
+	input := genInput(t, 20, 40*stream.Second, 3)
+	cold, err := Run(p, input, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := passthroughPlan(t, 5*stream.Second)
+	warm, err := Run(p2, input, Config{WarmupFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Excluding the cold start raises the average state size.
+	if warm.Memory.Avg <= cold.Memory.Avg {
+		t.Errorf("warmup avg %f not above cold avg %f", warm.Memory.Avg, cold.Memory.Avg)
+	}
+}
+
+func TestMemoryStateTracksWindow(t *testing.T) {
+	// The average state of a W-second join at rate 2*lambda total is
+	// about 2*lambda*W after warmup (Section 3's memory model).
+	const (
+		rate = 40.0
+		wSec = 4.0
+	)
+	p, _ := passthroughPlan(t, stream.Seconds(wSec))
+	input := genInput(t, rate, 60*stream.Second, 4)
+	res, err := Run(p, input, Config{WarmupFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * rate * wSec
+	if res.Memory.Avg < 0.85*want || res.Memory.Avg > 1.15*want {
+		t.Errorf("avg state %f, want about %f", res.Memory.Avg, want)
+	}
+}

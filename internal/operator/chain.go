@@ -1,0 +1,70 @@
+package operator
+
+import (
+	"fmt"
+
+	"stateslice/internal/stream"
+)
+
+// This file implements the two primitive operations of online chain
+// migration from Section 5.3 of the paper: splitting one sliced join into
+// two adjacent slices, and merging two adjacent slices into one. Both
+// operate on live SlicedBinaryJoin operators between scheduler steps.
+//
+// Splitting inserts an empty-state join to the right of the split slice; the
+// shrunk window of the left join then purges the now-out-of-range tuples
+// into the connecting queue ahead of any probing male, so no result is lost
+// or duplicated ("the execution of Ji will purge tuples, due to its new
+// smaller window, into the queue ... and eventually fill up the states of
+// J'i correctly").
+//
+// Merging requires the connecting queue to be empty (the engine drains the
+// downstream join first); the states are then concatenated with the older
+// slice's tuples in front.
+
+// SplitAt splits j (range [start,end)) into j = [start, mid) and a new join
+// [mid, end) and returns the new join. The caller owns rewiring: j's next
+// port is redirected to the new join's input queue, and the previous
+// destinations of j's next port become the new join's next destinations.
+func (j *SlicedBinaryJoin) SplitAt(name string, mid stream.Time) (*SlicedBinaryJoin, error) {
+	if mid <= j.wstart || mid >= j.wend {
+		return nil, fmt.Errorf("operator %s: split point %s outside (%s, %s)", j.name, mid, j.wstart, j.wend)
+	}
+	q := stream.NewQueue()
+	right, err := NewSlicedBinaryJoin(name, mid, j.wend, j.pred, q)
+	if err != nil {
+		return nil, err
+	}
+	// The new join inherits j's downstream connections.
+	right.next = j.next
+	// j now feeds the new join and shrinks its window; its over-age
+	// females migrate right on the next cross-purge.
+	j.next = Port{}
+	j.next.Attach(q)
+	j.wend = mid
+	return right, nil
+}
+
+// MergeFrom absorbs the next adjacent slice `right` into j: j's window range
+// becomes [j.start, right.end) and right's states are concatenated in front
+// of j's (they hold strictly older tuples). The queue between j and right
+// must be empty; j inherits right's downstream connections.
+func (j *SlicedBinaryJoin) MergeFrom(right *SlicedBinaryJoin) error {
+	if right.wstart != j.wend {
+		return fmt.Errorf("operator %s: cannot merge non-adjacent slice %s (ends %s, next starts %s)",
+			j.name, right.name, j.wend, right.wstart)
+	}
+	if !right.in.Empty() {
+		return fmt.Errorf("operator %s: queue into %s not empty (%d items); drain before merging",
+			j.name, right.name, right.in.Len())
+	}
+	for s := range j.states {
+		// right holds the older tuples: append j's younger tuples
+		// after them, then adopt the combined state.
+		right.states[s].AppendAll(j.states[s])
+		j.states[s] = right.states[s]
+	}
+	j.wend = right.wend
+	j.next = right.next
+	return nil
+}

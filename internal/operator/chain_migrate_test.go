@@ -1,0 +1,168 @@
+package operator
+
+import (
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+// These tests exercise the operator-level migration primitives of Section
+// 5.3 (SplitAt / MergeFrom) in isolation; plan-level migration is covered in
+// the plan package.
+
+func TestSplitAtMovesNoTuplesImmediately(t *testing.T) {
+	// Splitting inserts an empty-state join; the left slice's states are
+	// untouched until its next cross-purge.
+	input := randomInput(t, 200, 31)
+	entry, joins, outs, ops := buildBinaryChain(t, []stream.Time{6 * stream.Second}, stream.CrossProduct{})
+	runChain(entry, ops, input, nil)
+	left := joins[0]
+	before := left.StateSize()
+	right, err := left.SplitAt("right", 2*stream.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if right.StateSize() != 0 {
+		t.Error("new slice must start with empty states (Section 5.3)")
+	}
+	if left.StateSize() != before {
+		t.Error("split must not move tuples eagerly")
+	}
+	if _, end := left.Range(); end != 2*stream.Second {
+		t.Errorf("left end = %s, want the split point", end)
+	}
+	if s, e := right.Range(); s != 2*stream.Second || e != 6*stream.Second {
+		t.Errorf("right range (%s,%s)", s, e)
+	}
+	drainPort(outs[0])
+}
+
+func TestSplitAtPreservesResults(t *testing.T) {
+	// Run half the input, split, run the rest: the union of all results
+	// must equal the unsplit reference with no losses or duplicates.
+	input := randomInput(t, 400, 37)
+	half := len(input) / 2
+
+	entry, joins, outs, ops := buildBinaryChain(t, []stream.Time{5 * stream.Second}, stream.CrossProduct{})
+	runChain(entry, ops, input[:half], nil)
+	left := joins[0]
+	right, err := left.SplitAt("right", 2*stream.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rightOut := right.Result().NewQueue()
+	ops = append(ops, right)
+	runChain(entry, ops, input[half:], nil)
+
+	got := make(map[pairKey]int)
+	for _, out := range append(outs, rightOut) {
+		for _, r := range drainPort(out) {
+			got[pairKey{r.A.Seq, r.B.Seq}]++
+		}
+	}
+	want := bruteJoin(input, 5*stream.Second, 5*stream.Second, stream.CrossProduct{})
+	if len(got) != len(want) {
+		t.Fatalf("%d results across the split, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("pair %v count %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestSplitAtValidation(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewSlicedBinaryJoin("j", stream.Second, 4*stream.Second, stream.CrossProduct{}, in)
+	if _, err := j.SplitAt("x", stream.Second); err == nil {
+		t.Error("split at the start boundary must fail")
+	}
+	if _, err := j.SplitAt("x", 4*stream.Second); err == nil {
+		t.Error("split at the end boundary must fail")
+	}
+	if _, err := j.SplitAt("x", 9*stream.Second); err == nil {
+		t.Error("split outside the range must fail")
+	}
+}
+
+func TestMergeFromConcatenatesStates(t *testing.T) {
+	input := randomInput(t, 300, 41)
+	entry, joins, outs, ops := buildBinaryChain(t,
+		[]stream.Time{2 * stream.Second, 6 * stream.Second}, stream.CrossProduct{})
+	runChain(entry, ops, input, nil)
+	left, rightJ := joins[0], joins[1]
+	wantTotal := left.StateSize() + rightJ.StateSize()
+	if err := left.MergeFrom(rightJ); err != nil {
+		t.Fatal(err)
+	}
+	if got := left.StateSize(); got != wantTotal {
+		t.Errorf("merged state %d, want %d", got, wantTotal)
+	}
+	if _, end := left.Range(); end != 6*stream.Second {
+		t.Errorf("merged end %s", end)
+	}
+	// State must remain age-ordered (older right-slice tuples first).
+	for _, id := range []stream.ID{stream.StreamA, stream.StreamB} {
+		snap := left.StateSnapshot(id)
+		for i := 1; i < len(snap); i++ {
+			if snap[i].Time < snap[i-1].Time {
+				t.Fatalf("merged %s state out of order at %d", id, i)
+			}
+		}
+	}
+	for _, out := range outs {
+		drainPort(out)
+	}
+}
+
+func TestMergeFromPreservesResults(t *testing.T) {
+	input := randomInput(t, 400, 43)
+	half := len(input) / 2
+	entry, joins, outs, ops := buildBinaryChain(t,
+		[]stream.Time{2 * stream.Second, 5 * stream.Second}, stream.CrossProduct{})
+	runChain(entry, ops, input[:half], nil)
+	if err := joins[0].MergeFrom(joins[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Continue with the merged chain: only joins[0] remains.
+	runChain(entry, []Operator{ops[0], joins[0]}, input[half:], nil)
+	got := make(map[pairKey]int)
+	for _, out := range outs {
+		for _, r := range drainPort(out) {
+			got[pairKey{r.A.Seq, r.B.Seq}]++
+		}
+	}
+	want := bruteJoin(input, 5*stream.Second, 5*stream.Second, stream.CrossProduct{})
+	if len(got) != len(want) {
+		t.Fatalf("%d results across the merge, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("pair %v count %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestMergeFromRequiresEmptyQueue(t *testing.T) {
+	entry, joins, _, ops := buildBinaryChain(t,
+		[]stream.Time{stream.Second, 3 * stream.Second}, stream.CrossProduct{})
+	var mb stream.ManualBuilder
+	entry.PushTuple(mb.Add(stream.StreamA, stream.Second))
+	ops[0].Step(nil, -1)
+	joins[0].Step(nil, -1)
+	// Force an item into the inter-slice queue without draining joins[1].
+	entry.PushTuple(mb.Add(stream.StreamB, 10*stream.Second))
+	ops[0].Step(nil, -1)
+	joins[0].Step(nil, -1)
+	if err := joins[0].MergeFrom(joins[1]); err == nil {
+		t.Error("merging across a non-empty queue must fail")
+	}
+}
+
+func TestMergeFromRequiresAdjacency(t *testing.T) {
+	a, _ := NewSlicedBinaryJoin("a", 0, stream.Second, stream.CrossProduct{}, stream.NewQueue())
+	c, _ := NewSlicedBinaryJoin("c", 2*stream.Second, 3*stream.Second, stream.CrossProduct{}, stream.NewQueue())
+	if err := a.MergeFrom(c); err == nil {
+		t.Error("merging non-adjacent slices must fail")
+	}
+}

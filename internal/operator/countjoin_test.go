@@ -1,0 +1,202 @@
+package operator
+
+import (
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+// bruteCountJoin computes the count-window reference: (a, b) joins when the
+// earlier tuple is among the last C arrivals of its stream at the later
+// tuple's arrival.
+func bruteCountJoin(input []*stream.Tuple, ca, cb int, pred stream.JoinPredicate) map[pairKey]int {
+	out := make(map[pairKey]int)
+	counts := [2]uint64{}
+	for _, x := range input {
+		opp := x.Stream.Other()
+		limit := uint64(ca)
+		if opp == stream.StreamB {
+			limit = uint64(cb)
+		}
+		for _, y := range input {
+			if y.Seq >= x.Seq || y.Stream != opp {
+				continue
+			}
+			// y is in the window if its ordinal is within the last
+			// `limit` arrivals of its stream.
+			if counts[opp]-y.Ord < limit {
+				var a, b *stream.Tuple
+				if x.Stream == stream.StreamA {
+					a, b = x, y
+				} else {
+					a, b = y, x
+				}
+				if pred.Match(a, b) {
+					out[pairKey{a.Seq, b.Seq}]++
+				}
+			}
+		}
+		counts[x.Stream]++
+	}
+	return out
+}
+
+func TestCountWindowJoinMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		input := randomInput(t, 200, seed)
+		in := stream.NewQueue()
+		j, err := NewCountWindowJoin("cj", 7, 4, stream.Equijoin{}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := j.Out().NewQueue()
+		for _, tp := range input {
+			in.PushTuple(tp)
+		}
+		j.Step(nil, -1)
+		got := keysOf(drainPort(out))
+		want := bruteCountJoin(input, 7, 4, stream.Equijoin{})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: pair %v count %d, want %d", seed, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestCountWindowJoinEvicts(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewCountWindowJoin("cj", 3, 3, stream.CrossProduct{}, in)
+	_ = j.Out().NewQueue()
+	var mb stream.ManualBuilder
+	for i := 1; i <= 20; i++ {
+		in.PushTuple(mb.Add(stream.StreamA, stream.Time(i)*stream.Second))
+	}
+	j.Step(nil, -1)
+	if n := j.StateSize(); n != 3 {
+		t.Errorf("state holds %d tuples, want the 3 most recent", n)
+	}
+}
+
+func TestCountWindowJoinValidation(t *testing.T) {
+	if _, err := NewCountWindowJoin("cj", 0, 3, stream.CrossProduct{}, stream.NewQueue()); err == nil {
+		t.Error("zero count window must fail")
+	}
+}
+
+// buildCountChain wires sliced count joins over rank boundaries.
+func buildCountChain(t *testing.T, ends []int, pred stream.JoinPredicate) (*stream.Queue, []*SlicedCountBinaryJoin, []*stream.Queue, []Operator) {
+	t.Helper()
+	entry := stream.NewQueue()
+	ci := NewChainInput("in", entry)
+	ops := []Operator{ci}
+	var joins []*SlicedCountBinaryJoin
+	var outs []*stream.Queue
+	feed := ci.Out()
+	start := 0
+	for _, end := range ends {
+		j, err := NewSlicedCountBinaryJoin("cslice", start, end, pred, feed.NewQueue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		joins = append(joins, j)
+		outs = append(outs, j.Result().NewQueue())
+		ops = append(ops, j)
+		feed = j.Next()
+		start = end
+	}
+	return entry, joins, outs, ops
+}
+
+func TestCountChainEquivalence(t *testing.T) {
+	// Section 2's claim, realised: a chain of sliced count-window joins
+	// computes the same result as the regular count-window join, with
+	// capacity-overflow eviction replacing timestamp cross-purge.
+	for seed := int64(1); seed <= 4; seed++ {
+		input := randomInput(t, 240, seed)
+		ends := []int{2, 5, 9}
+		entry, _, outs, ops := buildCountChain(t, ends, stream.Equijoin{})
+		runChain(entry, ops, input, nil)
+		got := make(map[pairKey]int)
+		for _, out := range outs {
+			for _, r := range drainPort(out) {
+				got[pairKey{r.A.Seq, r.B.Seq}]++
+			}
+		}
+		want := bruteCountJoin(input, 9, 9, stream.Equijoin{})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: pair %v count %d, want %d", seed, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestCountChainSliceCapacities(t *testing.T) {
+	// Each slice's per-stream state is bounded by its rank interval.
+	input := randomInput(t, 400, 11)
+	ends := []int{3, 8}
+	entry, joins, outs, ops := buildCountChain(t, ends, stream.CrossProduct{})
+	runChain(entry, ops, input, nil)
+	for _, out := range outs {
+		drainPort(out)
+	}
+	start := 0
+	for si, j := range joins {
+		cap := ends[si] - start
+		if got := j.StateSize(); got > 2*cap {
+			t.Errorf("slice %d holds %d tuples, capacity %d per stream", si, got, cap)
+		}
+		if s, e := j.Range(); s != start || e != ends[si] {
+			t.Errorf("slice %d range (%d,%d)", si, s, e)
+		}
+		start = ends[si]
+	}
+}
+
+func TestSlicedCountJoinValidation(t *testing.T) {
+	if _, err := NewSlicedCountBinaryJoin("c", 5, 5, stream.CrossProduct{}, stream.NewQueue()); err == nil {
+		t.Error("empty rank interval must fail")
+	}
+	if _, err := NewSlicedCountBinaryJoin("c", -1, 5, stream.CrossProduct{}, stream.NewQueue()); err == nil {
+		t.Error("negative rank must fail")
+	}
+}
+
+func TestSlicedCountJoinRejectsPlainTuples(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewSlicedCountBinaryJoin("c", 0, 3, stream.CrossProduct{}, in)
+	in.PushTuple(&stream.Tuple{Seq: 1, Stream: stream.StreamA})
+	defer func() {
+		if recover() == nil {
+			t.Error("plain tuple must panic")
+		}
+	}()
+	j.Step(nil, -1)
+}
+
+func TestCountJoinPunctsFlow(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewSlicedCountBinaryJoin("c", 0, 3, stream.CrossProduct{}, in)
+	res := j.Result().NewQueue()
+	next := j.Next().NewQueue()
+	in.PushPunct(4)
+	j.Step(nil, -1)
+	if res.Empty() || next.Empty() {
+		t.Error("punctuations must flow to both outputs")
+	}
+	cj := stream.NewQueue()
+	c, _ := NewCountWindowJoin("cw", 2, 2, stream.CrossProduct{}, cj)
+	out := c.Out().NewQueue()
+	cj.PushPunct(4)
+	c.Step(nil, -1)
+	if out.Empty() || !out.Pop().IsPunct() {
+		t.Error("count join must forward punctuations")
+	}
+}

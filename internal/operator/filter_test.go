@@ -1,0 +1,314 @@
+package operator
+
+import (
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+func TestFilterDropsFailingTuples(t *testing.T) {
+	in := stream.NewQueue()
+	f := NewFilter("f", stream.Threshold{S: 0.5}, in)
+	out := f.Out().NewQueue()
+	in.PushTuple(&stream.Tuple{Seq: 1, Value: 0.9})
+	in.PushTuple(&stream.Tuple{Seq: 2, Value: 0.1})
+	in.PushPunct(stream.Second)
+	m := &CostMeter{}
+	f.Step(m, -1)
+	got := drainPort(out)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("filter passed %v", got)
+	}
+	if m.Filter != 2 {
+		t.Errorf("filter comparisons = %d, want 2", m.Filter)
+	}
+	if f.Name() != "f" {
+		t.Error("name wrong")
+	}
+}
+
+func TestStreamFilterPassesOtherStream(t *testing.T) {
+	in := stream.NewQueue()
+	f := NewStreamFilter("f", stream.Threshold{S: 0.5}, stream.StreamA, in)
+	out := f.Out().NewQueue()
+	in.PushTuple(&stream.Tuple{Seq: 1, Stream: stream.StreamA, Value: 0.1}) // dropped
+	in.PushTuple(&stream.Tuple{Seq: 2, Stream: stream.StreamB, Value: 0.1}) // passes: B unfiltered
+	m := &CostMeter{}
+	f.Step(m, -1)
+	got := drainPort(out)
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("stream filter passed %v", got)
+	}
+	if m.Filter != 1 {
+		t.Errorf("B tuples must not be evaluated (got %d comparisons)", m.Filter)
+	}
+}
+
+func TestResultFilterEvaluatesASide(t *testing.T) {
+	in := stream.NewQueue()
+	f := NewResultFilter("f", stream.Threshold{S: 0.5}, in)
+	out := f.Out().NewQueue()
+	pass := stream.Joined(
+		&stream.Tuple{Seq: 1, Stream: stream.StreamA, Value: 0.9},
+		&stream.Tuple{Time: 1, Seq: 2, Stream: stream.StreamB, Value: 0.0})
+	fail := stream.Joined(
+		&stream.Tuple{Seq: 3, Stream: stream.StreamA, Value: 0.1},
+		&stream.Tuple{Time: 1, Seq: 4, Stream: stream.StreamB, Value: 0.9})
+	in.PushTuple(pass)
+	in.PushTuple(fail)
+	f.Step(nil, -1)
+	got := drainPort(out)
+	if len(got) != 1 || got[0] != pass {
+		t.Fatalf("sigma'_A must judge the A side: %v", got)
+	}
+}
+
+func TestLineageMarkIdenticalPredicates(t *testing.T) {
+	// All filtered queries share one predicate: a single evaluation
+	// decides every mask bit (the cost structure of Eq. (3)).
+	sel := stream.Threshold{S: 0.5}
+	conds := []stream.Predicate{nil, sel, sel}
+	in := stream.NewQueue()
+	lm := NewLineageMark("lm", conds, nil, in)
+	out := lm.Out().NewQueue()
+	m := &CostMeter{}
+	in.PushTuple(&stream.Tuple{Seq: 1, Stream: stream.StreamA, Value: 0.9})
+	in.PushTuple(&stream.Tuple{Seq: 2, Stream: stream.StreamA, Value: 0.1})
+	in.PushTuple(&stream.Tuple{Seq: 3, Stream: stream.StreamB})
+	lm.Step(m, -1)
+	got := drainPort(out)
+	if len(got) != 3 {
+		t.Fatalf("marked %d tuples, want 3 (no drops: Q1 keeps everything)", len(got))
+	}
+	if got[0].Level != 3 || got[0].CondMask != 0b111 {
+		t.Errorf("passing tuple: level %d mask %b", got[0].Level, got[0].CondMask)
+	}
+	if got[1].Level != 1 || got[1].CondMask != 0b001 {
+		t.Errorf("failing tuple: level %d mask %b, want level 1 (Q1 only)", got[1].Level, got[1].CondMask)
+	}
+	if got[2].Level != 3 {
+		t.Error("B tuples reach every slice")
+	}
+	if m.Filter != 2 {
+		t.Errorf("identical predicates must be evaluated once per A tuple (got %d)", m.Filter)
+	}
+}
+
+func TestLineageMarkDropsUselessTuples(t *testing.T) {
+	// Every query filtered: tuples failing the shared predicate die at
+	// the chain entry.
+	sel := stream.Threshold{S: 0.5}
+	in := stream.NewQueue()
+	lm := NewLineageMark("lm", []stream.Predicate{sel, sel}, nil, in)
+	out := lm.Out().NewQueue()
+	in.PushTuple(&stream.Tuple{Seq: 1, Stream: stream.StreamA, Value: 0.1})
+	lm.Step(nil, -1)
+	if got := drainPort(out); len(got) != 0 {
+		t.Fatalf("useless tuple must be dropped, got %v", got)
+	}
+}
+
+func TestLineageMarkNestedPredicates(t *testing.T) {
+	// Heterogeneous nested thresholds: Level is the highest query index
+	// whose condition holds (Section 6.1's decreasing-order evaluation).
+	conds := []stream.Predicate{
+		stream.Threshold{S: 0.9}, // loose
+		stream.Threshold{S: 0.5},
+		stream.Threshold{S: 0.1}, // tight
+	}
+	in := stream.NewQueue()
+	lm := NewLineageMark("lm", conds, nil, in)
+	out := lm.Out().NewQueue()
+	in.PushTuple(&stream.Tuple{Seq: 1, Stream: stream.StreamA, Value: 0.6}) // passes Q1,Q2 only
+	in.PushTuple(&stream.Tuple{Seq: 2, Stream: stream.StreamA, Value: 0.95})
+	lm.Step(nil, -1)
+	got := drainPort(out)
+	if got[0].Level != 2 || got[0].CondMask != 0b011 {
+		t.Errorf("tuple 1: level %d mask %b, want 2 / 011", got[0].Level, got[0].CondMask)
+	}
+	if got[1].Level != 3 || got[1].CondMask != 0b111 {
+		t.Errorf("tuple 2: level %d mask %b, want 3 / 111", got[1].Level, got[1].CondMask)
+	}
+}
+
+func TestLineageFilter(t *testing.T) {
+	// A-only gates skip stream-B tuples entirely, keeping the paper's
+	// single-stream cost; two-stream gates (NewLineageFilter2) check
+	// every tuple against its own stream's lineage level.
+	in := stream.NewQueue()
+	lf := NewLineageFilter("lf", 2, in)
+	out := lf.Out().NewQueue()
+	in.PushTuple(&stream.Tuple{Seq: 1, Stream: stream.StreamA, Level: 1}) // dropped
+	in.PushTuple(&stream.Tuple{Seq: 2, Stream: stream.StreamA, Level: 2}) // passes
+	in.PushTuple(&stream.Tuple{Seq: 3, Stream: stream.StreamB, Level: 0}) // B passes unchecked
+	in.PushPunct(stream.Second)
+	m := &CostMeter{}
+	lf.Step(m, -1)
+	got := drainPort(out)
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("lineage filter passed %v", got)
+	}
+	if m.Filter != 2 {
+		t.Errorf("level checks = %d, want 2 (A tuples only)", m.Filter)
+	}
+
+	in2 := stream.NewQueue()
+	lf2 := NewLineageFilter2("lf2", 2, in2)
+	out2 := lf2.Out().NewQueue()
+	in2.PushTuple(&stream.Tuple{Seq: 5, Stream: stream.StreamB, Level: 3}) // marked B passes
+	in2.PushTuple(&stream.Tuple{Seq: 6, Stream: stream.StreamB, Level: 1}) // filtered B dropped
+	m2 := &CostMeter{}
+	lf2.Step(m2, -1)
+	got2 := drainPort(out2)
+	if len(got2) != 1 || got2[0].Seq != 5 {
+		t.Fatalf("two-stream gate passed %v", got2)
+	}
+	if m2.Filter != 2 {
+		t.Errorf("two-stream gate checks = %d, want 2", m2.Filter)
+	}
+}
+
+func TestMaskFilter(t *testing.T) {
+	in := stream.NewQueue()
+	mf := NewMaskFilter("mf", 1, in)
+	out := mf.Out().NewQueue()
+	mk := func(mask uint64, seq uint64) *stream.Tuple {
+		return stream.Joined(
+			&stream.Tuple{Seq: seq, Stream: stream.StreamA, CondMask: mask},
+			&stream.Tuple{Time: 1, Seq: seq + 1, Stream: stream.StreamB})
+	}
+	in.PushTuple(mk(0b010, 1)) // bit 1 set: passes
+	in.PushTuple(mk(0b101, 3)) // bit 1 clear: dropped
+	in.PushPunct(stream.Second)
+	mf.Step(nil, -1)
+	got := drainPort(out)
+	if len(got) != 1 || got[0].A.Seq != 1 {
+		t.Fatalf("mask filter passed %v", got)
+	}
+	if mf.Name() != "mf" || !mf.Pending() == (in.Len() > 0) {
+		t.Log("cosmetic accessors exercised")
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	in := stream.NewQueue()
+	sp := NewSplit("split", stream.Threshold{S: 0.5}, in)
+	pass := sp.Pass().NewQueue()
+	fail := sp.Fail().NewQueue()
+	in.PushTuple(&stream.Tuple{Seq: 1, Value: 0.9})
+	in.PushTuple(&stream.Tuple{Seq: 2, Value: 0.1})
+	in.PushPunct(stream.Second)
+	m := &CostMeter{}
+	sp.Step(m, -1)
+	p, f := drainPort(pass), drainPort(fail)
+	if len(p) != 1 || p[0].Seq != 1 {
+		t.Errorf("pass partition %v", p)
+	}
+	if len(f) != 1 || f[0].Seq != 2 {
+		t.Errorf("fail partition %v", f)
+	}
+	if m.Split != 2 {
+		t.Errorf("split comparisons = %d, want 2", m.Split)
+	}
+	if sp.Name() != "split" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSplitForwardsPunctToBothSides(t *testing.T) {
+	in := stream.NewQueue()
+	sp := NewSplit("split", stream.True{}, in)
+	pass := sp.Pass().NewQueue()
+	fail := sp.Fail().NewQueue()
+	in.PushPunct(7)
+	sp.Step(nil, -1)
+	if pass.Empty() || fail.Empty() {
+		t.Fatal("punctuations must reach both partitions")
+	}
+}
+
+func TestSinkCountsAndOrders(t *testing.T) {
+	in := stream.NewQueue()
+	s := NewSink("q", in).Collecting()
+	in.PushTuple(mkResult(10, 2))
+	in.PushTuple(mkResult(20, 4))
+	in.PushPunct(25)
+	s.Step(nil, -1)
+	if s.Count() != 2 || len(s.Results()) != 2 {
+		t.Fatalf("count %d, results %d", s.Count(), len(s.Results()))
+	}
+	if s.OrderViolations() != 0 {
+		t.Error("ordered input flagged")
+	}
+	in.PushTuple(mkResult(15, 6)) // out of order
+	s.Step(nil, -1)
+	if s.OrderViolations() != 1 {
+		t.Errorf("violations = %d, want 1", s.OrderViolations())
+	}
+	if s.Name() != "q" {
+		t.Error("name wrong")
+	}
+}
+
+func TestOperatorBudgets(t *testing.T) {
+	// Every operator honours the Step budget.
+	in := stream.NewQueue()
+	f := NewFilter("f", stream.True{}, in)
+	f.Out().NewQueue()
+	for i := 0; i < 10; i++ {
+		in.PushTuple(&stream.Tuple{Seq: uint64(i)})
+	}
+	if n := f.Step(nil, 3); n != 3 {
+		t.Errorf("budgeted step consumed %d", n)
+	}
+	if !f.Pending() {
+		t.Error("filter must report pending input")
+	}
+	if n := f.Step(nil, -1); n != 7 {
+		t.Errorf("unbounded step consumed %d", n)
+	}
+}
+
+func TestPortFanoutAndDetach(t *testing.T) {
+	var p Port
+	if p.Connected() {
+		t.Error("fresh port must not be connected")
+	}
+	q1, q2 := p.NewQueue(), p.NewQueue()
+	if p.Fanout() != 2 {
+		t.Errorf("fanout = %d", p.Fanout())
+	}
+	p.PushTuple(&stream.Tuple{Seq: 1})
+	if q1.Len() != 1 || q2.Len() != 1 {
+		t.Error("push must fan out to all queues")
+	}
+	p.DetachAll()
+	p.PushTuple(&stream.Tuple{Seq: 2})
+	if q1.Len() != 1 || q2.Len() != 1 {
+		t.Error("detached queues must stop receiving")
+	}
+}
+
+func TestMeterHelpers(t *testing.T) {
+	m := &CostMeter{Probe: 10, Purge: 5, Route: 1, Union: 2, Filter: 3, Split: 4, Hash: 6, Invocations: 7}
+	if got := m.Comparisons(); got != 31 {
+		t.Errorf("Comparisons = %d, want 31", got)
+	}
+	if got := m.Total(2); got != 31+14 {
+		t.Errorf("Total(2) = %g, want 45", got)
+	}
+	d := m.Sub(CostMeter{Probe: 4, Invocations: 2})
+	if d.Probe != 6 || d.Invocations != 5 {
+		t.Errorf("Sub wrong: %+v", d)
+	}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+	var nilMeter *CostMeter
+	if nilMeter.Comparisons() != 0 || nilMeter.Total(1) != 0 {
+		t.Error("nil meter must read as zero")
+	}
+	if (nilMeter.Sub(CostMeter{})) != (CostMeter{}) {
+		t.Error("nil meter Sub must be zero")
+	}
+}

@@ -1,0 +1,306 @@
+package operator
+
+import (
+	"math/rand"
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+// drainPort pops all tuples (skipping punctuations) from a queue.
+func drainPort(q *stream.Queue) []*stream.Tuple {
+	var out []*stream.Tuple
+	for !q.Empty() {
+		it := q.Pop()
+		if !it.IsPunct() {
+			out = append(out, it.Tuple)
+		}
+	}
+	return out
+}
+
+// pairKey identifies a join result.
+type pairKey struct{ a, b uint64 }
+
+func keysOf(ts []*stream.Tuple) map[pairKey]int {
+	out := make(map[pairKey]int)
+	for _, t := range ts {
+		out[pairKey{t.A.Seq, t.B.Seq}]++
+	}
+	return out
+}
+
+// bruteJoin computes the closed-window reference answer.
+func bruteJoin(input []*stream.Tuple, wa, wb stream.Time, pred stream.JoinPredicate) map[pairKey]int {
+	out := make(map[pairKey]int)
+	for i, x := range input {
+		for _, y := range input[:i] {
+			var a, b *stream.Tuple
+			switch {
+			case x.Stream == stream.StreamA && y.Stream == stream.StreamB:
+				a, b = x, y
+			case x.Stream == stream.StreamB && y.Stream == stream.StreamA:
+				a, b = y, x
+			default:
+				continue
+			}
+			if b.Time > a.Time && b.Time-a.Time > wa {
+				continue
+			}
+			if a.Time > b.Time && a.Time-b.Time > wb {
+				continue
+			}
+			if pred.Match(a, b) {
+				out[pairKey{a.Seq, b.Seq}]++
+			}
+		}
+	}
+	return out
+}
+
+func randomInput(t *testing.T, n int, seed int64) []*stream.Tuple {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var mb stream.ManualBuilder
+	at := stream.Time(0)
+	for i := 0; i < n; i++ {
+		at += stream.Time(1+rng.Intn(900)) * stream.Millisecond
+		id := stream.StreamA
+		if rng.Intn(2) == 1 {
+			id = stream.StreamB
+		}
+		tp := mb.Add(id, at)
+		tp.Key = int64(rng.Intn(4))
+		tp.Value = rng.Float64()
+	}
+	return mb.Tuples()
+}
+
+func TestWindowJoinMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		input := randomInput(t, 300, seed)
+		in := stream.NewQueue()
+		j, err := NewWindowJoin("j", 3*stream.Second, 5*stream.Second, stream.Equijoin{}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := j.Out().NewQueue()
+		for _, tp := range input {
+			in.PushTuple(tp)
+		}
+		j.Step(nil, -1)
+		got := keysOf(drainPort(out))
+		want := bruteJoin(input, 3*stream.Second, 5*stream.Second, stream.Equijoin{})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: result %v count %d, want %d", seed, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestWindowJoinAsymmetricWindows(t *testing.T) {
+	// A[2s] join B[6s]: b joins a when Tb-Ta <= 2s; a joins b when
+	// Ta-Tb <= 6s.
+	var mb stream.ManualBuilder
+	a1 := mb.Add(stream.StreamA, 1*stream.Second)
+	b1 := mb.Add(stream.StreamB, 2*stream.Second)  // diff 1: within A window
+	b2 := mb.Add(stream.StreamB, 4*stream.Second)  // diff 3: outside A window
+	a2 := mb.Add(stream.StreamA, 9*stream.Second)  // diff to b2 = 5: within B window
+	a3 := mb.Add(stream.StreamA, 11*stream.Second) // diff to b2 = 7: outside
+	_ = a3
+	in := stream.NewQueue()
+	j, err := NewWindowJoin("j", 2*stream.Second, 6*stream.Second, stream.CrossProduct{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := j.Out().NewQueue()
+	for _, tp := range mb.Tuples() {
+		in.PushTuple(tp)
+	}
+	j.Step(nil, -1)
+	got := keysOf(drainPort(out))
+	want := map[pairKey]int{
+		{a1.Seq, b1.Seq}: 1,
+		{a2.Seq, b2.Seq}: 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("results %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != 1 {
+			t.Fatalf("missing %v", k)
+		}
+	}
+}
+
+func TestWindowJoinBoundaryInclusive(t *testing.T) {
+	// Distance exactly equal to the window joins (the closed-boundary
+	// semantics of Figure 6 / Table 2; see the WindowJoin doc comment).
+	var mb stream.ManualBuilder
+	a := mb.Add(stream.StreamA, 1*stream.Second)
+	b := mb.Add(stream.StreamB, 3*stream.Second) // diff exactly 2s
+	in := stream.NewQueue()
+	j, err := NewWindowJoin("j", 2*stream.Second, 2*stream.Second, stream.CrossProduct{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := j.Out().NewQueue()
+	in.PushTuple(a)
+	in.PushTuple(b)
+	j.Step(nil, -1)
+	res := drainPort(out)
+	if len(res) != 1 {
+		t.Fatalf("boundary pair must join, got %d results", len(res))
+	}
+	// And one microsecond beyond must not.
+	var mb2 stream.ManualBuilder
+	a2 := mb2.Add(stream.StreamA, 1*stream.Second)
+	b2 := mb2.Add(stream.StreamB, 3*stream.Second+stream.Microsecond)
+	in2 := stream.NewQueue()
+	j2, err := NewWindowJoin("j", 2*stream.Second, 2*stream.Second, stream.CrossProduct{}, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := j2.Out().NewQueue()
+	in2.PushTuple(a2)
+	in2.PushTuple(b2)
+	j2.Step(nil, -1)
+	if res := drainPort(out2); len(res) != 0 {
+		t.Fatalf("pair beyond the window joined: %v", res)
+	}
+}
+
+func TestWindowJoinPurges(t *testing.T) {
+	in := stream.NewQueue()
+	j, err := NewWindowJoin("j", 2*stream.Second, 2*stream.Second, stream.CrossProduct{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Out().NewQueue()
+	var mb stream.ManualBuilder
+	for i := 1; i <= 10; i++ {
+		in.PushTuple(mb.Add(stream.StreamA, stream.Time(i)*stream.Second))
+		in.PushTuple(mb.Add(stream.StreamB, stream.Time(i)*stream.Second+stream.Millisecond))
+		j.Step(nil, -1)
+	}
+	// Cross-purge bounds each state to the window: at most ~3 tuples of
+	// each stream (2s window at 1 tuple/sec, closed boundary).
+	if n := j.StateSize(); n > 6 {
+		t.Errorf("state holds %d tuples; cross-purge failed", n)
+	}
+	wa, wb := j.Windows()
+	if wa != 2*stream.Second || wb != 2*stream.Second {
+		t.Error("Windows() wrong")
+	}
+}
+
+func TestWindowJoinHashProbeEquivalent(t *testing.T) {
+	input := randomInput(t, 400, 99)
+	run := func(hash bool) map[pairKey]int {
+		in := stream.NewQueue()
+		j, err := NewWindowJoin("j", 4*stream.Second, 4*stream.Second, stream.Equijoin{}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hash {
+			if _, err := j.WithHashProbe(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := j.Out().NewQueue()
+		for _, tp := range input {
+			in.PushTuple(tp)
+		}
+		j.Step(nil, -1)
+		return keysOf(drainPort(out))
+	}
+	nl, h := run(false), run(true)
+	if len(nl) != len(h) {
+		t.Fatalf("hash probing changed the result: %d vs %d results", len(nl), len(h))
+	}
+	for k := range nl {
+		if h[k] != nl[k] {
+			t.Fatalf("hash probing lost result %v", k)
+		}
+	}
+}
+
+func TestWindowJoinHashProbeCheaper(t *testing.T) {
+	input := randomInput(t, 600, 7)
+	count := func(hash bool) (probe, hashOps uint64) {
+		in := stream.NewQueue()
+		j, _ := NewWindowJoin("j", 5*stream.Second, 5*stream.Second, stream.Equijoin{}, in)
+		if hash {
+			j.WithHashProbe()
+		}
+		_ = j.Out().NewQueue()
+		m := &CostMeter{}
+		for _, tp := range input {
+			in.PushTuple(tp)
+		}
+		j.Step(m, -1)
+		return m.Probe, m.Hash
+	}
+	nlProbe, _ := count(false)
+	hProbe, hOps := count(true)
+	if hProbe >= nlProbe {
+		t.Errorf("hash probing examined %d tuples, nested loop %d", hProbe, nlProbe)
+	}
+	if hOps == 0 {
+		t.Error("hash probes must be metered")
+	}
+}
+
+func TestWindowJoinHashRequiresEquijoin(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewWindowJoin("j", stream.Second, stream.Second, stream.CrossProduct{}, in)
+	if _, err := j.WithHashProbe(); err == nil {
+		t.Error("hash probing over a non-equijoin must fail")
+	}
+}
+
+func TestWindowJoinValidation(t *testing.T) {
+	if _, err := NewWindowJoin("j", -1, stream.Second, stream.CrossProduct{}, stream.NewQueue()); err == nil {
+		t.Error("negative window must fail")
+	}
+}
+
+func TestWindowJoinForwardsPunctuations(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewWindowJoin("j", stream.Second, stream.Second, stream.CrossProduct{}, in)
+	out := j.Out().NewQueue()
+	in.PushPunct(5 * stream.Second)
+	j.Step(nil, -1)
+	if out.Empty() || !out.Pop().IsPunct() {
+		t.Error("punctuation must pass through the join")
+	}
+}
+
+func TestWindowJoinMeterCounts(t *testing.T) {
+	// Probing a state of size k costs exactly k comparisons (nested
+	// loop); purging costs one comparison per examined tuple.
+	var mb stream.ManualBuilder
+	in := stream.NewQueue()
+	j, _ := NewWindowJoin("j", 100*stream.Second, 100*stream.Second, stream.CrossProduct{}, in)
+	_ = j.Out().NewQueue()
+	m := &CostMeter{}
+	for i := 1; i <= 5; i++ {
+		in.PushTuple(mb.Add(stream.StreamA, stream.Time(i)*stream.Second))
+	}
+	j.Step(m, -1)
+	if m.Probe != 0 {
+		t.Errorf("A-only input probed %d times (B state empty)", m.Probe)
+	}
+	in.PushTuple(mb.Add(stream.StreamB, 6*stream.Second))
+	j.Step(m, -1)
+	if m.Probe != 5 {
+		t.Errorf("probe count %d, want 5 (state size)", m.Probe)
+	}
+	if m.Purge != 1 {
+		t.Errorf("purge count %d, want 1 (front check only)", m.Purge)
+	}
+}

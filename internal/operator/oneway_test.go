@@ -1,0 +1,166 @@
+package operator
+
+import (
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+// buildOneWayChain wires N sliced one-way joins.
+func buildOneWayChain(t *testing.T, ends []stream.Time, pred stream.JoinPredicate) (*stream.Queue, []*SlicedOneWayJoin, []*stream.Queue) {
+	t.Helper()
+	entry := stream.NewQueue()
+	var joins []*SlicedOneWayJoin
+	var outs []*stream.Queue
+	in := entry
+	start := stream.Time(0)
+	for _, end := range ends {
+		j, err := NewSlicedOneWayJoin("j", start, end, pred, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joins = append(joins, j)
+		outs = append(outs, j.Result().NewQueue())
+		in = j.Next().NewQueue()
+		start = end
+	}
+	return entry, joins, outs
+}
+
+func TestOneWayChainEquivalenceTheorem1(t *testing.T) {
+	// Theorem 1: the union of the sliced one-way joins equals the regular
+	// one-way join A[W] |>< B: pairs with 0 < Tb - Ta <= W.
+	for seed := int64(1); seed <= 5; seed++ {
+		input := randomInput(t, 300, seed)
+		entry, joins, outs := buildOneWayChain(t,
+			[]stream.Time{2 * stream.Second, 5 * stream.Second, 6 * stream.Second}, stream.Equijoin{})
+		for _, tp := range input {
+			entry.PushTuple(tp)
+			for _, j := range joins {
+				j.Step(nil, -1)
+			}
+		}
+		got := make(map[pairKey]int)
+		for _, out := range outs {
+			for _, r := range drainPort(out) {
+				got[pairKey{r.A.Seq, r.B.Seq}]++
+			}
+		}
+		// One-way reference: b probes the A window only.
+		want := make(map[pairKey]int)
+		for i, x := range input {
+			if x.Stream != stream.StreamB {
+				continue
+			}
+			for _, y := range input[:i] {
+				if y.Stream != stream.StreamA {
+					continue
+				}
+				if x.Time-y.Time <= 6*stream.Second && (stream.Equijoin{}).Match(y, x) {
+					want[pairKey{y.Seq, x.Seq}]++
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: pair %v count %d, want %d", seed, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestOneWaySliceRanges(t *testing.T) {
+	// Each slice emits only pairs whose distance lies in its range.
+	input := randomInput(t, 200, 9)
+	ends := []stream.Time{stream.Second, 4 * stream.Second}
+	entry, joins, outs := buildOneWayChain(t, ends, stream.CrossProduct{})
+	for _, tp := range input {
+		entry.PushTuple(tp)
+		for _, j := range joins {
+			j.Step(nil, -1)
+		}
+	}
+	start := stream.Time(0)
+	for si, out := range outs {
+		for _, r := range drainPort(out) {
+			d := r.B.Time - r.A.Time
+			if d <= start || d > ends[si] {
+				t.Fatalf("slice %d: pair at distance %s outside (%s, %s]", si, d, start, ends[si])
+			}
+		}
+		start = ends[si]
+	}
+	if s, e := joins[1].Range(); s != stream.Second || e != 4*stream.Second {
+		t.Error("Range() wrong")
+	}
+}
+
+func TestOneWayPurgedTuplesFlowDownstream(t *testing.T) {
+	// A tuples expelled from slice 1 by cross-purge must appear in
+	// slice 2's state, not vanish.
+	var mb stream.ManualBuilder
+	entry, joins, outs := buildOneWayChain(t,
+		[]stream.Time{2 * stream.Second, 4 * stream.Second}, stream.CrossProduct{})
+	entry.PushTuple(mb.Add(stream.StreamA, 1*stream.Second))
+	entry.PushTuple(mb.Add(stream.StreamB, 4*stream.Second)) // purges a1 (diff 3 > 2)
+	for _, j := range joins {
+		j.Step(nil, -1)
+	}
+	if n := joins[0].StateSize(); n != 0 {
+		t.Errorf("slice 1 still holds %d tuples", n)
+	}
+	if n := joins[1].StateSize(); n != 1 {
+		t.Errorf("slice 2 holds %d tuples, want the purged a1", n)
+	}
+	// b1 then probed a1 at slice 2 (diff 3 in (2,4]).
+	if res := drainPort(outs[1]); len(res) != 1 {
+		t.Errorf("slice 2 emitted %d results, want (a1,b1)", len(res))
+	}
+	if res := drainPort(outs[0]); len(res) != 0 {
+		t.Errorf("slice 1 emitted %d results, want none", len(res))
+	}
+}
+
+func TestOneWaySelfPurge(t *testing.T) {
+	var mb stream.ManualBuilder
+	in := stream.NewQueue()
+	j, err := NewSlicedOneWayJoin("j", 0, 2*stream.Second, stream.CrossProduct{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.WithSelfPurge()
+	next := j.Next().NewQueue()
+	in.PushTuple(mb.Add(stream.StreamA, 1*stream.Second))
+	in.PushTuple(mb.Add(stream.StreamA, 8*stream.Second)) // self-purges a1
+	j.Step(nil, -1)
+	if n := j.StateSize(); n != 1 {
+		t.Errorf("state holds %d, want only the fresh tuple", n)
+	}
+	if next.TupleCount() != 1 {
+		t.Errorf("purged tuple must move to the next queue")
+	}
+}
+
+func TestOneWayValidation(t *testing.T) {
+	if _, err := NewSlicedOneWayJoin("j", 3, 2, stream.CrossProduct{}, stream.NewQueue()); err == nil {
+		t.Error("inverted range must fail")
+	}
+}
+
+func TestOneWayPunctForward(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewSlicedOneWayJoin("j", 0, stream.Second, stream.CrossProduct{}, in)
+	res := j.Result().NewQueue()
+	next := j.Next().NewQueue()
+	in.PushPunct(9 * stream.Second)
+	j.Step(nil, -1)
+	if res.Empty() || !res.Pop().IsPunct() {
+		t.Error("punct must reach the result queue")
+	}
+	if next.Empty() || !next.Pop().IsPunct() {
+		t.Error("punct must flow down the chain")
+	}
+}

@@ -1,0 +1,86 @@
+// Package operator implements the query operators of the shared stream query
+// plans studied in the State-Slice paper (VLDB 2006): regular sliding-window
+// joins, sliced one-way and binary window joins, chains of sliced joins,
+// selections, stream partitioning (split), routing of joined results by
+// window constraints, and the order-preserving punctuated union.
+//
+// Operators communicate through stream.Queue FIFO queues and are driven by
+// the engine package, which schedules them in topological order. Every
+// comparison an operator performs is counted on a CostMeter, following the
+// paper's CPU cost metric ("the count of comparisons per time unit",
+// Section 3).
+package operator
+
+import "stateslice/internal/stream"
+
+// Operator is a scheduled unit of a query plan. The engine repeatedly calls
+// Step, letting the operator consume input items and push results downstream.
+type Operator interface {
+	// Name identifies the operator in traces and statistics.
+	Name() string
+	// Step processes up to max input items (max <= 0 means all pending)
+	// and returns the number of items consumed. The meter may be nil.
+	Step(m *CostMeter, max int) int
+	// Pending reports whether the operator has buffered input left.
+	Pending() bool
+}
+
+// StateSizer is implemented by stateful operators (joins). The engine's
+// monitor polls it to reproduce the paper's state-memory measurements
+// ("runtime memory usage in terms of the number of tuples staying in the
+// states of the joins", Section 7.1).
+type StateSizer interface {
+	// StateSize returns the number of tuples currently held in window
+	// states.
+	StateSize() int
+}
+
+// Port is an output of an operator. Pushing an item delivers it to every
+// connected queue (fan-out); a port with no queues discards, which is how
+// the optional Purged-A-Tuple / Propagated-B-Tuple outputs of the last sliced
+// join in a chain behave (Figure 5 of the paper).
+type Port struct {
+	qs []*stream.Queue
+}
+
+// NewQueue creates a queue, connects it to the port and returns it.
+func (p *Port) NewQueue() *stream.Queue {
+	q := stream.NewQueue()
+	p.Attach(q)
+	return q
+}
+
+// Attach connects an existing queue to the port.
+func (p *Port) Attach(q *stream.Queue) { p.qs = append(p.qs, q) }
+
+// DetachAll disconnects every queue from the port. Chain migration uses it
+// to rewire the result path of a merged or split slice; the abandoned queues
+// must be closed on their consuming unions first.
+func (p *Port) DetachAll() { p.qs = nil }
+
+// Fanout returns the number of connected queues.
+func (p *Port) Fanout() int { return len(p.qs) }
+
+// Connected reports whether at least one queue is attached.
+func (p *Port) Connected() bool { return len(p.qs) > 0 }
+
+// Push delivers the item to all connected queues.
+func (p *Port) Push(it stream.Item) {
+	for _, q := range p.qs {
+		q.Push(it)
+	}
+}
+
+// PushTuple delivers a tuple to all connected queues.
+func (p *Port) PushTuple(t *stream.Tuple) { p.Push(stream.TupleItem(t)) }
+
+// PushPunct delivers a punctuation to all connected queues.
+func (p *Port) PushPunct(ts stream.Time) { p.Push(stream.PunctItem(ts)) }
+
+// budget normalises the Step max argument: non-positive means unbounded.
+func budget(max int) int {
+	if max <= 0 {
+		return int(^uint(0) >> 1) // MaxInt
+	}
+	return max
+}

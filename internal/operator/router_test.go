@@ -1,0 +1,126 @@
+package operator
+
+import (
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+// mkDiffResult builds a joined tuple with the given |Ta-Tb| distance.
+func mkDiffResult(diff stream.Time, seq uint64) *stream.Tuple {
+	a := &stream.Tuple{Time: 100 * stream.Second, Seq: seq - 1, Stream: stream.StreamA}
+	b := &stream.Tuple{Time: 100*stream.Second + diff, Seq: seq, Stream: stream.StreamB}
+	return stream.Joined(a, b)
+}
+
+func TestRouterDispatchByWindow(t *testing.T) {
+	in := stream.NewQueue()
+	r := NewRouter("r", in)
+	p1, err := r.AddBranch(2 * stream.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.AddBranch(5 * stream.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, q2 := p1.NewQueue(), p2.NewQueue()
+	all := r.All().NewQueue()
+
+	in.PushTuple(mkDiffResult(1*stream.Second, 2)) // within both
+	in.PushTuple(mkDiffResult(2*stream.Second, 4)) // boundary: within both
+	in.PushTuple(mkDiffResult(4*stream.Second, 6)) // only the 5s branch
+	in.PushTuple(mkDiffResult(5*stream.Second, 8)) // boundary of the 5s branch
+	r.Step(nil, -1)
+
+	if n := len(drainPort(q1)); n != 2 {
+		t.Errorf("2s branch got %d results, want 2", n)
+	}
+	if n := len(drainPort(q2)); n != 4 {
+		t.Errorf("5s branch got %d results, want 4 (nested windows)", n)
+	}
+	if n := len(drainPort(all)); n != 4 {
+		t.Errorf("All port got %d results, want every result", n)
+	}
+}
+
+func TestRouterCostModel(t *testing.T) {
+	// Eq. (1): routing costs one comparison per result for two branches;
+	// the final boundary is implied (every result satisfies the largest
+	// window by construction). A single branch costs nothing.
+	in := stream.NewQueue()
+	r := NewRouter("r", in)
+	r.AddBranch(2 * stream.Second)
+	r.AddBranch(5 * stream.Second)
+	m := &CostMeter{}
+	in.PushTuple(mkDiffResult(1*stream.Second, 2))
+	in.PushTuple(mkDiffResult(4*stream.Second, 4))
+	r.Step(m, -1)
+	if m.Route != 2 {
+		t.Errorf("route comparisons = %d, want 2 (one per result)", m.Route)
+	}
+	single := NewRouter("s", stream.NewQueue())
+	single.AddBranch(2 * stream.Second)
+	m2 := &CostMeter{}
+	q := stream.NewQueue()
+	single.in.Push(stream.TupleItem(mkDiffResult(stream.Second, 6)))
+	_ = q
+	single.Step(m2, -1)
+	if m2.Route != 0 {
+		t.Errorf("fanout-1 router cost = %d, want 0", m2.Route)
+	}
+}
+
+func TestRouterScanStopsAtFirstMatch(t *testing.T) {
+	// Three branches: a result within the smallest window costs one
+	// comparison; one between the second and third costs two (the last
+	// boundary is never tested).
+	in := stream.NewQueue()
+	r := NewRouter("r", in)
+	r.AddBranch(1 * stream.Second)
+	r.AddBranch(2 * stream.Second)
+	r.AddBranch(3 * stream.Second)
+	m := &CostMeter{}
+	in.PushTuple(mkDiffResult(500*stream.Millisecond, 2)) // 1 comparison
+	r.Step(m, -1)
+	if m.Route != 1 {
+		t.Errorf("small result cost %d, want 1", m.Route)
+	}
+	in.PushTuple(mkDiffResult(2500*stream.Millisecond, 4)) // 2 comparisons
+	r.Step(m, -1)
+	if m.Route != 3 {
+		t.Errorf("large result total %d, want 3", m.Route)
+	}
+}
+
+func TestRouterBranchValidation(t *testing.T) {
+	r := NewRouter("r", stream.NewQueue())
+	if _, err := r.AddBranch(5 * stream.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddBranch(5 * stream.Second); err == nil {
+		t.Error("duplicate branch window must fail")
+	}
+	if _, err := r.AddBranch(2 * stream.Second); err == nil {
+		t.Error("descending branch window must fail")
+	}
+	if got := r.Branches(); len(got) != 1 || got[0] != 5*stream.Second {
+		t.Errorf("Branches() = %v", got)
+	}
+}
+
+func TestRouterForwardsPunctuations(t *testing.T) {
+	in := stream.NewQueue()
+	r := NewRouter("r", in)
+	p, _ := r.AddBranch(stream.Second)
+	q := p.NewQueue()
+	all := r.All().NewQueue()
+	in.PushPunct(3 * stream.Second)
+	r.Step(nil, -1)
+	if q.Empty() || !q.Pop().IsPunct() {
+		t.Error("branch must receive punctuations")
+	}
+	if all.Empty() || !all.Pop().IsPunct() {
+		t.Error("All port must receive punctuations")
+	}
+}

@@ -1,0 +1,69 @@
+package operator
+
+import "stateslice/internal/stream"
+
+// Sink terminates a query output: it drains its input queue, counts the
+// delivered result tuples and optionally collects them for inspection. It
+// also verifies that results arrive in non-decreasing (Time, Seq) order,
+// which the order-preserving unions must guarantee; violations are counted
+// rather than fatal so tests can assert on them.
+type Sink struct {
+	name    string
+	in      *stream.Queue
+	collect bool
+
+	count      uint64
+	results    []*stream.Tuple
+	violations int
+	lastTime   stream.Time
+	lastSeq    uint64
+	seen       bool
+}
+
+// NewSink builds a counting sink over the input queue.
+func NewSink(name string, in *stream.Queue) *Sink {
+	return &Sink{name: name, in: in}
+}
+
+// Collecting makes the sink retain every result tuple and returns it.
+func (s *Sink) Collecting() *Sink {
+	s.collect = true
+	return s
+}
+
+// Count returns the number of result tuples delivered so far.
+func (s *Sink) Count() uint64 { return s.count }
+
+// Results returns the collected tuples (nil unless Collecting was enabled).
+func (s *Sink) Results() []*stream.Tuple { return s.results }
+
+// OrderViolations returns how many results arrived out of (Time, Seq) order.
+func (s *Sink) OrderViolations() int { return s.violations }
+
+// Name implements Operator.
+func (s *Sink) Name() string { return s.name }
+
+// Pending implements Operator.
+func (s *Sink) Pending() bool { return !s.in.Empty() }
+
+// Step implements Operator.
+func (s *Sink) Step(m *CostMeter, max int) int {
+	n := 0
+	for n < budget(max) && !s.in.Empty() {
+		it := s.in.Pop()
+		n++
+		if it.IsPunct() {
+			continue
+		}
+		t := it.Tuple
+		if s.seen && (t.Time < s.lastTime || (t.Time == s.lastTime && t.Seq < s.lastSeq)) {
+			s.violations++
+		}
+		s.seen, s.lastTime, s.lastSeq = true, t.Time, t.Seq
+		s.count++
+		if s.collect {
+			s.results = append(s.results, t)
+		}
+	}
+	return n
+}

@@ -1,0 +1,370 @@
+package operator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stateslice/internal/stream"
+)
+
+// buildBinaryChain assembles a chain of sliced binary joins over the given
+// end boundaries and returns the entry queue and the per-slice result
+// queues.
+func buildBinaryChain(t *testing.T, ends []stream.Time, pred stream.JoinPredicate) (*stream.Queue, []*SlicedBinaryJoin, []*stream.Queue, []Operator) {
+	t.Helper()
+	entry := stream.NewQueue()
+	ci := NewChainInput("in", entry)
+	ops := []Operator{ci}
+	var joins []*SlicedBinaryJoin
+	var outs []*stream.Queue
+	feed := ci.Out()
+	start := stream.Time(0)
+	for _, end := range ends {
+		j, err := NewSlicedBinaryJoin("slice", start, end, pred, feed.NewQueue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		joins = append(joins, j)
+		outs = append(outs, j.Result().NewQueue())
+		ops = append(ops, j)
+		feed = j.Next()
+		start = end
+	}
+	return entry, joins, outs, ops
+}
+
+// runChain feeds the input and drains the operators to quiescence.
+func runChain(entry *stream.Queue, ops []Operator, input []*stream.Tuple, m *CostMeter) {
+	for _, tp := range input {
+		entry.PushTuple(tp)
+		for _, op := range ops {
+			op.Step(m, -1)
+		}
+	}
+}
+
+func TestChainEquivalenceTheorem2(t *testing.T) {
+	// Theorem 2: the union of the results of the sliced binary joins in a
+	// chain equals the regular sliding window join with the full window.
+	for seed := int64(1); seed <= 6; seed++ {
+		input := randomInput(t, 250, seed)
+		entry, _, outs, ops := buildBinaryChain(t,
+			[]stream.Time{stream.Second, 3 * stream.Second, 7 * stream.Second}, stream.Equijoin{})
+		runChain(entry, ops, input, nil)
+		got := make(map[pairKey]int)
+		for _, out := range outs {
+			for _, r := range drainPort(out) {
+				got[pairKey{r.A.Seq, r.B.Seq}]++
+			}
+		}
+		want := bruteJoin(input, 7*stream.Second, 7*stream.Second, stream.Equijoin{})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: pair %v seen %d times, want %d (no duplicates, no losses)",
+					seed, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestChainSliceDisjointness(t *testing.T) {
+	// Lemma 1's consequence: each slice emits exactly the pairs whose
+	// timestamp distance falls in its window range — the states are
+	// disjoint partitions of the full window.
+	input := randomInput(t, 300, 42)
+	ends := []stream.Time{2 * stream.Second, 5 * stream.Second}
+	entry, _, outs, ops := buildBinaryChain(t, ends, stream.CrossProduct{})
+	runChain(entry, ops, input, nil)
+	start := stream.Time(0)
+	for si, out := range outs {
+		for _, r := range drainPort(out) {
+			d := r.WindowDiff()
+			if d <= start || d > ends[si] {
+				t.Fatalf("slice %d emitted pair with distance %s outside (%s, %s]",
+					si, d, start, ends[si])
+			}
+		}
+		start = ends[si]
+	}
+}
+
+func TestChainStateSizesMatchWindowWidths(t *testing.T) {
+	// After a long steady run, each slice holds about
+	// (lambdaA+lambdaB)*(end-start) tuples (Lemma 1 / Theorem 3).
+	rng := rand.New(rand.NewSource(5))
+	var mb stream.ManualBuilder
+	at := stream.Time(0)
+	var input []*stream.Tuple
+	for i := 0; i < 4000; i++ {
+		at += stream.Time(40+rng.Intn(60)) * stream.Millisecond
+		id := stream.ID(i % 2)
+		input = append(input, mb.Add(id, at))
+	}
+	totalRate := float64(len(input)) / input[len(input)-1].Time.ToSeconds() // both streams
+	ends := []stream.Time{2 * stream.Second, 6 * stream.Second, 8 * stream.Second}
+	entry, joins, outs, ops := buildBinaryChain(t, ends, stream.FractionMatch{S: 0})
+	runChain(entry, ops, input, nil)
+	for _, out := range outs {
+		drainPort(out)
+	}
+	start := stream.Time(0)
+	for si, j := range joins {
+		width := (ends[si] - start).ToSeconds()
+		want := totalRate * width // (lambdaA + lambdaB) * slice width
+		got := float64(j.StateSize())
+		if got < 0.7*want || got > 1.3*want {
+			t.Errorf("slice %d: state %d tuples, want about %.0f", si, j.StateSize(), want)
+		}
+		start = ends[si]
+	}
+}
+
+func TestChainTotalStateEqualsMonolithicJoin(t *testing.T) {
+	// Theorem 3: the total state memory of the Mem-Opt chain equals the
+	// state memory of the single regular join with the largest window —
+	// checked exactly, tuple for tuple, at every arrival.
+	input := randomInput(t, 500, 17)
+	ends := []stream.Time{stream.Second, 2 * stream.Second, 4 * stream.Second}
+	entry, joins, outs, ops := buildBinaryChain(t, ends, stream.FractionMatch{S: 0.1})
+	inMono := stream.NewQueue()
+	mono, err := NewWindowJoin("mono", 4*stream.Second, 4*stream.Second, stream.FractionMatch{S: 0.1}, inMono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mono.Out().NewQueue()
+	for i, tp := range input {
+		entry.PushTuple(tp)
+		for _, op := range ops {
+			op.Step(nil, -1)
+		}
+		inMono.PushTuple(tp)
+		mono.Step(nil, -1)
+		chainTotal := 0
+		for _, j := range joins {
+			chainTotal += j.StateSize()
+		}
+		if chainTotal != mono.StateSize() {
+			t.Fatalf("arrival %d: chain holds %d tuples, monolithic join %d",
+				i, chainTotal, mono.StateSize())
+		}
+	}
+	for _, out := range outs {
+		drainPort(out)
+	}
+}
+
+func TestChainProbeCostEqualsMonolithicJoin(t *testing.T) {
+	// Section 5.1: "the probing cost of the chain of sliced joins is
+	// equivalent to the probing cost of the regular window join".
+	input := randomInput(t, 400, 23)
+	entry, _, outs, ops := buildBinaryChain(t,
+		[]stream.Time{stream.Second, 3 * stream.Second}, stream.CrossProduct{})
+	mChain := &CostMeter{}
+	runChain(entry, ops, input, mChain)
+	for _, out := range outs {
+		drainPort(out)
+	}
+	inMono := stream.NewQueue()
+	mono, _ := NewWindowJoin("mono", 3*stream.Second, 3*stream.Second, stream.CrossProduct{}, inMono)
+	_ = mono.Out().NewQueue()
+	mMono := &CostMeter{}
+	for _, tp := range input {
+		inMono.PushTuple(tp)
+		mono.Step(mMono, -1)
+	}
+	if mChain.Probe != mMono.Probe {
+		t.Errorf("chain probes %d, monolithic %d — must be identical", mChain.Probe, mMono.Probe)
+	}
+}
+
+func TestChainEquivalenceProperty(t *testing.T) {
+	// Property-based version of Theorem 2 over random slice boundaries
+	// and random inputs.
+	prop := func(seed int64, b1, b2 uint8) bool {
+		e1 := stream.Time(int(b1)%5+1) * stream.Second
+		e2 := e1 + stream.Time(int(b2)%5+1)*stream.Second
+		input := randomInputQuick(seed)
+		entry, _, outs, ops := buildBinaryChainQuick(e1, e2)
+		runChain(entry, ops, input, nil)
+		got := make(map[pairKey]int)
+		for _, out := range outs {
+			for _, r := range drainPort(out) {
+				got[pairKey{r.A.Seq, r.B.Seq}]++
+			}
+		}
+		want := bruteJoin(input, e2, e2, stream.CrossProduct{})
+		if len(got) != len(want) {
+			return false
+		}
+		for k, n := range want {
+			if got[k] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomInputQuick builds a small random stream without a testing.T.
+func randomInputQuick(seed int64) []*stream.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	var mb stream.ManualBuilder
+	at := stream.Time(0)
+	for i := 0; i < 120; i++ {
+		at += stream.Time(1+rng.Intn(1500)) * stream.Millisecond
+		id := stream.StreamA
+		if rng.Intn(2) == 1 {
+			id = stream.StreamB
+		}
+		mb.Add(id, at)
+	}
+	return mb.Tuples()
+}
+
+// buildBinaryChainQuick is buildBinaryChain without a testing.T.
+func buildBinaryChainQuick(e1, e2 stream.Time) (*stream.Queue, []*SlicedBinaryJoin, []*stream.Queue, []Operator) {
+	entry := stream.NewQueue()
+	ci := NewChainInput("in", entry)
+	ops := []Operator{ci}
+	var joins []*SlicedBinaryJoin
+	var outs []*stream.Queue
+	feed := ci.Out()
+	start := stream.Time(0)
+	for _, end := range []stream.Time{e1, e2} {
+		j, err := NewSlicedBinaryJoin("slice", start, end, stream.CrossProduct{}, feed.NewQueue())
+		if err != nil {
+			panic(err)
+		}
+		joins = append(joins, j)
+		outs = append(outs, j.Result().NewQueue())
+		ops = append(ops, j)
+		feed = j.Next()
+		start = end
+	}
+	return entry, joins, outs, ops
+}
+
+func TestChainEquivalenceWithSelfPurge(t *testing.T) {
+	// Footnote 1: self-purge is also applicable. Enabling it on every
+	// slice must not change the result set — an arriving female's
+	// timestamp lower-bounds all future males of the other stream, so a
+	// self-evicted tuple is already out of range for every male that has
+	// not yet passed.
+	for seed := int64(1); seed <= 4; seed++ {
+		input := randomInput(t, 250, seed)
+		entry, joins, outs, ops := buildBinaryChain(t,
+			[]stream.Time{stream.Second, 3 * stream.Second, 6 * stream.Second}, stream.Equijoin{})
+		for _, j := range joins {
+			j.WithSelfPurge()
+		}
+		runChain(entry, ops, input, nil)
+		got := make(map[pairKey]int)
+		for _, out := range outs {
+			for _, r := range drainPort(out) {
+				got[pairKey{r.A.Seq, r.B.Seq}]++
+			}
+		}
+		want := bruteJoin(input, 6*stream.Second, 6*stream.Second, stream.Equijoin{})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: pair %v count %d, want %d", seed, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestSelfPurgeBoundsStateUnderStalledStream(t *testing.T) {
+	// With cross-purge only, a stalled stream B leaves expired A females
+	// in the state; self-purge evicts them as newer A tuples arrive.
+	var mb stream.ManualBuilder
+	in := stream.NewQueue()
+	j, err := NewSlicedBinaryJoin("j", 0, 2*stream.Second, stream.CrossProduct{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.WithSelfPurge()
+	_ = j.Result().NewQueue()
+	for i := 1; i <= 20; i++ {
+		a := mb.Add(stream.StreamA, stream.Time(i)*stream.Second)
+		in.PushTuple(a.WithRole(stream.RoleFemale))
+		in.PushTuple(a.WithRole(stream.RoleMale))
+	}
+	j.Step(nil, -1)
+	if n := j.StateSize(); n > 3 {
+		t.Errorf("state holds %d stale tuples despite self-purge", n)
+	}
+}
+
+func TestSlicedBinaryJoinValidation(t *testing.T) {
+	if _, err := NewSlicedBinaryJoin("j", 5, 5, stream.CrossProduct{}, stream.NewQueue()); err == nil {
+		t.Error("empty range must fail")
+	}
+	if _, err := NewSlicedBinaryJoin("j", -1, 5, stream.CrossProduct{}, stream.NewQueue()); err == nil {
+		t.Error("negative start must fail")
+	}
+}
+
+func TestSlicedBinaryJoinRejectsPlainTuples(t *testing.T) {
+	in := stream.NewQueue()
+	j, _ := NewSlicedBinaryJoin("j", 0, stream.Second, stream.CrossProduct{}, in)
+	in.PushTuple(&stream.Tuple{Time: 1, Seq: 1, Stream: stream.StreamA})
+	defer func() {
+		if recover() == nil {
+			t.Error("plain tuple must panic: the chain input must split roles")
+		}
+	}()
+	j.Step(nil, -1)
+}
+
+func TestChainInputSplitsRoles(t *testing.T) {
+	in := stream.NewQueue()
+	ci := NewChainInput("ci", in)
+	out := ci.Out().NewQueue()
+	in.PushTuple(&stream.Tuple{Time: 1, Seq: 1, Stream: stream.StreamA, Ord: 1})
+	in.PushPunct(2)
+	ci.Step(nil, -1)
+	f := out.Pop()
+	m := out.Pop()
+	p := out.Pop()
+	if f.Tuple.Role != stream.RoleFemale || m.Tuple.Role != stream.RoleMale {
+		t.Error("chain input must emit female then male")
+	}
+	if f.Tuple.Seq != m.Tuple.Seq {
+		t.Error("copies must share identity")
+	}
+	if !p.IsPunct() {
+		t.Error("punctuation must pass")
+	}
+	if !out.Empty() {
+		t.Error("unexpected extra output")
+	}
+}
+
+func TestSlicedJoinStateSnapshots(t *testing.T) {
+	input := randomInput(t, 50, 3)
+	entry, joins, outs, ops := buildBinaryChain(t, []stream.Time{10 * stream.Second}, stream.CrossProduct{})
+	runChain(entry, ops, input, nil)
+	drainPort(outs[0])
+	j := joins[0]
+	na := len(j.StateSnapshot(stream.StreamA))
+	nb := len(j.StateSnapshot(stream.StreamB))
+	if na+nb != j.StateSize() {
+		t.Errorf("snapshots (%d+%d) disagree with StateSize %d", na, nb, j.StateSize())
+	}
+	if start, end := j.Range(); start != 0 || end != 10*stream.Second {
+		t.Error("Range() wrong")
+	}
+	if j.In() == nil {
+		t.Error("In() must expose the input queue")
+	}
+}

@@ -1,0 +1,58 @@
+package operator
+
+import "stateslice/internal/stream"
+
+// Split partitions one input stream by a selection predicate into a passing
+// and a failing substream. It is the partitioning operator of the
+// selection push-down sharing strategy (Figure 4 of the paper): stream A is
+// split by the condition of sigma_A so that each downstream join receives a
+// disjoint part of the stream.
+//
+// Punctuations are forwarded to both outputs so downstream unions keep
+// making progress.
+type Split struct {
+	name string
+	pred stream.Predicate
+	in   *stream.Queue
+	pass Port
+	fail Port
+}
+
+// NewSplit builds a split over the input queue.
+func NewSplit(name string, pred stream.Predicate, in *stream.Queue) *Split {
+	return &Split{name: name, pred: pred, in: in}
+}
+
+// Pass exposes the output port carrying tuples that satisfy the predicate.
+func (s *Split) Pass() *Port { return &s.pass }
+
+// Fail exposes the output port carrying tuples that do not satisfy it.
+func (s *Split) Fail() *Port { return &s.fail }
+
+// Name implements Operator.
+func (s *Split) Name() string { return s.name }
+
+// Pending implements Operator.
+func (s *Split) Pending() bool { return !s.in.Empty() }
+
+// Step implements Operator.
+func (s *Split) Step(m *CostMeter, max int) int {
+	n := 0
+	for n < budget(max) && !s.in.Empty() {
+		it := s.in.Pop()
+		n++
+		m.invoke(1)
+		if it.IsPunct() {
+			s.pass.Push(it)
+			s.fail.Push(it)
+			continue
+		}
+		m.split(1)
+		if s.pred.Eval(it.Tuple) {
+			s.pass.Push(it)
+		} else {
+			s.fail.Push(it)
+		}
+	}
+	return n
+}

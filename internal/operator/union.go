@@ -1,0 +1,189 @@
+package operator
+
+import (
+	"fmt"
+
+	"stateslice/internal/stream"
+)
+
+// Union is the order-preserving merge of several timestamp-sorted inputs
+// (the union operator of Aurora cited as [1] by the paper). It relies on
+// punctuations: each upstream join emits punct(t) after the probing tuple
+// with timestamp t finishes, guaranteeing no later output with a timestamp
+// at or below t (the "male tuple acts as punctuation" mechanism of
+// Section 4.3). The union emits a buffered tuple as soon as every other
+// input either exposes a later tuple or has punctuated past it.
+//
+// Ties on (Time, Seq) — results produced by the same probing tuple at
+// different slices — are emitted in ascending input order, which is the
+// chain order and therefore ascending window range.
+type Union struct {
+	name      string
+	ins       []*stream.Queue
+	frontiers []stream.Time
+	out       Port
+	// emitted tracks the last emitted punctuation so the union forwards
+	// monotone punctuations of its own.
+	lastPunct stream.Time
+}
+
+// NewUnion builds a union; inputs are registered with AddInput.
+func NewUnion(name string) *Union { return &Union{name: name, lastPunct: -1} }
+
+// AddInput creates, registers and returns a new input queue.
+func (u *Union) AddInput() *stream.Queue {
+	q := stream.NewQueue()
+	u.AttachInput(q)
+	return q
+}
+
+// AttachInput registers an existing queue as an input.
+func (u *Union) AttachInput(q *stream.Queue) {
+	u.ins = append(u.ins, q)
+	u.frontiers = append(u.frontiers, -1)
+}
+
+// CloseInput marks an input as finished: no further tuples will ever be
+// pushed to it. Residual queued tuples are still emitted in order, but the
+// input no longer blocks merge progress. Chain migration (Section 5.3)
+// closes the result edges of slices it replaces. It returns false when q is
+// not an input of the union.
+func (u *Union) CloseInput(q *stream.Queue) bool {
+	for i, in := range u.ins {
+		if in == q {
+			u.frontiers[i] = stream.MaxTime
+			return true
+		}
+	}
+	return false
+}
+
+// Inputs returns the number of registered inputs.
+func (u *Union) Inputs() int { return len(u.ins) }
+
+// Out exposes the merged output port.
+func (u *Union) Out() *Port { return &u.out }
+
+// Name implements Operator.
+func (u *Union) Name() string { return u.name }
+
+// Pending implements Operator.
+func (u *Union) Pending() bool {
+	for _, q := range u.ins {
+		if !q.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Step implements Operator. The budget bounds the number of tuples emitted.
+//
+// Cost accounting follows the paper's punctuation-driven union (Section
+// 4.3): processing a punctuation costs one comparison, and so does ordering
+// two candidate heads with different (Time, Seq) keys. Heads with equal keys
+// are results of the same probing male gathered from adjacent slices; they
+// concatenate in input (chain) order without comparisons. In the steady
+// state of a sliced-join chain the merge therefore costs O(lambda) per
+// second — "proportional to the input rates of streams A and B" — rather
+// than one comparison per joined result.
+func (u *Union) Step(m *CostMeter, max int) int {
+	n := 0
+	for n < budget(max) {
+		u.absorbPunctuations(m)
+		best := -1
+		var bestT *stream.Tuple
+		blocked := false
+		for i, q := range u.ins {
+			if q.Empty() {
+				// An empty input constrains emission to its
+				// punctuation frontier.
+				continue
+			}
+			head := q.Peek().Tuple
+			if best == -1 {
+				best, bestT = i, head
+				continue
+			}
+			if head.Time == bestT.Time && head.Seq == bestT.Seq {
+				continue // same-male batch: keep chain order, no comparison
+			}
+			m.union(1)
+			if tupleLess(head, bestT) {
+				best, bestT = i, head
+			}
+		}
+		if best == -1 {
+			break // nothing buffered anywhere
+		}
+		// The candidate can be emitted only if every empty input has
+		// punctuated at or past its timestamp.
+		for i, q := range u.ins {
+			if q.Empty() && u.frontiers[i] < bestT.Time {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			break
+		}
+		u.ins[best].Pop()
+		m.invoke(1)
+		u.out.PushTuple(bestT)
+		n++
+	}
+	u.absorbPunctuations(m)
+	if n < budget(max) {
+		// Not interrupted by the budget: everything emittable has been
+		// emitted, so the minimum frontier is a safe punctuation.
+		u.forwardPunct()
+	}
+	return n
+}
+
+// absorbPunctuations consumes leading punctuations on every input, advancing
+// the per-input frontiers. Each punctuation costs one comparison.
+func (u *Union) absorbPunctuations(m *CostMeter) {
+	for i, q := range u.ins {
+		for !q.Empty() && q.Peek().IsPunct() {
+			p := q.Pop().Punct
+			m.union(1)
+			if p > u.frontiers[i] {
+				u.frontiers[i] = p
+			}
+		}
+	}
+}
+
+// forwardPunct emits the minimum frontier downstream when it advances, so
+// unions compose (a union feeding another union or a sink keeps it flushed).
+func (u *Union) forwardPunct() {
+	if len(u.ins) == 0 {
+		return
+	}
+	min := u.frontiers[0]
+	for _, f := range u.frontiers[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	// Only the frontier bounds progress: queued tuples older than the
+	// frontier have been emitted already (they would have been emittable).
+	if min > u.lastPunct {
+		u.lastPunct = min
+		u.out.PushPunct(min)
+	}
+}
+
+// tupleLess orders tuples by (Time, Seq).
+func tupleLess(a, b *stream.Tuple) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}
+
+// String describes the union wiring for traces.
+func (u *Union) String() string {
+	return fmt.Sprintf("%s(%d inputs)", u.name, len(u.ins))
+}

@@ -1,0 +1,212 @@
+package operator
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+// mkResult builds a joined tuple with the given timestamp/seq identity.
+func mkResult(ts stream.Time, seq uint64) *stream.Tuple {
+	a := &stream.Tuple{Time: ts - 1, Seq: seq - 1, Stream: stream.StreamA}
+	b := &stream.Tuple{Time: ts, Seq: seq, Stream: stream.StreamB}
+	return stream.Joined(a, b)
+}
+
+func TestUnionMergesSortedInputs(t *testing.T) {
+	u := NewUnion("u")
+	in1, in2 := u.AddInput(), u.AddInput()
+	out := u.Out().NewQueue()
+	// Interleaved batches with punctuations driving progress.
+	in1.PushTuple(mkResult(10, 2))
+	in1.PushPunct(10)
+	in2.PushTuple(mkResult(20, 4))
+	in2.PushPunct(20)
+	u.Step(nil, -1)
+	in1.PushTuple(mkResult(30, 6))
+	in1.PushPunct(40)
+	in2.PushPunct(40)
+	u.Step(nil, -1)
+	got := drainPort(out)
+	if len(got) != 3 {
+		t.Fatalf("emitted %d tuples, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatalf("output out of order at %d", i)
+		}
+	}
+}
+
+func TestUnionBlocksWithoutPunctuation(t *testing.T) {
+	u := NewUnion("u")
+	in1, in2 := u.AddInput(), u.AddInput()
+	out := u.Out().NewQueue()
+	in1.PushTuple(mkResult(10, 2))
+	// in2 is empty and silent: the tuple cannot be released yet.
+	u.Step(nil, -1)
+	if out.TupleCount() != 0 {
+		t.Fatal("union must hold tuples until the other input punctuates")
+	}
+	in2.PushPunct(15)
+	u.Step(nil, -1)
+	if out.TupleCount() != 1 {
+		t.Fatal("punctuation at 15 releases the tuple at 10")
+	}
+}
+
+func TestUnionTieBreaksByInputOrder(t *testing.T) {
+	// Results of the same probing male arriving from two slices share
+	// (Time, Seq); the union must emit them in input (chain) order and
+	// count no merge comparisons for them.
+	u := NewUnion("u")
+	in1, in2 := u.AddInput(), u.AddInput()
+	out := u.Out().NewQueue()
+	r1, r2 := mkResult(10, 2), mkResult(10, 2)
+	in2.PushTuple(r2)
+	in2.PushPunct(10)
+	in1.PushTuple(r1)
+	in1.PushPunct(10)
+	m := &CostMeter{}
+	u.Step(m, -1)
+	got := drainPort(out)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d", len(got))
+	}
+	if got[0] != r1 || got[1] != r2 {
+		t.Error("equal keys must emit in input order (chain order)")
+	}
+	if m.Union != 2 {
+		// Two punctuations processed; the tie itself costs nothing.
+		t.Errorf("union comparisons = %d, want 2 (punctuation processing only)", m.Union)
+	}
+}
+
+func TestUnionRandomizedOrderPreservation(t *testing.T) {
+	// Feed k sorted streams with punctuations in random interleavings;
+	// the output must always be globally sorted and complete.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(4)
+		u := NewUnion("u")
+		ins := make([]*stream.Queue, k)
+		for i := range ins {
+			ins[i] = u.AddInput()
+		}
+		out := u.Out().NewQueue()
+		var total int
+		seq := uint64(2)
+		// Each input gets an independent sorted series.
+		series := make([][]*stream.Tuple, k)
+		for i := range series {
+			ts := stream.Time(0)
+			n := rng.Intn(30)
+			for j := 0; j < n; j++ {
+				ts += stream.Time(1 + rng.Intn(5))
+				seq += 2
+				series[i] = append(series[i], mkResult(ts, seq))
+				total++
+			}
+		}
+		// Random round-robin feeding with interleaved Steps.
+		idx := make([]int, k)
+		remaining := total
+		for remaining > 0 {
+			for i := 0; i < k; i++ {
+				take := rng.Intn(3)
+				for j := 0; j < take && idx[i] < len(series[i]); j++ {
+					tp := series[i][idx[i]]
+					ins[i].PushTuple(tp)
+					ins[i].PushPunct(tp.Time)
+					idx[i]++
+					remaining--
+				}
+			}
+			u.Step(nil, -1)
+		}
+		for i := 0; i < k; i++ {
+			ins[i].PushPunct(stream.MaxTime)
+		}
+		u.Step(nil, -1)
+		got := drainPort(out)
+		if len(got) != total {
+			t.Fatalf("trial %d: emitted %d of %d tuples", trial, len(got), total)
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].Time != got[j].Time {
+				return got[i].Time < got[j].Time
+			}
+			return got[i].Seq <= got[j].Seq
+		}) {
+			t.Fatalf("trial %d: output not sorted", trial)
+		}
+	}
+}
+
+func TestUnionCloseInput(t *testing.T) {
+	u := NewUnion("u")
+	in1, in2 := u.AddInput(), u.AddInput()
+	out := u.Out().NewQueue()
+	in1.PushTuple(mkResult(10, 2))
+	in2.PushTuple(mkResult(5, 4)) // residual tuple on the input being closed
+	if !u.CloseInput(in2) {
+		t.Fatal("CloseInput must find the registered queue")
+	}
+	in1.PushPunct(10)
+	u.Step(nil, -1)
+	got := drainPort(out)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d tuples, want both (residual first)", len(got))
+	}
+	if got[0].Time != 5 || got[1].Time != 10 {
+		t.Error("residual tuple of a closed input must still emit in order")
+	}
+	if u.CloseInput(stream.NewQueue()) {
+		t.Error("closing a foreign queue must report false")
+	}
+}
+
+func TestUnionForwardPunct(t *testing.T) {
+	u := NewUnion("u")
+	in1, in2 := u.AddInput(), u.AddInput()
+	out := u.Out().NewQueue()
+	in1.PushPunct(10)
+	in2.PushPunct(7)
+	u.Step(nil, -1)
+	// The union punctuates downstream at the minimum frontier.
+	var lastPunct stream.Time = -1
+	for !out.Empty() {
+		it := out.Pop()
+		if it.IsPunct() {
+			lastPunct = it.Punct
+		}
+	}
+	if lastPunct != 7 {
+		t.Errorf("forwarded punct %s, want 7us", lastPunct)
+	}
+	if u.Inputs() != 2 {
+		t.Error("Inputs() wrong")
+	}
+	if u.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestUnionBudget(t *testing.T) {
+	u := NewUnion("u")
+	in := u.AddInput()
+	out := u.Out().NewQueue()
+	for i := 0; i < 10; i++ {
+		in.PushTuple(mkResult(stream.Time(10+i), uint64(20+2*i)))
+	}
+	in.PushPunct(100)
+	if n := u.Step(nil, 4); n != 4 {
+		t.Fatalf("budgeted step emitted %d, want 4", n)
+	}
+	u.Step(nil, -1)
+	if got := drainPort(out); len(got) != 10 {
+		t.Fatalf("total emitted %d, want 10", len(got))
+	}
+}

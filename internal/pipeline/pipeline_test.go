@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"testing"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+func testWindows() []stream.Time {
+	return []stream.Time{2 * stream.Second, 5 * stream.Second, 9 * stream.Second}
+}
+
+func testInput(t *testing.T, seed int64) []*stream.Tuple {
+	t.Helper()
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 30, RateB: 30, Duration: 30 * stream.Second, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return input
+}
+
+// sequentialReference runs the Mem-Opt chain on the single-threaded engine.
+func sequentialReference(t *testing.T, windows []stream.Time, join stream.JoinPredicate, input []*stream.Tuple) *engine.Result {
+	t.Helper()
+	w := plan.Workload{Join: join}
+	for _, win := range windows {
+		w.Queries = append(w.Queries, plan.Query{Window: win})
+	}
+	sp, err := plan.BuildStateSlice(w, plan.StateSliceConfig{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(sp.Plan, input, engine.Config{SampleEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		windows := testWindows()
+		join := stream.FractionMatch{S: 0.15}
+		input := testInput(t, seed)
+
+		conc, err := RunChain(windows, join, input, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := sequentialReference(t, windows, join, input)
+
+		if conc.OrderViolations != 0 {
+			t.Errorf("seed %d: %d out-of-order deliveries under asynchronous scheduling", seed, conc.OrderViolations)
+		}
+		for qi := range windows {
+			if conc.SinkCounts[qi] != seq.SinkCounts[qi] {
+				t.Errorf("seed %d query %d: concurrent %d results, sequential %d",
+					seed, qi, conc.SinkCounts[qi], seq.SinkCounts[qi])
+			}
+		}
+		// Result sets must be identical pair for pair (Lemma 1's
+		// scheduling independence).
+		for qi, rs := range conc.Results {
+			got := make(map[[2]uint64]bool, len(rs))
+			for _, r := range rs {
+				got[[2]uint64{r.A.Seq, r.B.Seq}] = true
+			}
+			if len(got) != len(rs) {
+				t.Errorf("seed %d query %d: duplicate results", seed, qi)
+			}
+			if uint64(len(got)) != seq.SinkCounts[qi] {
+				t.Errorf("seed %d query %d: set size %d vs %d", seed, qi, len(got), seq.SinkCounts[qi])
+			}
+		}
+	}
+}
+
+func TestConcurrentProbeCountMatchesSequential(t *testing.T) {
+	// The probing work is scheduling-independent (Section 5.1): the
+	// concurrent run performs exactly the same probe comparisons.
+	windows := testWindows()
+	join := stream.CrossProduct{}
+	input := testInput(t, 9)
+	conc, err := RunChain(windows, join, input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := sequentialReference(t, windows, join, input)
+	if conc.Meter.Probe != seq.Meter.Probe {
+		t.Errorf("probe comparisons: concurrent %d, sequential %d", conc.Meter.Probe, seq.Meter.Probe)
+	}
+}
+
+func TestConcurrentDuplicateWindows(t *testing.T) {
+	// Two queries sharing a window share a slice but keep separate
+	// answers.
+	windows := []stream.Time{3 * stream.Second, 3 * stream.Second, 7 * stream.Second}
+	input := testInput(t, 4)
+	res, err := RunChain(windows, stream.FractionMatch{S: 0.2}, input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkCounts[0] != res.SinkCounts[1] {
+		t.Errorf("equal-window queries must agree: %d vs %d", res.SinkCounts[0], res.SinkCounts[1])
+	}
+	if res.SinkCounts[2] <= res.SinkCounts[0] {
+		t.Errorf("larger window must deliver more results")
+	}
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	input := testInput(t, 5)
+	if _, err := RunChain(nil, stream.CrossProduct{}, input, false); err == nil {
+		t.Error("empty windows must fail")
+	}
+	if _, err := RunChain([]stream.Time{0}, stream.CrossProduct{}, input, false); err == nil {
+		t.Error("zero window must fail")
+	}
+	if _, err := RunChain([]stream.Time{5, 3}, stream.CrossProduct{}, input, false); err == nil {
+		t.Error("descending windows must fail")
+	}
+	if _, err := RunChain([]stream.Time{5}, nil, input, false); err == nil {
+		t.Error("nil join must fail")
+	}
+}
+
+func TestConcurrentEmptyInput(t *testing.T) {
+	res, err := RunChain(testWindows(), stream.CrossProduct{}, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, c := range res.SinkCounts {
+		if c != 0 {
+			t.Errorf("query %d delivered %d results from an empty stream", qi, c)
+		}
+	}
+}

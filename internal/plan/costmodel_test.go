@@ -1,0 +1,206 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"stateslice/internal/cost"
+	"stateslice/internal/engine"
+	"stateslice/internal/stream"
+)
+
+// These tests close the loop between the analytical cost model (Eq. (1)-(3)
+// of the paper, package cost) and the measured execution: the engine's
+// comparison counters and state samples must track the closed forms within
+// the tolerance explained by warm-up and Poisson noise.
+
+// eqParams is the two-query setting used throughout: Q1 = A[W1] join B[W1],
+// Q2 = sigma(A[W2]) join B[W2].
+func eqParams() cost.Params {
+	return cost.Params{
+		LambdaA: 40, LambdaB: 40,
+		W1: 3, W2: 9,
+		TupleKB:  1, // memory in tuples
+		SelSigma: 0.5,
+		SelJoin:  0.1,
+	}
+}
+
+func eqWorkload(p cost.Params) Workload {
+	return Workload{
+		Queries: []Query{
+			{Window: stream.Seconds(p.W1)},
+			{Window: stream.Seconds(p.W2), Filter: stream.Threshold{S: p.SelSigma}},
+		},
+		Join: stream.FractionMatch{S: p.SelJoin},
+	}
+}
+
+// steadyInput generates a long run so warm-up effects stay below tolerance.
+func steadyInput(t *testing.T, p cost.Params, durSec float64) []*stream.Tuple {
+	t.Helper()
+	in, err := stream.Generate(stream.GeneratorConfig{
+		RateA: p.LambdaA, RateB: p.LambdaB,
+		Duration: stream.Seconds(durSec),
+		Seed:     97,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// effectiveSeconds corrects for the ramp-up of a window of width w during a
+// run of length d: the time-integral of min(t, w) equals d*w - w*w/2.
+func effectiveSeconds(d, w float64) float64 { return d - w/2 }
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestMeasuredPullUpTracksEq1(t *testing.T) {
+	p := eqParams()
+	const dur = 150.0
+	input := steadyInput(t, p, dur)
+	pl, err := BuildPullUp(eqWorkload(p), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(pl, input, engine.Config{WarmupFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.LambdaA
+	// Probe cost: 2*lambda^2*W2 per second, window ramp-up corrected.
+	wantProbe := 2 * l * l * p.W2 * effectiveSeconds(dur, p.W2)
+	if e := relErr(float64(res.Meter.Probe), wantProbe); e > 0.1 {
+		t.Errorf("probe count %d vs Eq.(1) %e (err %.1f%%)", res.Meter.Probe, wantProbe, 100*e)
+	}
+	// Routing: one comparison per joined result, 2*lambda^2*W2*S1.
+	wantRoute := 2 * l * l * p.W2 * p.SelJoin * effectiveSeconds(dur, p.W2)
+	if e := relErr(float64(res.Meter.Route), wantRoute); e > 0.1 {
+		t.Errorf("route count %d vs Eq.(1) %e (err %.1f%%)", res.Meter.Route, wantRoute, 100*e)
+	}
+	// Selection on routed results: same magnitude as routing.
+	if e := relErr(float64(res.Meter.Filter), wantRoute); e > 0.1 {
+		t.Errorf("filter count %d vs Eq.(1) %e (err %.1f%%)", res.Meter.Filter, wantRoute, 100*e)
+	}
+	// State memory: 2*lambda*W2 tuples.
+	wantMem := 2 * l * p.W2
+	if e := relErr(res.Memory.Avg, wantMem); e > 0.1 {
+		t.Errorf("avg state %f vs Eq.(1) %f (err %.1f%%)", res.Memory.Avg, wantMem, 100*e)
+	}
+}
+
+func TestMeasuredStateSliceTracksEq3(t *testing.T) {
+	p := eqParams()
+	const dur = 150.0
+	input := steadyInput(t, p, dur)
+	sp, err := BuildStateSlice(eqWorkload(p), StateSliceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(sp.Plan, input, engine.Config{WarmupFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.LambdaA
+	// Probe: 2*lambda^2*W1 (slice 1, unfiltered) +
+	// 2*lambda^2*Ssigma*(W2-W1) (slice 2, A side filtered).
+	wantProbe := 2*l*l*p.W1*effectiveSeconds(dur, p.W1) +
+		2*l*l*p.SelSigma*(p.W2-p.W1)*effectiveSeconds(dur, p.W2)
+	if e := relErr(float64(res.Meter.Probe), wantProbe); e > 0.1 {
+		t.Errorf("probe count %d vs Eq.(3) %e (err %.1f%%)", res.Meter.Probe, wantProbe, 100*e)
+	}
+	// No routing in the Mem-Opt chain.
+	if res.Meter.Route != 0 {
+		t.Errorf("route count %d, want 0", res.Meter.Route)
+	}
+	// sigma'_A on slice-1 results for Q2: 2*lambda^2*S1*W1 plus the
+	// lineage work (lambda_A evaluations plus per-copy level checks).
+	wantSigma := 2 * l * l * p.SelJoin * p.W1 * effectiveSeconds(dur, p.W1)
+	lineage := l * dur * 3 // 1 eval + 2 role-copy level checks per A tuple
+	if e := relErr(float64(res.Meter.Filter), wantSigma+lineage); e > 0.15 {
+		t.Errorf("filter count %d vs Eq.(3) %e (err %.1f%%)",
+			res.Meter.Filter, wantSigma+lineage, 100*e)
+	}
+	// State memory: 2*lambda*W1 + (1+Ssigma)*lambda*(W2-W1).
+	wantMem := 2*l*p.W1 + (1+p.SelSigma)*l*(p.W2-p.W1)
+	if e := relErr(res.Memory.Avg, wantMem); e > 0.1 {
+		t.Errorf("avg state %f vs Eq.(3) %f (err %.1f%%)", res.Memory.Avg, wantMem, 100*e)
+	}
+}
+
+func TestMeasuredPushDownTracksEq2(t *testing.T) {
+	p := eqParams()
+	const dur = 150.0
+	input := steadyInput(t, p, dur)
+	pl, err := BuildPushDown(eqWorkload(p), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(pl, input, engine.Config{WarmupFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.LambdaA
+	s := p.SelSigma
+	wantProbe := 2*(1-s)*l*l*p.W1*effectiveSeconds(dur, p.W1) +
+		2*s*l*l*p.W2*effectiveSeconds(dur, p.W2)
+	if e := relErr(float64(res.Meter.Probe), wantProbe); e > 0.1 {
+		t.Errorf("probe count %d vs Eq.(2) %e (err %.1f%%)", res.Meter.Probe, wantProbe, 100*e)
+	}
+	// Split: one comparison per A tuple.
+	wantSplit := l * dur
+	if e := relErr(float64(res.Meter.Split), wantSplit); e > 0.1 {
+		t.Errorf("split count %d vs %e", res.Meter.Split, wantSplit)
+	}
+	// Routing: passing-partition results, 2*Ssigma*lambda^2*W2*S1.
+	wantRoute := 2 * s * l * l * p.W2 * p.SelJoin * effectiveSeconds(dur, p.W2)
+	if e := relErr(float64(res.Meter.Route), wantRoute); e > 0.12 {
+		t.Errorf("route count %d vs Eq.(2) %e (err %.1f%%)", res.Meter.Route, wantRoute, 100*e)
+	}
+	// State memory: (2-Ssigma)*lambda*W1 + (1+Ssigma)*lambda*W2.
+	wantMem := (2-s)*l*p.W1 + (1+s)*l*p.W2
+	if e := relErr(res.Memory.Avg, wantMem); e > 0.1 {
+		t.Errorf("avg state %f vs Eq.(2) %f (err %.1f%%)", res.Memory.Avg, wantMem, 100*e)
+	}
+}
+
+func TestTheorem3MeasuredMemoryEquality(t *testing.T) {
+	// Theorem 3 at the engine level: without selections, the Mem-Opt
+	// chain's sampled state memory equals the single largest-window
+	// join's, sample for sample.
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second},
+			{Window: 5 * stream.Second},
+			{Window: 8 * stream.Second},
+		},
+		Join: stream.FractionMatch{S: 0.05},
+	}
+	input := steadyInput(t, cost.Params{LambdaA: 30, LambdaB: 30, W1: 1, W2: 1, SelSigma: 1, SelJoin: 1, TupleKB: 1}, 60)
+	sp, err := BuildStateSlice(w, StateSliceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainRes, err := engine.Run(sp.Plan, input, engine.Config{Series: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := BuildPullUp(w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	puRes, err := engine.Run(pu, input, engine.Config{Series: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chainRes.Memory.Series) != len(puRes.Memory.Series) {
+		t.Fatal("series lengths differ")
+	}
+	for i := range chainRes.Memory.Series {
+		if chainRes.Memory.Series[i].Tuples != puRes.Memory.Series[i].Tuples {
+			t.Fatalf("sample %d: chain %d tuples, monolithic join %d — Theorem 3 violated",
+				i, chainRes.Memory.Series[i].Tuples, puRes.Memory.Series[i].Tuples)
+		}
+	}
+}

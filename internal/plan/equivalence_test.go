@@ -1,0 +1,427 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/stream"
+)
+
+// pair identifies one joined result by its source sequence numbers.
+type pair struct{ a, b uint64 }
+
+// oracle computes the exact per-query result sets by brute force: every
+// (a, b) pair with |Ta - Tb| <= W_q, a passing the query's filter and the
+// pair passing the join predicate.
+func oracle(w Workload, input []*stream.Tuple) []map[pair]bool {
+	var as, bs []*stream.Tuple
+	for _, t := range input {
+		if t.Stream == stream.StreamA {
+			as = append(as, t)
+		} else {
+			bs = append(bs, t)
+		}
+	}
+	out := make([]map[pair]bool, len(w.Queries))
+	for qi, q := range w.Queries {
+		out[qi] = make(map[pair]bool)
+		for _, a := range as {
+			if q.HasFilter() && !q.Filter.Eval(a) {
+				continue
+			}
+			for _, b := range bs {
+				if q.HasFilterB() && !q.FilterB.Eval(b) {
+					continue
+				}
+				if stream.AbsDiff(a.Time, b.Time) > q.Window {
+					continue
+				}
+				if w.Join.Match(a, b) {
+					out[qi][pair{a.Seq, b.Seq}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sinkPairs extracts the delivered result set of one sink.
+func sinkPairs(t *testing.T, res *engine.Result, collected []*stream.Tuple) map[pair]bool {
+	t.Helper()
+	out := make(map[pair]bool, len(collected))
+	for _, r := range collected {
+		if !r.IsResult() {
+			t.Fatalf("sink holds non-result tuple %v", r)
+		}
+		p := pair{r.A.Seq, r.B.Seq}
+		if out[p] {
+			t.Fatalf("duplicate result (%d,%d)", p.a, p.b)
+		}
+		out[p] = true
+	}
+	return out
+}
+
+// diffSets reports a readable difference between result sets.
+func diffSets(want, got map[pair]bool) string {
+	var missing, extra []pair
+	for p := range want {
+		if !got[p] {
+			missing = append(missing, p)
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			extra = append(extra, p)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].a < missing[j].a })
+	sort.Slice(extra, func(i, j int) bool { return extra[i].a < extra[j].a })
+	const cap = 8
+	if len(missing) > cap {
+		missing = missing[:cap]
+	}
+	if len(extra) > cap {
+		extra = extra[:cap]
+	}
+	return fmt.Sprintf("missing=%v extra=%v", missing, extra)
+}
+
+// strategies enumerates every plan builder variant under test for a
+// workload. The key property (Theorems 1-4 of the paper): all of them
+// deliver exactly the oracle result set per query.
+func strategies(t *testing.T, w Workload) map[string]*engine.Plan {
+	t.Helper()
+	out := make(map[string]*engine.Plan)
+	unshared, err := BuildUnshared(w, true)
+	if err != nil {
+		t.Fatalf("unshared: %v", err)
+	}
+	out["unshared"] = unshared
+	pullup, err := BuildPullUp(w, true)
+	if err != nil {
+		t.Fatalf("pull-up: %v", err)
+	}
+	out["pull-up"] = pullup
+	if _, err := sharedFilter(w); err == nil {
+		pushdown, err := BuildPushDown(w, true)
+		if err != nil {
+			t.Fatalf("push-down: %v", err)
+		}
+		out["push-down"] = pushdown
+	}
+	memopt, err := BuildStateSlice(w, StateSliceConfig{Collect: true, Name: "mem-opt"})
+	if err != nil {
+		t.Fatalf("mem-opt: %v", err)
+	}
+	out["mem-opt"] = memopt.Plan
+
+	noLineage, err := BuildStateSlice(w, StateSliceConfig{Collect: true, DisableLineage: true, Name: "no-lineage"})
+	if err != nil {
+		t.Fatalf("no-lineage: %v", err)
+	}
+	out["no-lineage"] = noLineage.Plan
+
+	// Fully merged chain: a single slice covering (0, Wmax] — the
+	// state-slice plan degenerates towards pull-up with routing.
+	merged, err := BuildStateSlice(w, StateSliceConfig{
+		Ends:    []stream.Time{w.MaxWindow()},
+		Collect: true,
+		Name:    "merged-1",
+	})
+	if err != nil {
+		t.Fatalf("merged-1: %v", err)
+	}
+	out["merged-1"] = merged.Plan
+
+	// A partially merged chain: keep the first boundary, merge the rest.
+	if dw := w.DistinctWindows(); len(dw) > 2 {
+		ends := []stream.Time{dw[0], dw[len(dw)-1]}
+		partial, err := BuildStateSlice(w, StateSliceConfig{Ends: ends, Collect: true, Name: "merged-2"})
+		if err != nil {
+			t.Fatalf("merged-2: %v", err)
+		}
+		out["merged-2"] = partial.Plan
+	}
+	// A chain with a slice boundary that is not any query's window: legal
+	// (it can arise from online splits) and must not change any answer.
+	if dw := w.DistinctWindows(); len(dw) >= 2 {
+		off := dw[0] + (dw[len(dw)-1]-dw[0])/3
+		ends := []stream.Time{dw[0], off, dw[len(dw)-1]}
+		if off > dw[0] && off < dw[len(dw)-1] {
+			misaligned, err := BuildStateSlice(w, StateSliceConfig{Ends: ends, Collect: true, Name: "offset-ends"})
+			if err != nil {
+				t.Fatalf("offset-ends: %v", err)
+			}
+			out["offset-ends"] = misaligned.Plan
+		}
+	}
+	// Migratable wiring (always-union) must not change results either.
+	mig, err := BuildStateSlice(w, StateSliceConfig{Collect: true, Migratable: true, Name: "migratable"})
+	if err != nil {
+		t.Fatalf("migratable: %v", err)
+	}
+	out["migratable"] = mig.Plan
+	return out
+}
+
+// runEquivalence feeds the same input to every strategy and checks the
+// results against the oracle.
+func runEquivalence(t *testing.T, w Workload, input []*stream.Tuple) {
+	t.Helper()
+	want := oracle(w, input)
+	for name, p := range strategies(t, w) {
+		res, err := engine.Run(p, input, engine.Config{})
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		if res.OrderViolations != 0 {
+			t.Errorf("%s: %d out-of-order deliveries", name, res.OrderViolations)
+		}
+		for qi, sink := range p.Sinks {
+			got := sinkPairs(t, res, sink.Results())
+			if len(got) != len(want[qi]) {
+				t.Errorf("%s %s: %d results, oracle %d: %s",
+					name, w.QueryName(qi), len(got), len(want[qi]), diffSets(want[qi], got))
+				continue
+			}
+			for pr := range want[qi] {
+				if !got[pr] {
+					t.Errorf("%s %s: missing (%d,%d)", name, w.QueryName(qi), pr.a, pr.b)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestEquivalenceMotivatingExample(t *testing.T) {
+	// The paper's Q1/Q2: same join, windows 1min vs 60min scaled down,
+	// Q2 filtered.
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second},
+			{Window: 8 * stream.Second, Filter: stream.Threshold{S: 0.5}},
+		},
+		Join: stream.FractionMatch{S: 0.2},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 30, RateB: 30, Duration: 40 * stream.Second, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceThreeQueries(t *testing.T) {
+	// The experiment workload of Section 7.2: Q1 unfiltered, Q2 and Q3
+	// share a selection, three windows.
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second},
+			{Window: 5 * stream.Second, Filter: stream.Threshold{S: 0.5}},
+			{Window: 9 * stream.Second, Filter: stream.Threshold{S: 0.5}},
+		},
+		Join: stream.FractionMatch{S: 0.1},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 45 * stream.Second, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceNoFilters(t *testing.T) {
+	w := Workload{
+		Queries: []Query{
+			{Window: 1 * stream.Second},
+			{Window: 3 * stream.Second},
+			{Window: 6 * stream.Second},
+			{Window: 10 * stream.Second},
+		},
+		Join: stream.FractionMatch{S: 0.15},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 20, RateB: 20, Duration: 50 * stream.Second, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceAllFiltered(t *testing.T) {
+	// Every query filtered with the same predicate: the chain's entry
+	// gate drops failing tuples outright.
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second, Filter: stream.Threshold{S: 0.3}},
+			{Window: 6 * stream.Second, Filter: stream.Threshold{S: 0.3}},
+		},
+		Join: stream.FractionMatch{S: 0.3},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 40 * stream.Second, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceNestedThresholds(t *testing.T) {
+	// Heterogeneous nested predicates: push-down is skipped (needs one
+	// shared predicate) but every other strategy must agree.
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second, Filter: stream.Threshold{S: 0.8}},
+			{Window: 4 * stream.Second, Filter: stream.Threshold{S: 0.5}},
+			{Window: 7 * stream.Second, Filter: stream.Threshold{S: 0.2}},
+		},
+		Join: stream.FractionMatch{S: 0.25},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 40 * stream.Second, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceEqualWindows(t *testing.T) {
+	// Duplicate windows share slices and router branches.
+	w := Workload{
+		Queries: []Query{
+			{Window: 3 * stream.Second},
+			{Window: 3 * stream.Second, Filter: stream.Threshold{S: 0.4}},
+			{Window: 8 * stream.Second, Filter: stream.Threshold{S: 0.4}},
+		},
+		Join: stream.FractionMatch{S: 0.2},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 20, RateB: 20, Duration: 40 * stream.Second, Seed: 51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceEquijoin(t *testing.T) {
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second},
+			{Window: 7 * stream.Second, Filter: stream.Threshold{S: 0.5}},
+		},
+		Join: stream.Equijoin{},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 30, RateB: 30, Duration: 40 * stream.Second, KeyDomain: 8, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceBothStreamsFiltered(t *testing.T) {
+	// Section 6: predicates on multiple streams push down similarly. Q2
+	// filters both inputs, Q3 only stream B.
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second},
+			{Window: 5 * stream.Second, Filter: stream.Threshold{S: 0.5}, FilterB: stream.Threshold{S: 0.6}},
+			{Window: 9 * stream.Second, FilterB: stream.Threshold{S: 0.3}},
+		},
+		Join: stream.FractionMatch{S: 0.2},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 40 * stream.Second, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, w, input)
+}
+
+func TestEquivalenceBSideMigration(t *testing.T) {
+	// Migration with B-side selections in play.
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second, FilterB: stream.Threshold{S: 0.5}},
+			{Window: 6 * stream.Second, FilterB: stream.Threshold{S: 0.5}},
+		},
+		Join: stream.FractionMatch{S: 0.25},
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 35 * stream.Second, Seed: 72,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := BuildStateSlice(w, StateSliceConfig{Migratable: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWithMigrations(t, sp, input, map[int]func(*engine.Session) error{
+		len(input) / 3:     func(s *engine.Session) error { return sp.MergeSlices(s, 0) },
+		2 * len(input) / 3: func(s *engine.Session) error { return sp.SplitSlice(s, 0, 2*stream.Second) },
+	})
+	checkAgainstOracle(t, w, sp, res, input)
+}
+
+func TestPushDownRejectsBSideFilters(t *testing.T) {
+	w := Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second},
+			{Window: 5 * stream.Second, FilterB: stream.Threshold{S: 0.5}},
+		},
+		Join: stream.FractionMatch{S: 0.2},
+	}
+	if _, err := BuildPushDown(w, false); err == nil {
+		t.Error("push-down must reject B-side selections (single-stream partition baseline)")
+	}
+}
+
+func TestEquivalenceRandomWorkloads(t *testing.T) {
+	// Randomised property test: random windows, filters and selectivities
+	// across many seeds; every strategy equals the oracle.
+	if testing.Short() {
+		t.Skip("long randomised equivalence sweep")
+	}
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 12; trial++ {
+		nq := 2 + rng.Intn(4)
+		var qs []Query
+		win := stream.Time(0)
+		shared := stream.Threshold{S: 0.2 + 0.6*rng.Float64()}
+		for i := 0; i < nq; i++ {
+			win += stream.Time(1+rng.Intn(4)) * stream.Second
+			q := Query{Window: win}
+			if rng.Float64() < 0.6 {
+				q.Filter = shared
+			}
+			qs = append(qs, q)
+		}
+		w := Workload{Queries: qs, Join: stream.FractionMatch{S: 0.05 + 0.3*rng.Float64()}}
+		input, err := stream.Generate(stream.GeneratorConfig{
+			RateA:    10 + 20*rng.Float64(),
+			RateB:    10 + 20*rng.Float64(),
+			Duration: 30 * stream.Second,
+			Seed:     rng.Int63(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			runEquivalence(t, w, input)
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"fmt"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/stream"
+)
+
+// Online migration of the state-slicing chain (Section 5.3 of the paper).
+// The chain is maintained with two primitive operations — merging two
+// adjacent sliced joins and splitting one sliced join — applied between
+// scheduler steps of a live session. Both reuse the existing window states:
+// merging concatenates them, splitting lets the shrunk left slice purge its
+// now-out-of-range tuples into the new right slice ahead of any probing
+// male, so no result is lost or duplicated during the transition.
+//
+// The overhead is constant plan surgery plus, for merges, draining the
+// queue between the two slices, matching the paper's analysis ("the system
+// suspending time during join splitting is neglectable, while during join
+// merging it is bounded by the execution time needed to empty the queue
+// in-between").
+
+// MergeSlices merges slice i and slice i+1 (0-based chain positions) of a
+// live migratable plan driven by the session. The merged slice serves the
+// union of both slices' queries, acquiring a router when their windows
+// differ (Figure 13(b)).
+func (sp *StateSlicePlan) MergeSlices(s *engine.Session, i int) error {
+	if err := sp.migratable(s); err != nil {
+		return err
+	}
+	if i < 0 || i+1 >= len(sp.slices) {
+		return fmt.Errorf("plan: MergeSlices(%d): chain has %d slices", i, len(sp.slices))
+	}
+	// Empty the inter-slice queue (and everything else) first.
+	s.Drain()
+	left, right := sp.slices[i], sp.slices[i+1]
+	if err := left.join.MergeFrom(right.join); err != nil {
+		return fmt.Errorf("plan: MergeSlices(%d): %w", i, err)
+	}
+	sp.closeEdges(left)
+	sp.closeEdges(right)
+	left.join.Result().DetachAll()
+	sp.slices = append(sp.slices[:i+1], sp.slices[i+2:]...)
+	sp.wireSliceResults(i)
+	sp.rebuildOps()
+	return nil
+}
+
+// SplitSlice splits slice i of a live migratable plan at window boundary
+// mid, inserting a new slice [mid, end) to its right with initially empty
+// states; the left slice's next cross-purges migrate the out-of-range
+// tuples into it.
+func (sp *StateSlicePlan) SplitSlice(s *engine.Session, i int, mid stream.Time) error {
+	if err := sp.migratable(s); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(sp.slices) {
+		return fmt.Errorf("plan: SplitSlice(%d): chain has %d slices", i, len(sp.slices))
+	}
+	s.Drain()
+	left := sp.slices[i]
+	_, end := left.join.Range()
+	rightJoin, err := left.join.SplitAt(sliceName(mid, end), mid)
+	if err != nil {
+		return fmt.Errorf("plan: SplitSlice(%d): %w", i, err)
+	}
+	rightNode := &sliceNode{join: rightJoin}
+	// Interpose the selection gate between the two new slices when the
+	// remaining queries warrant one. SplitAt wired left.next directly to
+	// the right join's input queue; reroute that path through the gate.
+	if sp.needsGate(mid) {
+		left.join.Next().DetachAll()
+		rightNode.gate = sp.newGate(mid, left.join.Next().NewQueue(), rightJoin.In())
+	}
+	sp.closeEdges(left)
+	left.join.Result().DetachAll()
+	sp.slices = append(sp.slices[:i+1], append([]*sliceNode{rightNode}, sp.slices[i+1:]...)...)
+	sp.wireSliceResults(i)
+	sp.wireSliceResults(i + 1)
+	sp.rebuildOps()
+	return nil
+}
+
+// migratable validates migration preconditions.
+func (sp *StateSlicePlan) migratable(s *engine.Session) error {
+	if !sp.cfg.Migratable {
+		return fmt.Errorf("plan: %s was not built with Migratable set", sp.Plan.Name)
+	}
+	if s == nil || s.Plan() != sp.Plan {
+		return fmt.Errorf("plan: session does not drive this plan")
+	}
+	return nil
+}
+
+// closeEdges closes every union input fed by the node, so stale queues stop
+// blocking merge progress while their residual tuples still drain in order.
+func (sp *StateSlicePlan) closeEdges(n *sliceNode) {
+	for _, e := range n.edges {
+		e.union.CloseInput(e.queue)
+	}
+	n.edges = nil
+}

@@ -1,0 +1,244 @@
+package plan
+
+import (
+	"testing"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/stream"
+)
+
+// migrationWorkload is the three-query workload used across migration tests.
+func migrationWorkload(filtered bool) Workload {
+	var f stream.Predicate
+	if filtered {
+		f = stream.Threshold{S: 0.5}
+	}
+	return Workload{
+		Queries: []Query{
+			{Window: 2 * stream.Second},
+			{Window: 5 * stream.Second, Filter: f},
+			{Window: 9 * stream.Second, Filter: f},
+		},
+		Join: stream.FractionMatch{S: 0.2},
+	}
+}
+
+func migrationInput(t *testing.T, seed int64) []*stream.Tuple {
+	t.Helper()
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 40 * stream.Second, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return input
+}
+
+// runWithMigrations feeds the input, invoking each migration at its arrival
+// index, and returns the result with collected sinks.
+func runWithMigrations(t *testing.T, sp *StateSlicePlan, input []*stream.Tuple, at map[int]func(*engine.Session) error) *engine.Result {
+	t.Helper()
+	s, err := engine.NewSession(sp.Plan, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range input {
+		if mig, ok := at[i]; ok {
+			if err := mig(s); err != nil {
+				t.Fatalf("migration at tuple %d: %v", i, err)
+			}
+		}
+		if err := s.Feed(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.Finish()
+}
+
+// checkAgainstOracle verifies per-query result sets and ordering.
+func checkAgainstOracle(t *testing.T, w Workload, sp *StateSlicePlan, res *engine.Result, input []*stream.Tuple) {
+	t.Helper()
+	if res.OrderViolations != 0 {
+		t.Errorf("%d out-of-order deliveries", res.OrderViolations)
+	}
+	want := oracle(w, input)
+	for qi, sink := range sp.Sinks() {
+		got := sinkPairs(t, res, sink.Results())
+		if len(got) != len(want[qi]) {
+			t.Errorf("%s: %d results, oracle %d: %s",
+				w.QueryName(qi), len(got), len(want[qi]), diffSets(want[qi], got))
+			continue
+		}
+		for pr := range want[qi] {
+			if !got[pr] {
+				t.Errorf("%s: missing (%d,%d)", w.QueryName(qi), pr.a, pr.b)
+				break
+			}
+		}
+	}
+}
+
+func TestMergeSlicesMidStream(t *testing.T) {
+	for _, filtered := range []bool{false, true} {
+		name := "plain"
+		if filtered {
+			name = "filtered"
+		}
+		t.Run(name, func(t *testing.T) {
+			w := migrationWorkload(filtered)
+			input := migrationInput(t, 71)
+			sp, err := BuildStateSlice(w, StateSliceConfig{Migratable: true, Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := runWithMigrations(t, sp, input, map[int]func(*engine.Session) error{
+				len(input) / 2: func(s *engine.Session) error { return sp.MergeSlices(s, 0) },
+			})
+			if got := len(sp.Slices()); got != 2 {
+				t.Fatalf("expected 2 slices after merge, got %d", got)
+			}
+			checkAgainstOracle(t, w, sp, res, input)
+		})
+	}
+}
+
+func TestSplitSliceMidStream(t *testing.T) {
+	for _, filtered := range []bool{false, true} {
+		name := "plain"
+		if filtered {
+			name = "filtered"
+		}
+		t.Run(name, func(t *testing.T) {
+			w := migrationWorkload(filtered)
+			input := migrationInput(t, 73)
+			// Start from the fully merged single slice and split it
+			// back to the Mem-Opt boundaries mid-stream.
+			sp, err := BuildStateSlice(w, StateSliceConfig{
+				Ends:       []stream.Time{w.MaxWindow()},
+				Migratable: true,
+				Collect:    true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := runWithMigrations(t, sp, input, map[int]func(*engine.Session) error{
+				len(input) / 3: func(s *engine.Session) error {
+					return sp.SplitSlice(s, 0, 2*stream.Second)
+				},
+				2 * len(input) / 3: func(s *engine.Session) error {
+					return sp.SplitSlice(s, 1, 5*stream.Second)
+				},
+			})
+			if got := len(sp.Slices()); got != 3 {
+				t.Fatalf("expected 3 slices after splits, got %d", got)
+			}
+			checkAgainstOracle(t, w, sp, res, input)
+		})
+	}
+}
+
+func TestSplitAtNonWindowBoundary(t *testing.T) {
+	// Splitting at a boundary that is not any query's window (as chain
+	// maintenance may do) must not corrupt any answer: results between
+	// the largest inside window and the slice end belong only to the
+	// longer-window queries, which requires the router's explicit
+	// last-boundary check.
+	w := migrationWorkload(false)
+	input := migrationInput(t, 89)
+	sp, err := BuildStateSlice(w, StateSliceConfig{Migratable: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWithMigrations(t, sp, input, map[int]func(*engine.Session) error{
+		len(input) / 3: func(s *engine.Session) error {
+			// Split the last slice (5s,9s] at 7s: no query window
+			// at 7s.
+			return sp.SplitSlice(s, 2, 7*stream.Second)
+		},
+		2 * len(input) / 3: func(s *engine.Session) error {
+			// And the middle slice (2s,5s] at 3.5s.
+			return sp.SplitSlice(s, 1, 3500*stream.Millisecond)
+		},
+	})
+	if got := len(sp.Slices()); got != 5 {
+		t.Fatalf("expected 5 slices, got %d", got)
+	}
+	checkAgainstOracle(t, w, sp, res, input)
+}
+
+func TestMergeThenSplitRoundTrip(t *testing.T) {
+	w := migrationWorkload(true)
+	input := migrationInput(t, 79)
+	sp, err := BuildStateSlice(w, StateSliceConfig{Migratable: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWithMigrations(t, sp, input, map[int]func(*engine.Session) error{
+		len(input) / 4: func(s *engine.Session) error { return sp.MergeSlices(s, 1) },
+		len(input) / 2: func(s *engine.Session) error { return sp.MergeSlices(s, 0) },
+		3 * len(input) / 4: func(s *engine.Session) error {
+			if err := sp.SplitSlice(s, 0, 2*stream.Second); err != nil {
+				return err
+			}
+			return sp.SplitSlice(s, 1, 5*stream.Second)
+		},
+	})
+	ends := sp.Ends()
+	if len(ends) != 3 || ends[0] != 2*stream.Second || ends[1] != 5*stream.Second {
+		t.Fatalf("unexpected final boundaries %v", ends)
+	}
+	checkAgainstOracle(t, w, sp, res, input)
+}
+
+func TestQueryLeavesSystem(t *testing.T) {
+	// Section 5.3's motivating case: query Q2 leaves, its slice is merged
+	// into the next one. The remaining queries keep exact answers; the
+	// departed query simply stops receiving results (its sink stays).
+	w := migrationWorkload(false)
+	input := migrationInput(t, 83)
+	sp, err := BuildStateSlice(w, StateSliceConfig{Migratable: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWithMigrations(t, sp, input, map[int]func(*engine.Session) error{
+		len(input) / 2: func(s *engine.Session) error { return sp.MergeSlices(s, 1) },
+	})
+	// Q1 and Q3 must still be exact; Q2 was still registered, so it too
+	// remains exact (merging alone never changes answers).
+	checkAgainstOracle(t, w, sp, res, input)
+}
+
+func TestMigrationPreconditions(t *testing.T) {
+	w := migrationWorkload(false)
+	sp, err := BuildStateSlice(w, StateSliceConfig{Migratable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := engine.NewSession(sp.Plan, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.MergeSlices(s, 5); err == nil {
+		t.Error("out-of-range merge must fail")
+	}
+	if err := sp.MergeSlices(s, -1); err == nil {
+		t.Error("negative merge index must fail")
+	}
+	if err := sp.SplitSlice(s, 0, 10*stream.Second); err == nil {
+		t.Error("split point outside the slice must fail")
+	}
+	static, err := BuildStateSlice(w, StateSliceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := engine.NewSession(static.Plan, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := static.MergeSlices(s2, 0); err == nil {
+		t.Error("non-migratable plan must refuse migration")
+	}
+	if err := sp.MergeSlices(s2, 0); err == nil {
+		t.Error("foreign session must be rejected")
+	}
+}

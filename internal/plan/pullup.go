@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"fmt"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// BuildPullUp assembles the naive shared plan with selection pull-up of
+// Section 3.1 (Figure 3): a single sliding-window join with the largest
+// window among all queries processes both unfiltered streams; a router
+// dispatches each joined result to the queries whose window constraint it
+// satisfies; the selections run last, on the routed results.
+//
+// The plan reproduces the cost structure of Eq. (1): the join probes pay for
+// the largest window with no early filtering, the router pays one comparison
+// per result, and each filtered query pays one more comparison per routed
+// result.
+func BuildPullUp(w Workload, collect bool) (*engine.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := &engine.Plan{Name: "pull-up"}
+	wmax := w.MaxWindow()
+	joinIn := stream.NewQueue()
+	p.EntryA = []*stream.Queue{joinIn}
+	p.EntryB = []*stream.Queue{joinIn}
+
+	j, err := operator.NewWindowJoin("join", wmax, wmax, w.Join, joinIn)
+	if err != nil {
+		return nil, fmt.Errorf("plan: pull-up: %w", err)
+	}
+	p.Ops = append(p.Ops, j)
+	p.Stateful = append(p.Stateful, j)
+
+	r := operator.NewRouter("router", j.Out().NewQueue())
+	p.Ops = append(p.Ops, r)
+
+	// One branch per distinct window; queries sharing a window share the
+	// branch. Branch k delivers results with |Ta-Tb| <= window k.
+	branches := make(map[stream.Time]*operator.Port)
+	for _, win := range w.DistinctWindows() {
+		port, err := r.AddBranch(win)
+		if err != nil {
+			return nil, fmt.Errorf("plan: pull-up: %w", err)
+		}
+		branches[win] = port
+	}
+	var sinks []*operator.Sink
+	for i, q := range w.Queries {
+		name := w.QueryName(i)
+		port := branches[q.Window]
+		out := port
+		if q.HasFilter() || q.HasFilterB() {
+			// Selections pulled above the join: evaluate the query's
+			// predicates on the sources of each routed result.
+			var pa, pb stream.Predicate
+			if q.HasFilter() {
+				pa = q.Filter
+			}
+			if q.HasFilterB() {
+				pb = q.FilterB
+			}
+			f := operator.NewResultFilter2(name+".sigma'", pa, pb, port.NewQueue())
+			p.Ops = append(p.Ops, f)
+			out = f.Out()
+		}
+		sink := operator.NewSink(name, out.NewQueue())
+		if collect {
+			sink.Collecting()
+		}
+		sinks = append(sinks, sink)
+		p.Sinks = append(p.Sinks, sink)
+	}
+	for _, s := range sinks {
+		p.Ops = append(p.Ops, s)
+	}
+	return p, nil
+}

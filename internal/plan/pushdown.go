@@ -1,0 +1,187 @@
+package plan
+
+import (
+	"fmt"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// BuildPushDown assembles the stream-partition sharing plan with selection
+// push-down of Section 3.2 (Figure 4): stream A is split by the shared
+// selection condition; the failing partition feeds a join sized for the
+// unfiltered queries, the passing partition feeds a join sized for the
+// largest window; routers dispatch by window constraint and an
+// order-preserving union reassembles the unfiltered queries' results from
+// both joins.
+//
+// The strategy (from NiagaraCQ) requires the filtered queries to share one
+// selection predicate — the shape of the paper's analysis and experiments;
+// heterogeneous predicates would need one join per predicate partition.
+// BuildPushDown returns an error for workloads outside that shape.
+//
+// Stream B is replicated into both joins, which is exactly the memory
+// overhead Eq. (2) charges: the two B states cannot be shared because the
+// sliding windows of the two joins "may not move forward simultaneously".
+func BuildPushDown(w Workload, collect bool) (*engine.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	shared, err := sharedFilter(w)
+	if err != nil {
+		return nil, err
+	}
+	p := &engine.Plan{Name: "push-down"}
+
+	// Partition the queries.
+	var unfiltered, filtered []int
+	for i, q := range w.Queries {
+		if q.HasFilter() {
+			filtered = append(filtered, i)
+		} else {
+			unfiltered = append(unfiltered, i)
+		}
+	}
+	if len(filtered) == 0 {
+		// No selections anywhere: push-down degenerates to pull-up.
+		pl, err := BuildPullUp(w, collect)
+		if err != nil {
+			return nil, err
+		}
+		pl.Name = "push-down"
+		return pl, nil
+	}
+
+	wAll := w.MaxWindow()
+	sinks := make([]*operator.Sink, len(w.Queries))
+	mkSink := func(i int, port *operator.Port) {
+		s := operator.NewSink(w.QueryName(i), port.NewQueue())
+		if collect {
+			s.Collecting()
+		}
+		sinks[i] = s
+	}
+
+	// Join 2 processes the sigma-passing A partition with the largest
+	// window; every query consumes its output.
+	join2In := stream.NewQueue()
+	join2, err := operator.NewWindowJoin("join.pass", wAll, wAll, w.Join, join2In)
+	if err != nil {
+		return nil, fmt.Errorf("plan: push-down: %w", err)
+	}
+	router2 := operator.NewRouter("router.pass", join2.Out().NewQueue())
+	branch2 := make(map[stream.Time]*operator.Port)
+	for _, win := range w.DistinctWindows() {
+		port, err := router2.AddBranch(win)
+		if err != nil {
+			return nil, fmt.Errorf("plan: push-down: %w", err)
+		}
+		branch2[win] = port
+	}
+	for _, i := range filtered {
+		mkSink(i, branch2[w.Queries[i].Window])
+	}
+
+	if len(unfiltered) == 0 {
+		// All queries filtered: the failing partition is dead and the
+		// split is unnecessary — stream A is filtered directly.
+		fin := stream.NewQueue()
+		f := operator.NewStreamFilter("sigmaA", shared, stream.StreamA, fin)
+		f.Out().Attach(join2In)
+		p.EntryA = []*stream.Queue{fin}
+		p.EntryB = []*stream.Queue{join2In}
+		p.Ops = append(p.Ops, f, join2, router2)
+		p.Stateful = append(p.Stateful, join2)
+		for _, i := range filtered {
+			p.Ops = append(p.Ops, sinks[i])
+			p.Sinks = append(p.Sinks, sinks[i])
+		}
+		return p, nil
+	}
+
+	// Join 1 processes the sigma-failing A partition, sized for the
+	// largest unfiltered window.
+	wNF := w.Queries[unfiltered[len(unfiltered)-1]].Window
+	join1In := stream.NewQueue()
+	join1, err := operator.NewWindowJoin("join.fail", wNF, wNF, w.Join, join1In)
+	if err != nil {
+		return nil, fmt.Errorf("plan: push-down: %w", err)
+	}
+	router1 := operator.NewRouter("router.fail", join1.Out().NewQueue())
+	branch1 := make(map[stream.Time]*operator.Port)
+	var nfWindows []stream.Time
+	for _, i := range unfiltered {
+		win := w.Queries[i].Window
+		if len(nfWindows) == 0 || nfWindows[len(nfWindows)-1] != win {
+			nfWindows = append(nfWindows, win)
+		}
+	}
+	for _, win := range nfWindows {
+		port, err := router1.AddBranch(win)
+		if err != nil {
+			return nil, fmt.Errorf("plan: push-down: %w", err)
+		}
+		branch1[win] = port
+	}
+
+	// The split partitions stream A by the shared condition.
+	splitIn := stream.NewQueue()
+	split := operator.NewSplit("split", shared, splitIn)
+	split.Pass().Attach(join2In)
+	split.Fail().Attach(join1In)
+
+	p.EntryA = []*stream.Queue{splitIn}
+	p.EntryB = []*stream.Queue{join1In, join2In}
+	p.Ops = append(p.Ops, split, join1, join2, router1, router2)
+	p.Stateful = append(p.Stateful, join1, join2)
+
+	// Unfiltered queries merge the failing-partition results with the
+	// passing-partition results routed to their window.
+	var unions []*operator.Union
+	for _, i := range unfiltered {
+		win := w.Queries[i].Window
+		u := operator.NewUnion(w.QueryName(i) + ".union")
+		branch1[win].Attach(u.AddInput())
+		branch2[win].Attach(u.AddInput())
+		unions = append(unions, u)
+		mkSink(i, u.Out())
+	}
+	for _, u := range unions {
+		p.Ops = append(p.Ops, u)
+	}
+	for i := range w.Queries {
+		p.Ops = append(p.Ops, sinks[i])
+		p.Sinks = append(p.Sinks, sinks[i])
+	}
+	return p, nil
+}
+
+// sharedFilter returns the single stream-A selection predicate shared by
+// every filtered query, or an error when the workload has several distinct
+// ones or filters stream B (the paper's push-down baseline partitions one
+// stream; the m x n-join generalisation it mentions in Section 3.2 is out of
+// scope for this baseline).
+func sharedFilter(w Workload) (stream.Predicate, error) {
+	var shared stream.Predicate
+	for _, q := range w.Queries {
+		if q.HasFilterB() {
+			return nil, fmt.Errorf("plan: push-down supports selections on stream A only (query filters B with %q)", q.FilterB)
+		}
+		if !q.HasFilter() {
+			continue
+		}
+		if shared == nil {
+			shared = q.Filter
+			continue
+		}
+		if q.Filter.String() != shared.String() {
+			return nil, fmt.Errorf("plan: push-down requires one shared selection predicate, got %q and %q",
+				shared, q.Filter)
+		}
+	}
+	if shared == nil {
+		shared = stream.True{}
+	}
+	return shared, nil
+}

@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"fmt"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// BuildUnshared assembles one independent plan per query and combines them
+// into a single executable: the no-sharing baseline of Figure 2 in the
+// paper. Each query gets its own selection (pushed below the join, the best
+// placement for an isolated query) and its own window join with private
+// states, so state memory grows with the sum of all query windows.
+func BuildUnshared(w Workload, collect bool) (*engine.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := &engine.Plan{Name: "unshared"}
+	for i, q := range w.Queries {
+		name := w.QueryName(i)
+		joinIn := stream.NewQueue()
+		// Selections pushed below the join, one filter per filtered
+		// stream, stacked ahead of the join in data order. Both
+		// entries share the stack head so arrival order is preserved
+		// into the join.
+		entry := joinIn
+		var stack []operator.Operator
+		if q.HasFilterB() {
+			fin := stream.NewQueue()
+			f := operator.NewStreamFilter(name+".sigmaB", q.filterBOrTrue(), stream.StreamB, fin)
+			f.Out().Attach(entry)
+			stack = append([]operator.Operator{f}, stack...)
+			entry = fin
+		}
+		if q.HasFilter() {
+			fin := stream.NewQueue()
+			f := operator.NewStreamFilter(name+".sigmaA", q.filterOrTrue(), stream.StreamA, fin)
+			f.Out().Attach(entry)
+			stack = append([]operator.Operator{f}, stack...)
+			entry = fin
+		}
+		p.Ops = append(p.Ops, stack...)
+		p.EntryA = append(p.EntryA, entry)
+		p.EntryB = append(p.EntryB, entry)
+
+		j, err := operator.NewWindowJoin(name+".join", q.Window, q.Window, w.Join, joinIn)
+		if err != nil {
+			return nil, fmt.Errorf("plan: unshared %s: %w", name, err)
+		}
+		sink := operator.NewSink(name, j.Out().NewQueue())
+		if collect {
+			sink.Collecting()
+		}
+		p.Ops = append(p.Ops, j, sink)
+		p.Sinks = append(p.Sinks, sink)
+		p.Stateful = append(p.Stateful, j)
+	}
+	return p, nil
+}

@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Arrival selects the inter-arrival time distribution of the synthetic
+// stream generator.
+type Arrival uint8
+
+const (
+	// Poisson arrivals: exponential inter-arrival times, the pattern used
+	// by the paper's experiments (Section 7.1).
+	Poisson Arrival = iota
+	// Uniform arrivals: deterministic spacing of exactly 1/rate, useful
+	// for validating the analytical cost model without sampling noise.
+	Uniform
+)
+
+// String names the arrival pattern.
+func (a Arrival) String() string {
+	if a == Uniform {
+		return "uniform"
+	}
+	return "poisson"
+}
+
+// GeneratorConfig parameterises the synthetic stream generator that stands in
+// for the paper's CAPE data generator.
+type GeneratorConfig struct {
+	// RateA and RateB are the mean arrival rates lambda_A and lambda_B in
+	// tuples per (virtual) second. The paper sweeps 20..80 tuples/sec.
+	RateA, RateB float64
+	// Duration is the virtual length of the run; the paper runs its
+	// generator for 90 seconds.
+	Duration Time
+	// KeyDomain is the size of the uniform equijoin key domain; tuples
+	// get Key in [0, KeyDomain). Zero disables keys (Key stays 0).
+	KeyDomain int64
+	// Arrival selects Poisson (default) or Uniform inter-arrival times.
+	Arrival Arrival
+	// Seed seeds the deterministic random source so every strategy
+	// processes the same input.
+	Seed int64
+}
+
+// Validate reports a configuration error, if any.
+func (c GeneratorConfig) Validate() error {
+	if c.RateA <= 0 || c.RateB <= 0 {
+		return fmt.Errorf("stream: generator rates must be positive (got A=%g, B=%g)", c.RateA, c.RateB)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("stream: generator duration must be positive (got %s)", c.Duration)
+	}
+	if c.KeyDomain < 0 {
+		return fmt.Errorf("stream: key domain must be non-negative (got %d)", c.KeyDomain)
+	}
+	return nil
+}
+
+// Generate produces the merged input of both streams in global timestamp
+// order, with strictly increasing Seq and per-stream ordinals starting at 1.
+func Generate(cfg GeneratorConfig) ([]*Tuple, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nextA := nextArrival(rng, cfg.Arrival, cfg.RateA, 0)
+	nextB := nextArrival(rng, cfg.Arrival, cfg.RateB, 0)
+	var (
+		out  []*Tuple
+		seq  uint64
+		ordA uint64
+		ordB uint64
+	)
+	for nextA <= cfg.Duration || nextB <= cfg.Duration {
+		var (
+			id ID
+			ts Time
+		)
+		if nextA <= nextB {
+			id, ts = StreamA, nextA
+			nextA = nextArrival(rng, cfg.Arrival, cfg.RateA, nextA)
+		} else {
+			id, ts = StreamB, nextB
+			nextB = nextArrival(rng, cfg.Arrival, cfg.RateB, nextB)
+		}
+		if ts > cfg.Duration {
+			continue
+		}
+		seq++
+		t := &Tuple{Time: ts, Seq: seq, Stream: id, Value: rng.Float64()}
+		if id == StreamA {
+			ordA++
+			t.Ord = ordA
+		} else {
+			ordB++
+			t.Ord = ordB
+		}
+		if cfg.KeyDomain > 0 {
+			t.Key = rng.Int63n(cfg.KeyDomain)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// nextArrival returns the arrival time following prev for the given rate.
+func nextArrival(rng *rand.Rand, a Arrival, rate float64, prev Time) Time {
+	var gapSec float64
+	switch a {
+	case Uniform:
+		gapSec = 1 / rate
+	default:
+		gapSec = rng.ExpFloat64() / rate
+	}
+	gap := Time(math.Ceil(gapSec * float64(Second)))
+	if gap < 1 {
+		gap = 1 // keep timestamps strictly increasing per stream
+	}
+	return prev + gap
+}
+
+// ManualBuilder constructs small hand-written streams for tests and traces,
+// such as the a1..a4, b1, b2 sequence of Table 2 in the paper.
+type ManualBuilder struct {
+	seq  uint64
+	ords [2]uint64
+	out  []*Tuple
+}
+
+// Add appends a tuple of the given stream at the given time and returns it.
+func (m *ManualBuilder) Add(id ID, at Time) *Tuple {
+	m.seq++
+	m.ords[id]++
+	t := &Tuple{Time: at, Seq: m.seq, Stream: id, Ord: m.ords[id]}
+	m.out = append(m.out, t)
+	return t
+}
+
+// AddKeyed appends a tuple with an explicit join key.
+func (m *ManualBuilder) AddKeyed(id ID, at Time, key int64) *Tuple {
+	t := m.Add(id, at)
+	t.Key = key
+	return t
+}
+
+// AddValued appends a tuple with an explicit selection attribute.
+func (m *ManualBuilder) AddValued(id ID, at Time, value float64) *Tuple {
+	t := m.Add(id, at)
+	t.Value = value
+	return t
+}
+
+// Tuples returns the stream built so far, in insertion order. Callers must
+// insert in timestamp order; Tuples validates and panics otherwise, because a
+// mis-ordered manual stream is a test-authoring bug.
+func (m *ManualBuilder) Tuples() []*Tuple {
+	for i := 1; i < len(m.out); i++ {
+		if m.out[i].Time < m.out[i-1].Time {
+			panic(fmt.Sprintf("stream: manual stream out of order at index %d", i))
+		}
+	}
+	return m.out
+}

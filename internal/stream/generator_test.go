@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GeneratorConfig{
+		{RateA: 0, RateB: 10, Duration: Second},
+		{RateA: 10, RateB: -1, Duration: Second},
+		{RateA: 10, RateB: 10, Duration: 0},
+		{RateA: 10, RateB: 10, Duration: Second, KeyDomain: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateGlobalOrderAndOrdinals(t *testing.T) {
+	ts, err := Generate(GeneratorConfig{RateA: 50, RateB: 30, Duration: 30 * Second, KeyDomain: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 {
+		t.Fatal("no tuples generated")
+	}
+	var ordA, ordB uint64
+	for i, tp := range ts {
+		if i > 0 && !ts[i-1].Before(tp) {
+			t.Fatalf("tuple %d out of global order", i)
+		}
+		if tp.Seq != uint64(i+1) {
+			t.Fatalf("Seq not dense at %d", i)
+		}
+		if tp.Time <= 0 || tp.Time > 30*Second {
+			t.Fatalf("timestamp %s outside run duration", tp.Time)
+		}
+		if tp.Key < 0 || tp.Key >= 10 {
+			t.Fatalf("key %d outside domain", tp.Key)
+		}
+		if tp.Value < 0 || tp.Value >= 1 {
+			t.Fatalf("value %g outside [0,1)", tp.Value)
+		}
+		switch tp.Stream {
+		case StreamA:
+			ordA++
+			if tp.Ord != ordA {
+				t.Fatalf("stream A ordinal broken at seq %d", tp.Seq)
+			}
+		case StreamB:
+			ordB++
+			if tp.Ord != ordB {
+				t.Fatalf("stream B ordinal broken at seq %d", tp.Seq)
+			}
+		}
+	}
+}
+
+func TestGeneratePoissonRate(t *testing.T) {
+	// Long run: empirical rate within a few percent of lambda.
+	const (
+		rate = 40.0
+		dur  = 200 * Second
+	)
+	ts, err := Generate(GeneratorConfig{RateA: rate, RateB: rate, Duration: dur, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var na, nb int
+	for _, tp := range ts {
+		if tp.Stream == StreamA {
+			na++
+		} else {
+			nb++
+		}
+	}
+	wantN := rate * dur.ToSeconds()
+	for name, n := range map[string]int{"A": na, "B": nb} {
+		if math.Abs(float64(n)-wantN)/wantN > 0.05 {
+			t.Errorf("stream %s: %d tuples, want about %.0f", name, n, wantN)
+		}
+	}
+}
+
+func TestGeneratePoissonInterArrivalCV(t *testing.T) {
+	// Poisson inter-arrival times have coefficient of variation 1;
+	// uniform arrivals have CV 0. This distinguishes the two modes.
+	for _, mode := range []Arrival{Poisson, Uniform} {
+		ts, err := Generate(GeneratorConfig{RateA: 50, RateB: 0.0001, Duration: 400 * Second, Seed: 3, Arrival: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gaps []float64
+		prev := Time(0)
+		for _, tp := range ts {
+			if tp.Stream != StreamA {
+				continue
+			}
+			gaps = append(gaps, (tp.Time - prev).ToSeconds())
+			prev = tp.Time
+		}
+		mean, varSum := 0.0, 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			varSum += (g - mean) * (g - mean)
+		}
+		cv := math.Sqrt(varSum/float64(len(gaps))) / mean
+		switch mode {
+		case Poisson:
+			if cv < 0.85 || cv > 1.15 {
+				t.Errorf("poisson CV = %.3f, want about 1", cv)
+			}
+		case Uniform:
+			if cv > 0.05 {
+				t.Errorf("uniform CV = %.3f, want about 0", cv)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{RateA: 20, RateB: 20, Duration: 10 * Second, KeyDomain: 5, Seed: 99}
+	x, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != len(y) {
+		t.Fatalf("lengths differ: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i].Time != y[i].Time || x[i].Key != y[i].Key || x[i].Value != y[i].Value || x[i].Stream != y[i].Stream {
+			t.Fatalf("tuple %d differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(GeneratorConfig{RateA: 20, RateB: 20, Duration: 10 * Second, Seed: 1})
+	b, _ := Generate(GeneratorConfig{RateA: 20, RateB: 20, Duration: 10 * Second, Seed: 2})
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i].Time != b[i].Time {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestManualBuilder(t *testing.T) {
+	var m ManualBuilder
+	a1 := m.Add(StreamA, 1*Second)
+	m.AddKeyed(StreamB, 2*Second, 7)
+	m.AddValued(StreamA, 3*Second, 0.25)
+	ts := m.Tuples()
+	if len(ts) != 3 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if a1.Ord != 1 || a1.String() != "a1" {
+		t.Errorf("first A tuple = %v", a1)
+	}
+	if ts[1].Key != 7 || ts[1].Ord != 1 || ts[1].String() != "b1" {
+		t.Errorf("keyed B tuple = %+v", ts[1])
+	}
+	if ts[2].Value != 0.25 || ts[2].Ord != 2 {
+		t.Errorf("valued A tuple = %+v", ts[2])
+	}
+	for i := 1; i < 3; i++ {
+		if !ts[i-1].Before(ts[i]) {
+			t.Error("manual stream must be ordered")
+		}
+	}
+}
+
+func TestManualBuilderPanicsOutOfOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order manual stream must panic")
+		}
+	}()
+	var m ManualBuilder
+	m.Add(StreamA, 5*Second)
+	m.Add(StreamB, 1*Second)
+	m.Tuples()
+}

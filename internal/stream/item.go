@@ -1,0 +1,123 @@
+package stream
+
+import "fmt"
+
+// Item is an element travelling through an operator queue: either a tuple or
+// a punctuation. Punctuations carry the guarantee that no tuple with a
+// timestamp at or below Punct will arrive on this queue in the future; they
+// implement the punctuation semantics of Tucker et al. cited by the paper
+// (reference [26]) and drive the order-preserving union operator.
+type Item struct {
+	// Tuple is the payload; nil for a pure punctuation.
+	Tuple *Tuple
+	// Punct is the punctuation timestamp. For tuple items it is unused.
+	Punct Time
+}
+
+// TupleItem wraps a tuple as a queue item.
+func TupleItem(t *Tuple) Item { return Item{Tuple: t} }
+
+// PunctItem builds a punctuation item with the given timestamp.
+func PunctItem(ts Time) Item { return Item{Punct: ts} }
+
+// IsPunct reports whether the item is a punctuation.
+func (it Item) IsPunct() bool { return it.Tuple == nil }
+
+// String renders the item for traces.
+func (it Item) String() string {
+	if it.IsPunct() {
+		return fmt.Sprintf("punct(%s)", it.Punct)
+	}
+	return it.Tuple.String()
+}
+
+// Queue is an unbounded FIFO of items backed by a growable ring buffer. One
+// logical queue connects adjacent operators in a shared query plan; sliced
+// join chains use a single logical queue carrying both purged female tuples
+// and propagated male tuples, exactly as in Figure 7 of the paper.
+//
+// Queue is not safe for concurrent use; the single-threaded engine owns all
+// queues. The concurrent executor uses channels instead.
+type Queue struct {
+	buf  []Item
+	head int
+	n    int
+}
+
+// NewQueue returns an empty queue with a small initial capacity.
+func NewQueue() *Queue { return &Queue{buf: make([]Item, 16)} }
+
+// Len returns the number of items currently queued.
+func (q *Queue) Len() int { return q.n }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue) Empty() bool { return q.n == 0 }
+
+// TupleCount returns the number of tuple (non-punctuation) items queued. The
+// engine's statistics monitor uses it to measure queue memory.
+func (q *Queue) TupleCount() int {
+	c := 0
+	for i := 0; i < q.n; i++ {
+		if !q.at(i).IsPunct() {
+			c++
+		}
+	}
+	return c
+}
+
+// Push appends an item at the tail.
+func (q *Queue) Push(it Item) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = it
+	q.n++
+}
+
+// PushTuple appends a tuple at the tail.
+func (q *Queue) PushTuple(t *Tuple) { q.Push(TupleItem(t)) }
+
+// PushPunct appends a punctuation at the tail.
+func (q *Queue) PushPunct(ts Time) { q.Push(PunctItem(ts)) }
+
+// Pop removes and returns the head item. It panics if the queue is empty;
+// callers check Empty first (queues are internal plumbing, not user API).
+func (q *Queue) Pop() Item {
+	if q.n == 0 {
+		panic("stream: Pop from empty queue")
+	}
+	it := q.buf[q.head]
+	q.buf[q.head] = Item{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return it
+}
+
+// Peek returns the head item without removing it. It panics if empty.
+func (q *Queue) Peek() Item {
+	if q.n == 0 {
+		panic("stream: Peek on empty queue")
+	}
+	return q.buf[q.head]
+}
+
+func (q *Queue) at(i int) Item { return q.buf[(q.head+i)%len(q.buf)] }
+
+func (q *Queue) grow() {
+	nb := make([]Item, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.at(i)
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Snapshot returns the queued items oldest-first. Traces use it to print the
+// queue contents of Table 2 in the paper.
+func (q *Queue) Snapshot() []Item {
+	out := make([]Item, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = q.at(i)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("new queue must be empty")
+	}
+	for i := 1; i <= 100; i++ {
+		q.PushTuple(&Tuple{Seq: uint64(i)})
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 1; i <= 100; i++ {
+		it := q.Pop()
+		if it.IsPunct() || it.Tuple.Seq != uint64(i) {
+			t.Fatalf("pop %d: got %v", i, it)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue must be empty after draining")
+	}
+}
+
+func TestQueueInterleavedGrowth(t *testing.T) {
+	// Exercise the ring buffer wrap-around: interleave pushes and pops so
+	// head travels around the buffer during growth.
+	q := NewQueue()
+	next, expect := uint64(1), uint64(1)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.PushTuple(&Tuple{Seq: next})
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			it := q.Pop()
+			if it.Tuple.Seq != expect {
+				t.Fatalf("round %d: got seq %d, want %d", round, it.Tuple.Seq, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		it := q.Pop()
+		if it.Tuple.Seq != expect {
+			t.Fatalf("drain: got seq %d, want %d", it.Tuple.Seq, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d items, pushed %d", expect-1, next-1)
+	}
+}
+
+func TestQueueFIFOProperty(t *testing.T) {
+	// Property: for any sequence of push/pop operations, pops return
+	// pushed items in order.
+	prop := func(ops []bool) bool {
+		q := NewQueue()
+		var pushed, popped uint64
+		for _, push := range ops {
+			if push || q.Empty() {
+				pushed++
+				q.PushTuple(&Tuple{Seq: pushed})
+			} else {
+				popped++
+				if q.Pop().Tuple.Seq != popped {
+					return false
+				}
+			}
+		}
+		for !q.Empty() {
+			popped++
+			if q.Pop().Tuple.Seq != popped {
+				return false
+			}
+		}
+		return popped == pushed
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueuePunctuationAndCounts(t *testing.T) {
+	q := NewQueue()
+	q.PushTuple(&Tuple{Seq: 1})
+	q.PushPunct(5 * Second)
+	q.PushTuple(&Tuple{Seq: 2})
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if q.TupleCount() != 2 {
+		t.Fatalf("TupleCount = %d, want 2 (punctuations are not tuples)", q.TupleCount())
+	}
+	if it := q.Peek(); it.IsPunct() {
+		t.Fatal("first item should be the tuple")
+	}
+	q.Pop()
+	it := q.Pop()
+	if !it.IsPunct() || it.Punct != 5*Second {
+		t.Fatalf("expected punct(5s), got %v", it)
+	}
+}
+
+func TestQueueSnapshotOrder(t *testing.T) {
+	q := NewQueue()
+	for i := 1; i <= 5; i++ {
+		q.PushTuple(&Tuple{Seq: uint64(i)})
+	}
+	q.Pop()
+	q.PushTuple(&Tuple{Seq: 6})
+	snap := q.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, it := range snap {
+		if it.Tuple.Seq != uint64(i+2) {
+			t.Fatalf("snapshot[%d] = seq %d, want %d", i, it.Tuple.Seq, i+2)
+		}
+	}
+}
+
+func TestQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue must panic: it is an engine invariant violation")
+		}
+	}()
+	NewQueue().Pop()
+}
+
+func TestItemString(t *testing.T) {
+	if got := PunctItem(Second).String(); got != "punct(1.000000s)" {
+		t.Errorf("punct string = %q", got)
+	}
+	if got := TupleItem(&Tuple{Stream: StreamB, Ord: 2}).String(); got != "b2" {
+		t.Errorf("tuple item string = %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquijoin(t *testing.T) {
+	p := Equijoin{}
+	a := &Tuple{Key: 7}
+	if !p.Match(a, &Tuple{Key: 7}) {
+		t.Error("equal keys must match")
+	}
+	if p.Match(a, &Tuple{Key: 8}) {
+		t.Error("different keys must not match")
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	p := CrossProduct{}
+	if !p.Match(&Tuple{Key: 1}, &Tuple{Key: 2}) {
+		t.Error("cross product must match every pair")
+	}
+}
+
+func TestFractionMatchSelectivity(t *testing.T) {
+	// Empirical selectivity over many pairs must be close to S.
+	for _, s := range []float64{0.025, 0.1, 0.4} {
+		p := FractionMatch{S: s}
+		matches, total := 0, 0
+		for a := uint64(1); a <= 300; a++ {
+			for b := uint64(1000); b < 1300; b++ {
+				total++
+				if p.Match(&Tuple{Seq: a}, &Tuple{Seq: b}) {
+					matches++
+				}
+			}
+		}
+		got := float64(matches) / float64(total)
+		if math.Abs(got-s) > 0.01 {
+			t.Errorf("FractionMatch(%g): empirical selectivity %.4f", s, got)
+		}
+	}
+}
+
+func TestFractionMatchDeterministic(t *testing.T) {
+	p := FractionMatch{S: 0.3}
+	a, b := &Tuple{Seq: 17}, &Tuple{Seq: 42}
+	first := p.Match(a, b)
+	for i := 0; i < 10; i++ {
+		if p.Match(a, b) != first {
+			t.Fatal("FractionMatch must be deterministic per pair")
+		}
+	}
+}
+
+func TestFractionMatchExtremes(t *testing.T) {
+	all := FractionMatch{S: 1.0000001}
+	none := FractionMatch{S: 0}
+	for a := uint64(0); a < 50; a++ {
+		for b := uint64(0); b < 50; b++ {
+			ta, tb := &Tuple{Seq: a}, &Tuple{Seq: b}
+			if !all.Match(ta, tb) {
+				t.Fatalf("S>1 must match everything (a=%d b=%d)", a, b)
+			}
+			if none.Match(ta, tb) {
+				t.Fatalf("S=0 must match nothing (a=%d b=%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestPairUniformRange(t *testing.T) {
+	inRange := func(x, y uint64) bool {
+		u := pairUniform(x, y)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(inRange, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdSelectivity(t *testing.T) {
+	for _, s := range []float64{0.2, 0.5, 0.8, 1} {
+		p := Threshold{S: s}
+		if p.Selectivity() != s {
+			t.Errorf("Selectivity() = %g, want %g", p.Selectivity(), s)
+		}
+		// Exact boundary: Value >= 1-s.
+		if !p.Eval(&Tuple{Value: 1 - s}) {
+			t.Errorf("threshold %g must accept Value = 1-s", s)
+		}
+		if s < 1 && p.Eval(&Tuple{Value: 1 - s - 1e-9}) {
+			t.Errorf("threshold %g must reject Value just below 1-s", s)
+		}
+	}
+}
+
+func TestThresholdNesting(t *testing.T) {
+	// A tighter threshold implies every looser one; this property is what
+	// makes the pushed-down disjunctions of Section 6.1 collapse.
+	tight, loose := Threshold{S: 0.2}, Threshold{S: 0.8}
+	prop := func(v float64) bool {
+		v = math.Abs(math.Mod(v, 1))
+		tp := &Tuple{Value: v}
+		return !tight.Eval(tp) || loose.Eval(tp)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruePredicate(t *testing.T) {
+	p := True{}
+	if !p.Eval(&Tuple{}) || p.Selectivity() != 1 {
+		t.Error("True must accept everything with selectivity 1")
+	}
+}
+
+func TestOrPredicate(t *testing.T) {
+	or := Or{Threshold{S: 0.2}, Threshold{S: 0.5}}
+	if got := or.Selectivity(); got != 0.5 {
+		t.Errorf("nested Or selectivity = %g, want max = 0.5", got)
+	}
+	if !or.Eval(&Tuple{Value: 0.6}) {
+		t.Error("Or must accept a tuple passing any member")
+	}
+	if or.Eval(&Tuple{Value: 0.1}) {
+		t.Error("Or must reject a tuple failing all members")
+	}
+	empty := Or{}
+	if empty.Eval(&Tuple{Value: 0.99}) {
+		t.Error("empty Or is false")
+	}
+	if empty.String() != "false" {
+		t.Errorf("empty Or string = %q", empty.String())
+	}
+	mixed := Or{True{}, Threshold{S: 0.5}}
+	if got := mixed.Selectivity(); got != 1 {
+		t.Errorf("mixed Or selectivity = %g, want capped 1", got)
+	}
+}

@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateInsertPopFront(t *testing.T) {
+	s := NewState()
+	for i := 1; i <= 40; i++ {
+		s.Insert(&Tuple{Seq: uint64(i)})
+	}
+	if s.Len() != 40 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Front().Seq != 1 || s.Back().Seq != 40 {
+		t.Fatal("Front/Back wrong")
+	}
+	for i := 1; i <= 40; i++ {
+		if got := s.PopFront().Seq; got != uint64(i) {
+			t.Fatalf("PopFront %d: got %d", i, got)
+		}
+	}
+	if s.Front() != nil || s.Back() != nil {
+		t.Fatal("Front/Back of empty state must be nil")
+	}
+}
+
+func TestStateAtAndSnapshot(t *testing.T) {
+	s := NewState()
+	for i := 1; i <= 20; i++ {
+		s.Insert(&Tuple{Seq: uint64(i)})
+	}
+	for i := 0; i < 6; i++ {
+		s.PopFront()
+	}
+	for i := 21; i <= 30; i++ {
+		s.Insert(&Tuple{Seq: uint64(i)}) // force wrap-around
+	}
+	snap := s.Snapshot()
+	if len(snap) != 24 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, tp := range snap {
+		if tp.Seq != uint64(i+7) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, tp.Seq, i+7)
+		}
+		if s.At(i) != tp {
+			t.Fatalf("At(%d) disagrees with snapshot", i)
+		}
+	}
+}
+
+func TestStateClear(t *testing.T) {
+	s := NewState().WithIndex()
+	for i := 0; i < 10; i++ {
+		s.Insert(&Tuple{Seq: uint64(i), Key: int64(i % 3)})
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear must empty the state")
+	}
+	if got := s.Bucket(0); len(got) != 0 {
+		t.Fatal("Clear must reset the index")
+	}
+	s.Insert(&Tuple{Seq: 99, Key: 5})
+	if len(s.Bucket(5)) != 1 {
+		t.Fatal("state must be reusable after Clear")
+	}
+}
+
+func TestStateIndexTracksMembership(t *testing.T) {
+	s := NewState().WithIndex()
+	if !s.Indexed() {
+		t.Fatal("WithIndex must enable the index")
+	}
+	tuples := make([]*Tuple, 30)
+	for i := range tuples {
+		tuples[i] = &Tuple{Seq: uint64(i + 1), Key: int64(i % 5)}
+		s.Insert(tuples[i])
+	}
+	if got := len(s.Bucket(2)); got != 6 {
+		t.Fatalf("bucket 2 size = %d, want 6", got)
+	}
+	// Pop the first 10; buckets must shrink in arrival order.
+	for i := 0; i < 10; i++ {
+		s.PopFront()
+	}
+	for key := int64(0); key < 5; key++ {
+		b := s.Bucket(key)
+		if len(b) != 4 {
+			t.Fatalf("bucket %d size = %d, want 4", key, len(b))
+		}
+		for _, tp := range b {
+			if tp.Seq <= 10 {
+				t.Fatalf("bucket %d still holds popped tuple seq %d", key, tp.Seq)
+			}
+		}
+	}
+}
+
+func TestStateWithIndexBackfills(t *testing.T) {
+	s := NewState()
+	for i := 0; i < 8; i++ {
+		s.Insert(&Tuple{Seq: uint64(i + 1), Key: int64(i % 2)})
+	}
+	s.WithIndex()
+	if got := len(s.Bucket(1)); got != 4 {
+		t.Fatalf("backfilled bucket size = %d, want 4", got)
+	}
+}
+
+func TestStateAppendAllPreservesOrder(t *testing.T) {
+	a, b := NewState(), NewState()
+	for i := 1; i <= 3; i++ {
+		a.Insert(&Tuple{Seq: uint64(i)})
+	}
+	for i := 4; i <= 6; i++ {
+		b.Insert(&Tuple{Seq: uint64(i)})
+	}
+	a.AppendAll(b)
+	if b.Len() != 0 {
+		t.Fatal("AppendAll must drain the source")
+	}
+	if a.Len() != 6 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if a.At(i).Seq != uint64(i+1) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestStateFIFOProperty(t *testing.T) {
+	prop := func(ops []bool) bool {
+		s := NewState()
+		var in, out uint64
+		for _, ins := range ops {
+			if ins || s.Len() == 0 {
+				in++
+				s.Insert(&Tuple{Seq: in})
+			} else {
+				out++
+				if s.PopFront().Seq != out {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopFront on empty state must panic")
+		}
+	}()
+	NewState().PopFront()
+}

@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSecondsRoundTrip(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Time
+	}{
+		{0, 0},
+		{1, Second},
+		{0.001, Millisecond},
+		{60, Minute},
+		{1.5, Second + 500*Millisecond},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.sec); got != c.want {
+			t.Errorf("Seconds(%g) = %d, want %d", c.sec, got, c.want)
+		}
+		if got := c.want.ToSeconds(); got != c.sec {
+			t.Errorf("ToSeconds(%d) = %g, want %g", c.want, got, c.sec)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Seconds(1.5).String(); got != "1.500000s" {
+		t.Errorf("String = %q", got)
+	}
+	if got := MaxTime.String(); got != "+inf" {
+		t.Errorf("MaxTime.String() = %q, want +inf", got)
+	}
+}
+
+func TestTimeDuration(t *testing.T) {
+	if got := Second.Duration(); got != time.Second {
+		t.Errorf("Second.Duration() = %v, want 1s", got)
+	}
+	if got := (3 * Millisecond).Duration(); got != 3*time.Millisecond {
+		t.Errorf("3ms Duration = %v", got)
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	if got := AbsDiff(5, 3); got != 2 {
+		t.Errorf("AbsDiff(5,3) = %d", got)
+	}
+	if got := AbsDiff(3, 5); got != 2 {
+		t.Errorf("AbsDiff(3,5) = %d", got)
+	}
+	if got := AbsDiff(7, 7); got != 0 {
+		t.Errorf("AbsDiff(7,7) = %d", got)
+	}
+}
+
+func TestAbsDiffProperties(t *testing.T) {
+	symmetric := func(a, b int32) bool {
+		x, y := Time(a), Time(b)
+		d := AbsDiff(x, y)
+		return d == AbsDiff(y, x) && d >= 0
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package workload encodes the experimental workloads of Section 7 of the
+// State-Slice paper: the three-query sharing scenarios of Section 7.2
+// (Table 3 settings: window distributions Mostly-Small/Uniform/Mostly-Large,
+// selection selectivities, join selectivities) and the N-query scenarios of
+// Section 7.3 (Table 4 window distributions for 12/24/36 queries).
+package workload
+
+import (
+	"fmt"
+
+	"stateslice/internal/cost"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+// Distribution names a query window distribution from Tables 3 and 4.
+type Distribution string
+
+// The window distributions of the paper's experiments.
+const (
+	// MostlySmall clusters windows at the small end: 5, 10, 30 seconds
+	// for three queries (Table 3); 1..10, 20, 30 for twelve (Table 4).
+	MostlySmall Distribution = "mostly-small"
+	// Uniform spaces windows evenly: 10, 20, 30 for three queries;
+	// 2.5, 5, ..., 30 for twelve.
+	Uniform Distribution = "uniform"
+	// MostlyLarge clusters windows at the large end: 20, 25, 30 seconds
+	// (Table 3, three queries only).
+	MostlyLarge Distribution = "mostly-large"
+	// SmallLarge is the bimodal distribution of Table 4: 1..6 and 25..30
+	// for twelve queries.
+	SmallLarge Distribution = "small-large"
+)
+
+// Distributions3 lists the three-query distributions of Table 3.
+func Distributions3() []Distribution { return []Distribution{MostlySmall, Uniform, MostlyLarge} }
+
+// DistributionsN lists the N-query distributions of Section 7.3.
+func DistributionsN() []Distribution { return []Distribution{Uniform, MostlySmall, SmallLarge} }
+
+// Windows3 returns the three-query window distribution of Table 3 in
+// seconds.
+func Windows3(d Distribution) ([]float64, error) {
+	switch d {
+	case MostlySmall:
+		return []float64{5, 10, 30}, nil
+	case Uniform:
+		return []float64{10, 20, 30}, nil
+	case MostlyLarge:
+		return []float64{20, 25, 30}, nil
+	default:
+		return nil, fmt.Errorf("workload: no three-query windows for distribution %q", d)
+	}
+}
+
+// WindowsN returns the N-query window distribution in seconds, generalising
+// Table 4 exactly as the paper describes ("window distributions for other
+// number of queries are set accordingly"): for n = 12 the values match the
+// table verbatim.
+func WindowsN(d Distribution, n int) ([]float64, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("workload: need an even query count of at least 4, got %d", n)
+	}
+	out := make([]float64, 0, n)
+	switch d {
+	case Uniform:
+		// 30*i/n: for n=12 this is 2.5, 5, ..., 30.
+		for i := 1; i <= n; i++ {
+			out = append(out, 30*float64(i)/float64(n))
+		}
+	case MostlySmall:
+		// n-2 windows evenly spaced in (0, 10], then 20 and 30: for
+		// n=12 this is 1..10, 20, 30.
+		for i := 1; i <= n-2; i++ {
+			out = append(out, 10*float64(i)/float64(n-2))
+		}
+		out = append(out, 20, 30)
+	case SmallLarge:
+		// Half in (0, 6], half in (24, 30]: for n=12 this is 1..6 and
+		// 25..30.
+		h := n / 2
+		for i := 1; i <= h; i++ {
+			out = append(out, 6*float64(i)/float64(h))
+		}
+		for i := 1; i <= h; i++ {
+			out = append(out, 24+6*float64(i)/float64(h))
+		}
+	default:
+		return nil, fmt.Errorf("workload: no N-query windows for distribution %q", d)
+	}
+	return out, nil
+}
+
+// ThreeQueries builds the Section 7.2 workload: Q1 (A[W1] |><| B[W1]),
+// Q2 (sigma(A[W2]) |><| B[W2]) and Q3 (sigma(A[W3]) |><| B[W3]) with the
+// shared selection selectivity sSigma and join selectivity s1.
+func ThreeQueries(d Distribution, sSigma, s1 float64) (plan.Workload, error) {
+	ws, err := Windows3(d)
+	if err != nil {
+		return plan.Workload{}, err
+	}
+	if sSigma <= 0 || sSigma > 1 {
+		return plan.Workload{}, fmt.Errorf("workload: selection selectivity %g outside (0,1]", sSigma)
+	}
+	sel := stream.Threshold{S: sSigma}
+	w := plan.Workload{
+		Queries: []plan.Query{
+			{Window: stream.Seconds(ws[0])},
+			{Window: stream.Seconds(ws[1]), Filter: sel},
+			{Window: stream.Seconds(ws[2]), Filter: sel},
+		},
+		Join: stream.FractionMatch{S: s1},
+	}
+	return w, w.Validate()
+}
+
+// NQueries builds the Section 7.3 workload: n window joins without
+// selections ("similar queries as in Section 7.2 with the selections
+// removed") and join selectivity s1.
+func NQueries(d Distribution, n int, s1 float64) (plan.Workload, error) {
+	ws, err := WindowsN(d, n)
+	if err != nil {
+		return plan.Workload{}, err
+	}
+	w := plan.Workload{Join: stream.FractionMatch{S: s1}}
+	for _, sec := range ws {
+		w.Queries = append(w.Queries, plan.Query{Window: stream.Seconds(sec)})
+	}
+	return w, w.Validate()
+}
+
+// Specs converts a plan workload into the cost model's query specs.
+func Specs(w plan.Workload) []cost.QuerySpec {
+	out := make([]cost.QuerySpec, len(w.Queries))
+	for i, q := range w.Queries {
+		sel := 1.0
+		if q.HasFilter() {
+			sel = q.Filter.Selectivity()
+		}
+		out[i] = cost.QuerySpec{Window: q.Window.ToSeconds(), Sel: sel}
+	}
+	return out
+}
+
+// EndsToTimes converts cost-model boundaries (seconds) to stream times.
+func EndsToTimes(ends []float64) []stream.Time {
+	out := make([]stream.Time, len(ends))
+	for i, e := range ends {
+		out[i] = stream.Seconds(e)
+	}
+	return out
+}
+
+// Table 1/3 parameter grids, exported so the harness and the benchmarks
+// stay in sync with the paper.
+var (
+	// Rates is the input rate sweep of Figures 17-19, tuples/sec.
+	Rates = []float64{20, 40, 60, 80}
+	// SigmaSelectivities is the Low/Middle/High selection grid.
+	SigmaSelectivities = []float64{0.2, 0.5, 0.8}
+	// JoinSelectivities is the Low/Middle/High join grid.
+	JoinSelectivities = []float64{0.025, 0.1, 0.4}
+	// QueryCounts is the Figure 19 query count sweep.
+	QueryCounts = []int{12, 24, 36}
+	// DurationSeconds is the generator run length of Section 7.1.
+	DurationSeconds = 90.0
+)

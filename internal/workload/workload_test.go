@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+func TestWindows3MatchTable3(t *testing.T) {
+	cases := map[Distribution][]float64{
+		MostlySmall: {5, 10, 30},
+		Uniform:     {10, 20, 30},
+		MostlyLarge: {20, 25, 30},
+	}
+	for d, want := range cases {
+		got, err := Windows3(d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: %v, want %v", d, got, want)
+		}
+	}
+	if _, err := Windows3(SmallLarge); err == nil {
+		t.Error("small-large has no three-query form in the paper")
+	}
+}
+
+func TestWindowsNMatchTable4At12(t *testing.T) {
+	cases := map[Distribution][]float64{
+		Uniform:     {2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20, 22.5, 25, 27.5, 30},
+		MostlySmall: {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30},
+		SmallLarge:  {1, 2, 3, 4, 5, 6, 25, 26, 27, 28, 29, 30},
+	}
+	for d, want := range cases {
+		got, err := WindowsN(d, 12)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d windows", d, len(got))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("%s[%d] = %g, want %g (Table 4)", d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWindowsNScales(t *testing.T) {
+	for _, d := range DistributionsN() {
+		for _, n := range QueryCounts {
+			ws, err := WindowsN(d, n)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", d, n, err)
+			}
+			if len(ws) != n {
+				t.Fatalf("%s/%d: got %d windows", d, n, len(ws))
+			}
+			for i := 1; i < n; i++ {
+				if ws[i] <= ws[i-1] {
+					t.Fatalf("%s/%d: windows not ascending at %d", d, n, i)
+				}
+			}
+			if ws[n-1] != 30 {
+				t.Errorf("%s/%d: largest window %g, want 30", d, n, ws[n-1])
+			}
+		}
+	}
+	if _, err := WindowsN(Uniform, 7); err == nil {
+		t.Error("odd query count must fail")
+	}
+	if _, err := WindowsN(MostlyLarge, 12); err == nil {
+		t.Error("mostly-large has no N-query form in the paper")
+	}
+}
+
+func TestThreeQueries(t *testing.T) {
+	w, err := ThreeQueries(Uniform, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 3 {
+		t.Fatalf("got %d queries", len(w.Queries))
+	}
+	if w.Queries[0].HasFilter() {
+		t.Error("Q1 must be unfiltered")
+	}
+	if !w.Queries[1].HasFilter() || !w.Queries[2].HasFilter() {
+		t.Error("Q2 and Q3 must carry the selection")
+	}
+	if w.Queries[1].Filter.Selectivity() != 0.5 {
+		t.Error("selection selectivity wrong")
+	}
+	if w.Queries[2].Window != 30*stream.Second {
+		t.Errorf("W3 = %s", w.Queries[2].Window)
+	}
+	if _, err := ThreeQueries(Uniform, 0, 0.1); err == nil {
+		t.Error("zero selectivity must fail")
+	}
+}
+
+func TestNQueries(t *testing.T) {
+	w, err := NQueries(SmallLarge, 24, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 24 {
+		t.Fatalf("got %d queries", len(w.Queries))
+	}
+	for i, q := range w.Queries {
+		if q.HasFilter() {
+			t.Fatalf("query %d: Section 7.3 removes the selections", i)
+		}
+	}
+}
+
+func TestSpecsConversion(t *testing.T) {
+	w, err := ThreeQueries(MostlySmall, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Specs(w)
+	if specs[0].Sel != 1 || specs[1].Sel != 0.2 || specs[2].Sel != 0.2 {
+		t.Errorf("spec selectivities = %+v", specs)
+	}
+	if specs[0].Window != 5 || specs[2].Window != 30 {
+		t.Errorf("spec windows = %+v", specs)
+	}
+	ts := EndsToTimes([]float64{2.5, 30})
+	if ts[0] != 2500*stream.Millisecond || ts[1] != 30*stream.Second {
+		t.Errorf("EndsToTimes = %v", ts)
+	}
+}

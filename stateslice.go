@@ -1,0 +1,294 @@
+// Package stateslice is a Go implementation of the State-Slice paradigm for
+// multi-query optimization of window-based stream queries (Wang,
+// Rundensteiner, Ganguly, Bhatnagar — VLDB 2006).
+//
+// A workload of continuous window-join queries over two streams — possibly
+// with different window sizes and different selections — is executed by one
+// shared plan: the join state is sliced into fine-grained window ranges, the
+// slices are pipelined into a chain of sliced binary window joins, and
+// selections are pushed between the slices. Two provably optimal chain
+// layouts are provided: the Mem-Opt chain (minimal state memory, one slice
+// per distinct window) and the CPU-Opt chain (minimal comparison cost, found
+// by Dijkstra's algorithm over the slice-merge graph). Chains migrate online
+// by splitting and merging slices while the stream is running.
+//
+// The package also implements the two sharing baselines the paper compares
+// against — naive sharing with selection pull-up, and stream partition with
+// selection push-down — plus an unshared reference, all over the same
+// execution engine, so the memory and CPU trade-offs of the paper's
+// evaluation can be reproduced (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	w := stateslice.Workload{
+//		Queries: []stateslice.Query{
+//			{Window: 1 * stateslice.Minute},
+//			{Window: 60 * stateslice.Minute, Filter: stateslice.Threshold{S: 0.01}},
+//		},
+//		Join: stateslice.Equijoin{},
+//	}
+//	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Collect: true})
+//	...
+//	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+//		RateA: 50, RateB: 50, Duration: 90 * stateslice.Second, KeyDomain: 100,
+//	})
+//	...
+//	res, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{})
+//
+// See examples/ for runnable programs.
+package stateslice
+
+import (
+	"fmt"
+
+	"stateslice/internal/chain"
+	"stateslice/internal/cost"
+	"stateslice/internal/engine"
+	"stateslice/internal/operator"
+	"stateslice/internal/pipeline"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+	"stateslice/internal/workload"
+)
+
+// Core stream types.
+type (
+	// Time is a virtual timestamp in microseconds.
+	Time = stream.Time
+	// Tuple is a stream element.
+	Tuple = stream.Tuple
+	// GeneratorConfig parameterises the synthetic Poisson stream
+	// generator.
+	GeneratorConfig = stream.GeneratorConfig
+	// Predicate is a single-tuple selection predicate.
+	Predicate = stream.Predicate
+	// JoinPredicate decides whether a pair of tuples joins.
+	JoinPredicate = stream.JoinPredicate
+	// Threshold is the selection "Value >= 1-S" with selectivity S.
+	Threshold = stream.Threshold
+	// Equijoin matches tuples with equal keys.
+	Equijoin = stream.Equijoin
+	// CrossProduct matches every pair.
+	CrossProduct = stream.CrossProduct
+	// FractionMatch matches a deterministic fraction S of pairs.
+	FractionMatch = stream.FractionMatch
+)
+
+// Time units.
+const (
+	// Microsecond is the base time unit.
+	Microsecond = stream.Microsecond
+	// Millisecond is 1000 microseconds.
+	Millisecond = stream.Millisecond
+	// Second is the unit of the paper's window sizes.
+	Second = stream.Second
+	// Minute is 60 seconds.
+	Minute = stream.Minute
+)
+
+// Stream identifiers.
+const (
+	// StreamA is the first input stream (carries the selection
+	// attribute).
+	StreamA = stream.StreamA
+	// StreamB is the second input stream.
+	StreamB = stream.StreamB
+)
+
+// Seconds converts floating-point seconds to a Time.
+func Seconds(s float64) Time { return stream.Seconds(s) }
+
+// Generate produces the merged input of both streams in timestamp order.
+func Generate(cfg GeneratorConfig) ([]*Tuple, error) { return stream.Generate(cfg) }
+
+// Query and plan types.
+type (
+	// Query is one continuous window-join query.
+	Query = plan.Query
+	// Workload is a set of queries sharing one join over two streams.
+	Workload = plan.Workload
+	// Plan is an executable operator graph.
+	Plan = engine.Plan
+	// ChainPlan is an executable state-slice chain with online
+	// migration support (MergeSlices / SplitSlice).
+	ChainPlan = plan.StateSlicePlan
+	// ChainConfig tunes the state-slice plan builder.
+	ChainConfig = plan.StateSliceConfig
+	// RunConfig tunes an engine run.
+	RunConfig = engine.Config
+	// Result reports a finished run.
+	Result = engine.Result
+	// Session drives a plan tuple by tuple and supports online
+	// migration between feeds.
+	Session = engine.Session
+	// MemoryStats aggregates sampled state sizes.
+	MemoryStats = engine.MemoryStats
+)
+
+// MemOptPlan builds the memory-optimal state-slice chain for the workload:
+// one sliced join per distinct query window (Section 5.1 of the paper;
+// Theorems 3 and 4 prove memory optimality with and without selections).
+func MemOptPlan(w Workload, cfg ChainConfig) (*ChainPlan, error) {
+	cfg.Ends = nil
+	if cfg.Name == "" {
+		cfg.Name = "state-slice(mem-opt)"
+	}
+	return plan.BuildStateSlice(w, cfg)
+}
+
+// CPUOptParams carries the cost-model inputs of the CPU-optimal chain
+// build-up (Section 5.2).
+type CPUOptParams struct {
+	// RateA and RateB are the expected stream rates in tuples/sec.
+	RateA, RateB float64
+	// JoinSelectivity is S1; zero defaults to 0.1.
+	JoinSelectivity float64
+	// Csys is the per-tuple-per-operator overhead factor; zero defaults
+	// to 3 comparisons.
+	Csys float64
+}
+
+// CPUOptPlan builds the CPU-optimal state-slice chain: adjacent slices are
+// merged whenever the saved purge and scheduling overhead outweighs the
+// added routing cost, solved as a shortest path with Dijkstra's algorithm
+// (Section 5.2; Section 6.2 with selections).
+func CPUOptPlan(w Workload, p CPUOptParams, cfg ChainConfig) (*ChainPlan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if p.JoinSelectivity == 0 {
+		p.JoinSelectivity = 0.1
+	}
+	if p.Csys == 0 {
+		p.Csys = 3
+	}
+	res, err := chain.CPUOptEnds(workload.Specs(w), cost.ChainParams{
+		LambdaA: p.RateA,
+		LambdaB: p.RateB,
+		TupleKB: 1,
+		SelJoin: p.JoinSelectivity,
+		Csys:    p.Csys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Ends = workload.EndsToTimes(res.Ends)
+	if cfg.Name == "" {
+		cfg.Name = "state-slice(cpu-opt)"
+	}
+	return plan.BuildStateSlice(w, cfg)
+}
+
+// ChainPlanWithEnds builds a state-slice chain with explicit slice
+// boundaries (ascending, the last equal to the largest query window).
+func ChainPlanWithEnds(w Workload, ends []Time, cfg ChainConfig) (*ChainPlan, error) {
+	cfg.Ends = ends
+	return plan.BuildStateSlice(w, cfg)
+}
+
+// PullUpPlan builds the naive shared plan with selection pull-up
+// (Section 3.1): one largest-window join plus a router.
+func PullUpPlan(w Workload, collect bool) (*Plan, error) { return plan.BuildPullUp(w, collect) }
+
+// PushDownPlan builds the stream-partition plan with selection push-down
+// (Section 3.2): split, per-partition joins, router and union.
+func PushDownPlan(w Workload, collect bool) (*Plan, error) { return plan.BuildPushDown(w, collect) }
+
+// UnsharedPlan builds one independent plan per query (Figure 2).
+func UnsharedPlan(w Workload, collect bool) (*Plan, error) { return plan.BuildUnshared(w, collect) }
+
+// Run executes a plan over the input tuples.
+func Run(p *Plan, input []*Tuple, cfg RunConfig) (*Result, error) { return engine.Run(p, input, cfg) }
+
+// ConcurrentResult reports a concurrent chain execution.
+type ConcurrentResult = pipeline.Result
+
+// RunChainConcurrent executes the workload's Mem-Opt chain with one
+// goroutine per sliced join connected by channels — the asynchronous
+// scheduling regime whose correctness Lemma 1 guarantees and Section 9 of
+// the paper points at for distributed execution. Results are identical to
+// the sequential engine's; the workload must not carry selections (use the
+// sequential engine for filtered chains).
+func RunChainConcurrent(w Workload, input []*Tuple, collect bool) (*ConcurrentResult, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	var windows []Time
+	for i, q := range w.Queries {
+		if q.HasFilter() || q.HasFilterB() {
+			return nil, fmt.Errorf("stateslice: concurrent chains support unfiltered queries only (query %d is filtered)", i)
+		}
+		windows = append(windows, q.Window)
+	}
+	return pipeline.RunChain(windows, w.Join, input, collect)
+}
+
+// EnableHashProbing switches every regular window join in the plan from
+// nested-loop probing (the paper's cost model) to hash-index probing, the
+// variant the paper cites from Kang et al. [14]. It must be called before
+// the plan processes any tuple and requires an equijoin predicate.
+func EnableHashProbing(p *Plan) error {
+	for _, s := range p.Stateful {
+		if wj, ok := s.(*operator.WindowJoin); ok {
+			if _, err := wj.WithHashProbe(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NewSession prepares an incremental run; use it to Feed tuples one at a
+// time and migrate chain plans mid-stream.
+func NewSession(p *Plan, cfg RunConfig) (*Session, error) { return engine.NewSession(p, cfg) }
+
+// Cost model (Section 3, 4.3, 5, 6 of the paper).
+type (
+	// CostParams carries the two-query cost model settings (Table 1).
+	CostParams = cost.Params
+	// Cost is a (state memory, comparisons/sec) pair.
+	Cost = cost.Cost
+	// Savings holds the Eq. (4) relative savings of state-slice sharing.
+	Savings = cost.Savings
+	// QuerySpec abstracts a query for the N-query chain cost model.
+	QuerySpec = cost.QuerySpec
+	// ChainParams carries the N-query chain model settings.
+	ChainParams = cost.ChainParams
+	// ChainResult describes an optimized chain layout.
+	ChainResult = chain.Result
+	// MigrationStep is one merge or split of an online chain migration.
+	MigrationStep = chain.MigrationStep
+)
+
+// PullUpCost evaluates Eq. (1) of the paper.
+func PullUpCost(p CostParams) Cost { return cost.PullUp(p) }
+
+// PushDownCost evaluates Eq. (2).
+func PushDownCost(p CostParams) Cost { return cost.PushDown(p) }
+
+// StateSliceCost evaluates Eq. (3).
+func StateSliceCost(p CostParams) Cost { return cost.StateSlice(p) }
+
+// ComputeSavings evaluates Eq. (4) at window ratio rho = W1/W2.
+func ComputeSavings(rho, sSigma, s1 float64) Savings { return cost.ComputeSavings(rho, sSigma, s1) }
+
+// MemOptEnds returns the Mem-Opt slice boundaries for a query set.
+func MemOptEnds(queries []QuerySpec) []float64 { return chain.MemOptEnds(queries) }
+
+// CPUOptEnds returns the CPU-Opt slice boundaries, cost and memory for a
+// query set under the chain cost model.
+func CPUOptEnds(queries []QuerySpec, p ChainParams) (*ChainResult, error) {
+	return chain.CPUOptEnds(queries, p)
+}
+
+// ChainCostOf evaluates the chain cost model for an explicit slice boundary
+// layout: total state memory (KB) and comparisons per second.
+func ChainCostOf(queries []QuerySpec, ends []float64, p ChainParams) (Cost, error) {
+	return cost.ChainCost(queries, ends, p)
+}
+
+// PlanMigration computes the merge/split steps that turn one chain boundary
+// layout into another (Section 5.3).
+func PlanMigration(from, to []float64) ([]MigrationStep, error) {
+	return chain.PlanMigration(from, to)
+}
