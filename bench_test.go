@@ -162,11 +162,15 @@ func BenchmarkAblationLineageVsReeval(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var filterCmp float64
 			for i := 0; i < b.N; i++ {
-				sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{DisableLineage: disable})
+				opts := []stateslice.Option{}
+				if disable {
+					opts = append(opts, stateslice.WithoutLineage())
+				}
+				p, err := stateslice.Build(w, stateslice.MemOpt, opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{SampleEvery: 16})
+				res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{SampleEvery: 16})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -202,11 +206,11 @@ func BenchmarkAblationChainLength(b *testing.B) {
 			}
 			var cmp uint64
 			for i := 0; i < b.N; i++ {
-				sp, err := stateslice.ChainPlanWithEnds(w, ends, stateslice.ChainConfig{})
+				p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithEnds(ends...))
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{SampleEvery: 16})
+				res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{SampleEvery: 16})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -225,16 +229,15 @@ func BenchmarkAblationHashVsNL(b *testing.B) {
 	for _, mode := range []string{"nested-loop", "hash"} {
 		b.Run(mode, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				p, err := stateslice.PullUpPlan(w, false)
+				opts := []stateslice.Option{}
+				if mode == "hash" {
+					opts = append(opts, stateslice.WithHashProbing())
+				}
+				p, err := stateslice.Build(w, stateslice.PullUp, opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if mode == "hash" {
-					if err := stateslice.EnableHashProbing(p); err != nil {
-						b.Fatal(err)
-					}
-				}
-				if _, err := stateslice.Run(p, input, stateslice.RunConfig{SampleEvery: 16}); err != nil {
+				if _, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{SampleEvery: 16}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -256,24 +259,22 @@ func BenchmarkMigration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Migratable: true})
+		p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithMigratable())
 		if err != nil {
 			b.Fatal(err)
 		}
-		s, err := stateslice.NewSession(sp.Plan, stateslice.RunConfig{SampleEvery: 1 << 30})
+		s, err := p.NewSession(stateslice.RunConfig{SampleEvery: 1 << 30})
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, tp := range input[:len(input)/4] {
-			if err := s.Feed(tp); err != nil {
-				b.Fatal(err)
-			}
+		if err := s.Consume(stateslice.SliceSource(input[:len(input)/4])); err != nil {
+			b.Fatal(err)
 		}
 		b.StartTimer()
-		if err := sp.MergeSlices(s, 0); err != nil {
+		if err := p.Migrate([]stateslice.Time{6 * stateslice.Second}); err != nil {
 			b.Fatal(err)
 		}
-		if err := sp.SplitSlice(s, 0, 2*stateslice.Second); err != nil {
+		if err := p.Migrate([]stateslice.Time{2 * stateslice.Second, 6 * stateslice.Second}); err != nil {
 			b.Fatal(err)
 		}
 	}

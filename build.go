@@ -1,0 +1,563 @@
+package stateslice
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"stateslice/internal/chain"
+	"stateslice/internal/cost"
+	"stateslice/internal/engine"
+	"stateslice/internal/operator"
+	"stateslice/internal/pipeline"
+	"stateslice/internal/plan"
+	"stateslice/internal/workload"
+)
+
+// Plan is the unified handle every Build strategy returns: one interface
+// for explaining, costing, executing and — for chain-backed plans —
+// re-slicing a compiled workload. A Plan is a live operator graph with
+// state: execute it once, either with Run or through one Session; build a
+// fresh plan (building is cheap) for another run.
+type Plan interface {
+	// Name returns the plan's display name.
+	Name() string
+	// Strategy returns the sharing strategy the plan was built with.
+	Strategy() Strategy
+	// Ends returns the chain's current slice end boundaries, in chain
+	// order, or nil for plans that are not state-slice chains.
+	Ends() []Time
+	// Explain renders a human-readable description of the compiled
+	// operator graph.
+	Explain() string
+	// EstimatedCost evaluates the paper's analytic cost model for this
+	// plan shape under the build's CostModel (WithCostParams, or
+	// DefaultCostModel): state memory in KB and comparisons per second.
+	// The two-query formulas Eqs. (1)-(2) bound the pull-up and
+	// push-down baselines, so those strategies require a two-query
+	// workload; chains and unshared plans cost any workload.
+	EstimatedCost() (Cost, error)
+	// Run pulls every tuple from the source through the plan and
+	// returns the run statistics.
+	Run(src Source, cfg RunConfig) (*Result, error)
+	// NewSession prepares an incremental run: feed tuples one at a
+	// time, consume sources, and migrate chain plans mid-stream.
+	// Concurrent plans (WithConcurrency) do not support sessions.
+	NewSession(cfg RunConfig) (*Session, error)
+	// Migrate re-slices a live chain to the given slice end boundaries
+	// (ascending; the last must equal the current largest boundary) by
+	// merging and splitting slices while the plan's session runs
+	// (Section 5.3). It requires a chain strategy, WithMigratable, and
+	// an active session created with NewSession.
+	Migrate(to []Time) error
+
+	// sealed keeps the implementation set closed so the interface can
+	// grow without breaking callers.
+	sealed()
+}
+
+// Build compiles the workload into an executable Plan under the given
+// sharing strategy. It is the single entry point subsuming the deprecated
+// per-strategy constructors:
+//
+//	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+//
+// Options outside the strategy's shape (for example WithEnds on a pull-up
+// plan, or WithConcurrency on a filtered workload) are rejected with an
+// error rather than ignored.
+func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.err != nil {
+		return nil, o.err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	for qi := range o.sinks {
+		if qi < 0 || qi >= len(w.Queries) {
+			return nil, fmt.Errorf("stateslice: WithSink query index %d out of range (workload has %d queries)", qi, len(w.Queries))
+		}
+	}
+	if !s.sliced() {
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{o.ends != nil, "WithEnds"},
+			{o.migratable, "WithMigratable"},
+			{o.disableLineage, "WithoutLineage"},
+			{o.concurrent, "WithConcurrency"},
+		} {
+			if bad.set {
+				return nil, fmt.Errorf("stateslice: %s applies to state-slice chains only, not the %s strategy", bad.name, s)
+			}
+		}
+	}
+	if o.ends != nil && s != MemOpt {
+		return nil, fmt.Errorf("stateslice: WithEnds overrides the slice layout and is valid only with MemOpt, not %s (CPU-Opt computes its own boundaries)", s)
+	}
+	model := o.model
+	if !o.modelSet {
+		model = DefaultCostModel()
+	}
+
+	if o.concurrent {
+		return buildConcurrent(w, s, o, model)
+	}
+
+	bp := &builtPlan{strategy: s, w: w, model: model, migratable: o.migratable}
+	switch s {
+	case MemOpt, CPUOpt:
+		cfg := plan.StateSliceConfig{
+			Ends:           o.ends,
+			DisableLineage: o.disableLineage,
+			Migratable:     o.migratable,
+			Collect:        o.collect,
+			Name:           o.name,
+		}
+		if cfg.Name == "" {
+			cfg.Name = "state-slice(" + s.String() + ")"
+		}
+		if s == CPUOpt {
+			res, err := chain.CPUOptEnds(workload.Specs(w), model.chainParams())
+			if err != nil {
+				return nil, err
+			}
+			cfg.Ends = workload.EndsToTimes(res.Ends)
+		}
+		sp, err := plan.BuildStateSlice(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		bp.chain = sp
+		bp.exec = sp.Plan
+	case PullUp, PushDown, Unshared:
+		var (
+			p   *engine.Plan
+			err error
+		)
+		switch s {
+		case PullUp:
+			p, err = plan.BuildPullUp(w, o.collect)
+		case PushDown:
+			p, err = plan.BuildPushDown(w, o.collect)
+		default:
+			p, err = plan.BuildUnshared(w, o.collect)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if o.name != "" {
+			p.Name = o.name
+		}
+		bp.exec = p
+	default:
+		return nil, fmt.Errorf("stateslice: unknown strategy %s", s)
+	}
+
+	if o.hashProbing {
+		if err := enableHashProbing(bp.exec); err != nil {
+			return nil, err
+		}
+	}
+	for qi, sink := range o.sinks {
+		emit := sink.Emit
+		bp.exec.Sinks[qi].OnResult(emit)
+	}
+	return bp, nil
+}
+
+// enableHashProbing switches every regular window join of the plan to
+// hash-index probing, reporting plans that contain none: sliced chains use
+// SlicedBinaryJoin operators, which are never hash-probed, and silently
+// "succeeding" on them hid real configuration mistakes.
+func enableHashProbing(p *engine.Plan) error {
+	eligible := 0
+	for _, s := range p.Stateful {
+		if wj, ok := s.(*operator.WindowJoin); ok {
+			if _, err := wj.WithHashProbe(); err != nil {
+				return err
+			}
+			eligible++
+		}
+	}
+	if eligible == 0 {
+		return fmt.Errorf("stateslice: plan %q contains no regular window join eligible for hash probing (state-slice chains use sliced joins, which are always nested-loop)", p.Name)
+	}
+	return nil
+}
+
+// builtPlan is the sequential, engine-backed Plan implementation shared by
+// every strategy.
+type builtPlan struct {
+	strategy   Strategy
+	w          Workload
+	exec       *engine.Plan
+	chain      *plan.StateSlicePlan // nil unless strategy.sliced()
+	model      CostModel
+	migratable bool
+	sess       *engine.Session // latest session, the migration target
+}
+
+func (p *builtPlan) sealed() {}
+
+// Name implements Plan.
+func (p *builtPlan) Name() string { return p.exec.Name }
+
+// Strategy implements Plan.
+func (p *builtPlan) Strategy() Strategy { return p.strategy }
+
+// Ends implements Plan.
+func (p *builtPlan) Ends() []Time {
+	if p.chain == nil {
+		return nil
+	}
+	return p.chain.Ends()
+}
+
+// Run implements Plan.
+func (p *builtPlan) Run(src Source, cfg RunConfig) (*Result, error) {
+	return engine.RunSource(p.exec, src, cfg)
+}
+
+// NewSession implements Plan.
+func (p *builtPlan) NewSession(cfg RunConfig) (*Session, error) {
+	s, err := engine.NewSession(p.exec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.sess = s
+	return s, nil
+}
+
+// Migrate implements Plan: it diffs the live chain's boundaries against the
+// target and applies the merges (right to left) and splits that transform
+// one into the other, exactly the Section 5.3 maintenance primitives.
+func (p *builtPlan) Migrate(to []Time) error {
+	if p.chain == nil {
+		return fmt.Errorf("stateslice: the %s strategy does not support migration; only state-slice chains re-slice online", p.strategy)
+	}
+	if !p.migratable {
+		return errors.New("stateslice: build the chain with WithMigratable to migrate it")
+	}
+	if p.sess == nil {
+		return errors.New("stateslice: Migrate needs an active session; call NewSession first")
+	}
+	if len(to) == 0 {
+		return errors.New("stateslice: migration target needs at least one slice boundary")
+	}
+	prev := Time(0)
+	for i, b := range to {
+		if b <= prev {
+			return fmt.Errorf("stateslice: migration boundaries must be positive and strictly ascending (index %d: %s after %s)", i, b, prev)
+		}
+		prev = b
+	}
+	cur := p.chain.Ends()
+	if last, want := to[len(to)-1], cur[len(cur)-1]; last != want {
+		return fmt.Errorf("stateslice: final migration boundary %s must equal the chain's largest boundary %s", last, want)
+	}
+	target := make(map[Time]bool, len(to))
+	for _, b := range to {
+		target[b] = true
+	}
+	// Merges first, right to left, so the chain never grows beyond
+	// max(len(cur), len(to)) slices mid-migration.
+	for {
+		cur = p.chain.Ends()
+		idx := -1
+		for i := len(cur) - 2; i >= 0; i-- {
+			if !target[cur[i]] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if err := p.chain.MergeSlices(p.sess, idx); err != nil {
+			return err
+		}
+	}
+	// Then splits, introducing the boundaries the chain lacks.
+	for _, b := range to[:len(to)-1] {
+		cur = p.chain.Ends()
+		have := false
+		idx := -1
+		start := Time(0)
+		for i, e := range cur {
+			if e == b {
+				have = true
+				break
+			}
+			if start < b && b < e {
+				idx = i
+				break
+			}
+			start = e
+		}
+		if have {
+			continue
+		}
+		if idx < 0 {
+			return fmt.Errorf("stateslice: no slice contains migration boundary %s (chain ends %v)", b, cur)
+		}
+		if err := p.chain.SplitSlice(p.sess, idx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EstimatedCost implements Plan.
+func (p *builtPlan) EstimatedCost() (Cost, error) {
+	return estimateCost(p.strategy, p.w, p.Ends(), p.model)
+}
+
+// Explain implements Plan.
+func (p *builtPlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q  strategy=%s\n", p.Name(), p.strategy)
+	explainQueries(&b, p.w)
+	if p.chain != nil {
+		start := Time(0)
+		b.WriteString("  chain:")
+		for _, e := range p.chain.Ends() {
+			fmt.Fprintf(&b, " (%s,%s]", fmtTime(start), fmtTime(e))
+			start = e
+		}
+		if p.migratable {
+			b.WriteString("  (migratable)")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  operators: ")
+	for i, op := range p.exec.Ops {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(op.Name())
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// fmtTime renders a timestamp as compact seconds for Explain output.
+func fmtTime(t Time) string {
+	return strconv.FormatFloat(t.ToSeconds(), 'g', -1, 64) + "s"
+}
+
+// explainQueries renders the workload's query list.
+func explainQueries(b *strings.Builder, w Workload) {
+	for i, q := range w.Queries {
+		fmt.Fprintf(b, "  %s: window %s", w.QueryName(i), fmtTime(q.Window))
+		if q.HasFilter() {
+			fmt.Fprintf(b, ", filter(A) %s", q.Filter)
+		}
+		if q.HasFilterB() {
+			fmt.Fprintf(b, ", filter(B) %s", q.FilterB)
+		}
+		b.WriteString("\n")
+	}
+}
+
+// estimateCost evaluates the analytic model for one plan shape.
+func estimateCost(s Strategy, w Workload, ends []Time, m CostModel) (Cost, error) {
+	switch s {
+	case MemOpt, CPUOpt:
+		secs := make([]float64, len(ends))
+		for i, e := range ends {
+			secs[i] = e.ToSeconds()
+		}
+		return cost.ChainCost(workload.Specs(w), secs, m.chainParams())
+	case PullUp, PushDown:
+		p, err := twoQueryParams(w, m)
+		if err != nil {
+			return Cost{}, err
+		}
+		if s == PullUp {
+			return cost.PullUp(p), nil
+		}
+		return cost.PushDown(p), nil
+	case Unshared:
+		return unsharedCost(w, m), nil
+	default:
+		return Cost{}, fmt.Errorf("stateslice: no cost model for strategy %s", s)
+	}
+}
+
+// twoQueryParams maps a two-query workload onto the Table 1 parameters of
+// Eqs. (1)-(2): Q1 unfiltered with window W1, Q2 with selection selectivity
+// SelSigma and window W2.
+func twoQueryParams(w Workload, m CostModel) (cost.Params, error) {
+	if len(w.Queries) != 2 {
+		return cost.Params{}, fmt.Errorf("stateslice: the Eq. (1)/(2) cost model covers two-query workloads, got %d queries (chain strategies cost any workload)", len(w.Queries))
+	}
+	return cost.Params{
+		LambdaA:  m.RateA,
+		LambdaB:  m.RateB,
+		W1:       w.Queries[0].Window.ToSeconds(),
+		W2:       w.Queries[1].Window.ToSeconds(),
+		TupleKB:  m.TupleKB,
+		SelSigma: selectivityOf(w.Queries[1].Filter),
+		SelJoin:  m.JoinSelectivity,
+	}, nil
+}
+
+// unsharedCost sums the per-query costs of independent plans (Figure 2):
+// each query pays its own filtered states, probing, purging and selections.
+func unsharedCost(w Workload, m CostModel) Cost {
+	l := (m.RateA + m.RateB) / 2
+	var c Cost
+	for _, q := range w.Queries {
+		sA := selectivityOf(q.Filter)
+		sB := selectivityOf(q.FilterB)
+		win := q.Window.ToSeconds()
+		c.MemoryKB += (sA + sB) * l * win * m.TupleKB
+		c.CPU += 2*sA*sB*l*l*win + // probing of the private join
+			(sA+sB)*l // cross-purge
+		if sA < 1 {
+			c.CPU += l // selection on stream A
+		}
+		if sB < 1 {
+			c.CPU += l // selection on stream B
+		}
+	}
+	return c
+}
+
+// selectivityOf returns a predicate's modelled selectivity (1 when absent).
+func selectivityOf(p Predicate) float64 {
+	if p == nil {
+		return 1
+	}
+	return p.Selectivity()
+}
+
+// chainParams maps the public cost model onto the internal chain model.
+func (m CostModel) chainParams() cost.ChainParams {
+	return cost.ChainParams{
+		LambdaA: m.RateA,
+		LambdaB: m.RateB,
+		TupleKB: m.TupleKB,
+		SelJoin: m.JoinSelectivity,
+		Csys:    m.Csys,
+	}
+}
+
+// buildConcurrent assembles the pipeline-backed Plan of WithConcurrency.
+func buildConcurrent(w Workload, s Strategy, o buildOptions, model CostModel) (Plan, error) {
+	if s != MemOpt {
+		return nil, fmt.Errorf("stateslice: WithConcurrency supports the MemOpt chain only, not %s", s)
+	}
+	if o.migratable || o.hashProbing {
+		return nil, errors.New("stateslice: WithConcurrency cannot be combined with WithMigratable or WithHashProbing")
+	}
+	if o.ends != nil || o.disableLineage {
+		return nil, errors.New("stateslice: WithConcurrency runs the distinct-window Mem-Opt layout and cannot be combined with WithEnds or WithoutLineage")
+	}
+	windows := make([]Time, 0, len(w.Queries))
+	for i, q := range w.Queries {
+		if q.HasFilter() || q.HasFilterB() {
+			return nil, fmt.Errorf("stateslice: WithConcurrency supports unfiltered queries only (query %d is filtered); use the sequential engine for pushed-down selections", i)
+		}
+		windows = append(windows, q.Window)
+	}
+	name := o.name
+	if name == "" {
+		name = "state-slice(mem-opt,concurrent)"
+	}
+	return &concurrentPlan{
+		name:    name,
+		w:       w,
+		windows: windows,
+		collect: o.collect,
+		sinks:   o.sinks,
+		model:   model,
+	}, nil
+}
+
+// concurrentPlan executes the Mem-Opt chain with one goroutine per sliced
+// join (internal/pipeline); it is single-shot and session-free.
+type concurrentPlan struct {
+	name    string
+	w       Workload
+	windows []Time
+	collect bool
+	sinks   map[int]Sink
+	model   CostModel
+}
+
+func (p *concurrentPlan) sealed() {}
+
+// Name implements Plan.
+func (p *concurrentPlan) Name() string { return p.name }
+
+// Strategy implements Plan.
+func (p *concurrentPlan) Strategy() Strategy { return MemOpt }
+
+// Ends implements Plan.
+func (p *concurrentPlan) Ends() []Time { return p.w.DistinctWindows() }
+
+// Run implements Plan.
+func (p *concurrentPlan) Run(src Source, cfg RunConfig) (*Result, error) {
+	var onResult func(int, *Tuple)
+	if len(p.sinks) > 0 {
+		sinks := p.sinks
+		onResult = func(qi int, t *Tuple) {
+			if s, ok := sinks[qi]; ok {
+				s.Emit(t)
+			}
+		}
+	}
+	start := time.Now()
+	pr, err := pipeline.RunChainSource(p.windows, p.w.Join, src, p.collect, onResult)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		PlanName:        p.name,
+		Inputs:          pr.Inputs,
+		Meter:           pr.Meter,
+		SinkCounts:      pr.SinkCounts,
+		Results:         pr.Results,
+		OrderViolations: pr.OrderViolations,
+		Wall:            time.Since(start),
+		VirtualDuration: pr.VirtualDuration,
+	}, nil
+}
+
+// NewSession implements Plan.
+func (p *concurrentPlan) NewSession(RunConfig) (*Session, error) {
+	return nil, errors.New("stateslice: concurrent plans run free-threaded and do not support sessions; build without WithConcurrency to feed tuples incrementally under your control")
+}
+
+// Migrate implements Plan.
+func (p *concurrentPlan) Migrate([]Time) error {
+	return errors.New("stateslice: concurrent plans do not support migration; build without WithConcurrency for online re-slicing")
+}
+
+// EstimatedCost implements Plan.
+func (p *concurrentPlan) EstimatedCost() (Cost, error) {
+	return estimateCost(MemOpt, p.w, p.Ends(), p.model)
+}
+
+// Explain implements Plan.
+func (p *concurrentPlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q  strategy=%s  concurrent\n", p.name, MemOpt)
+	explainQueries(&b, p.w)
+	b.WriteString("  stages: feeder")
+	start := Time(0)
+	for _, e := range p.w.DistinctWindows() {
+		fmt.Fprintf(&b, " -> slice(%s,%s]", fmtTime(start), fmtTime(e))
+		start = e
+	}
+	fmt.Fprintf(&b, " ; %d order-preserving mergers, one goroutine per stage\n", len(p.w.Queries))
+	return b.String()
+}

@@ -8,6 +8,7 @@
 //	slicebench -exp fig19            # Mem-Opt vs CPU-Opt, 5 panels
 //	slicebench -exp fig11 -grid 9    # analytic savings surfaces
 //	slicebench -exp table2           # chain execution trace
+//	slicebench -exp plans            # compiled plans of every strategy
 //	slicebench -exp all
 //
 // The measured experiments (fig17-19) run the full 90-virtual-second
@@ -25,13 +26,14 @@ import (
 	"strconv"
 	"strings"
 
+	"stateslice"
 	"stateslice/internal/bench"
 	"stateslice/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig11, fig17, fig18, fig19, table2, all")
+		exp      = flag.String("exp", "all", "experiment: fig11, fig17, fig18, fig19, table2, plans, all")
 		duration = flag.Float64("duration", workload.DurationSeconds, "virtual run length in seconds")
 		seed     = flag.Int64("seed", 2006, "generator seed")
 		grid     = flag.Int("grid", 9, "grid resolution for fig11 surfaces")
@@ -48,9 +50,10 @@ func main() {
 		"fig17":  func() { fig17(rates, *duration, *seed) },
 		"fig18":  func() { fig18(rates, *duration, *seed) },
 		"fig19":  func() { fig19(rates, *duration, *seed) },
+		"plans":  func() { plans(rates[0]) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table2", "fig11", "fig17", "fig18", "fig19"} {
+		for _, name := range []string{"table2", "fig11", "fig17", "fig18", "fig19", "plans"} {
 			run[name]()
 		}
 		return
@@ -137,6 +140,31 @@ func fig19(rates []float64, dur float64, seed int64) {
 		}
 	}
 	fmt.Println()
+}
+
+// plans compiles the Table 3 uniform workload under every sharing strategy
+// through the unified Build entry point and prints each plan's operator
+// graph and modelled cost — the qualitative companion to the measured
+// figures.
+func plans(rate float64) {
+	fmt.Println("== Compiled plans: Table 3 uniform workload under every strategy ==")
+	w, err := workload.ThreeQueries(workload.Uniform, 0.5, 0.1)
+	check(err)
+	model := stateslice.CostModel{
+		RateA: rate, RateB: rate,
+		JoinSelectivity: 0.1,
+		Csys:            stateslice.DefaultCsys,
+		TupleKB:         stateslice.DefaultTupleKB,
+	}
+	for _, s := range stateslice.Strategies() {
+		p, err := stateslice.Build(w, s, stateslice.WithCostParams(model))
+		check(err)
+		fmt.Print(p.Explain())
+		if est, err := p.EstimatedCost(); err == nil {
+			fmt.Printf("  modelled: %.1f KB state, %.0f comparisons/s\n", est.MemoryKB, est.CPU)
+		}
+		fmt.Println()
+	}
 }
 
 // runFig19 sweeps one panel with the overhead-weighted metric.

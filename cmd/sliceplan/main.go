@@ -1,13 +1,14 @@
 // Command sliceplan explores chain layouts for a query workload: it prints
 // the Mem-Opt chain (Section 5.1 of the State-Slice paper), the CPU-Opt
 // chain found by Dijkstra's algorithm over the slice-merge graph
-// (Section 5.2), their modelled memory and CPU costs, and the online
-// migration script between them (Section 5.3).
+// (Section 5.2), their modelled memory and CPU costs, the online migration
+// script between them (Section 5.3), and — with -explain — the compiled
+// operator graphs of both chains as Build produces them.
 //
 // Usage:
 //
 //	sliceplan -windows 1,2,3,4,5,6,25,26,27,28,29,30 -rate 40 -s1 0.025 -csys 3
-//	sliceplan -windows 10,20,30 -sels 1,0.5,0.5 -rate 60 -s1 0.1
+//	sliceplan -windows 10,20,30 -sels 1,0.5,0.5 -rate 60 -s1 0.1 -explain
 //
 // Windows are in seconds; -sels gives the per-query selection selectivities
 // (1 = unfiltered) and defaults to all-unfiltered.
@@ -31,6 +32,7 @@ func main() {
 		s1      = flag.Float64("s1", 0.025, "join selectivity S1")
 		csys    = flag.Float64("csys", 3, "system overhead factor C_sys (comparisons per tuple per operator)")
 		tupleKB = flag.Float64("tuplekb", 0.1, "tuple size Mt in KB")
+		explain = flag.Bool("explain", false, "print the compiled operator graphs of both chains")
 	)
 	flag.Parse()
 
@@ -63,7 +65,7 @@ func main() {
 	cpuRes, err := stateslice.CPUOptEnds(queries, params)
 	check(err)
 
-	memCost, err := chainCost(queries, memEnds, params)
+	memCost, err := stateslice.ChainCostOf(queries, memEnds, params)
 	check(err)
 	fmt.Printf("Mem-Opt chain  (%2d slices): %v\n", len(memEnds), memEnds)
 	fmt.Printf("  modelled state memory: %10.1f KB   CPU: %12.0f comparisons/s\n\n", memCost.MemoryKB, memCost.CPU)
@@ -83,19 +85,44 @@ func main() {
 	check(err)
 	if len(steps) == 0 {
 		fmt.Println("The chains coincide; no migration needed.")
+	} else {
+		fmt.Printf("\nonline migration Mem-Opt -> CPU-Opt (%d steps):\n", len(steps))
+		for _, s := range steps {
+			fmt.Printf("  %s\n", s)
+		}
+	}
+
+	if !*explain {
 		return
 	}
-	fmt.Printf("\nonline migration Mem-Opt -> CPU-Opt (%d steps):\n", len(steps))
-	for _, s := range steps {
-		fmt.Printf("  %s\n", s)
-	}
-}
 
-// chainCost evaluates the chain model through the public facade types.
-func chainCost(queries []stateslice.QuerySpec, ends []float64, p stateslice.ChainParams) (stateslice.Cost, error) {
-	// The facade exposes the optimizer; evaluating an explicit layout
-	// reuses the same model through CPUOptEnds' building block.
-	return stateslice.ChainCostOf(queries, ends, p)
+	// Compile both layouts into executable plans through the unified
+	// Build entry point and let them explain and price themselves.
+	w := stateslice.Workload{Join: stateslice.FractionMatch{S: *s1}}
+	for i, q := range queries {
+		var filter stateslice.Predicate
+		if q.Sel < 1 {
+			filter = stateslice.Threshold{S: q.Sel}
+		}
+		w.Queries = append(w.Queries, stateslice.Query{
+			Name:   fmt.Sprintf("Q%d", i+1),
+			Window: stateslice.Seconds(q.Window),
+			Filter: filter,
+		})
+	}
+	model := stateslice.CostModel{
+		RateA: *rate, RateB: *rate,
+		JoinSelectivity: *s1, Csys: *csys, TupleKB: *tupleKB,
+	}
+	fmt.Println()
+	for _, s := range []stateslice.Strategy{stateslice.MemOpt, stateslice.CPUOpt} {
+		p, err := stateslice.Build(w, s, stateslice.WithCostParams(model))
+		check(err)
+		fmt.Print(p.Explain())
+		est, err := p.EstimatedCost()
+		check(err)
+		fmt.Printf("  estimated: %.1f KB state, %.0f comparisons/s\n\n", est.MemoryKB, est.CPU)
+	}
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,8 +1,8 @@
 // Migration: watch the online maintenance of a state-slicing chain
-// (Section 5.3 of the paper) in slow motion. A three-slice chain runs over a
-// live stream; mid-run the chain is fully merged into one slice and later
-// re-split, while the example tracks the window states moving between the
-// sliced joins and verifies that no result is lost or duplicated.
+// (Section 5.3 of the paper) in slow motion. A three-slice chain runs over
+// a live stream; mid-run the chain is re-sliced twice with Plan.Migrate —
+// first fully merged into one slice, later re-split to the Mem-Opt layout —
+// while the example verifies that no result is lost or duplicated.
 //
 // Run with:
 //
@@ -32,31 +32,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Migratable: true})
+	// One migratable Mem-Opt chain; Migrate is a first-class method of
+	// the plan, no separate ChainPlan API needed.
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithMigratable())
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := stateslice.NewSession(sp.Plan, stateslice.RunConfig{})
+	sess, err := p.NewSession(stateslice.RunConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	show := func(tag string) {
-		fmt.Printf("%-28s", tag)
-		total := 0
-		for _, j := range sp.Slices() {
-			s, e := j.Range()
-			fmt.Printf("  (%.0fs,%.0fs]=%d", s.ToSeconds(), e.ToSeconds(), j.StateSize())
-			total += j.StateSize()
+		fmt.Printf("%-28s chain:", tag)
+		start := stateslice.Time(0)
+		for _, e := range p.Ends() {
+			fmt.Printf(" (%.0fs,%.0fs]", start.ToSeconds(), e.ToSeconds())
+			start = e
 		}
-		fmt.Printf("   total=%d tuples\n", total)
+		fmt.Println()
 	}
 
 	feed := func(from, to int) {
-		for _, tp := range input[from:to] {
-			if err := sess.Feed(tp); err != nil {
-				log.Fatal(err)
-			}
+		if err := sess.Consume(stateslice.SliceSource(input[from:to])); err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -64,14 +63,11 @@ func main() {
 	feed(0, third)
 	show("after 1/3 of the stream:")
 
-	// Merge everything into a single slice. Merging concatenates the
-	// window states; the queue between slices is drained first, so the
-	// total tuple count is preserved exactly.
-	fmt.Println("\n-> merge slices 2 and 3, then 1 and 2 (queue drained, states concatenated)")
-	if err := sp.MergeSlices(sess, 1); err != nil {
-		log.Fatal(err)
-	}
-	if err := sp.MergeSlices(sess, 0); err != nil {
+	// Migrate to a single slice. The merges concatenate the window
+	// states after draining the inter-slice queues, so the total tuple
+	// count is preserved exactly.
+	fmt.Println("\n-> Migrate(9s): merge everything into one slice")
+	if err := p.Migrate([]stateslice.Time{9 * stateslice.Second}); err != nil {
 		log.Fatal(err)
 	}
 	show("fully merged chain:")
@@ -79,14 +75,12 @@ func main() {
 	feed(third, 2*third)
 	show("after 2/3 of the stream:")
 
-	// Split back to the Mem-Opt layout. New slices start empty; the next
-	// cross-purges of the shrunk slice push the out-of-range tuples
+	// Migrate back to the Mem-Opt layout. New slices start empty; the
+	// next cross-purges of the shrunk slice push the out-of-range tuples
 	// rightward, so the states refill without any recomputation.
-	fmt.Println("\n-> split at 2s and 5s (new slices start empty and fill by purging)")
-	if err := sp.SplitSlice(sess, 0, 2*stateslice.Second); err != nil {
-		log.Fatal(err)
-	}
-	if err := sp.SplitSlice(sess, 1, 5*stateslice.Second); err != nil {
+	fmt.Println("\n-> Migrate(2s,5s,9s): split back to one slice per window")
+	to := []stateslice.Time{2 * stateslice.Second, 5 * stateslice.Second, 9 * stateslice.Second}
+	if err := p.Migrate(to); err != nil {
 		log.Fatal(err)
 	}
 	show("immediately after split:")
@@ -99,11 +93,11 @@ func main() {
 		res.SinkCounts, res.OrderViolations)
 
 	// Reference: the same stream without any migration.
-	ref, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{})
+	ref, err := stateslice.Build(w, stateslice.MemOpt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	refRes, err := stateslice.Run(ref.Plan, input, stateslice.RunConfig{})
+	refRes, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,5 +107,5 @@ func main() {
 			log.Fatalf("query %d lost or duplicated results across migration", i)
 		}
 	}
-	fmt.Println("answers across two merges and two splits: exact")
+	fmt.Println("answers across two migrations: exact")
 }

@@ -1,8 +1,10 @@
 // Pubsub: a publish/subscribe service hosting dozens of subscriptions over
 // the same two event streams, each subscription a window join with its own
 // window size (the paper's Section 7.3 scenario, Table 4's Small-Large
-// distribution). The example builds the Mem-Opt and CPU-Opt chains, compares
-// them, and then migrates the running plan when subscriptions churn.
+// distribution). The example builds the Mem-Opt and CPU-Opt chains through
+// Build, compares their modelled and measured costs, runs the Mem-Opt chain
+// concurrently (one goroutine per slice), and then re-slices the running
+// plan with Migrate when subscriptions churn.
 //
 // Run with:
 //
@@ -49,76 +51,85 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Mem-Opt: one slice per distinct window.
-	memPlan, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{})
-	if err != nil {
-		log.Fatal(err)
+	// The same cost model drives the CPU-Opt optimizer and every plan's
+	// EstimatedCost. Values are taken verbatim — no silent defaulting.
+	model := stateslice.CostModel{
+		RateA: *rate, RateB: *rate,
+		JoinSelectivity: 0.025,
+		Csys:            stateslice.DefaultCsys,
+		TupleKB:         stateslice.DefaultTupleKB,
 	}
-	// CPU-Opt: Dijkstra merges the clustered windows.
-	cpuPlan, err := stateslice.CPUOptPlan(w, stateslice.CPUOptParams{
-		RateA: *rate, RateB: *rate, JoinSelectivity: 0.025, Csys: 3,
-	}, stateslice.ChainConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%d subscriptions sharing one chain\n", len(queries))
-	fmt.Printf("  Mem-Opt: %d sliced joins\n", len(memPlan.Slices()))
-	fmt.Printf("  CPU-Opt: %d sliced joins (ends ", len(cpuPlan.Slices()))
-	for i, e := range cpuPlan.Ends() {
-		if i > 0 {
-			fmt.Print(", ")
-		}
-		fmt.Printf("%.1fs", e.ToSeconds())
-	}
-	fmt.Println(")")
 
-	for name, p := range map[string]*stateslice.Plan{"Mem-Opt": memPlan.Plan, "CPU-Opt": cpuPlan.Plan} {
-		res, err := stateslice.Run(p, input, stateslice.RunConfig{SampleEvery: 8})
+	fmt.Printf("%d subscriptions sharing one chain\n", len(queries))
+	for _, s := range []stateslice.Strategy{stateslice.MemOpt, stateslice.CPUOpt} {
+		p, err := stateslice.Build(w, s, stateslice.WithCostParams(model))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %s: %d comparisons + %d op invocations, avg state %.0f tuples, wall %.0f tuples/s\n",
-			name, res.Meter.Comparisons(), res.Meter.Invocations, res.Memory.Avg, res.ServiceRate())
+		est, err := p.EstimatedCost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{SampleEvery: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: %d slices, modelled %.0f KB / %.0f cmp/s; measured %d comparisons + %d invocations, avg state %.0f tuples, wall %.0f tuples/s\n",
+			p.Name(), len(p.Ends()), est.MemoryKB, est.CPU,
+			res.Meter.Comparisons(), res.Meter.Invocations, res.Memory.Avg, res.ServiceRate())
 	}
 
-	// Subscription churn: the shortest-window subscriber leaves, a new
-	// one registers between two existing windows. Migrate the running
-	// CPU-Opt chain accordingly (Section 5.3) without stopping the
-	// stream.
-	fmt.Println("\nsubscription churn: migrating the live chain")
-	live, err := stateslice.CPUOptPlan(w, stateslice.CPUOptParams{
-		RateA: *rate, RateB: *rate, JoinSelectivity: 0.025, Csys: 3,
-	}, stateslice.ChainConfig{Migratable: true})
+	// The same Mem-Opt chain under the concurrent executor: one
+	// goroutine per sliced join, reached through the same Build path.
+	pc, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithConcurrency())
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := stateslice.NewSession(live.Plan, stateslice.RunConfig{SampleEvery: 8})
+	cres, err := pc.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s: %d results, wall %.0f tuples/s\n",
+		pc.Name(), cres.TotalOutputs(), cres.ServiceRate())
+
+	// Subscription churn: the shortest-window subscriber leaves, a new
+	// one registers between two existing windows. Re-slice the running
+	// CPU-Opt chain with one Migrate call (Section 5.3) without
+	// stopping the stream.
+	fmt.Println("\nsubscription churn: migrating the live chain")
+	live, err := stateslice.Build(w, stateslice.CPUOpt,
+		stateslice.WithCostParams(model), stateslice.WithMigratable())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := live.NewSession(stateslice.RunConfig{SampleEvery: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
 	half := len(input) / 2
-	for _, tp := range input[:half] {
-		if err := sess.Feed(tp); err != nil {
-			log.Fatal(err)
-		}
+	if err := sess.Consume(stateslice.SliceSource(input[:half])); err != nil {
+		log.Fatal(err)
 	}
 	before := live.Ends()
-	// Merge the first two slices (subscriber of the smallest boundary
-	// left), then split the last slice (a new subscriber needs an
-	// intermediate boundary).
-	if err := live.MergeSlices(sess, 0); err != nil {
+	// Drop the smallest boundary (its subscriber left, unless the chain
+	// is already a single slice) and add an intermediate boundary in the
+	// last slice (a new subscriber).
+	target := append([]stateslice.Time{}, before...)
+	if len(target) > 1 {
+		target = target[1:]
+	}
+	last := len(target) - 1
+	var prevEnd stateslice.Time
+	if last > 0 {
+		prevEnd = target[last-1]
+	}
+	mid := (prevEnd + target[last]) / 2
+	target = append(target[:last], mid, target[last])
+	if err := live.Migrate(target); err != nil {
 		log.Fatal(err)
 	}
-	last := len(live.Slices()) - 1
-	startLast, endLast := live.Slices()[last].Range()
-	mid := (startLast + endLast) / 2
-	if err := live.SplitSlice(sess, last, mid); err != nil {
+	if err := sess.Consume(stateslice.SliceSource(input[half:])); err != nil {
 		log.Fatal(err)
-	}
-	for _, tp := range input[half:] {
-		if err := sess.Feed(tp); err != nil {
-			log.Fatal(err)
-		}
 	}
 	res := sess.Finish()
 	fmt.Printf("  boundaries before: %d slices, after: %d slices\n", len(before), len(live.Ends()))
@@ -126,11 +137,11 @@ func main() {
 		res.TotalOutputs(), res.OrderViolations)
 
 	// Sanity: a static run delivers the same answer set sizes.
-	ref, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{})
+	ref, err := stateslice.Build(w, stateslice.MemOpt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	refRes, err := stateslice.Run(ref.Plan, input, stateslice.RunConfig{SampleEvery: 8})
+	refRes, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{SampleEvery: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

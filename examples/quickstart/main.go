@@ -32,39 +32,38 @@ func main() {
 		Join: stateslice.Equijoin{},
 	}
 
-	// The Mem-Opt chain: two sliced joins, (0,1s] and (1s,60s], with the
-	// selection pushed between them.
-	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Collect: true})
+	// One Build call per strategy; MemOpt compiles the Mem-Opt chain:
+	// two sliced joins, (0,1s] and (1s,60s], with the selection pushed
+	// between them.
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("shared plan: chain of sliced window joins")
-	for i, j := range sp.Slices() {
-		start, end := j.Range()
-		fmt.Printf("  slice %d: window range (%s, %s]\n", i+1, start, end)
-	}
+	fmt.Print(p.Explain())
 
 	// 90 virtual seconds of Poisson arrivals at 50 tuples/sec per stream,
-	// 100 sensor locations.
-	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+	// 100 sensor locations. The generator is consumed as a Source, one
+	// tuple at a time — nothing is materialized up front.
+	gen := stateslice.GeneratorConfig{
 		RateA: 50, RateB: 50,
 		Duration:  90 * stateslice.Second,
 		KeyDomain: 100,
 		Seed:      1,
-	})
+	}
+	src, err := stateslice.GeneratorSource(gen)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{})
+	res, err := p.Run(src, stateslice.RunConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\nprocessed %d tuples (%.0f virtual seconds) in %s\n",
 		res.Inputs, res.VirtualDuration.ToSeconds(), res.Wall)
-	for i, sink := range sp.Sinks() {
-		fmt.Printf("  %s: %d results\n", w.QueryName(i), sink.Count())
+	for i, n := range res.SinkCounts {
+		fmt.Printf("  %s: %d results\n", w.QueryName(i), n)
 	}
 	fmt.Printf("state memory: avg %.0f tuples, peak %d tuples\n", res.Memory.Avg, res.Memory.Max)
 	fmt.Printf("CPU: %d comparisons (%d probe, %d purge)\n",
@@ -72,7 +71,7 @@ func main() {
 
 	// A few joined results from the filtered query.
 	fmt.Println("\nfirst Q2 matches (hot temperature readings joined with humidity):")
-	for i, r := range sp.Sinks()[1].Results() {
+	for i, r := range res.Results[1] {
 		if i == 5 {
 			break
 		}
@@ -80,12 +79,18 @@ func main() {
 			r.Time, r.A.Key, r.A.Value, r)
 	}
 
-	// Compare against the naive shared plan (selection pull-up).
-	pu, err := stateslice.PullUpPlan(w, false)
+	// Compare against the naive shared plan (selection pull-up): same
+	// Build entry point, different strategy. A fresh generator source
+	// replays the identical input.
+	pu, err := stateslice.Build(w, stateslice.PullUp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	puRes, err := stateslice.Run(pu, input, stateslice.RunConfig{})
+	src2, err := stateslice.GeneratorSource(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	puRes, err := pu.Run(src2, stateslice.RunConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,8 @@
 // Sensors: the paper's Section 7.2 scenario — three monitoring queries over
 // temperature and humidity sensor streams with different windows, two of
-// them filtered — executed under all three sharing strategies, reporting the
-// memory and CPU trade-off of Figures 17 and 18.
+// them filtered — executed under every sharing strategy through the single
+// Build entry point, reporting the memory and CPU trade-off of Figures 17
+// and 18. A streaming Sink watches one query's results arrive live.
 //
 // Run with:
 //
@@ -45,42 +46,44 @@ func main() {
 	}
 	fmt.Printf("3 queries, %d input tuples at %.0f t/s per stream\n\n", len(input), *rate)
 
+	// One strategy enum value per run; every plan comes out of the same
+	// Build call and is driven the same way. A Sink callback streams the
+	// first few hot-long alerts as they are produced.
 	type row struct {
 		name string
 		res  *stateslice.Result
 	}
 	var rows []row
+	alerts := 0
+	alertSink := stateslice.SinkFunc(func(t *stateslice.Tuple) {
+		if alerts < 3 {
+			fmt.Printf("  [live hot-long alert] %s\n", t)
+		}
+		alerts++
+	})
 
-	pu, err := stateslice.PullUpPlan(w, false)
-	if err != nil {
-		log.Fatal(err)
+	strategies := []stateslice.Strategy{
+		stateslice.PullUp, stateslice.PushDown, stateslice.MemOpt, stateslice.Unshared,
 	}
-	run := func(name string, p *stateslice.Plan) {
-		res, err := stateslice.Run(p, input, stateslice.RunConfig{})
+	for _, s := range strategies {
+		opts := []stateslice.Option{}
+		if s == stateslice.MemOpt {
+			opts = append(opts, stateslice.WithSink(2, alertSink))
+		}
+		p, err := stateslice.Build(w, s, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows = append(rows, row{name, res})
+		if s == stateslice.MemOpt {
+			fmt.Println("state-slice chain, streaming the first hot-long alerts:")
+		}
+		res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{p.Name(), res})
 	}
-	run("selection pull-up (NiagaraCQ naive)", pu)
-
-	pd, err := stateslice.PushDownPlan(w, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	run("stream partition (push-down)", pd)
-
-	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	run("state-slice chain (this paper)", sp.Plan)
-
-	un, err := stateslice.UnsharedPlan(w, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	run("unshared (one plan per query)", un)
+	fmt.Println()
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "strategy\tavg state (tuples)\tcomparisons\ttuples/Mcmp\twall tuples/s\tresults")

@@ -1,0 +1,3 @@
+module stateslice
+
+go 1.24

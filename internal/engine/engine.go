@@ -14,6 +14,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"stateslice/internal/operator"
@@ -85,6 +86,9 @@ type Result struct {
 	Meter operator.CostMeter
 	// SinkCounts is the number of results delivered per query sink.
 	SinkCounts []uint64
+	// Results holds the per-query result tuples for sinks that collect
+	// (nil slices otherwise), indexed like SinkCounts.
+	Results [][]*stream.Tuple
 	// OrderViolations sums out-of-order deliveries across sinks (must be
 	// zero; unions preserve order).
 	OrderViolations int
@@ -228,24 +232,54 @@ func (s *Session) Finish() *Result {
 	for _, sk := range s.plan.Sinks {
 		res.SinkCounts = append(res.SinkCounts, sk.Count())
 		res.OrderViolations += sk.OrderViolations()
+		res.Results = append(res.Results, sk.Results())
 	}
 	return res
+}
+
+// Consume feeds the session from a source until it is exhausted. It may be
+// called several times (with sources whose timestamps continue ascending)
+// and interleaved with Feed and plan migrations.
+func (s *Session) Consume(src stream.Source) error {
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("engine: source: %w", err)
+		}
+		if err := s.Feed(t); err != nil {
+			return err
+		}
+	}
+}
+
+// RunSource executes the plan over a tuple source (in global timestamp
+// order) and returns the run statistics. This is the engine's native feed
+// loop; Run is the batch convenience wrapper over it. Sources implementing
+// stream.Sized pre-size the monitor's warm-up window.
+func RunSource(p *Plan, src stream.Source, cfg Config) (*Result, error) {
+	if sized, ok := src.(stream.Sized); ok && cfg.ExpectedInputs == 0 {
+		cfg.ExpectedInputs = sized.Len()
+	}
+	if cfg.WarmupFraction > 0 && cfg.ExpectedInputs <= 0 {
+		return nil, errors.New("engine: WarmupFraction needs the total input size; set Config.ExpectedInputs or use a sized source")
+	}
+	s, err := NewSession(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Consume(src); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
 }
 
 // Run executes the plan over the input tuples (which must be in global
 // timestamp order) and returns the run statistics.
 func Run(p *Plan, input []*stream.Tuple, cfg Config) (*Result, error) {
-	cfg.ExpectedInputs = len(input)
-	s, err := NewSession(p, cfg)
-	if err != nil {
-		return nil, err
-	}
-	for _, t := range input {
-		if err := s.Feed(t); err != nil {
-			return nil, err
-		}
-	}
-	return s.Finish(), nil
+	return RunSource(p, stream.NewSliceSource(input), cfg)
 }
 
 // dedupQueues merges the entry queue lists without duplicates, so shared

@@ -8,9 +8,10 @@ import "stateslice/internal/stream"
 // which the order-preserving unions must guarantee; violations are counted
 // rather than fatal so tests can assert on them.
 type Sink struct {
-	name    string
-	in      *stream.Queue
-	collect bool
+	name     string
+	in       *stream.Queue
+	collect  bool
+	onResult func(*stream.Tuple)
 
 	count      uint64
 	results    []*stream.Tuple
@@ -28,6 +29,14 @@ func NewSink(name string, in *stream.Queue) *Sink {
 // Collecting makes the sink retain every result tuple and returns it.
 func (s *Sink) Collecting() *Sink {
 	s.collect = true
+	return s
+}
+
+// OnResult installs a callback invoked for every result tuple as it is
+// delivered, in delivery order, from whichever goroutine steps the sink. It
+// must be set before the sink processes any tuple.
+func (s *Sink) OnResult(fn func(*stream.Tuple)) *Sink {
+	s.onResult = fn
 	return s
 }
 
@@ -63,6 +72,9 @@ func (s *Sink) Step(m *CostMeter, max int) int {
 		s.count++
 		if s.collect {
 			s.results = append(s.results, t)
+		}
+		if s.onResult != nil {
+			s.onResult(t)
 		}
 	}
 	return n

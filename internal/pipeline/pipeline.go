@@ -19,6 +19,7 @@ package pipeline
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"stateslice/internal/operator"
@@ -27,6 +28,10 @@ import (
 
 // Result reports a concurrent chain run.
 type Result struct {
+	// Inputs is the number of source tuples fed through the chain.
+	Inputs int
+	// VirtualDuration is the timestamp of the last input tuple.
+	VirtualDuration stream.Time
 	// SinkCounts is the number of results delivered per query, indexed
 	// like the windows passed to RunChain.
 	SinkCounts []uint64
@@ -55,6 +60,16 @@ const chanBuf = 256
 // the input, concurrently. Windows must be ascending; the i-th query's
 // answer is the sliding-window join with windows[i] on both streams.
 func RunChain(windows []stream.Time, join stream.JoinPredicate, input []*stream.Tuple, collect bool) (*Result, error) {
+	return RunChainSource(windows, join, stream.NewSliceSource(input), collect, nil)
+}
+
+// RunChainSource is the streaming form of RunChain: the feeder pulls tuples
+// from the source one at a time, so unbounded inputs flow through the
+// concurrent chain without ever being materialized. When onResult is
+// non-nil it is invoked for every result of query qi in that query's
+// delivery order (from the query's merger goroutine; callbacks for
+// different queries run concurrently).
+func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream.Source, collect bool, onResult func(qi int, t *stream.Tuple)) (*Result, error) {
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("pipeline: no query windows")
 	}
@@ -96,14 +111,33 @@ func RunChain(windows []stream.Time, join stream.JoinPredicate, input []*stream.
 
 	var wg sync.WaitGroup
 
-	// Feeder: split each source tuple into female and male copies and
-	// punctuate the end of the stream.
+	// Feeder: pull from the source, split each tuple into its female and
+	// male reference copies and punctuate the end of the stream.
 	feed := make(chan stream.Item, chanBuf)
+	var (
+		inputs   int
+		lastTime stream.Time
+		srcErr   error
+	)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(feed)
-		for _, t := range input {
+		for {
+			t, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				srcErr = fmt.Errorf("pipeline: source: %w", err)
+				break
+			}
+			if t.Time < lastTime {
+				srcErr = fmt.Errorf("pipeline: tuple %s out of timestamp order (last %s)", t, lastTime)
+				break
+			}
+			inputs++
+			lastTime = t.Time
 			feed <- stream.TupleItem(t.WithRole(stream.RoleFemale))
 			feed <- stream.TupleItem(t.WithRole(stream.RoleMale))
 		}
@@ -125,6 +159,10 @@ func RunChain(windows []stream.Time, join stream.JoinPredicate, input []*stream.
 		sink := operator.NewSink(fmt.Sprintf("Q%d", qi+1), u.Out().NewQueue())
 		if collect {
 			sink.Collecting()
+		}
+		if onResult != nil {
+			q := qi
+			sink.OnResult(func(t *stream.Tuple) { onResult(q, t) })
 		}
 		sinks[qi] = sink
 		m := newMeter()
@@ -208,8 +246,11 @@ func RunChain(windows []stream.Time, join stream.JoinPredicate, input []*stream.
 	wg.Wait()
 	stageWG.Wait()
 	mergeWG.Wait()
+	if srcErr != nil {
+		return nil, srcErr
+	}
 
-	res := &Result{}
+	res := &Result{Inputs: inputs, VirtualDuration: lastTime}
 	for _, m := range meters {
 		res.Meter.Probe += m.Probe
 		res.Meter.Purge += m.Purge
@@ -223,9 +264,9 @@ func RunChain(windows []stream.Time, join stream.JoinPredicate, input []*stream.
 	for _, s := range sinks {
 		res.SinkCounts = append(res.SinkCounts, s.Count())
 		res.OrderViolations += s.OrderViolations()
-		if collect {
-			res.Results = append(res.Results, s.Results())
-		}
+		// Indexed like SinkCounts even without collection (nil slices),
+		// matching the sequential engine's Result shape.
+		res.Results = append(res.Results, s.Results())
 	}
 	return res, nil
 }

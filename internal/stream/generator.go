@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 )
@@ -62,49 +63,74 @@ func (c GeneratorConfig) Validate() error {
 
 // Generate produces the merged input of both streams in global timestamp
 // order, with strictly increasing Seq and per-stream ordinals starting at 1.
+// It materializes the full run of a GeneratorSource; streaming consumers
+// should pull from NewGeneratorSource directly instead.
 func Generate(cfg GeneratorConfig) ([]*Tuple, error) {
+	src, err := NewGeneratorSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(src)
+}
+
+// GeneratorSource produces the synthetic Poisson (or uniform) workload one
+// tuple at a time. It yields exactly the sequence Generate materializes for
+// the same configuration, so streaming and batch runs are comparable
+// tuple for tuple.
+type GeneratorSource struct {
+	cfg          GeneratorConfig
+	rng          *rand.Rand
+	nextA, nextB Time
+	seq          uint64
+	ordA, ordB   uint64
+}
+
+// NewGeneratorSource validates the configuration and prepares the stream.
+func NewGeneratorSource(cfg GeneratorConfig) (*GeneratorSource, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	nextA := nextArrival(rng, cfg.Arrival, cfg.RateA, 0)
-	nextB := nextArrival(rng, cfg.Arrival, cfg.RateB, 0)
-	var (
-		out  []*Tuple
-		seq  uint64
-		ordA uint64
-		ordB uint64
-	)
-	for nextA <= cfg.Duration || nextB <= cfg.Duration {
+	return &GeneratorSource{
+		cfg:   cfg,
+		rng:   rng,
+		nextA: nextArrival(rng, cfg.Arrival, cfg.RateA, 0),
+		nextB: nextArrival(rng, cfg.Arrival, cfg.RateB, 0),
+	}, nil
+}
+
+// Next implements Source.
+func (g *GeneratorSource) Next() (*Tuple, error) {
+	for g.nextA <= g.cfg.Duration || g.nextB <= g.cfg.Duration {
 		var (
 			id ID
 			ts Time
 		)
-		if nextA <= nextB {
-			id, ts = StreamA, nextA
-			nextA = nextArrival(rng, cfg.Arrival, cfg.RateA, nextA)
+		if g.nextA <= g.nextB {
+			id, ts = StreamA, g.nextA
+			g.nextA = nextArrival(g.rng, g.cfg.Arrival, g.cfg.RateA, g.nextA)
 		} else {
-			id, ts = StreamB, nextB
-			nextB = nextArrival(rng, cfg.Arrival, cfg.RateB, nextB)
+			id, ts = StreamB, g.nextB
+			g.nextB = nextArrival(g.rng, g.cfg.Arrival, g.cfg.RateB, g.nextB)
 		}
-		if ts > cfg.Duration {
+		if ts > g.cfg.Duration {
 			continue
 		}
-		seq++
-		t := &Tuple{Time: ts, Seq: seq, Stream: id, Value: rng.Float64()}
+		g.seq++
+		t := &Tuple{Time: ts, Seq: g.seq, Stream: id, Value: g.rng.Float64()}
 		if id == StreamA {
-			ordA++
-			t.Ord = ordA
+			g.ordA++
+			t.Ord = g.ordA
 		} else {
-			ordB++
-			t.Ord = ordB
+			g.ordB++
+			t.Ord = g.ordB
 		}
-		if cfg.KeyDomain > 0 {
-			t.Key = rng.Int63n(cfg.KeyDomain)
+		if g.cfg.KeyDomain > 0 {
+			t.Key = g.rng.Int63n(g.cfg.KeyDomain)
 		}
-		out = append(out, t)
+		return t, nil
 	}
-	return out, nil
+	return nil, io.EOF
 }
 
 // nextArrival returns the arrival time following prev for the given rate.

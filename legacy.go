@@ -1,0 +1,157 @@
+package stateslice
+
+// The deprecated pre-Build API: five per-strategy constructors returning
+// two incompatible plan shapes (*ChainPlan vs *ExecPlan), batch-only
+// execution, and free functions for what are now Plan methods. The wrappers
+// keep every old function name compiling unchanged; the one renaming
+// callers must absorb is the raw plan type, formerly `Plan`, now `ExecPlan`
+// (the `Plan` name belongs to the unified interface returned by Build). New
+// code should use Build, the Plan interface, and Source/Sink streaming.
+
+import (
+	"fmt"
+
+	"stateslice/internal/chain"
+	"stateslice/internal/cost"
+	"stateslice/internal/engine"
+	"stateslice/internal/pipeline"
+	"stateslice/internal/plan"
+	"stateslice/internal/workload"
+)
+
+// MemOptPlan builds the memory-optimal state-slice chain for the workload:
+// one sliced join per distinct query window (Section 5.1 of the paper;
+// Theorems 3 and 4 prove memory optimality with and without selections).
+//
+// Deprecated: use Build(w, MemOpt, ...).
+func MemOptPlan(w Workload, cfg ChainConfig) (*ChainPlan, error) {
+	cfg.Ends = nil
+	if cfg.Name == "" {
+		cfg.Name = "state-slice(mem-opt)"
+	}
+	return plan.BuildStateSlice(w, cfg)
+}
+
+// CPUOptParams carries the cost-model inputs of the CPU-optimal chain
+// build-up (Section 5.2). Zero values of JoinSelectivity and Csys are
+// silently rewritten to defaults, which makes an explicit 0 inexpressible.
+//
+// Deprecated: use CostModel with WithCostParams, whose values are taken
+// verbatim and validated instead of silently defaulted.
+type CPUOptParams struct {
+	// RateA and RateB are the expected stream rates in tuples/sec.
+	RateA, RateB float64
+	// JoinSelectivity is S1; zero defaults to DefaultJoinSelectivity.
+	JoinSelectivity float64
+	// Csys is the per-tuple-per-operator overhead factor; zero defaults
+	// to DefaultCsys.
+	Csys float64
+}
+
+// CPUOptPlan builds the CPU-optimal state-slice chain: adjacent slices are
+// merged whenever the saved purge and scheduling overhead outweighs the
+// added routing cost, solved as a shortest path with Dijkstra's algorithm
+// (Section 5.2; Section 6.2 with selections).
+//
+// Deprecated: use Build(w, CPUOpt, WithCostParams(m)).
+func CPUOptPlan(w Workload, p CPUOptParams, cfg ChainConfig) (*ChainPlan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if p.JoinSelectivity == 0 {
+		p.JoinSelectivity = DefaultJoinSelectivity
+	}
+	if p.Csys == 0 {
+		p.Csys = DefaultCsys
+	}
+	res, err := chain.CPUOptEnds(workload.Specs(w), cost.ChainParams{
+		LambdaA: p.RateA,
+		LambdaB: p.RateB,
+		TupleKB: DefaultTupleKB,
+		SelJoin: p.JoinSelectivity,
+		Csys:    p.Csys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Ends = workload.EndsToTimes(res.Ends)
+	if cfg.Name == "" {
+		cfg.Name = "state-slice(cpu-opt)"
+	}
+	return plan.BuildStateSlice(w, cfg)
+}
+
+// ChainPlanWithEnds builds a state-slice chain with explicit slice
+// boundaries (ascending, the last equal to the largest query window).
+//
+// Deprecated: use Build(w, MemOpt, WithEnds(ends...)).
+func ChainPlanWithEnds(w Workload, ends []Time, cfg ChainConfig) (*ChainPlan, error) {
+	cfg.Ends = ends
+	return plan.BuildStateSlice(w, cfg)
+}
+
+// PullUpPlan builds the naive shared plan with selection pull-up
+// (Section 3.1): one largest-window join plus a router.
+//
+// Deprecated: use Build(w, PullUp, ...).
+func PullUpPlan(w Workload, collect bool) (*ExecPlan, error) { return plan.BuildPullUp(w, collect) }
+
+// PushDownPlan builds the stream-partition plan with selection push-down
+// (Section 3.2): split, per-partition joins, router and union.
+//
+// Deprecated: use Build(w, PushDown, ...).
+func PushDownPlan(w Workload, collect bool) (*ExecPlan, error) { return plan.BuildPushDown(w, collect) }
+
+// UnsharedPlan builds one independent plan per query (Figure 2).
+//
+// Deprecated: use Build(w, Unshared, ...).
+func UnsharedPlan(w Workload, collect bool) (*ExecPlan, error) { return plan.BuildUnshared(w, collect) }
+
+// Run executes a raw plan over a pre-materialized input batch.
+//
+// Deprecated: use Plan.Run with a Source (SliceSource for batches).
+func Run(p *ExecPlan, input []*Tuple, cfg RunConfig) (*Result, error) {
+	return engine.Run(p, input, cfg)
+}
+
+// ConcurrentResult reports a concurrent chain execution.
+type ConcurrentResult = pipeline.Result
+
+// RunChainConcurrent executes the workload's Mem-Opt chain with one
+// goroutine per sliced join connected by channels — the asynchronous
+// scheduling regime whose correctness Lemma 1 guarantees and Section 9 of
+// the paper points at for distributed execution. Results are identical to
+// the sequential engine's; the workload must not carry selections (use the
+// sequential engine for filtered chains).
+//
+// Deprecated: use Build(w, MemOpt, WithConcurrency()) and Plan.Run.
+func RunChainConcurrent(w Workload, input []*Tuple, collect bool) (*ConcurrentResult, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	var windows []Time
+	for i, q := range w.Queries {
+		if q.HasFilter() || q.HasFilterB() {
+			return nil, fmt.Errorf("stateslice: concurrent chains support unfiltered queries only (query %d is filtered)", i)
+		}
+		windows = append(windows, q.Window)
+	}
+	return pipeline.RunChain(windows, w.Join, input, collect)
+}
+
+// EnableHashProbing switches every regular window join in the plan from
+// nested-loop probing (the paper's cost model) to hash-index probing, the
+// variant the paper cites from Kang et al. [14]. It must be called before
+// the plan processes any tuple and requires an equijoin predicate. Plans
+// that contain no eligible regular window join — state-slice chains, whose
+// sliced joins are always nested-loop — are reported as an error instead of
+// silently left unprobed.
+//
+// Deprecated: use Build(..., WithHashProbing()).
+func EnableHashProbing(p *ExecPlan) error { return enableHashProbing(p) }
+
+// NewSession prepares an incremental run over a raw plan; use it to Feed
+// tuples one at a time and migrate chain plans mid-stream.
+//
+// Deprecated: use Plan.NewSession.
+func NewSession(p *ExecPlan, cfg RunConfig) (*Session, error) { return engine.NewSession(p, cfg) }

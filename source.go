@@ -1,0 +1,43 @@
+package stateslice
+
+import "stateslice/internal/stream"
+
+// Source produces input tuples incrementally, in global timestamp order.
+// Plans consume sources one tuple at a time, so inputs may be unbounded —
+// a live channel, an incremental generator — without the whole workload
+// ever being materialized. Next returns io.EOF when the source is
+// exhausted.
+type Source = stream.Source
+
+// SliceSource adapts a pre-materialized batch to the Source interface.
+func SliceSource(tuples []*Tuple) Source { return stream.NewSliceSource(tuples) }
+
+// ChannelSource adapts a tuple channel to the Source interface; the source
+// ends when the channel is closed. Nil tuples are skipped, so producers may
+// send them as keep-alives.
+func ChannelSource(ch <-chan *Tuple) Source { return stream.NewChanSource(ch) }
+
+// GeneratorSource streams the synthetic Poisson workload one tuple at a
+// time. It yields exactly the sequence Generate materializes for the same
+// configuration, so streaming and batch runs are comparable tuple for
+// tuple.
+func GeneratorSource(cfg GeneratorConfig) (Source, error) { return stream.NewGeneratorSource(cfg) }
+
+// CollectSource drains a source into a batch — handy for feeding several
+// plans the same input or for bridging to the deprecated batch APIs.
+func CollectSource(src Source) ([]*Tuple, error) { return stream.Collect(src) }
+
+// Sink receives one query's result tuples as they are produced, in that
+// query's delivery order. Register sinks at build time with WithSink. For
+// sequential plans the callback runs on the goroutine driving the session;
+// under WithConcurrency it runs on the query's merger goroutine, so sinks
+// of different queries may fire concurrently.
+type Sink interface {
+	Emit(t *Tuple)
+}
+
+// SinkFunc adapts a plain function to the Sink interface.
+type SinkFunc func(*Tuple)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(t *Tuple) { f(t) }

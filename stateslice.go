@@ -18,7 +18,13 @@
 // execution engine, so the memory and CPU trade-offs of the paper's
 // evaluation can be reproduced (see EXPERIMENTS.md).
 //
-// # Quick start
+// # Building plans
+//
+// Build is the single entry point: a Strategy picks the sharing paradigm
+// and functional options tune the build. Every strategy returns the same
+// Plan interface, which explains itself, prices itself under the analytic
+// cost model, executes sources, and — for chain strategies — re-slices
+// online via Migrate.
 //
 //	w := stateslice.Workload{
 //		Queries: []stateslice.Query{
@@ -27,28 +33,43 @@
 //		},
 //		Join: stateslice.Equijoin{},
 //	}
-//	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Collect: true})
+//	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
 //	...
-//	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+//	fmt.Print(p.Explain())
+//
+// # Streaming execution
+//
+// Plans consume tuples incrementally from a Source — a pre-materialized
+// slice, a live channel, or the built-in Poisson generator — and can push
+// per-query results to Sink callbacks as they are produced, so neither the
+// input nor the output has to fit in memory:
+//
+//	src, err := stateslice.GeneratorSource(stateslice.GeneratorConfig{
 //		RateA: 50, RateB: 50, Duration: 90 * stateslice.Second, KeyDomain: 100,
 //	})
 //	...
-//	res, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{})
+//	res, err := p.Run(src, stateslice.RunConfig{})
 //
-// See examples/ for runnable programs.
+// For tuple-at-a-time control (and online chain migration), drive a session
+// instead:
+//
+//	sess, err := p.NewSession(stateslice.RunConfig{})
+//	for t := range tuples {
+//		sess.Feed(t)
+//	}
+//	err = p.Migrate([]stateslice.Time{60 * stateslice.Minute}) // merge the chain
+//	res := sess.Finish()
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the paper's
+// evaluation harness.
 package stateslice
 
 import (
-	"fmt"
-
 	"stateslice/internal/chain"
 	"stateslice/internal/cost"
 	"stateslice/internal/engine"
-	"stateslice/internal/operator"
-	"stateslice/internal/pipeline"
 	"stateslice/internal/plan"
 	"stateslice/internal/stream"
-	"stateslice/internal/workload"
 )
 
 // Core stream types.
@@ -98,7 +119,8 @@ const (
 // Seconds converts floating-point seconds to a Time.
 func Seconds(s float64) Time { return stream.Seconds(s) }
 
-// Generate produces the merged input of both streams in timestamp order.
+// Generate produces the merged input of both streams in timestamp order as
+// one batch; GeneratorSource is the streaming equivalent.
 func Generate(cfg GeneratorConfig) ([]*Tuple, error) { return stream.Generate(cfg) }
 
 // Query and plan types.
@@ -107,12 +129,15 @@ type (
 	Query = plan.Query
 	// Workload is a set of queries sharing one join over two streams.
 	Workload = plan.Workload
-	// Plan is an executable operator graph.
-	Plan = engine.Plan
+	// ExecPlan is the raw executable operator graph behind a Plan. The
+	// deprecated per-strategy constructors traffic in it directly; new
+	// code should hold the Plan interface returned by Build instead.
+	ExecPlan = engine.Plan
 	// ChainPlan is an executable state-slice chain with online
 	// migration support (MergeSlices / SplitSlice).
 	ChainPlan = plan.StateSlicePlan
-	// ChainConfig tunes the state-slice plan builder.
+	// ChainConfig tunes the deprecated state-slice plan constructors;
+	// Build expresses the same knobs as options.
 	ChainConfig = plan.StateSliceConfig
 	// RunConfig tunes an engine run.
 	RunConfig = engine.Config
@@ -124,123 +149,6 @@ type (
 	// MemoryStats aggregates sampled state sizes.
 	MemoryStats = engine.MemoryStats
 )
-
-// MemOptPlan builds the memory-optimal state-slice chain for the workload:
-// one sliced join per distinct query window (Section 5.1 of the paper;
-// Theorems 3 and 4 prove memory optimality with and without selections).
-func MemOptPlan(w Workload, cfg ChainConfig) (*ChainPlan, error) {
-	cfg.Ends = nil
-	if cfg.Name == "" {
-		cfg.Name = "state-slice(mem-opt)"
-	}
-	return plan.BuildStateSlice(w, cfg)
-}
-
-// CPUOptParams carries the cost-model inputs of the CPU-optimal chain
-// build-up (Section 5.2).
-type CPUOptParams struct {
-	// RateA and RateB are the expected stream rates in tuples/sec.
-	RateA, RateB float64
-	// JoinSelectivity is S1; zero defaults to 0.1.
-	JoinSelectivity float64
-	// Csys is the per-tuple-per-operator overhead factor; zero defaults
-	// to 3 comparisons.
-	Csys float64
-}
-
-// CPUOptPlan builds the CPU-optimal state-slice chain: adjacent slices are
-// merged whenever the saved purge and scheduling overhead outweighs the
-// added routing cost, solved as a shortest path with Dijkstra's algorithm
-// (Section 5.2; Section 6.2 with selections).
-func CPUOptPlan(w Workload, p CPUOptParams, cfg ChainConfig) (*ChainPlan, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	if p.JoinSelectivity == 0 {
-		p.JoinSelectivity = 0.1
-	}
-	if p.Csys == 0 {
-		p.Csys = 3
-	}
-	res, err := chain.CPUOptEnds(workload.Specs(w), cost.ChainParams{
-		LambdaA: p.RateA,
-		LambdaB: p.RateB,
-		TupleKB: 1,
-		SelJoin: p.JoinSelectivity,
-		Csys:    p.Csys,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cfg.Ends = workload.EndsToTimes(res.Ends)
-	if cfg.Name == "" {
-		cfg.Name = "state-slice(cpu-opt)"
-	}
-	return plan.BuildStateSlice(w, cfg)
-}
-
-// ChainPlanWithEnds builds a state-slice chain with explicit slice
-// boundaries (ascending, the last equal to the largest query window).
-func ChainPlanWithEnds(w Workload, ends []Time, cfg ChainConfig) (*ChainPlan, error) {
-	cfg.Ends = ends
-	return plan.BuildStateSlice(w, cfg)
-}
-
-// PullUpPlan builds the naive shared plan with selection pull-up
-// (Section 3.1): one largest-window join plus a router.
-func PullUpPlan(w Workload, collect bool) (*Plan, error) { return plan.BuildPullUp(w, collect) }
-
-// PushDownPlan builds the stream-partition plan with selection push-down
-// (Section 3.2): split, per-partition joins, router and union.
-func PushDownPlan(w Workload, collect bool) (*Plan, error) { return plan.BuildPushDown(w, collect) }
-
-// UnsharedPlan builds one independent plan per query (Figure 2).
-func UnsharedPlan(w Workload, collect bool) (*Plan, error) { return plan.BuildUnshared(w, collect) }
-
-// Run executes a plan over the input tuples.
-func Run(p *Plan, input []*Tuple, cfg RunConfig) (*Result, error) { return engine.Run(p, input, cfg) }
-
-// ConcurrentResult reports a concurrent chain execution.
-type ConcurrentResult = pipeline.Result
-
-// RunChainConcurrent executes the workload's Mem-Opt chain with one
-// goroutine per sliced join connected by channels — the asynchronous
-// scheduling regime whose correctness Lemma 1 guarantees and Section 9 of
-// the paper points at for distributed execution. Results are identical to
-// the sequential engine's; the workload must not carry selections (use the
-// sequential engine for filtered chains).
-func RunChainConcurrent(w Workload, input []*Tuple, collect bool) (*ConcurrentResult, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	var windows []Time
-	for i, q := range w.Queries {
-		if q.HasFilter() || q.HasFilterB() {
-			return nil, fmt.Errorf("stateslice: concurrent chains support unfiltered queries only (query %d is filtered)", i)
-		}
-		windows = append(windows, q.Window)
-	}
-	return pipeline.RunChain(windows, w.Join, input, collect)
-}
-
-// EnableHashProbing switches every regular window join in the plan from
-// nested-loop probing (the paper's cost model) to hash-index probing, the
-// variant the paper cites from Kang et al. [14]. It must be called before
-// the plan processes any tuple and requires an equijoin predicate.
-func EnableHashProbing(p *Plan) error {
-	for _, s := range p.Stateful {
-		if wj, ok := s.(*operator.WindowJoin); ok {
-			if _, err := wj.WithHashProbe(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// NewSession prepares an incremental run; use it to Feed tuples one at a
-// time and migrate chain plans mid-stream.
-func NewSession(p *Plan, cfg RunConfig) (*Session, error) { return engine.NewSession(p, cfg) }
 
 // Cost model (Section 3, 4.3, 5, 6 of the paper).
 type (

@@ -79,7 +79,7 @@ func TestAllStrategiesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, p := range map[string]*stateslice.Plan{
+	for name, p := range map[string]*stateslice.ExecPlan{
 		"mem-opt": sp.Plan, "cpu-opt": cp.Plan, "pull-up": pu, "push-down": pd, "unshared": un,
 	} {
 		res, err := stateslice.Run(p, input, stateslice.RunConfig{})

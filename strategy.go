@@ -1,0 +1,233 @@
+package stateslice
+
+import "fmt"
+
+// Strategy selects the sharing paradigm a Build call compiles the workload
+// into. The paper's contribution is that one shared state-slice chain
+// subsumes the baselines; the enum makes the choice a runtime parameter
+// instead of five unrelated constructors.
+type Strategy int
+
+const (
+	// MemOpt builds the memory-optimal state-slice chain: one sliced
+	// join per distinct query window (Section 5.1; Theorems 3 and 4).
+	MemOpt Strategy = iota
+	// CPUOpt builds the CPU-optimal state-slice chain: adjacent slices
+	// merged by Dijkstra's algorithm over the slice-merge graph whenever
+	// saved purge and scheduling overhead outweighs added routing
+	// (Section 5.2). Tune the model with WithCostParams.
+	CPUOpt
+	// PullUp builds the naive shared baseline with selection pull-up:
+	// one largest-window join plus a router (Section 3.1).
+	PullUp
+	// PushDown builds the stream-partition baseline with selection
+	// push-down: split, per-partition joins, router and union
+	// (Section 3.2).
+	PushDown
+	// Unshared builds one independent plan per query (Figure 2).
+	Unshared
+)
+
+// Strategies lists every build strategy, in a stable order convenient for
+// sweeps and tests.
+func Strategies() []Strategy { return []Strategy{MemOpt, CPUOpt, PullUp, PushDown, Unshared} }
+
+// String names the strategy as used in plan names and CLI flags.
+func (s Strategy) String() string {
+	switch s {
+	case MemOpt:
+		return "mem-opt"
+	case CPUOpt:
+		return "cpu-opt"
+	case PullUp:
+		return "pull-up"
+	case PushDown:
+		return "push-down"
+	case Unshared:
+		return "unshared"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy resolves a strategy name as produced by String.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("stateslice: unknown strategy %q (want one of %v)", name, Strategies())
+}
+
+// sliced reports whether the strategy builds a state-slice chain.
+func (s Strategy) sliced() bool { return s == MemOpt || s == CPUOpt }
+
+// Cost-model defaults, the Section 7.1 experiment settings. DefaultCostModel
+// starts from these; WithCostParams never substitutes them silently.
+const (
+	// DefaultJoinSelectivity is the middle S1 setting of Table 3.
+	DefaultJoinSelectivity = 0.1
+	// DefaultCsys is the per-tuple-per-operator scheduling overhead, in
+	// comparisons, used throughout the paper's CPU-Opt evaluation.
+	DefaultCsys = 3.0
+	// DefaultRate is the middle per-stream arrival rate of the sweeps,
+	// in tuples/sec.
+	DefaultRate = 50.0
+	// DefaultTupleKB is the modelled tuple size Mt in KB.
+	DefaultTupleKB = 1.0
+)
+
+// CostModel carries the inputs of the analytic cost model (Table 1): it
+// parameterizes the CPU-Opt chain optimizer and Plan.EstimatedCost.
+//
+// Unlike the deprecated CPUOptParams, a CostModel is taken verbatim: an
+// explicit Csys of 0 means zero scheduling overhead (every slice boundary
+// is then free, so CPU-Opt degenerates to Mem-Opt) and is honored, not
+// rewritten to a default. Fields that cannot meaningfully be zero
+// (the rates, JoinSelectivity, TupleKB) are rejected by Validate with an
+// explicit error instead of being silently defaulted; start from
+// DefaultCostModel and override what you know.
+type CostModel struct {
+	// RateA and RateB are the expected stream arrival rates in
+	// tuples/sec. Must be positive.
+	RateA, RateB float64
+	// JoinSelectivity is S1, the join output over the Cartesian product.
+	// Must lie in (0, 1]: a zero-selectivity join produces nothing and
+	// has no meaningful plan to optimize.
+	JoinSelectivity float64
+	// Csys is the per-tuple-per-operator overhead factor in comparisons.
+	// Must be non-negative; zero is a valid, honored setting.
+	Csys float64
+	// TupleKB is the tuple size Mt in KB, used for memory estimates.
+	// Must be positive.
+	TupleKB float64
+}
+
+// DefaultCostModel returns the paper's Section 7.1 settings. Override
+// individual fields before passing the model to WithCostParams.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		RateA:           DefaultRate,
+		RateB:           DefaultRate,
+		JoinSelectivity: DefaultJoinSelectivity,
+		Csys:            DefaultCsys,
+		TupleKB:         DefaultTupleKB,
+	}
+}
+
+// Validate reports the first invalid field, if any.
+func (m CostModel) Validate() error {
+	if m.RateA <= 0 || m.RateB <= 0 {
+		return fmt.Errorf("stateslice: cost model rates must be positive (got A=%g, B=%g)", m.RateA, m.RateB)
+	}
+	if m.JoinSelectivity <= 0 || m.JoinSelectivity > 1 {
+		return fmt.Errorf("stateslice: cost model join selectivity must lie in (0,1], got %g (a zero-output join has nothing to optimize; use DefaultJoinSelectivity %g for the paper's setting)",
+			m.JoinSelectivity, DefaultJoinSelectivity)
+	}
+	if m.Csys < 0 {
+		return fmt.Errorf("stateslice: cost model Csys must be non-negative, got %g (0 is valid and means no scheduling overhead)", m.Csys)
+	}
+	if m.TupleKB <= 0 {
+		return fmt.Errorf("stateslice: cost model tuple size must be positive, got %g KB", m.TupleKB)
+	}
+	return nil
+}
+
+// buildOptions accumulates the functional options of Build.
+type buildOptions struct {
+	name           string
+	collect        bool
+	migratable     bool
+	disableLineage bool
+	hashProbing    bool
+	concurrent     bool
+	ends           []Time
+	model          CostModel
+	modelSet       bool
+	sinks          map[int]Sink
+	err            error
+}
+
+// Option customizes a Build call. Options compose left to right; an invalid
+// option or an option incompatible with the chosen strategy surfaces as a
+// Build error.
+type Option func(*buildOptions)
+
+// WithName overrides the plan name shown in results and Explain output.
+func WithName(name string) Option {
+	return func(o *buildOptions) { o.name = name }
+}
+
+// WithCollect makes every query sink retain its result tuples, exposed via
+// Result.Results after a run.
+func WithCollect() Option {
+	return func(o *buildOptions) { o.collect = true }
+}
+
+// WithEnds pins explicit slice end-window boundaries (ascending, the last
+// equal to the largest query window) instead of the optimizer's choice.
+// Valid only with the MemOpt strategy, which it turns into a custom chain.
+func WithEnds(ends ...Time) Option {
+	return func(o *buildOptions) { o.ends = append([]Time(nil), ends...) }
+}
+
+// WithCostParams supplies the analytic cost model consumed by the CPU-Opt
+// optimizer and by Plan.EstimatedCost. The model is validated by
+// CostModel.Validate and then used verbatim — see the CostModel docs for
+// the zero-value semantics. Without this option, CPUOpt and EstimatedCost
+// fall back to DefaultCostModel.
+func WithCostParams(m CostModel) Option {
+	return func(o *buildOptions) {
+		if err := m.Validate(); err != nil && o.err == nil {
+			o.err = err
+		}
+		o.model = m
+		o.modelSet = true
+	}
+}
+
+// WithMigratable wires the chain uniformly (a union per query) so that
+// Plan.Migrate can merge and split slices while a session runs (Section
+// 5.3). Valid only with the chain strategies MemOpt and CPUOpt.
+func WithMigratable() Option {
+	return func(o *buildOptions) { o.migratable = true }
+}
+
+// WithoutLineage switches pushed-down selections from lineage marking
+// (Section 6.1) to plain re-evaluation at every slice gate — the ablation
+// baseline. Valid only with the chain strategies.
+func WithoutLineage() Option {
+	return func(o *buildOptions) { o.disableLineage = true }
+}
+
+// WithHashProbing switches every regular window join in the plan from
+// nested-loop probing (the paper's cost model) to hash-index probing (Kang
+// et al. [14]). It requires an equijoin workload and a plan that actually
+// contains eligible joins: state-slice chains use sliced joins, which are
+// never hash-probed, so Build reports an error instead of silently
+// succeeding.
+func WithHashProbing() Option {
+	return func(o *buildOptions) { o.hashProbing = true }
+}
+
+// WithConcurrency executes the chain with one goroutine per sliced join
+// connected by channels (the asynchronous regime of Lemma 1 / Section 9)
+// instead of the sequential engine. Valid only with MemOpt over an
+// unfiltered workload; such plans run via Plan.Run but do not support
+// sessions or migration.
+func WithConcurrency() Option {
+	return func(o *buildOptions) { o.concurrent = true }
+}
+
+// WithSink registers a streaming callback for one query (0-based workload
+// index): the sink receives every result tuple of that query as it is
+// produced, before the run finishes.
+func WithSink(query int, s Sink) Option {
+	return func(o *buildOptions) {
+		if o.sinks == nil {
+			o.sinks = make(map[int]Sink)
+		}
+		o.sinks[query] = s
+	}
+}
