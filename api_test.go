@@ -99,6 +99,76 @@ func TestBuildEquivalence(t *testing.T) {
 	}
 }
 
+// TestWithBatchSize covers the micro-batch build option: batched runs match
+// the per-tuple default byte-for-byte, a RunConfig override wins, and the
+// invalid combinations are rejected.
+func TestWithBatchSize(t *testing.T) {
+	w := exampleWorkload()
+	input := exampleInput(t)
+
+	ref, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderResults(refRes.Results)
+
+	for _, k := range []int{7, 64, -1} {
+		p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect(), stateslice.WithBatchSize(k))
+		if err != nil {
+			t.Fatalf("WithBatchSize(%d): %v", k, err)
+		}
+		res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OrderViolations != 0 {
+			t.Errorf("k=%d: %d order violations", k, res.OrderViolations)
+		}
+		if got := renderResults(res.Results); got != want {
+			t.Errorf("k=%d results differ from the per-tuple schedule", k)
+		}
+	}
+
+	// A RunConfig with its own batch size overrides the option.
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect(), stateslice.WithBatchSize(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderResults(res.Results); got != want {
+		t.Error("RunConfig.BatchSize override results differ")
+	}
+
+	if _, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithBatchSize(0)); err == nil {
+		t.Error("WithBatchSize(0) must be rejected")
+	}
+	unfiltered := stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Window: 2 * stateslice.Second},
+			{Window: 8 * stateslice.Second},
+		},
+		Join: stateslice.FractionMatch{S: 0.15},
+	}
+	if _, err := stateslice.Build(unfiltered, stateslice.MemOpt, stateslice.WithConcurrency(), stateslice.WithBatchSize(8)); err == nil {
+		t.Error("WithBatchSize with WithConcurrency must be rejected")
+	}
+	// The RunConfig route must be rejected just as loudly.
+	cp, err := stateslice.Build(unfiltered, stateslice.MemOpt, stateslice.WithConcurrency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Run(stateslice.SliceSource(input), stateslice.RunConfig{BatchSize: 8}); err == nil {
+		t.Error("RunConfig.BatchSize on a concurrent plan must be rejected, not silently ignored")
+	}
+}
+
 // TestChannelSourceMatchesBatch proves a channel-backed streaming run
 // yields byte-identical per-query results to the batch run of the same
 // workload.

@@ -107,10 +107,13 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 	}
 
 	if o.concurrent {
+		if o.batchSet {
+			return nil, errors.New("stateslice: WithBatchSize tunes the sequential engine's micro-batch; the concurrent pipeline batches by channel slab and cannot be combined with it")
+		}
 		return buildConcurrent(w, s, o, model)
 	}
 
-	bp := &builtPlan{strategy: s, w: w, model: model, migratable: o.migratable}
+	bp := &builtPlan{strategy: s, w: w, model: model, migratable: o.migratable, batchSize: o.batchSize}
 	switch s {
 	case MemOpt, CPUOpt:
 		cfg := plan.StateSliceConfig{
@@ -201,6 +204,7 @@ type builtPlan struct {
 	chain      *plan.StateSlicePlan // nil unless strategy.sliced()
 	model      CostModel
 	migratable bool
+	batchSize  int             // WithBatchSize default for runs and sessions
 	sess       *engine.Session // latest session, the migration target
 }
 
@@ -222,17 +226,26 @@ func (p *builtPlan) Ends() []Time {
 
 // Run implements Plan.
 func (p *builtPlan) Run(src Source, cfg RunConfig) (*Result, error) {
-	return engine.RunSource(p.exec, src, cfg)
+	return engine.RunSource(p.exec, src, p.runConfig(cfg))
 }
 
 // NewSession implements Plan.
 func (p *builtPlan) NewSession(cfg RunConfig) (*Session, error) {
-	s, err := engine.NewSession(p.exec, cfg)
+	s, err := engine.NewSession(p.exec, p.runConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
 	p.sess = s
 	return s, nil
+}
+
+// runConfig applies the build's WithBatchSize default unless the run config
+// sets its own batch size.
+func (p *builtPlan) runConfig(cfg RunConfig) RunConfig {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = p.batchSize
+	}
+	return cfg
 }
 
 // Migrate implements Plan: it diffs the live chain's boundaries against the
@@ -506,6 +519,9 @@ func (p *concurrentPlan) Ends() []Time { return p.w.DistinctWindows() }
 
 // Run implements Plan.
 func (p *concurrentPlan) Run(src Source, cfg RunConfig) (*Result, error) {
+	if cfg.BatchSize != 0 {
+		return nil, errors.New("stateslice: RunConfig.BatchSize tunes the sequential engine's micro-batch; the concurrent pipeline batches by channel slab and ignores it — run without BatchSize or build without WithConcurrency")
+	}
 	var onResult func(int, *Tuple)
 	if len(p.sinks) > 0 {
 		sinks := p.sinks

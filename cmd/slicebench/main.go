@@ -10,6 +10,14 @@
 //	slicebench -exp table2           # chain execution trace
 //	slicebench -exp plans            # compiled plans of every strategy
 //	slicebench -exp all
+//	slicebench -json report.json     # machine-readable perf report
+//
+// The -json flag runs the tracked performance suite — the Section 7.3 chain
+// workload through the sequential engine at several micro-batch sizes and
+// through the concurrent pipeline — and writes a JSON report (service rate,
+// comparison counts, allocs per input tuple, state memory) to the given path
+// ("-" for stdout). Committed snapshots live in BENCH_<pr>.json files at the
+// repository root and track the perf trajectory across PRs.
 //
 // The measured experiments (fig17-19) run the full 90-virtual-second
 // workloads of the paper by default; -duration scales them down. Service
@@ -20,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,8 +47,15 @@ func main() {
 		seed     = flag.Int64("seed", 2006, "generator seed")
 		grid     = flag.Int("grid", 9, "grid resolution for fig11 surfaces")
 		rateList = flag.String("rates", "20,40,60,80", "input rates to sweep (tuples/sec)")
+		jsonOut  = flag.String("json", "", "write the machine-readable perf report to this path (\"-\" for stdout) and exit")
+		reps     = flag.Int("reps", 3, "repetitions per perf variant for -json (best wall clock wins)")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		check(perfJSON(*jsonOut, *duration, *seed, *reps))
+		return
+	}
 
 	rates, err := parseRates(*rateList)
 	check(err)
@@ -186,6 +202,28 @@ func runFig19(p bench.Fig19Panel, rates []float64, dur float64, seed int64) ([]b
 		out = append(out, bench.Fig19Point{Rate: rate, By: m, Slices: slices})
 	}
 	return out, nil
+}
+
+// perfJSON runs the tracked perf suite and writes the JSON report.
+func perfJSON(path string, duration float64, seed int64, reps int) error {
+	rep, err := bench.RunPerf(bench.PerfConfig{
+		DurationSec: duration,
+		Seed:        seed,
+		Reps:        reps,
+	})
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/pipeline"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+	"stateslice/internal/workload"
+)
+
+// This file implements the machine-readable performance report behind
+// `slicebench -json`: the Section 7.3 chain workload (N unfiltered window
+// joins, Mem-Opt chain) executed through the sequential engine at several
+// micro-batch sizes and through the concurrent slab-batched pipeline, with
+// wall-clock service rate, comparison counts, per-input allocation costs and
+// state memory recorded per variant. Committed snapshots (BENCH_<pr>.json)
+// track the repository's performance trajectory over time.
+
+// PerfWorkload describes the workload a report was measured on.
+type PerfWorkload struct {
+	// Queries is the number of window-join queries (Section 7.3 sweeps
+	// 12/24/36; the tracked baseline uses 12).
+	Queries int `json:"queries"`
+	// Dist names the window distribution (Table 4).
+	Dist string `json:"dist"`
+	// JoinSelectivity is the S1 join selectivity.
+	JoinSelectivity float64 `json:"join_selectivity"`
+	// Rate is the per-stream arrival rate in tuples/sec.
+	Rate float64 `json:"rate"`
+	// DurationSec is the virtual run length in seconds.
+	DurationSec float64 `json:"duration_sec"`
+	// Seed seeds the shared generator.
+	Seed int64 `json:"seed"`
+}
+
+// PerfRun is one measured execution variant.
+type PerfRun struct {
+	// Variant labels the execution path, e.g. "engine/k=1" or "pipeline".
+	Variant string `json:"variant"`
+	// BatchSize is the engine micro-batch size K (1 = the paper-faithful
+	// tuple-at-a-time schedule; -1 = drain only at the end; 0 for the
+	// pipeline, which batches by channel slab instead).
+	BatchSize int `json:"batch_size"`
+	// Inputs is the number of source tuples fed.
+	Inputs int `json:"inputs"`
+	// Outputs is the total number of result tuples across all queries.
+	Outputs uint64 `json:"outputs"`
+	// WallSeconds is the wall-clock time of the best repetition.
+	WallSeconds float64 `json:"wall_seconds"`
+	// ServiceRate is (inputs+outputs)/wall in tuples/sec, the paper's
+	// throughput measure on this host (best repetition).
+	ServiceRate float64 `json:"service_rate"`
+	// Comparisons is the modelled comparison count of the run.
+	Comparisons uint64 `json:"comparisons"`
+	// AllocsPerInput is heap allocations per source tuple.
+	AllocsPerInput float64 `json:"allocs_per_input"`
+	// BytesPerInput is heap bytes allocated per source tuple.
+	BytesPerInput float64 `json:"bytes_per_input"`
+	// AvgStateTuples is the mean total join-state size. Reported only for
+	// the per-tuple engine schedule (K=1): with K>1 the monitor samples
+	// between feeds, before the deferred drain, so join states lag the
+	// arrivals and the figure would understate memory (queues, not
+	// states, hold the backlog). The pipeline does not sample memory
+	// either.
+	AvgStateTuples float64 `json:"avg_state_tuples"`
+	// MaxStateTuples is the peak total join-state size (K=1 only, as
+	// above).
+	MaxStateTuples int `json:"max_state_tuples"`
+	// OrderViolations counts out-of-order deliveries (must be zero).
+	OrderViolations int `json:"order_violations"`
+}
+
+// PerfReport is the full report written by `slicebench -json`.
+type PerfReport struct {
+	// GoVersion and GOARCH identify the toolchain and hardware flavour the
+	// numbers were taken on; wall-clock figures are host-dependent.
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// Workload describes the measured workload.
+	Workload PerfWorkload `json:"workload"`
+	// Runs holds one entry per execution variant.
+	Runs []PerfRun `json:"runs"`
+}
+
+// PerfConfig parameterises RunPerf. The zero value selects the tracked
+// baseline: 12 uniform queries, rate 80, 90 virtual seconds, seed 2006,
+// 3 repetitions.
+type PerfConfig struct {
+	Queries     int
+	Dist        workload.Distribution
+	S1          float64
+	Rate        float64
+	DurationSec float64
+	Seed        int64
+	Reps        int
+}
+
+func (c *PerfConfig) defaults() {
+	if c.Queries == 0 {
+		c.Queries = 12
+	}
+	if c.Dist == "" {
+		c.Dist = workload.Uniform
+	}
+	if c.S1 == 0 {
+		c.S1 = 0.025
+	}
+	if c.Rate == 0 {
+		c.Rate = 80
+	}
+	if c.DurationSec == 0 {
+		c.DurationSec = workload.DurationSeconds
+	}
+	if c.Seed == 0 {
+		c.Seed = 2006
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+}
+
+// perfBatchSizes lists the engine micro-batch sizes the report measures:
+// the paper-faithful K=1 schedule, two amortized settings and the unbounded
+// drain-at-finish extreme.
+var perfBatchSizes = []int{1, 7, 64, -1}
+
+// RunPerf measures every execution variant over one shared generated input
+// and returns the report.
+func RunPerf(cfg PerfConfig) (*PerfReport, error) {
+	cfg.defaults()
+	w, err := workload.NQueries(cfg.Dist, cfg.Queries, cfg.S1)
+	if err != nil {
+		return nil, err
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA:    cfg.Rate,
+		RateB:    cfg.Rate,
+		Duration: stream.Seconds(cfg.DurationSec),
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &PerfReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Workload: PerfWorkload{
+			Queries:         cfg.Queries,
+			Dist:            string(cfg.Dist),
+			JoinSelectivity: cfg.S1,
+			Rate:            cfg.Rate,
+			DurationSec:     cfg.DurationSec,
+			Seed:            cfg.Seed,
+		},
+	}
+
+	for _, k := range perfBatchSizes {
+		run, err := perfEngine(w, input, k, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, *run)
+	}
+	run, err := perfPipeline(w, input, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = append(rep.Runs, *run)
+	return rep, nil
+}
+
+// perfPipeline measures the concurrent pipeline executor.
+func perfPipeline(w plan.Workload, input []*stream.Tuple, reps int) (*PerfRun, error) {
+	windows := make([]stream.Time, len(w.Queries))
+	for i, q := range w.Queries {
+		windows[i] = q.Window
+	}
+	run := &PerfRun{Variant: "pipeline", BatchSize: 0}
+	for r := 0; r < reps; r++ {
+		allocs, bytes, wall, res, err := measured(func() (perfResult, error) {
+			pr, err := pipeline.RunChain(windows, w.Join, input, false)
+			if err != nil {
+				return perfResult{}, err
+			}
+			return perfResult{
+				inputs:     pr.Inputs,
+				outputs:    totalCounts(pr.SinkCounts),
+				comps:      pr.Meter.Comparisons(),
+				violations: pr.OrderViolations,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		record(run, res, allocs, bytes, wall)
+	}
+	return run, nil
+}
+
+// perfEngine measures the sequential engine at micro-batch size k over the
+// Mem-Opt chain.
+func perfEngine(w plan.Workload, input []*stream.Tuple, k, reps int) (*PerfRun, error) {
+	run := &PerfRun{Variant: fmt.Sprintf("engine/k=%s", batchLabel(k)), BatchSize: k}
+	for r := 0; r < reps; r++ {
+		sp, err := plan.BuildStateSlice(w, plan.StateSliceConfig{Name: "perf"})
+		if err != nil {
+			return nil, err
+		}
+		allocs, bytes, wall, res, err := measured(func() (perfResult, error) {
+			er, err := engine.Run(sp.Plan, input, engineConfig(k))
+			if err != nil {
+				return perfResult{}, err
+			}
+			pr := perfResult{
+				inputs:     er.Inputs,
+				outputs:    er.TotalOutputs(),
+				comps:      er.Meter.Comparisons(),
+				violations: er.OrderViolations,
+			}
+			if k == 1 {
+				// State sizes are meaningful only under the
+				// per-tuple schedule; see PerfRun.AvgStateTuples.
+				pr.avgState = er.Memory.Avg
+				pr.maxState = er.Memory.Max
+			}
+			return pr, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		record(run, res, allocs, bytes, wall)
+	}
+	return run, nil
+}
+
+// batchLabel renders a micro-batch size for variant names.
+func batchLabel(k int) string {
+	if k < 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", k)
+}
+
+// perfResult is the variant-independent outcome of one measured execution.
+type perfResult struct {
+	inputs     int
+	outputs    uint64
+	comps      uint64
+	violations int
+	avgState   float64
+	maxState   int
+}
+
+// measured runs fn under heap-allocation accounting.
+func measured(fn func() (perfResult, error)) (allocs, bytes uint64, wall time.Duration, res perfResult, err error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err = fn()
+	wall = time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc, wall, res, err
+}
+
+// record folds one repetition into the run, keeping the fastest wall clock
+// and the smallest allocation footprint (GC noise only ever inflates both).
+func record(run *PerfRun, res perfResult, allocs, bytes uint64, wall time.Duration) {
+	if res.inputs == 0 {
+		return
+	}
+	rate := float64(res.inputs+int(res.outputs)) / wall.Seconds()
+	if run.WallSeconds == 0 || wall.Seconds() < run.WallSeconds {
+		run.WallSeconds = wall.Seconds()
+		run.ServiceRate = rate
+	}
+	apo := float64(allocs) / float64(res.inputs)
+	bpo := float64(bytes) / float64(res.inputs)
+	if run.AllocsPerInput == 0 || apo < run.AllocsPerInput {
+		run.AllocsPerInput = apo
+		run.BytesPerInput = bpo
+	}
+	run.Inputs = res.inputs
+	run.Outputs = res.outputs
+	run.Comparisons = res.comps
+	run.OrderViolations += res.violations
+	run.AvgStateTuples = res.avgState
+	run.MaxStateTuples = res.maxState
+}
+
+// totalCounts sums per-sink result counts.
+func totalCounts(counts []uint64) uint64 {
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// engineConfig maps a micro-batch size onto the engine configuration.
+func engineConfig(k int) engine.Config {
+	return engine.Config{SampleEvery: 16, BatchSize: k}
+}

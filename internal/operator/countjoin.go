@@ -25,6 +25,7 @@ type CountWindowJoin struct {
 	in     *stream.Queue
 	states [2]*stream.State
 	out    Port
+	slab   stream.TupleSlab
 }
 
 // NewCountWindowJoin builds a count-based window join.
@@ -71,9 +72,14 @@ func (j *CountWindowJoin) Step(m *CostMeter, max int) int {
 		// on the other side; probing before inserting preserves the
 		// "last C at arrival" semantics).
 		opp := j.states[t.Stream.Other()]
-		for i := 0; i < opp.Len(); i++ {
-			o := opp.At(i)
-			m.probe(1)
+		sa, sb := opp.Spans()
+		m.probe(len(sa) + len(sb))
+		for _, o := range sa {
+			if matches(j.pred, t, o) {
+				j.emit(t, o)
+			}
+		}
+		for _, o := range sb {
 			if matches(j.pred, t, o) {
 				j.emit(t, o)
 			}
@@ -96,9 +102,9 @@ func (j *CountWindowJoin) Step(m *CostMeter, max int) int {
 
 func (j *CountWindowJoin) emit(t, o *stream.Tuple) {
 	if t.Stream == stream.StreamA {
-		j.out.PushTuple(stream.Joined(t, o))
+		j.out.PushTuple(j.slab.Joined(t, o))
 	} else {
-		j.out.PushTuple(stream.Joined(o, t))
+		j.out.PushTuple(j.slab.Joined(o, t))
 	}
 }
 
@@ -115,6 +121,7 @@ type SlicedCountBinaryJoin struct {
 	states       [2]*stream.State
 	result       Port
 	next         Port
+	slab         stream.TupleSlab
 }
 
 // NewSlicedCountBinaryJoin builds a sliced count-based binary join for the
@@ -165,24 +172,29 @@ func (j *SlicedCountBinaryJoin) Step(m *CostMeter, max int) int {
 			continue
 		}
 		t := it.Tuple
-		switch t.Role {
+		switch it.Role {
 		case stream.RoleFemale:
 			own := j.states[t.Stream]
 			own.Insert(t)
 			for own.Len() > capacity {
 				m.purge(1)
-				j.next.PushTuple(own.PopFront())
+				j.next.Push(stream.RoleItem(own.PopFront(), stream.RoleFemale))
 			}
 		case stream.RoleMale:
 			opp := j.states[t.Stream.Other()]
-			for i := 0; i < opp.Len(); i++ {
-				f := opp.At(i)
-				m.probe(1)
+			sa, sb := opp.Spans()
+			m.probe(len(sa) + len(sb))
+			for _, f := range sa {
 				if matches(j.pred, t, f) {
 					j.emitSliced(t, f)
 				}
 			}
-			j.next.PushTuple(t)
+			for _, f := range sb {
+				if matches(j.pred, t, f) {
+					j.emitSliced(t, f)
+				}
+			}
+			j.next.Push(stream.RoleItem(t, stream.RoleMale))
 			j.result.PushPunct(t.Time)
 		default:
 			panic(fmt.Sprintf("operator %s: plain tuple %s reached a sliced count join", j.name, t))
@@ -193,8 +205,8 @@ func (j *SlicedCountBinaryJoin) Step(m *CostMeter, max int) int {
 
 func (j *SlicedCountBinaryJoin) emitSliced(t, f *stream.Tuple) {
 	if t.Stream == stream.StreamA {
-		j.result.PushTuple(stream.Joined(t, f))
+		j.result.PushTuple(j.slab.Joined(t, f))
 	} else {
-		j.result.PushTuple(stream.Joined(f, t))
+		j.result.PushTuple(j.slab.Joined(f, t))
 	}
 }

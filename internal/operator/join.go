@@ -28,6 +28,8 @@ type WindowJoin struct {
 	states [2]*stream.State
 	out    Port
 	hash   bool
+	// slab amortizes the joined-result allocations.
+	slab stream.TupleSlab
 }
 
 // NewWindowJoin builds a regular sliding-window join. wa is the window on
@@ -113,15 +115,21 @@ func (j *WindowJoin) process(m *CostMeter, t *stream.Tuple) {
 func (j *WindowJoin) probe(m *CostMeter, st *stream.State, t *stream.Tuple) {
 	if j.hash {
 		m.hash(1)
-		for _, o := range st.Bucket(t.Key) {
-			m.probe(1)
+		bucket := st.Bucket(t.Key)
+		m.probe(len(bucket))
+		for _, o := range bucket {
 			j.emit(t, o)
 		}
 		return
 	}
-	for i := 0; i < st.Len(); i++ {
-		o := st.At(i)
-		m.probe(1)
+	sa, sb := st.Spans()
+	m.probe(len(sa) + len(sb))
+	for _, o := range sa {
+		if matches(j.pred, t, o) {
+			j.emit(t, o)
+		}
+	}
+	for _, o := range sb {
 		if matches(j.pred, t, o) {
 			j.emit(t, o)
 		}
@@ -130,9 +138,9 @@ func (j *WindowJoin) probe(m *CostMeter, st *stream.State, t *stream.Tuple) {
 
 func (j *WindowJoin) emit(t, o *stream.Tuple) {
 	if t.Stream == stream.StreamA {
-		j.out.PushTuple(stream.Joined(t, o))
+		j.out.PushTuple(j.slab.Joined(t, o))
 	} else {
-		j.out.PushTuple(stream.Joined(o, t))
+		j.out.PushTuple(j.slab.Joined(o, t))
 	}
 }
 
@@ -146,9 +154,10 @@ func matches(pred stream.JoinPredicate, t, o *stream.Tuple) bool {
 
 // purgeExpired removes tuples from the front of st whose age relative to now
 // strictly exceeds window, sending them to next when provided (the
-// Purged-Tuple queue of a sliced join) and discarding them otherwise. Every
-// examined tuple, including the one that stops the scan, costs one timestamp
-// comparison on the meter.
+// Purged-Tuple queue of a sliced join, where they arrive as the female
+// reference copies of the following slice) and discarding them otherwise.
+// Every examined tuple, including the one that stops the scan, costs one
+// timestamp comparison on the meter.
 func purgeExpired(m *CostMeter, st *stream.State, now stream.Time, window stream.Time, next *Port) {
 	for st.Len() > 0 {
 		m.purge(1)
@@ -158,7 +167,7 @@ func purgeExpired(m *CostMeter, st *stream.State, now stream.Time, window stream
 		}
 		st.PopFront()
 		if next != nil {
-			next.PushTuple(front)
+			next.Push(stream.RoleItem(front, stream.RoleFemale))
 		}
 	}
 }

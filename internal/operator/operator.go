@@ -36,11 +36,19 @@ type StateSizer interface {
 }
 
 // Port is an output of an operator. Pushing an item delivers it to every
-// connected queue (fan-out); a port with no queues discards, which is how
-// the optional Purged-A-Tuple / Propagated-B-Tuple outputs of the last sliced
-// join in a chain behave (Figure 5 of the paper).
+// connected queue (fan-out) and to every attached consumer function; a port
+// with no connections discards, which is how the optional Purged-A-Tuple /
+// Propagated-B-Tuple outputs of the last sliced join in a chain behave
+// (Figure 5 of the paper).
+//
+// Function consumers (AttachFunc) receive items synchronously during the
+// producer's Step, skipping a queue round-trip. They suit terminal consumers
+// with no downstream of their own — sinks — where the extra scheduling hop
+// bought nothing; items arrive in exactly the order a queue would have
+// delivered them.
 type Port struct {
-	qs []*stream.Queue
+	qs  []*stream.Queue
+	fns []func(stream.Item)
 }
 
 // NewQueue creates a queue, connects it to the port and returns it.
@@ -53,21 +61,27 @@ func (p *Port) NewQueue() *stream.Queue {
 // Attach connects an existing queue to the port.
 func (p *Port) Attach(q *stream.Queue) { p.qs = append(p.qs, q) }
 
-// DetachAll disconnects every queue from the port. Chain migration uses it
-// to rewire the result path of a merged or split slice; the abandoned queues
-// must be closed on their consuming unions first.
-func (p *Port) DetachAll() { p.qs = nil }
+// AttachFunc connects a synchronous consumer invoked for every pushed item.
+func (p *Port) AttachFunc(fn func(stream.Item)) { p.fns = append(p.fns, fn) }
 
-// Fanout returns the number of connected queues.
-func (p *Port) Fanout() int { return len(p.qs) }
+// DetachAll disconnects every queue and consumer from the port. Chain
+// migration uses it to rewire the result path of a merged or split slice;
+// the abandoned queues must be closed on their consuming unions first.
+func (p *Port) DetachAll() { p.qs, p.fns = nil, nil }
 
-// Connected reports whether at least one queue is attached.
-func (p *Port) Connected() bool { return len(p.qs) > 0 }
+// Fanout returns the number of connected queues and consumers.
+func (p *Port) Fanout() int { return len(p.qs) + len(p.fns) }
 
-// Push delivers the item to all connected queues.
+// Connected reports whether at least one queue or consumer is attached.
+func (p *Port) Connected() bool { return len(p.qs) > 0 || len(p.fns) > 0 }
+
+// Push delivers the item to all connected queues and consumers.
 func (p *Port) Push(it stream.Item) {
 	for _, q := range p.qs {
 		q.Push(it)
+	}
+	for _, fn := range p.fns {
+		fn(it)
 	}
 }
 

@@ -26,6 +26,17 @@ func NewSink(name string, in *stream.Queue) *Sink {
 	return &Sink{name: name, in: in}
 }
 
+// NewDirectSink builds a queueless sink: wire it to a producer with
+// Port.AttachFunc(sink.Accept) so results are delivered synchronously during
+// the producer's Step, skipping the queue round-trip. The sink still
+// participates in plan scheduling but its Step is a no-op.
+func NewDirectSink(name string) *Sink {
+	return &Sink{name: name}
+}
+
+// Accept processes one item immediately (direct port delivery).
+func (s *Sink) Accept(it stream.Item) { s.deliver(it) }
+
 // Collecting makes the sink retain every result tuple and returns it.
 func (s *Sink) Collecting() *Sink {
 	s.collect = true
@@ -53,29 +64,42 @@ func (s *Sink) OrderViolations() int { return s.violations }
 func (s *Sink) Name() string { return s.name }
 
 // Pending implements Operator.
-func (s *Sink) Pending() bool { return !s.in.Empty() }
+func (s *Sink) Pending() bool { return s.in != nil && !s.in.Empty() }
 
-// Step implements Operator.
+// Step implements Operator. Sinks always take everything offered, so the
+// whole input queue is drained span-wise in one call; the budget only
+// matters to callers that cap consumption explicitly. Direct sinks have no
+// queue and receive everything via Accept, so their Step is a no-op.
 func (s *Sink) Step(m *CostMeter, max int) int {
-	n := 0
-	for n < budget(max) && !s.in.Empty() {
-		it := s.in.Pop()
-		n++
-		if it.IsPunct() {
-			continue
-		}
-		t := it.Tuple
-		if s.seen && (t.Time < s.lastTime || (t.Time == s.lastTime && t.Seq < s.lastSeq)) {
-			s.violations++
-		}
-		s.seen, s.lastTime, s.lastSeq = true, t.Time, t.Seq
-		s.count++
-		if s.collect {
-			s.results = append(s.results, t)
-		}
-		if s.onResult != nil {
-			s.onResult(t)
-		}
+	if s.in == nil {
+		return 0
 	}
-	return n
+	if b := budget(max); s.in.Len() > b {
+		n := 0
+		for n < b && !s.in.Empty() {
+			s.deliver(s.in.Pop())
+			n++
+		}
+		return n
+	}
+	return s.in.Drain(s.deliver)
+}
+
+// deliver processes one queue item.
+func (s *Sink) deliver(it stream.Item) {
+	if it.IsPunct() {
+		return
+	}
+	t := it.Tuple
+	if s.seen && (t.Time < s.lastTime || (t.Time == s.lastTime && t.Seq < s.lastSeq)) {
+		s.violations++
+	}
+	s.seen, s.lastTime, s.lastSeq = true, t.Time, t.Seq
+	s.count++
+	if s.collect {
+		s.results = append(s.results, t)
+	}
+	if s.onResult != nil {
+		s.onResult(t)
+	}
 }

@@ -34,6 +34,8 @@ type SlicedBinaryJoin struct {
 	// timestamp lower-bounds every future probing male of the other
 	// stream.
 	selfPurge bool
+	// slab amortizes the joined-result allocations of this slice.
+	slab stream.TupleSlab
 }
 
 // NewSlicedBinaryJoin builds a sliced binary join for the window range
@@ -98,7 +100,7 @@ func (j *SlicedBinaryJoin) Step(m *CostMeter, max int) int {
 			continue
 		}
 		t := it.Tuple
-		switch t.Role {
+		switch it.Role {
 		case stream.RoleFemale:
 			// Insert: fill this slice's window state, optionally
 			// evicting own-stream females that no future male of
@@ -110,7 +112,7 @@ func (j *SlicedBinaryJoin) Step(m *CostMeter, max int) int {
 		case stream.RoleMale:
 			j.processMale(m, t)
 		default:
-			// A plain tuple reaching a sliced join is a wiring bug:
+			// A plain item reaching a sliced join is a wiring bug:
 			// the ChainInput operator must split roles first.
 			panic(fmt.Sprintf("operator %s: plain tuple %s reached a sliced join", j.name, t))
 		}
@@ -123,25 +125,37 @@ func (j *SlicedBinaryJoin) processMale(m *CostMeter, t *stream.Tuple) {
 	opp := j.states[t.Stream.Other()]
 	// 1. Cross-purge the opposite state into the next slice.
 	purgeExpired(m, opp, t.Time, j.wend, &j.next)
-	// 2. Probe the surviving opposite females.
-	for i := 0; i < opp.Len(); i++ {
-		f := opp.At(i)
-		m.probe(1)
-		if matches(j.pred, t, f) {
-			j.emit(t, f)
+	// 2. Probe the surviving opposite females. The two spans cover the
+	// state oldest-first with plain slice iteration; they stay valid
+	// because emit never mutates the state.
+	sa, sb := opp.Spans()
+	m.probe(len(sa) + len(sb))
+	if t.Stream == stream.StreamA {
+		for _, f := range sa {
+			if j.pred.Match(t, f) {
+				j.result.PushTuple(j.slab.Joined(t, f))
+			}
+		}
+		for _, f := range sb {
+			if j.pred.Match(t, f) {
+				j.result.PushTuple(j.slab.Joined(t, f))
+			}
+		}
+	} else {
+		for _, f := range sa {
+			if j.pred.Match(f, t) {
+				j.result.PushTuple(j.slab.Joined(f, t))
+			}
+		}
+		for _, f := range sb {
+			if j.pred.Match(f, t) {
+				j.result.PushTuple(j.slab.Joined(f, t))
+			}
 		}
 	}
 	// 3. Propagate the male to the next slice.
-	j.next.PushTuple(t)
+	j.next.Push(stream.RoleItem(t, stream.RoleMale))
 	j.result.PushPunct(t.Time)
-}
-
-func (j *SlicedBinaryJoin) emit(t, f *stream.Tuple) {
-	if t.Stream == stream.StreamA {
-		j.result.PushTuple(stream.Joined(t, f))
-	} else {
-		j.result.PushTuple(stream.Joined(f, t))
-	}
 }
 
 // ChainInput splits each plain source tuple into its female and male
@@ -149,7 +163,8 @@ func (j *SlicedBinaryJoin) emit(t, f *stream.Tuple) {
 // (Section 4.2: "each input tuple ... will be captured as two reference
 // copies before the tuple is processed by the first binary sliced window
 // join"). The female is emitted first so the state-filling copy never
-// overtakes its own probing copy.
+// overtakes its own probing copy. The roles ride on the queue items, so the
+// split allocates nothing: both items reference the same *Tuple.
 type ChainInput struct {
 	name string
 	in   *stream.Queue
@@ -182,8 +197,8 @@ func (c *ChainInput) Step(m *CostMeter, max int) int {
 			continue
 		}
 		t := it.Tuple
-		c.out.PushTuple(t.WithRole(stream.RoleFemale))
-		c.out.PushTuple(t.WithRole(stream.RoleMale))
+		c.out.Push(stream.RoleItem(t, stream.RoleFemale))
+		c.out.Push(stream.RoleItem(t, stream.RoleMale))
 	}
 	return n
 }

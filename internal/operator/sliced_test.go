@@ -336,11 +336,11 @@ func TestChainInputSplitsRoles(t *testing.T) {
 	f := out.Pop()
 	m := out.Pop()
 	p := out.Pop()
-	if f.Tuple.Role != stream.RoleFemale || m.Tuple.Role != stream.RoleMale {
+	if f.Role != stream.RoleFemale || m.Role != stream.RoleMale {
 		t.Error("chain input must emit female then male")
 	}
-	if f.Tuple.Seq != m.Tuple.Seq {
-		t.Error("copies must share identity")
+	if f.Tuple != m.Tuple {
+		t.Error("the two role items must reference the same tuple (zero-copy split)")
 	}
 	if !p.IsPunct() {
 		t.Error("punctuation must pass")

@@ -87,17 +87,33 @@ func (u *Union) Pending() bool {
 // state of a sliced-join chain the merge therefore costs O(lambda) per
 // second — "proportional to the input rates of streams A and B" — rather
 // than one comparison per joined result.
+//
+// The merge emits run-at-a-time: one scan over the inputs selects the
+// winning head and the tightest bound the other inputs impose (their minimal
+// head, ties to the lowest input index, and the minimal frontier of the
+// empty inputs); consecutive items of the winning input are then emitted
+// with a single comparison each until one crosses that bound. The emitted
+// sequence is exactly the per-tuple merge's — a run item precedes every
+// other input's head, and equal keys still concatenate in input order — but
+// the per-emission rescans of all inputs are gone.
 func (u *Union) Step(m *CostMeter, max int) int {
+	bud := budget(max)
 	n := 0
-	for n < budget(max) {
-		u.absorbPunctuations(m)
-		best := -1
-		var bestT *stream.Tuple
-		blocked := false
+	u.absorbPunctuations(m)
+	for n < bud {
+		// One scan: the emission candidate (minimal (Time, Seq) head,
+		// ties to the lowest input index), the runner-up bounding a run,
+		// and the tightest frontier of the empty inputs.
+		best, openIdx := -1, -1
+		var bestT, openT *stream.Tuple
+		minFrontier := stream.MaxTime
 		for i, q := range u.ins {
 			if q.Empty() {
 				// An empty input constrains emission to its
 				// punctuation frontier.
+				if u.frontiers[i] < minFrontier {
+					minFrontier = u.frontiers[i]
+				}
 				continue
 			}
 			head := q.Peek().Tuple
@@ -106,34 +122,71 @@ func (u *Union) Step(m *CostMeter, max int) int {
 				continue
 			}
 			if head.Time == bestT.Time && head.Seq == bestT.Seq {
-				continue // same-male batch: keep chain order, no comparison
+				// Same-male batch: keep chain order, no comparison;
+				// it still bounds a run from the best input.
+				if openT == nil || tupleLess(head, openT) {
+					openIdx, openT = i, head
+				}
+				continue
 			}
 			m.union(1)
 			if tupleLess(head, bestT) {
+				openIdx, openT = best, bestT
 				best, bestT = i, head
+			} else if openT == nil || tupleLess(head, openT) {
+				openIdx, openT = i, head
 			}
 		}
 		if best == -1 {
 			break // nothing buffered anywhere
 		}
-		// The candidate can be emitted only if every empty input has
-		// punctuated at or past its timestamp.
-		for i, q := range u.ins {
-			if q.Empty() && u.frontiers[i] < bestT.Time {
-				blocked = true
+		if bestT.Time > minFrontier {
+			break // an empty input may still deliver earlier tuples
+		}
+		// Emit the run.
+		q := u.ins[best]
+		for n < bud {
+			q.Pop()
+			m.invoke(1)
+			u.out.PushTuple(bestT)
+			n++
+			// Advance to the input's next tuple head, absorbing
+			// interleaved punctuations (one comparison each, as in
+			// absorbPunctuations).
+			var head *stream.Tuple
+			for !q.Empty() {
+				it := q.Peek()
+				if !it.IsPunct() {
+					head = it.Tuple
+					break
+				}
+				q.Pop()
+				m.union(1)
+				if it.Punct > u.frontiers[best] {
+					u.frontiers[best] = it.Punct
+				}
+			}
+			if head == nil || head.Time > minFrontier {
 				break
 			}
+			if openT != nil {
+				if head.Time == openT.Time && head.Seq == openT.Seq {
+					if best > openIdx {
+						break // the equal key at a lower input goes first
+					}
+					// Equal key, lower input index: chain-order
+					// concatenation, no comparison.
+				} else {
+					m.union(1)
+					if !tupleLess(head, openT) {
+						break
+					}
+				}
+			}
+			bestT = head
 		}
-		if blocked {
-			break
-		}
-		u.ins[best].Pop()
-		m.invoke(1)
-		u.out.PushTuple(bestT)
-		n++
 	}
-	u.absorbPunctuations(m)
-	if n < budget(max) {
+	if n < bud {
 		// Not interrupted by the budget: everything emittable has been
 		// emitted, so the minimum frontier is a safe punctuation.
 		u.forwardPunct()

@@ -12,6 +12,14 @@
 // asynchronously on separate goroutines and the result sets remain identical
 // to the sequential engine's, which the tests verify.
 //
+// Channels carry slabs ([]stream.Item) rather than single items, so the
+// per-send synchronization cost is amortized over a whole batch; consecutive
+// punctuations are coalesced into the last (their guarantees are monotone on
+// a FIFO edge) before a slab is sealed, and a slice with no subscribing
+// queries skips its result path entirely. FIFO order within and across slabs
+// is exactly the per-item order, so Lemma 1's correctness argument is
+// untouched — only the number of channel operations changes.
+//
 // The executor covers chains without selections (the Section 7.3 workload
 // shape); the sequential engine remains the reference implementation for
 // plans with pushed-down filters.
@@ -45,15 +53,50 @@ type Result struct {
 	Meter operator.CostMeter
 }
 
-// tagged routes an item to a merger together with its source slice index.
-type tagged struct {
+// taggedBatch routes a slab of items to a merger together with its source
+// slice index.
+type taggedBatch struct {
 	slice int
-	item  stream.Item
+	items []stream.Item
 }
 
-// chanBuf is the buffer size of all inter-stage channels; it only affects
-// throughput, never correctness.
-const chanBuf = 256
+// chanBuf is the buffer size, in slabs, of all inter-stage channels; it only
+// affects throughput, never correctness.
+const chanBuf = 32
+
+// slabCap is the target number of items per channel slab. One slab send
+// replaces slabCap channel operations of the per-item scheme.
+const slabCap = 128
+
+// batcher accumulates items into slabs and coalesces consecutive
+// punctuations: on a FIFO edge punct(t1) followed immediately by punct(t2 >=
+// t1) carries no extra information, so only the last of a run survives.
+type batcher struct {
+	buf []stream.Item
+}
+
+// add appends an item, merging it with a trailing punctuation run.
+func (b *batcher) add(it stream.Item) {
+	if it.IsPunct() && len(b.buf) > 0 && b.buf[len(b.buf)-1].IsPunct() {
+		b.buf[len(b.buf)-1] = it
+		return
+	}
+	b.buf = append(b.buf, it)
+}
+
+// full reports whether the slab reached its target size.
+func (b *batcher) full() bool { return len(b.buf) >= slabCap }
+
+// take seals and returns the current slab, leaving the batcher empty. It
+// returns nil when nothing is buffered.
+func (b *batcher) take() []stream.Item {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	out := b.buf
+	b.buf = make([]stream.Item, 0, slabCap)
+	return out
+}
 
 // RunChain executes the chain of sliced binary window joins with slice end
 // boundaries equal to the distinct query windows (the Mem-Opt layout) over
@@ -112,8 +155,9 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 	var wg sync.WaitGroup
 
 	// Feeder: pull from the source, split each tuple into its female and
-	// male reference copies and punctuate the end of the stream.
-	feed := make(chan stream.Item, chanBuf)
+	// male reference copies — two roles of the same *Tuple, nothing is
+	// copied — and punctuate the end of the stream.
+	feed := make(chan []stream.Item, chanBuf)
 	var (
 		inputs   int
 		lastTime stream.Time
@@ -123,6 +167,7 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 	go func() {
 		defer wg.Done()
 		defer close(feed)
+		var b batcher
 		for {
 			t, err := src.Next()
 			if err == io.EOF {
@@ -138,25 +183,30 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 			}
 			inputs++
 			lastTime = t.Time
-			feed <- stream.TupleItem(t.WithRole(stream.RoleFemale))
-			feed <- stream.TupleItem(t.WithRole(stream.RoleMale))
+			b.add(stream.RoleItem(t, stream.RoleFemale))
+			b.add(stream.RoleItem(t, stream.RoleMale))
+			if b.full() {
+				feed <- b.take()
+			}
 		}
-		feed <- stream.PunctItem(stream.MaxTime)
+		b.add(stream.PunctItem(stream.MaxTime))
+		feed <- b.take()
 	}()
 
 	// Mergers: one per query, running an order-preserving union over the
 	// result streams of slices 0..sliceOf(q).
-	mergeIn := make([]chan tagged, nQueries)
+	mergeIn := make([]chan taggedBatch, nQueries)
 	sinks := make([]*operator.Sink, nQueries)
 	var mergeWG sync.WaitGroup
 	for qi := 0; qi < nQueries; qi++ {
-		mergeIn[qi] = make(chan tagged, chanBuf)
+		mergeIn[qi] = make(chan taggedBatch, chanBuf)
 		u := operator.NewUnion(fmt.Sprintf("union-Q%d", qi+1))
 		queues := make([]*stream.Queue, sliceOf[qi]+1)
 		for si := range queues {
 			queues[si] = u.AddInput()
 		}
-		sink := operator.NewSink(fmt.Sprintf("Q%d", qi+1), u.Out().NewQueue())
+		sink := operator.NewDirectSink(fmt.Sprintf("Q%d", qi+1))
+		u.Out().AttachFunc(sink.Accept)
 		if collect {
 			sink.Collecting()
 		}
@@ -171,17 +221,20 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 		go func() {
 			defer mergeWG.Done()
 			for msg := range ch {
-				queues[msg.slice].Push(msg.item)
+				q := queues[msg.slice]
+				for _, it := range msg.items {
+					q.Push(it)
+				}
 				u.Step(m, -1)
-				sink.Step(m, -1)
 			}
 			u.Step(m, -1)
-			sink.Step(m, -1)
 		}()
 	}
 
 	// Broadcast a slice's results to the mergers of every query it
-	// serves.
+	// serves. In the Mem-Opt layout every slice has at least one
+	// subscriber, but migrated or custom layouts may leave a slice
+	// unobserved — such a slice skips its whole result path.
 	subscribers := make([][]int, nSlices)
 	for qi := 0; qi < nQueries; qi++ {
 		for si := 0; si <= sliceOf[qi]; si++ {
@@ -200,15 +253,20 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 		if err != nil {
 			return nil, err
 		}
-		resQ := j.Result().NewQueue()
+		subs := subscribers[si]
+		var resQ *stream.Queue
+		if len(subs) > 0 {
+			// A port with no queue discards, so an unobserved slice
+			// pays nothing for its results.
+			resQ = j.Result().NewQueue()
+		}
 		var nextQ *stream.Queue
-		var out chan stream.Item
+		var out chan []stream.Item
 		if si < nSlices-1 {
 			nextQ = j.Next().NewQueue()
-			out = make(chan stream.Item, chanBuf)
+			out = make(chan []stream.Item, chanBuf)
 		}
 		m := newMeter()
-		subs := subscribers[si]
 		stage := si
 		stageIn := in
 		stageWG.Add(1)
@@ -217,17 +275,33 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 			if out != nil {
 				defer close(out)
 			}
-			for it := range stageIn {
-				inQ.Push(it)
+			var nextB, resB batcher
+			for slab := range stageIn {
+				for _, it := range slab {
+					inQ.Push(it)
+				}
 				j.Step(m, -1)
 				for nextQ != nil && !nextQ.Empty() {
-					out <- nextQ.Pop()
-				}
-				for !resQ.Empty() {
-					r := resQ.Pop()
-					for _, qi := range subs {
-						mergeIn[qi] <- tagged{slice: stage, item: r}
+					nextB.add(nextQ.Pop())
+					if nextB.full() {
+						out <- nextB.take()
 					}
+				}
+				for resQ != nil && !resQ.Empty() {
+					resB.add(resQ.Pop())
+				}
+				// Ship the results of this input slab as one batch
+				// per subscriber; coalescing already collapsed the
+				// per-male punctuation bursts.
+				if items := resB.take(); items != nil {
+					for _, qi := range subs {
+						mergeIn[qi] <- taggedBatch{slice: stage, items: items}
+					}
+				}
+			}
+			if out != nil {
+				if items := nextB.take(); items != nil {
+					out <- items
 				}
 			}
 		}()

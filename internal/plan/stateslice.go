@@ -44,7 +44,6 @@ type StateSlicePlan struct {
 	chainIn  *operator.ChainInput
 	slices   []*sliceNode
 	unions   []*operator.Union // per query; nil when wired directly to the sink
-	sinkQs   []*stream.Queue   // direct sink input queues (non-migratable fast path)
 	sinks    []*operator.Sink
 }
 
@@ -145,22 +144,22 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 	}
 
 	// Per-query terminals: a union when several slices contribute (or
-	// always, for migratable plans), a direct sink queue otherwise.
+	// always, for migratable plans), the result port itself otherwise.
+	// Sinks consume their source synchronously (no queue hop): a sink is
+	// a terminal with no downstream, so queueing its input only deferred
+	// identical work to another scheduling pass.
 	sp.unions = make([]*operator.Union, len(w.Queries))
-	sp.sinkQs = make([]*stream.Queue, len(w.Queries))
 	sp.sinks = make([]*operator.Sink, len(w.Queries))
 	for qi, q := range w.Queries {
 		contributing := sp.sliceOf(q.Window) + 1
-		var sinkIn *stream.Queue
+		sink := operator.NewDirectSink(w.QueryName(qi))
 		if cfg.Migratable || contributing > 1 {
 			u := operator.NewUnion(w.QueryName(qi) + ".union")
 			sp.unions[qi] = u
-			sinkIn = u.Out().NewQueue()
-		} else {
-			sp.sinkQs[qi] = stream.NewQueue()
-			sinkIn = sp.sinkQs[qi]
+			u.Out().AttachFunc(sink.Accept)
 		}
-		sink := operator.NewSink(w.QueryName(qi), sinkIn)
+		// Otherwise a single slice contributes and wireSliceResults
+		// attaches the sink to its (possibly filtered) result port.
 		if cfg.Collect {
 			sink.Collecting()
 		}
@@ -441,7 +440,7 @@ func (sp *StateSlicePlan) connect(node *sliceNode, qi int, src *operator.Port) {
 		node.edges = append(node.edges, edge{union: u, queue: q})
 		return
 	}
-	src.Attach(sp.sinkQs[qi])
+	src.AttachFunc(sp.sinks[qi].Accept)
 }
 
 // impliedAtSlice reports whether every tuple of the given stream admitted

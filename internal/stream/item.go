@@ -7,15 +7,29 @@ import "fmt"
 // timestamp at or below Punct will arrive on this queue in the future; they
 // implement the punctuation semantics of Tucker et al. cited by the paper
 // (reference [26]) and drive the order-preserving union operator.
+//
+// Inside a sliced-join chain the item additionally carries the tuple's Role
+// (male/female reference copy, Section 4.2). Keeping the role on the queue
+// item instead of on a copied tuple makes the reference-copy scheme truly
+// zero-copy: the splitter emits two roles of the *same* *Tuple, allocating
+// nothing.
 type Item struct {
 	// Tuple is the payload; nil for a pure punctuation.
 	Tuple *Tuple
 	// Punct is the punctuation timestamp. For tuple items it is unused.
 	Punct Time
+	// Role marks the reference-copy role the tuple plays on this queue.
+	// Plain outside sliced-join chains.
+	Role Role
 }
 
-// TupleItem wraps a tuple as a queue item.
-func TupleItem(t *Tuple) Item { return Item{Tuple: t} }
+// TupleItem wraps a tuple as a queue item, carrying the tuple's own role (set
+// by WithRole for callers that still materialize reference copies).
+func TupleItem(t *Tuple) Item { return Item{Tuple: t, Role: t.Role} }
+
+// RoleItem wraps a tuple as a queue item playing the given reference-copy
+// role, without copying the tuple.
+func RoleItem(t *Tuple, r Role) Item { return Item{Tuple: t, Role: r} }
 
 // PunctItem builds a punctuation item with the given timestamp.
 func PunctItem(ts Time) Item { return Item{Punct: ts} }
@@ -36,6 +50,10 @@ func (it Item) String() string {
 // join chains use a single logical queue carrying both purged female tuples
 // and propagated male tuples, exactly as in Figure 7 of the paper.
 //
+// The buffer length is always a power of two, so every index wrap is a mask
+// instead of a modulo — Pop and Push sit on the per-item hot path of the
+// scheduler.
+//
 // Queue is not safe for concurrent use; the single-threaded engine owns all
 // queues. The concurrent executor uses channels instead.
 type Queue struct {
@@ -44,8 +62,11 @@ type Queue struct {
 	n    int
 }
 
+// queueInitCap is the initial ring capacity; must be a power of two.
+const queueInitCap = 16
+
 // NewQueue returns an empty queue with a small initial capacity.
-func NewQueue() *Queue { return &Queue{buf: make([]Item, 16)} }
+func NewQueue() *Queue { return &Queue{buf: make([]Item, queueInitCap)} }
 
 // Len returns the number of items currently queued.
 func (q *Queue) Len() int { return q.n }
@@ -70,7 +91,7 @@ func (q *Queue) Push(it Item) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = it
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = it
 	q.n++
 }
 
@@ -88,7 +109,7 @@ func (q *Queue) Pop() Item {
 	}
 	it := q.buf[q.head]
 	q.buf[q.head] = Item{}
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return it
 }
@@ -101,13 +122,40 @@ func (q *Queue) Peek() Item {
 	return q.buf[q.head]
 }
 
-func (q *Queue) at(i int) Item { return q.buf[(q.head+i)%len(q.buf)] }
+func (q *Queue) at(i int) Item { return q.buf[(q.head+i)&(len(q.buf)-1)] }
+
+// Drain removes every queued item, invoking fn on each in FIFO order, and
+// returns the number drained. It clears the ring span-wise, which is cheaper
+// than item-at-a-time Pop for consumers that always take everything (sinks).
+// fn must not push to q.
+func (q *Queue) Drain(fn func(Item)) int {
+	n := q.n
+	end := q.head + q.n
+	if end <= len(q.buf) {
+		span := q.buf[q.head:end]
+		for i := range span {
+			fn(span[i])
+		}
+		clear(span)
+	} else {
+		wrap := end & (len(q.buf) - 1)
+		for i := range q.buf[q.head:] {
+			fn(q.buf[q.head+i])
+		}
+		for i := range q.buf[:wrap] {
+			fn(q.buf[i])
+		}
+		clear(q.buf[q.head:])
+		clear(q.buf[:wrap])
+	}
+	q.head, q.n = 0, 0
+	return n
+}
 
 func (q *Queue) grow() {
 	nb := make([]Item, 2*len(q.buf))
-	for i := 0; i < q.n; i++ {
-		nb[i] = q.at(i)
-	}
+	n := copy(nb, q.buf[q.head:])
+	copy(nb[n:], q.buf[:q.head])
 	q.buf = nb
 	q.head = 0
 }

@@ -5,6 +5,11 @@ package stream
 // front; probing iterates the whole deque (nested-loop join, the cost model
 // the paper uses in Section 3).
 //
+// The ring length is always a power of two so that index wraps are bit masks
+// rather than modulo divisions, and Spans exposes the deque as at most two
+// contiguous slices so the probe loop of a sliced join touches tuples with
+// plain slice iteration — no per-element index arithmetic at all.
+//
 // When a hash index is attached (WithIndex), probes for equijoin predicates
 // touch only the matching bucket, modelling the hash-join variant the paper
 // cites from Kang et al. [14].
@@ -15,8 +20,11 @@ type State struct {
 	index map[int64][]*Tuple // optional equijoin index: Key -> tuples
 }
 
+// stateInitCap is the initial ring capacity; must be a power of two.
+const stateInitCap = 16
+
 // NewState returns an empty window state.
-func NewState() *State { return &State{buf: make([]*Tuple, 16)} }
+func NewState() *State { return &State{buf: make([]*Tuple, stateInitCap)} }
 
 // WithIndex enables the hash index on the state and returns it.
 func (s *State) WithIndex() *State {
@@ -35,7 +43,22 @@ func (s *State) Indexed() bool { return s.index != nil }
 func (s *State) Len() int { return s.n }
 
 // At returns the i-th oldest tuple (0 = front/oldest).
-func (s *State) At(i int) *Tuple { return s.buf[(s.head+i)%len(s.buf)] }
+func (s *State) At(i int) *Tuple { return s.buf[(s.head+i)&(len(s.buf)-1)] }
+
+// Spans returns the stored tuples oldest-first as at most two contiguous
+// slices of the underlying ring (the second is nil unless the deque wraps).
+// The slices alias the ring: they are invalidated by any mutation of the
+// state and must not be retained across Insert, PopFront or Clear.
+func (s *State) Spans() (a, b []*Tuple) {
+	if s.n == 0 {
+		return nil, nil
+	}
+	end := s.head + s.n
+	if end <= len(s.buf) {
+		return s.buf[s.head:end], nil
+	}
+	return s.buf[s.head:], s.buf[:end&(len(s.buf)-1)]
+}
 
 // Front returns the oldest tuple, or nil when empty.
 func (s *State) Front() *Tuple {
@@ -59,7 +82,7 @@ func (s *State) Insert(t *Tuple) {
 	if s.n == len(s.buf) {
 		s.grow()
 	}
-	s.buf[(s.head+s.n)%len(s.buf)] = t
+	s.buf[(s.head+s.n)&(len(s.buf)-1)] = t
 	s.n++
 	if s.index != nil {
 		s.index[t.Key] = append(s.index[t.Key], t)
@@ -73,7 +96,7 @@ func (s *State) PopFront() *Tuple {
 	}
 	t := s.buf[s.head]
 	s.buf[s.head] = nil
-	s.head = (s.head + 1) % len(s.buf)
+	s.head = (s.head + 1) & (len(s.buf) - 1)
 	s.n--
 	if s.index != nil {
 		bucket := s.index[t.Key]
@@ -108,7 +131,7 @@ func (s *State) Snapshot() []*Tuple {
 // Clear removes all tuples.
 func (s *State) Clear() {
 	for i := 0; i < s.n; i++ {
-		s.buf[(s.head+i)%len(s.buf)] = nil
+		s.buf[(s.head+i)&(len(s.buf)-1)] = nil
 	}
 	s.head, s.n = 0, 0
 	if s.index != nil {
@@ -127,9 +150,8 @@ func (s *State) AppendAll(other *State) {
 
 func (s *State) grow() {
 	nb := make([]*Tuple, 2*len(s.buf))
-	for i := 0; i < s.n; i++ {
-		nb[i] = s.At(i)
-	}
+	n := copy(nb, s.buf[s.head:])
+	copy(nb[n:], s.buf[:s.head])
 	s.buf = nb
 	s.head = 0
 }

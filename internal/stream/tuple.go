@@ -134,6 +134,40 @@ func Joined(a, b *Tuple) *Tuple {
 	return &Tuple{Time: ts, Seq: seq, A: a, B: b}
 }
 
+// slabSize is the number of result tuples allocated per slab chunk. Large
+// enough to amortize the allocation to a fraction of a malloc per result,
+// small enough that a mostly-dead chunk pinned by one live result wastes
+// little memory.
+const slabSize = 256
+
+// TupleSlab amortizes result-tuple allocations: joined tuples are carved out
+// of chunks of slabSize tuples, so emitting a result costs 1/slabSize heap
+// allocations instead of one. A chunk stays reachable while any tuple carved
+// from it is; slabs therefore suit result tuples, which either flow to sinks
+// together or die together. The zero value is ready to use. Not safe for
+// concurrent use — give each operator (goroutine) its own slab.
+type TupleSlab struct {
+	chunk []Tuple
+}
+
+// Joined builds the result tuple for the pair (a, b) on the slab, with the
+// same semantics as the package-level Joined.
+func (s *TupleSlab) Joined(a, b *Tuple) *Tuple {
+	if len(s.chunk) == 0 {
+		s.chunk = make([]Tuple, slabSize)
+	}
+	t := &s.chunk[0]
+	s.chunk = s.chunk[1:]
+	ts := a.Time
+	seq := a.Seq
+	if b.Time > ts || (b.Time == ts && b.Seq > seq) {
+		ts = b.Time
+		seq = b.Seq
+	}
+	t.Time, t.Seq, t.A, t.B = ts, seq, a, b
+	return t
+}
+
 // String renders a compact description used by traces and tests, e.g. "a3"
 // for the third stream-A tuple or "(a1,b2)" for a joined result.
 func (t *Tuple) String() string {

@@ -1,6 +1,9 @@
 package stateslice
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Strategy selects the sharing paradigm a Build call compiles the workload
 // into. The paper's contribution is that one shared state-slice chain
@@ -146,6 +149,8 @@ type buildOptions struct {
 	model          CostModel
 	modelSet       bool
 	sinks          map[int]Sink
+	batchSize      int
+	batchSet       bool
 	err            error
 }
 
@@ -218,6 +223,28 @@ func WithHashProbing() Option {
 // sessions or migration.
 func WithConcurrency() Option {
 	return func(o *buildOptions) { o.concurrent = true }
+}
+
+// WithBatchSize sets the engine's micro-batch size K for every run and
+// session of the built plan: the operator graph is scheduled once per K
+// arrivals instead of after every tuple, amortizing the per-tuple scheduling
+// pass. Per-query results are identical for every K (operators drain FIFO
+// queues in arrival order regardless of when the scheduler runs); K only
+// trades intra-batch latency and queue memory against scheduling overhead.
+// K = 1 is the default and reproduces the paper's tuple-at-a-time CAPE
+// schedule exactly; negative K means unbounded (drain only at Finish or a
+// migration flush), which is usually a pessimisation — see EXPERIMENTS.md.
+// A RunConfig carrying its own non-zero BatchSize overrides this option.
+// Not valid with WithConcurrency: the pipeline batches by channel slab
+// instead.
+func WithBatchSize(k int) Option {
+	return func(o *buildOptions) {
+		if k == 0 && o.err == nil {
+			o.err = errors.New("stateslice: WithBatchSize needs a positive batch size (or negative for unbounded); the default without the option is 1, the paper-faithful per-tuple schedule")
+		}
+		o.batchSize = k
+		o.batchSet = true
+	}
 }
 
 // WithSink registers a streaming callback for one query (0-based workload
