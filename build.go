@@ -45,7 +45,7 @@ type Plan interface {
 	// NewSession prepares an incremental run: feed tuples one at a
 	// time, consume sources, and migrate chain plans mid-stream.
 	// Concurrent plans (WithConcurrency) do not support sessions.
-	NewSession(cfg RunConfig) (*Session, error)
+	NewSession(cfg RunConfig) (Session, error)
 	// Migrate re-slices a live chain to the given slice end boundaries
 	// (ascending; the last must equal the current largest boundary) by
 	// merging and splitting slices while the plan's session runs
@@ -56,6 +56,32 @@ type Plan interface {
 	// sealed keeps the implementation set closed so the interface can
 	// grow without breaking callers.
 	sealed()
+}
+
+// Session drives a plan incrementally: feed tuples one at a time (in global
+// timestamp order), consume sources, and — between feeds — migrate the
+// owning chain plan via Plan.Migrate. Sequential plans are driven by an
+// engine session (*EngineSession); sharded plans (WithShards) by a session
+// that routes each tuple to its key's replica. Every Session is
+// single-shot: Finish flushes the plan with a final punctuation and returns
+// the run statistics, after which the session cannot be fed.
+//
+// Sessions are not safe for concurrent use; one goroutine drives a session.
+type Session interface {
+	// Feed pushes one source tuple into the plan. Tuples must arrive in
+	// global timestamp order.
+	Feed(t *Tuple) error
+	// Consume feeds the session from a source until it is exhausted. It
+	// may be called several times (with sources whose timestamps continue
+	// ascending) and interleaved with Feed and plan migrations.
+	Consume(src Source) error
+	// Drain processes everything buffered until the plan quiesces,
+	// flushing any pending micro-batch (for sharded plans: blocking until
+	// every replica has quiesced).
+	Drain()
+	// Finish flushes the plan with a final punctuation and returns the
+	// run statistics. The session cannot be fed afterwards.
+	Finish() *Result
 }
 
 // Build compiles the workload into an executable Plan under the given
@@ -106,32 +132,25 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 		model = DefaultCostModel()
 	}
 
+	if o.concurrent && o.shardsSet {
+		return nil, errors.New("stateslice: WithConcurrency and WithShards select different executors for the same plan; choose one")
+	}
 	if o.concurrent {
 		if o.batchSet {
 			return nil, errors.New("stateslice: WithBatchSize tunes the sequential engine's micro-batch; the concurrent pipeline batches by channel slab and cannot be combined with it")
 		}
 		return buildConcurrent(w, s, o, model)
 	}
+	if o.shardsSet {
+		return buildSharded(w, s, o, model)
+	}
 
 	bp := &builtPlan{strategy: s, w: w, model: model, migratable: o.migratable, batchSize: o.batchSize}
 	switch s {
 	case MemOpt, CPUOpt:
-		cfg := plan.StateSliceConfig{
-			Ends:           o.ends,
-			DisableLineage: o.disableLineage,
-			Migratable:     o.migratable,
-			Collect:        o.collect,
-			Name:           o.name,
-		}
-		if cfg.Name == "" {
-			cfg.Name = "state-slice(" + s.String() + ")"
-		}
-		if s == CPUOpt {
-			res, err := chain.CPUOptEnds(workload.Specs(w), model.chainParams())
-			if err != nil {
-				return nil, err
-			}
-			cfg.Ends = workload.EndsToTimes(res.Ends)
+		cfg, err := chainConfig(w, s, o, model)
+		if err != nil {
+			return nil, err
 		}
 		sp, err := plan.BuildStateSlice(w, cfg)
 		if err != nil {
@@ -173,6 +192,31 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 		bp.exec.Sinks[qi].OnResult(emit)
 	}
 	return bp, nil
+}
+
+// chainConfig assembles the chain configuration of a MemOpt or CPUOpt
+// build: explicit or optimizer-chosen slice boundaries, lineage, migration
+// wiring and the plan name. Both the sequential chain build and the sharded
+// replica factory compile from it.
+func chainConfig(w Workload, s Strategy, o buildOptions, model CostModel) (plan.StateSliceConfig, error) {
+	cfg := plan.StateSliceConfig{
+		Ends:           o.ends,
+		DisableLineage: o.disableLineage,
+		Migratable:     o.migratable,
+		Collect:        o.collect,
+		Name:           o.name,
+	}
+	if cfg.Name == "" {
+		cfg.Name = "state-slice(" + s.String() + ")"
+	}
+	if s == CPUOpt {
+		res, err := chain.CPUOptEnds(workload.Specs(w), model.chainParams())
+		if err != nil {
+			return plan.StateSliceConfig{}, err
+		}
+		cfg.Ends = workload.EndsToTimes(res.Ends)
+	}
+	return cfg, nil
 }
 
 // enableHashProbing switches every regular window join of the plan to
@@ -230,7 +274,7 @@ func (p *builtPlan) Run(src Source, cfg RunConfig) (*Result, error) {
 }
 
 // NewSession implements Plan.
-func (p *builtPlan) NewSession(cfg RunConfig) (*Session, error) {
+func (p *builtPlan) NewSession(cfg RunConfig) (Session, error) {
 	s, err := engine.NewSession(p.exec, p.runConfig(cfg))
 	if err != nil {
 		return nil, err
@@ -250,7 +294,8 @@ func (p *builtPlan) runConfig(cfg RunConfig) RunConfig {
 
 // Migrate implements Plan: it diffs the live chain's boundaries against the
 // target and applies the merges (right to left) and splits that transform
-// one into the other, exactly the Section 5.3 maintenance primitives.
+// one into the other, exactly the Section 5.3 maintenance primitives
+// (plan.MigrateTo).
 func (p *builtPlan) Migrate(to []Time) error {
 	if p.chain == nil {
 		return fmt.Errorf("stateslice: the %s strategy does not support migration; only state-slice chains re-slice online", p.strategy)
@@ -261,70 +306,7 @@ func (p *builtPlan) Migrate(to []Time) error {
 	if p.sess == nil {
 		return errors.New("stateslice: Migrate needs an active session; call NewSession first")
 	}
-	if len(to) == 0 {
-		return errors.New("stateslice: migration target needs at least one slice boundary")
-	}
-	prev := Time(0)
-	for i, b := range to {
-		if b <= prev {
-			return fmt.Errorf("stateslice: migration boundaries must be positive and strictly ascending (index %d: %s after %s)", i, b, prev)
-		}
-		prev = b
-	}
-	cur := p.chain.Ends()
-	if last, want := to[len(to)-1], cur[len(cur)-1]; last != want {
-		return fmt.Errorf("stateslice: final migration boundary %s must equal the chain's largest boundary %s", last, want)
-	}
-	target := make(map[Time]bool, len(to))
-	for _, b := range to {
-		target[b] = true
-	}
-	// Merges first, right to left, so the chain never grows beyond
-	// max(len(cur), len(to)) slices mid-migration.
-	for {
-		cur = p.chain.Ends()
-		idx := -1
-		for i := len(cur) - 2; i >= 0; i-- {
-			if !target[cur[i]] {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			break
-		}
-		if err := p.chain.MergeSlices(p.sess, idx); err != nil {
-			return err
-		}
-	}
-	// Then splits, introducing the boundaries the chain lacks.
-	for _, b := range to[:len(to)-1] {
-		cur = p.chain.Ends()
-		have := false
-		idx := -1
-		start := Time(0)
-		for i, e := range cur {
-			if e == b {
-				have = true
-				break
-			}
-			if start < b && b < e {
-				idx = i
-				break
-			}
-			start = e
-		}
-		if have {
-			continue
-		}
-		if idx < 0 {
-			return fmt.Errorf("stateslice: no slice contains migration boundary %s (chain ends %v)", b, cur)
-		}
-		if err := p.chain.SplitSlice(p.sess, idx, b); err != nil {
-			return err
-		}
-	}
-	return nil
+	return p.chain.MigrateTo(p.sess, to)
 }
 
 // EstimatedCost implements Plan.
@@ -549,8 +531,8 @@ func (p *concurrentPlan) Run(src Source, cfg RunConfig) (*Result, error) {
 }
 
 // NewSession implements Plan.
-func (p *concurrentPlan) NewSession(RunConfig) (*Session, error) {
-	return nil, errors.New("stateslice: concurrent plans run free-threaded and do not support sessions; build without WithConcurrency to feed tuples incrementally under your control")
+func (p *concurrentPlan) NewSession(RunConfig) (Session, error) {
+	return nil, errors.New("stateslice: concurrent plans run free-threaded and do not support sessions; build without WithConcurrency to feed tuples incrementally under your control (WithShards sessions run parallel too)")
 }
 
 // Migrate implements Plan.

@@ -14,10 +14,13 @@
 //
 // The -json flag runs the tracked performance suite — the Section 7.3 chain
 // workload through the sequential engine at several micro-batch sizes and
-// through the concurrent pipeline — and writes a JSON report (service rate,
-// comparison counts, allocs per input tuple, state memory) to the given path
-// ("-" for stdout). Committed snapshots live in BENCH_<pr>.json files at the
-// repository root and track the perf trajectory across PRs.
+// through the concurrent pipeline, plus the workload's equijoin twin through
+// the engine, the pipeline and the key-range sharded executor at the -shards
+// sweep — and writes a JSON report (service rate, comparison counts, allocs
+// per input tuple, state memory, GOMAXPROCS for cross-host comparability) to
+// the given path ("-" for stdout). Committed snapshots live in
+// BENCH_<pr>.json files at the repository root and track the perf trajectory
+// across PRs. -cpuprofile wraps any run in a CPU profile.
 //
 // The measured experiments (fig17-19) run the full 90-virtual-second
 // workloads of the paper by default; -duration scales them down. Service
@@ -32,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -42,18 +46,38 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig11, fig17, fig18, fig19, table2, plans, all")
-		duration = flag.Float64("duration", workload.DurationSeconds, "virtual run length in seconds")
-		seed     = flag.Int64("seed", 2006, "generator seed")
-		grid     = flag.Int("grid", 9, "grid resolution for fig11 surfaces")
-		rateList = flag.String("rates", "20,40,60,80", "input rates to sweep (tuples/sec)")
-		jsonOut  = flag.String("json", "", "write the machine-readable perf report to this path (\"-\" for stdout) and exit")
-		reps     = flag.Int("reps", 3, "repetitions per perf variant for -json (best wall clock wins)")
+		exp        = flag.String("exp", "all", "experiment: fig11, fig17, fig18, fig19, table2, plans, all")
+		duration   = flag.Float64("duration", workload.DurationSeconds, "virtual run length in seconds")
+		seed       = flag.Int64("seed", 2006, "generator seed")
+		grid       = flag.Int("grid", 9, "grid resolution for fig11 surfaces")
+		rateList   = flag.String("rates", "20,40,60,80", "input rates to sweep (tuples/sec)")
+		jsonOut    = flag.String("json", "", "write the machine-readable perf report to this path (\"-\" for stdout) and exit")
+		reps       = flag.Int("reps", 3, "repetitions per perf variant for -json (best wall clock wins)")
+		shardList  = flag.String("shards", "1,2,4,8", "shard counts for the -json equijoin sweep (empty disables the sharded suite)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		// check exits through stopProfile, so an error mid-run still
+		// flushes a usable profile.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer func() {
+			stopProfile()
+			stopProfile = nil
+		}()
+	}
+
 	if *jsonOut != "" {
-		check(perfJSON(*jsonOut, *duration, *seed, *reps))
+		shards, err := parseShards(*shardList)
+		check(err)
+		check(perfJSON(*jsonOut, *duration, *seed, *reps, shards))
 		return
 	}
 
@@ -205,11 +229,12 @@ func runFig19(p bench.Fig19Panel, rates []float64, dur float64, seed int64) ([]b
 }
 
 // perfJSON runs the tracked perf suite and writes the JSON report.
-func perfJSON(path string, duration float64, seed int64, reps int) error {
+func perfJSON(path string, duration float64, seed int64, reps int, shards []int) error {
 	rep, err := bench.RunPerf(bench.PerfConfig{
 		DurationSec: duration,
 		Seed:        seed,
 		Reps:        reps,
+		Shards:      shards,
 	})
 	if err != nil {
 		return err
@@ -226,6 +251,23 @@ func perfJSON(path string, duration float64, seed int64, reps int) error {
 	return os.WriteFile(path, buf, 0o644)
 }
 
+// parseShards parses the -shards list; an empty string yields an empty
+// (suite-disabling) slice rather than RunPerf's default sweep.
+func parseShards(s string) ([]int, error) {
+	out := []int{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func parseRates(s string) ([]float64, error) {
 	var out []float64
 	for _, p := range strings.Split(s, ",") {
@@ -238,9 +280,16 @@ func parseRates(s string) ([]float64, error) {
 	return out, nil
 }
 
+// stopProfile flushes the -cpuprofile output; check invokes it before
+// exiting because os.Exit skips deferred calls.
+var stopProfile func()
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slicebench:", err)
+		if stopProfile != nil {
+			stopProfile()
+		}
 		os.Exit(1)
 	}
 }

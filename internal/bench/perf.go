@@ -8,6 +8,7 @@ import (
 	"stateslice/internal/engine"
 	"stateslice/internal/pipeline"
 	"stateslice/internal/plan"
+	"stateslice/internal/shard"
 	"stateslice/internal/stream"
 	"stateslice/internal/workload"
 )
@@ -17,8 +18,13 @@ import (
 // joins, Mem-Opt chain) executed through the sequential engine at several
 // micro-batch sizes and through the concurrent slab-batched pipeline, with
 // wall-clock service rate, comparison counts, per-input allocation costs and
-// state memory recorded per variant. Committed snapshots (BENCH_<pr>.json)
-// track the repository's performance trajectory over time.
+// state memory recorded per variant. A second suite runs the workload's
+// equijoin twin — same windows, A.Key = B.Key join, key domain matched to
+// the same selectivity — through the engine, the pipeline and the
+// key-range sharded executor at a shard-count sweep; FractionMatch is not
+// key-partitionable, so the sharded variants require the twin. Committed
+// snapshots (BENCH_<pr>.json) track the repository's performance trajectory
+// over time.
 
 // PerfWorkload describes the workload a report was measured on.
 type PerfWorkload struct {
@@ -27,8 +33,13 @@ type PerfWorkload struct {
 	Queries int `json:"queries"`
 	// Dist names the window distribution (Table 4).
 	Dist string `json:"dist"`
-	// JoinSelectivity is the S1 join selectivity.
+	// Join describes the join predicate.
+	Join string `json:"join"`
+	// JoinSelectivity is the (expected) S1 join selectivity.
 	JoinSelectivity float64 `json:"join_selectivity"`
+	// KeyDomain is the generator's uniform key domain; 0 when the
+	// predicate ignores keys.
+	KeyDomain int64 `json:"key_domain,omitempty"`
 	// Rate is the per-stream arrival rate in tuples/sec.
 	Rate float64 `json:"rate"`
 	// DurationSec is the virtual run length in seconds.
@@ -45,6 +56,10 @@ type PerfRun struct {
 	// tuple-at-a-time schedule; -1 = drain only at the end; 0 for the
 	// pipeline, which batches by channel slab instead).
 	BatchSize int `json:"batch_size"`
+	// Shards is the replica count of a sharded run; 0 for unsharded
+	// variants. Comparable across hosts only together with the report's
+	// GOMAXPROCS.
+	Shards int `json:"shards,omitempty"`
 	// Inputs is the number of source tuples fed.
 	Inputs int `json:"inputs"`
 	// Outputs is the total number of result tuples across all queries.
@@ -74,21 +89,37 @@ type PerfRun struct {
 	OrderViolations int `json:"order_violations"`
 }
 
-// PerfReport is the full report written by `slicebench -json`.
-type PerfReport struct {
-	// GoVersion and GOARCH identify the toolchain and hardware flavour the
-	// numbers were taken on; wall-clock figures are host-dependent.
-	GoVersion string `json:"go_version"`
-	GOARCH    string `json:"goarch"`
+// PerfSuite is one workload with its measured execution variants.
+type PerfSuite struct {
 	// Workload describes the measured workload.
 	Workload PerfWorkload `json:"workload"`
 	// Runs holds one entry per execution variant.
 	Runs []PerfRun `json:"runs"`
 }
 
+// PerfReport is the full report written by `slicebench -json`.
+type PerfReport struct {
+	// GoVersion and GOARCH identify the toolchain and hardware flavour the
+	// numbers were taken on; wall-clock figures are host-dependent.
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS and NumCPU pin the parallelism available to the run, the
+	// context without which shard-sweep figures are not comparable across
+	// hosts.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Workload describes the tracked FractionMatch workload.
+	Workload PerfWorkload `json:"workload"`
+	// Runs holds one entry per execution variant on Workload.
+	Runs []PerfRun `json:"runs"`
+	// Sharded is the equijoin-twin suite with the shard-count sweep, nil
+	// when the sweep was disabled.
+	Sharded *PerfSuite `json:"sharded,omitempty"`
+}
+
 // PerfConfig parameterises RunPerf. The zero value selects the tracked
 // baseline: 12 uniform queries, rate 80, 90 virtual seconds, seed 2006,
-// 3 repetitions.
+// 3 repetitions, shard sweep p ∈ {1, 2, 4, 8}.
 type PerfConfig struct {
 	Queries     int
 	Dist        workload.Distribution
@@ -97,7 +128,16 @@ type PerfConfig struct {
 	DurationSec float64
 	Seed        int64
 	Reps        int
+	// Shards is the shard-count sweep of the equijoin suite; nil selects
+	// DefaultShardCounts, an explicit empty slice disables the suite.
+	Shards []int
+	// KeyDomain is the equijoin suite's uniform key domain; 0 selects
+	// workload.EquijoinKeyDomain (selectivity matching S1's default).
+	KeyDomain int64
 }
+
+// DefaultShardCounts is the tracked shard sweep.
+var DefaultShardCounts = []int{1, 2, 4, 8}
 
 func (c *PerfConfig) defaults() {
 	if c.Queries == 0 {
@@ -120,6 +160,12 @@ func (c *PerfConfig) defaults() {
 	}
 	if c.Reps == 0 {
 		c.Reps = 3
+	}
+	if c.Shards == nil {
+		c.Shards = DefaultShardCounts
+	}
+	if c.KeyDomain == 0 {
+		c.KeyDomain = workload.EquijoinKeyDomain
 	}
 }
 
@@ -146,11 +192,14 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 		return nil, err
 	}
 	rep := &PerfReport{
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Workload: PerfWorkload{
 			Queries:         cfg.Queries,
 			Dist:            string(cfg.Dist),
+			Join:            w.Join.String(),
 			JoinSelectivity: cfg.S1,
 			Rate:            cfg.Rate,
 			DurationSec:     cfg.DurationSec,
@@ -170,7 +219,110 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Runs = append(rep.Runs, *run)
+
+	if len(cfg.Shards) > 0 {
+		suite, err := runShardSuite(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sharded = suite
+	}
 	return rep, nil
+}
+
+// runShardSuite measures the equijoin twin of the workload — the same
+// windows joined on A.Key = B.Key over a key domain matching the tracked
+// selectivity — through the engine, the pipeline and the sharded executor
+// at every shard count. The in-suite engine run is the single-core baseline
+// the sweep is judged against; every variant must produce identical output
+// counts.
+func runShardSuite(cfg PerfConfig) (*PerfSuite, error) {
+	w, err := workload.NQueriesEquijoin(cfg.Dist, cfg.Queries)
+	if err != nil {
+		return nil, err
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA:     cfg.Rate,
+		RateB:     cfg.Rate,
+		Duration:  stream.Seconds(cfg.DurationSec),
+		KeyDomain: cfg.KeyDomain,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	suite := &PerfSuite{
+		Workload: PerfWorkload{
+			Queries:         cfg.Queries,
+			Dist:            string(cfg.Dist),
+			Join:            w.Join.String(),
+			JoinSelectivity: 1 / float64(cfg.KeyDomain),
+			KeyDomain:       cfg.KeyDomain,
+			Rate:            cfg.Rate,
+			DurationSec:     cfg.DurationSec,
+			Seed:            cfg.Seed,
+		},
+	}
+	run, err := perfEngine(w, input, 1, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	suite.Runs = append(suite.Runs, *run)
+	run, err = perfPipeline(w, input, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	suite.Runs = append(suite.Runs, *run)
+	for _, p := range cfg.Shards {
+		run, err := perfSharded(w, input, p, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+		suite.Runs = append(suite.Runs, *run)
+	}
+	return suite, nil
+}
+
+// perfSharded measures the key-range sharded executor at shard count p, on
+// the slice-merge fast path the public WithShards build selects for this
+// workload shape (unfiltered Mem-Opt).
+func perfSharded(w plan.Workload, input []*stream.Tuple, p, reps int) (*PerfRun, error) {
+	windows := make([]stream.Time, len(w.Queries))
+	for i, q := range w.Queries {
+		windows[i] = q.Window
+	}
+	run := &PerfRun{Variant: fmt.Sprintf("shards/p=%d", p), Shards: p}
+	for r := 0; r < reps; r++ {
+		e, err := shard.New(shard.Config{
+			Shards:      p,
+			SampleEvery: 1 << 30, // no memory sampling on the measured path
+			SliceMerge:  true,
+			Windows:     windows,
+			Name:        "perf-sharded",
+		}, func(int) (*plan.StateSlicePlan, error) {
+			return plan.BuildStateSlice(w, plan.StateSliceConfig{Name: "perf", RawSliceResults: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+		allocs, bytes, wall, res, err := measured(func() (perfResult, error) {
+			er, err := e.Run(stream.NewSliceSource(input))
+			if err != nil {
+				return perfResult{}, err
+			}
+			return perfResult{
+				inputs:     er.Inputs,
+				outputs:    er.TotalOutputs(),
+				comps:      er.Meter.Comparisons(),
+				violations: er.OrderViolations,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		record(run, res, allocs, bytes, wall)
+	}
+	return run, nil
 }
 
 // perfPipeline measures the concurrent pipeline executor.

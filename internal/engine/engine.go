@@ -208,6 +208,29 @@ func (s *Session) Feed(t *stream.Tuple) error {
 	return nil
 }
 
+// FeedPunct broadcasts a punctuation into every entry queue (each shared
+// queue receives it once): a promise that no future source tuple carries a
+// timestamp at or below ts. The chain operators forward it downstream, so
+// per-query outputs learn the frontier even while no results are produced.
+// Finish's final MaxTime punctuation is the same mechanism; mid-stream
+// punctuations let a consumer of several sessions — the sharded executor
+// merging replica outputs — keep its order-preserving merge progressing
+// past replicas that are currently idle. Like Feed, it counts toward the
+// micro-batch and drains the graph on batch boundaries.
+func (s *Session) FeedPunct(ts stream.Time) error {
+	if s.finished {
+		return errors.New("engine: FeedPunct after Finish")
+	}
+	for _, q := range dedupQueues(s.plan.EntryA, s.plan.EntryB) {
+		q.PushPunct(ts)
+	}
+	s.pending++
+	if s.cfg.BatchSize >= 0 && s.pending >= max(s.cfg.BatchSize, 1) {
+		s.Drain()
+	}
+	return nil
+}
+
 // Drain runs every operator until the whole graph quiesces, flushing any
 // micro-batch buffered by Feed. It is exposed so chain migration can empty
 // inter-slice queues before merging.

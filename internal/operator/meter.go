@@ -103,6 +103,23 @@ func (m *CostMeter) Total(csys float64) float64 {
 	return float64(m.Comparisons()) + csys*float64(m.Invocations)
 }
 
+// Add folds another meter's counts into m, category by category. The
+// concurrent executors give every goroutine its own meter and fold them into
+// the run total once all goroutines have stopped.
+func (m *CostMeter) Add(o CostMeter) {
+	if m == nil {
+		return
+	}
+	m.Probe += o.Probe
+	m.Purge += o.Purge
+	m.Route += o.Route
+	m.Union += o.Union
+	m.Filter += o.Filter
+	m.Split += o.Split
+	m.Hash += o.Hash
+	m.Invocations += o.Invocations
+}
+
 // Sub returns the per-category difference m - base. It lets the harness
 // compute the cost of a time slice of an execution.
 func (m *CostMeter) Sub(base CostMeter) CostMeter {

@@ -11,7 +11,9 @@ type Sink struct {
 	name     string
 	in       *stream.Queue
 	collect  bool
+	tapOnly  bool
 	onResult func(*stream.Tuple)
+	onItem   func(stream.Item)
 
 	count      uint64
 	results    []*stream.Tuple
@@ -37,6 +39,16 @@ func NewDirectSink(name string) *Sink {
 // Accept processes one item immediately (direct port delivery).
 func (s *Sink) Accept(it stream.Item) { s.deliver(it) }
 
+// AcceptRun processes a span of consecutive items from one ordered input in
+// a single call — semantically identical to calling Accept on each item in
+// order, but amortizing the per-item call indirection. Run-based merges
+// deliver whole emission runs through it.
+func (s *Sink) AcceptRun(items []stream.Item) {
+	for _, it := range items {
+		s.deliver(it)
+	}
+}
+
 // Collecting makes the sink retain every result tuple and returns it.
 func (s *Sink) Collecting() *Sink {
 	s.collect = true
@@ -48,6 +60,29 @@ func (s *Sink) Collecting() *Sink {
 // must be set before the sink processes any tuple.
 func (s *Sink) OnResult(fn func(*stream.Tuple)) *Sink {
 	s.onResult = fn
+	return s
+}
+
+// OnItem installs a tap invoked for every delivered item — result tuples and
+// punctuations alike — before regular sink processing. Unlike OnResult it
+// exposes the punctuation stream, which downstream order-preserving merges
+// need for progress: the sharded executor forwards a replica's per-query
+// output through this hook into the cross-replica union. It must be set
+// before the sink processes any item.
+func (s *Sink) OnItem(fn func(stream.Item)) *Sink {
+	s.onItem = fn
+	return s
+}
+
+// TapOnly makes the sink forward every item to its OnItem tap and skip its
+// own counting, ordering and collection work. It fits relay positions where
+// a downstream consumer repeats that bookkeeping — the sharded executor's
+// replica sinks, whose streams are re-counted and re-order-checked by the
+// cross-replica merge sinks — and saves the per-item cost of doing it
+// twice. Requires an OnItem tap; Count, Results and OrderViolations stay
+// zero.
+func (s *Sink) TapOnly() *Sink {
+	s.tapOnly = true
 	return s
 }
 
@@ -87,6 +122,12 @@ func (s *Sink) Step(m *CostMeter, max int) int {
 
 // deliver processes one queue item.
 func (s *Sink) deliver(it stream.Item) {
+	if s.onItem != nil {
+		s.onItem(it)
+		if s.tapOnly {
+			return
+		}
+	}
 	if it.IsPunct() {
 		return
 	}

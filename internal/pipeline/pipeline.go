@@ -64,40 +64,6 @@ type taggedBatch struct {
 // affects throughput, never correctness.
 const chanBuf = 32
 
-// slabCap is the target number of items per channel slab. One slab send
-// replaces slabCap channel operations of the per-item scheme.
-const slabCap = 128
-
-// batcher accumulates items into slabs and coalesces consecutive
-// punctuations: on a FIFO edge punct(t1) followed immediately by punct(t2 >=
-// t1) carries no extra information, so only the last of a run survives.
-type batcher struct {
-	buf []stream.Item
-}
-
-// add appends an item, merging it with a trailing punctuation run.
-func (b *batcher) add(it stream.Item) {
-	if it.IsPunct() && len(b.buf) > 0 && b.buf[len(b.buf)-1].IsPunct() {
-		b.buf[len(b.buf)-1] = it
-		return
-	}
-	b.buf = append(b.buf, it)
-}
-
-// full reports whether the slab reached its target size.
-func (b *batcher) full() bool { return len(b.buf) >= slabCap }
-
-// take seals and returns the current slab, leaving the batcher empty. It
-// returns nil when nothing is buffered.
-func (b *batcher) take() []stream.Item {
-	if len(b.buf) == 0 {
-		return nil
-	}
-	out := b.buf
-	b.buf = make([]stream.Item, 0, slabCap)
-	return out
-}
-
 // RunChain executes the chain of sliced binary window joins with slice end
 // boundaries equal to the distinct query windows (the Mem-Opt layout) over
 // the input, concurrently. Windows must be ascending; the i-th query's
@@ -167,7 +133,7 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 	go func() {
 		defer wg.Done()
 		defer close(feed)
-		var b batcher
+		var b stream.Batcher
 		for {
 			t, err := src.Next()
 			if err == io.EOF {
@@ -183,14 +149,14 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 			}
 			inputs++
 			lastTime = t.Time
-			b.add(stream.RoleItem(t, stream.RoleFemale))
-			b.add(stream.RoleItem(t, stream.RoleMale))
-			if b.full() {
-				feed <- b.take()
+			b.Add(stream.RoleItem(t, stream.RoleFemale))
+			b.Add(stream.RoleItem(t, stream.RoleMale))
+			if b.Full() {
+				feed <- b.Take()
 			}
 		}
-		b.add(stream.PunctItem(stream.MaxTime))
-		feed <- b.take()
+		b.Add(stream.PunctItem(stream.MaxTime))
+		feed <- b.Take()
 	}()
 
 	// Mergers: one per query, running an order-preserving union over the
@@ -275,32 +241,32 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 			if out != nil {
 				defer close(out)
 			}
-			var nextB, resB batcher
+			var nextB, resB stream.Batcher
 			for slab := range stageIn {
 				for _, it := range slab {
 					inQ.Push(it)
 				}
 				j.Step(m, -1)
 				for nextQ != nil && !nextQ.Empty() {
-					nextB.add(nextQ.Pop())
-					if nextB.full() {
-						out <- nextB.take()
+					nextB.Add(nextQ.Pop())
+					if nextB.Full() {
+						out <- nextB.Take()
 					}
 				}
 				for resQ != nil && !resQ.Empty() {
-					resB.add(resQ.Pop())
+					resB.Add(resQ.Pop())
 				}
 				// Ship the results of this input slab as one batch
 				// per subscriber; coalescing already collapsed the
 				// per-male punctuation bursts.
-				if items := resB.take(); items != nil {
+				if items := resB.Take(); items != nil {
 					for _, qi := range subs {
 						mergeIn[qi] <- taggedBatch{slice: stage, items: items}
 					}
 				}
 			}
 			if out != nil {
-				if items := nextB.take(); items != nil {
+				if items := nextB.Take(); items != nil {
 					out <- items
 				}
 			}
@@ -326,14 +292,7 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 
 	res := &Result{Inputs: inputs, VirtualDuration: lastTime}
 	for _, m := range meters {
-		res.Meter.Probe += m.Probe
-		res.Meter.Purge += m.Purge
-		res.Meter.Route += m.Route
-		res.Meter.Union += m.Union
-		res.Meter.Filter += m.Filter
-		res.Meter.Split += m.Split
-		res.Meter.Hash += m.Hash
-		res.Meter.Invocations += m.Invocations
+		res.Meter.Add(*m)
 	}
 	for _, s := range sinks {
 		res.SinkCounts = append(res.SinkCounts, s.Count())

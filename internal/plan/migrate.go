@@ -82,6 +82,80 @@ func (sp *StateSlicePlan) SplitSlice(s *engine.Session, i int, mid stream.Time) 
 	return nil
 }
 
+// MigrateTo re-slices the live chain to the given slice end boundaries
+// (ascending; the last must equal the chain's current largest boundary) by
+// diffing the target against the current layout and applying the merges
+// (right to left, so the chain never grows beyond max(len(cur), len(to))
+// slices mid-migration) and splits that transform one into the other —
+// exactly the Section 5.3 maintenance primitives. It is the whole-layout
+// form of MergeSlices/SplitSlice used by Plan.Migrate; the sharded executor
+// fans it out to every chain replica.
+func (sp *StateSlicePlan) MigrateTo(s *engine.Session, to []stream.Time) error {
+	if len(to) == 0 {
+		return fmt.Errorf("plan: migration target needs at least one slice boundary")
+	}
+	prev := stream.Time(0)
+	for i, b := range to {
+		if b <= prev {
+			return fmt.Errorf("plan: migration boundaries must be positive and strictly ascending (index %d: %s after %s)", i, b, prev)
+		}
+		prev = b
+	}
+	cur := sp.Ends()
+	if last, want := to[len(to)-1], cur[len(cur)-1]; last != want {
+		return fmt.Errorf("plan: final migration boundary %s must equal the chain's largest boundary %s", last, want)
+	}
+	target := make(map[stream.Time]bool, len(to))
+	for _, b := range to {
+		target[b] = true
+	}
+	// Merges first, right to left.
+	for {
+		cur = sp.Ends()
+		idx := -1
+		for i := len(cur) - 2; i >= 0; i-- {
+			if !target[cur[i]] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if err := sp.MergeSlices(s, idx); err != nil {
+			return err
+		}
+	}
+	// Then splits, introducing the boundaries the chain lacks.
+	for _, b := range to[:len(to)-1] {
+		cur = sp.Ends()
+		have := false
+		idx := -1
+		start := stream.Time(0)
+		for i, e := range cur {
+			if e == b {
+				have = true
+				break
+			}
+			if start < b && b < e {
+				idx = i
+				break
+			}
+			start = e
+		}
+		if have {
+			continue
+		}
+		if idx < 0 {
+			return fmt.Errorf("plan: no slice contains migration boundary %s (chain ends %v)", b, cur)
+		}
+		if err := sp.SplitSlice(s, idx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // migratable validates migration preconditions.
 func (sp *StateSlicePlan) migratable(s *engine.Session) error {
 	if !sp.cfg.Migratable {

@@ -27,6 +27,17 @@ type StateSliceConfig struct {
 	Migratable bool
 	// Collect makes every sink retain its result tuples.
 	Collect bool
+	// RawSliceResults leaves every slice's Joined-Result port bare
+	// instead of wiring routers, filters and per-query unions: the caller
+	// attaches its own consumers (via Slices()[i].Result()) and assembles
+	// the per-query answers itself. The sharded executor uses it to ship
+	// each slice's result stream across goroutines once, rather than once
+	// per subscribing query. Valid only when every slice's result stream
+	// is query-agnostic — an unfiltered workload whose every distinct
+	// window is a slice boundary (no routers, no result filters) — and
+	// incompatible with Migratable; Build reports violations. The plan's
+	// sinks exist but receive nothing.
+	RawSliceResults bool
 	// Name overrides the plan name; empty defaults to "state-slice".
 	Name string
 }
@@ -81,6 +92,11 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 	name := cfg.Name
 	if name == "" {
 		name = "state-slice"
+	}
+	if cfg.RawSliceResults {
+		if err := validateRawSliceResults(w, ends, cfg); err != nil {
+			return nil, err
+		}
 	}
 	sp := &StateSlicePlan{
 		Plan: &engine.Plan{Name: name},
@@ -153,7 +169,7 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 	for qi, q := range w.Queries {
 		contributing := sp.sliceOf(q.Window) + 1
 		sink := operator.NewDirectSink(w.QueryName(qi))
-		if cfg.Migratable || contributing > 1 {
+		if !cfg.RawSliceResults && (cfg.Migratable || contributing > 1) {
 			u := operator.NewUnion(w.QueryName(qi) + ".union")
 			sp.unions[qi] = u
 			u.Out().AttachFunc(sink.Accept)
@@ -166,11 +182,42 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 		sp.sinks[qi] = sink
 	}
 
-	for si := range sp.slices {
-		sp.wireSliceResults(si)
+	if !cfg.RawSliceResults {
+		for si := range sp.slices {
+			sp.wireSliceResults(si)
+		}
 	}
 	sp.rebuildOps()
 	return sp, nil
+}
+
+// RawSliceEligible reports whether a chain over the given slice boundaries
+// qualifies for RawSliceResults — the single source of truth the sharded
+// build consults before selecting its slice-merge fast path, so the
+// eligibility predicate and the build-time validation cannot drift apart.
+func RawSliceEligible(w Workload, ends []stream.Time, migratable bool) bool {
+	return validateRawSliceResults(w, ends, StateSliceConfig{Migratable: migratable}) == nil
+}
+
+// validateRawSliceResults checks that every slice's result stream is
+// query-agnostic, the precondition for exposing raw slice ports.
+func validateRawSliceResults(w Workload, ends []stream.Time, cfg StateSliceConfig) error {
+	if cfg.Migratable {
+		return fmt.Errorf("plan: RawSliceResults leaves the per-query unions unbuilt, which migration rewires; the two cannot be combined")
+	}
+	if w.AnyFilter() {
+		return fmt.Errorf("plan: RawSliceResults requires an unfiltered workload (result-side selections make slice streams query-specific)")
+	}
+	isEnd := make(map[stream.Time]bool, len(ends))
+	for _, e := range ends {
+		isEnd[e] = true
+	}
+	for _, win := range w.DistinctWindows() {
+		if !isEnd[win] {
+			return fmt.Errorf("plan: RawSliceResults requires every distinct query window to be a slice boundary (window %s falls inside a slice and would need a router)", win)
+		}
+	}
+	return nil
 }
 
 // validateEnds checks the slice boundary list.
@@ -216,6 +263,15 @@ func (sp *StateSlicePlan) Ends() []stream.Time {
 
 // Sinks returns the per-query sinks (indexed like the workload queries).
 func (sp *StateSlicePlan) Sinks() []*operator.Sink { return sp.sinks }
+
+// QueryUnion returns the order-preserving union assembling query qi's
+// answer, or nil when a single slice feeds the sink directly (possible only
+// for non-migratable chains). The union's output port is the query's
+// terminal: consumers that replace the sink — the sharded executor taps the
+// port straight into its cross-replica merge — may detach it and attach
+// their own function. Migrations rewire the union's inputs, never its
+// output, so a replacement consumer survives re-slicing.
+func (sp *StateSlicePlan) QueryUnion(qi int) *operator.Union { return sp.unions[qi] }
 
 // sliceOf returns the index of the slice whose range contains window w.
 func (sp *StateSlicePlan) sliceOf(w stream.Time) int {

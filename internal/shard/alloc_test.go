@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"testing"
+
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// TestMergeSteadyStateAllocs pins the allocation cost of the cross-shard
+// merge path: pushing result slabs into the k-way merge and draining it
+// through the query sink must not allocate once the slab free list is
+// primed. The merge sits downstream of every result of every query, so a
+// per-item allocation here would undo the engine's allocation-lean hot
+// path.
+func TestMergeSteadyStateAllocs(t *testing.T) {
+	const shards, perShard = 4, 32
+	sink := operator.NewDirectSink("Q")
+	free := make(chan []stream.Item, 4*shards)
+	m := newKmerge(shards, sink.AcceptRun, free)
+
+	// Result tuples are preallocated and re-stamped each round; the merge
+	// path under test never creates tuples, it only moves them. Slabs
+	// recycle through the free list exactly as in the executor.
+	a := &stream.Tuple{Stream: stream.StreamA, Ord: 1}
+	b := &stream.Tuple{Stream: stream.StreamB, Ord: 1}
+	pool := make([]stream.Tuple, shards*perShard)
+	var now stream.Time
+	var seq uint64
+	round := func() {
+		// Interleave timestamps across shards so the merge alternates
+		// inputs, and close every shard's slab with the round's maximum
+		// punctuation so each round drains completely and every slab
+		// returns to the free list.
+		roundMax := now + shards*perShard
+		for s := 0; s < shards; s++ {
+			slab := <-free
+			for i := 0; i < perShard; i++ {
+				seq++
+				rt := &pool[s*perShard+i]
+				rt.Time, rt.Seq, rt.A, rt.B = now+stream.Time(i*shards+s+1), seq, a, b
+				slab = append(slab, stream.TupleItem(rt))
+			}
+			slab = append(slab, stream.PunctItem(roundMax))
+			m.push(s, slab)
+		}
+		now = roundMax
+		m.step()
+	}
+	for i := 0; i < 2*shards; i++ {
+		free <- make([]stream.Item, 0, perShard+1)
+	}
+	round() // prime the merge
+
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0.5 {
+		t.Errorf("cross-shard merge allocates %.2f times per %d items; the steady state must be allocation-free",
+			allocs, shards*perShard)
+	}
+	if sink.Count() == 0 {
+		t.Fatal("merge delivered nothing; the allocation guard is vacuous")
+	}
+	if sink.OrderViolations() != 0 {
+		t.Fatalf("merge broke order: %d violations", sink.OrderViolations())
+	}
+}

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// assembler is the slice-merge fast path: instead of merging each query's
+// per-shard output (which ships every result once per subscribing query),
+// it merges each *slice's* per-shard result stream — every distinct result
+// crosses goroutines exactly once — and then assembles the per-query
+// answers the way the sequential engine does: the merged slice stream fans
+// out into the input queues of per-query order-preserving unions feeding
+// the sinks. One goroutine owns all slice merges and unions, so the
+// assembly needs no further synchronization.
+//
+// The path requires query-agnostic slice streams — an unfiltered workload
+// whose every distinct window is a slice boundary, compiled with
+// plan.StateSliceConfig.RawSliceResults — exactly the restriction of the
+// concurrent pipeline. Filtered, routed or migratable chains use the
+// query-level merge instead (see Executor).
+type assembler struct {
+	in     chan sliceBatch
+	merges []*kmerge // per slice
+	unions []*operator.Union
+	sinks  []*operator.Sink
+	subs   [][]int            // slice -> indexes of subscribing unions
+	meter  operator.CostMeter // union assembly costs
+	wg     sync.WaitGroup
+}
+
+// sliceBatch is one slab of a slice's result stream from one shard.
+type sliceBatch struct {
+	slice int
+	shard int
+	items []stream.Item
+}
+
+// newAssembler wires the slice merges and per-query unions. ends are the
+// chain's slice boundaries, windows the query windows (ascending; each must
+// equal one of the ends, which RawSliceResults validated at plan build).
+func newAssembler(shards int, ends, windows []stream.Time, free chan []stream.Item, cfg Config) (*assembler, error) {
+	a := &assembler{
+		in:     make(chan sliceBatch, 4*chanBuf),
+		merges: make([]*kmerge, len(ends)),
+		unions: make([]*operator.Union, len(windows)),
+		sinks:  make([]*operator.Sink, len(windows)),
+		subs:   make([][]int, len(ends)),
+	}
+	// Per-query unions over the contributing slices, engine-style: the
+	// union's si-th input queue receives slice si's merged stream.
+	sliceOuts := make([][]*stream.Queue, len(ends))
+	for qi, w := range windows {
+		u := operator.NewUnion(fmt.Sprintf("assemble-Q%d", qi+1))
+		sink := operator.NewDirectSink(fmt.Sprintf("Q%d", qi+1))
+		u.Out().AttachFunc(sink.Accept)
+		if cfg.Collect {
+			sink.Collecting()
+		}
+		if cfg.OnResult != nil {
+			q := qi
+			sink.OnResult(func(t *stream.Tuple) { cfg.OnResult(q, t) })
+		}
+		contributing := 0
+		for si, end := range ends {
+			if end > w {
+				break
+			}
+			contributing = si + 1
+		}
+		if contributing == 0 {
+			return nil, fmt.Errorf("shard: query window %s below the first slice boundary %s", w, ends[0])
+		}
+		for si := 0; si < contributing; si++ {
+			sliceOuts[si] = append(sliceOuts[si], u.AddInput())
+			a.subs[si] = append(a.subs[si], qi)
+		}
+		a.unions[qi] = u
+		a.sinks[qi] = sink
+	}
+	for si := range ends {
+		outs := sliceOuts[si]
+		a.merges[si] = newKmerge(shards, func(span []stream.Item) {
+			// Fan the merged span out to every subscribing query's
+			// union input; the items are shared, only queue cells are
+			// written.
+			for _, q := range outs {
+				for _, it := range span {
+					q.Push(it)
+				}
+			}
+		}, free)
+	}
+	return a, nil
+}
+
+// run consumes slice batches until the channel closes, stepping the slice
+// merge and then the assembly unions after every batch.
+func (a *assembler) run() {
+	defer a.wg.Done()
+	for tb := range a.in {
+		a.merges[tb.slice].push(tb.shard, tb.items)
+		a.merges[tb.slice].step()
+		for _, qi := range a.subs[tb.slice] {
+			a.unions[qi].Step(&a.meter, -1)
+		}
+	}
+	for _, m := range a.merges {
+		m.step()
+	}
+	for _, u := range a.unions {
+		u.Step(&a.meter, -1)
+	}
+}

@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"stateslice/internal/operator"
+	"stateslice/internal/stream"
+)
+
+// kmerge is the order-preserving merge of the per-shard output streams of
+// one query. It generalizes the run-based union merge of operator.Union —
+// one scan selects the input holding the minimal (Time, Seq) head and the
+// tightest bound the other inputs impose (their heads, or the punctuation
+// frontiers of the empty ones), then consecutive items of the winner are
+// emitted as one run — but specializes it for the shard topology:
+//
+//   - Inputs arrive as whole slabs, so pending items live in slab slices
+//     consumed by offset instead of a ring buffer: no per-item Push/Pop
+//     stores, and run spans are delivered to the sink with one call
+//     (Sink.AcceptRun) rather than one port push per tuple.
+//   - Heads of different inputs can never tie on (Time, Seq): a joined
+//     tuple inherits the Seq of its probing male and every male lives on
+//     exactly one shard. The union's same-key chain-order concatenation
+//     degenerates to a strict comparison.
+//
+// The emitted sequence is exactly the union's: an item is emitted only once
+// every other input either exposes a later head or has punctuated past it.
+// Cost accounting mirrors the union (one Union comparison per ordering
+// decision or absorbed punctuation, one invocation per emitted tuple), so
+// the merge's comparison counts stay comparable with the rest of the meter.
+//
+// kmerge is single-threaded: its owning goroutine calls push and step;
+// nothing else touches it.
+type kmerge struct {
+	ins []mergeInput
+	// emit receives the merged stream as spans of consecutive tuple items
+	// of one input, in global (Time, Seq) order, interleaved with
+	// single-punctuation spans carrying the merge's output frontier (so a
+	// downstream order-preserving union can consume the merged stream in
+	// turn; terminal sinks simply ignore the punctuations).
+	emit func([]stream.Item)
+	// free recycles fully-consumed slabs back to the replica taps.
+	free  chan []stream.Item
+	meter operator.CostMeter
+	// lastOut is the last forwarded output frontier.
+	lastOut stream.Time
+	// punctBuf is the reusable single-item span for frontier forwarding.
+	punctBuf [1]stream.Item
+}
+
+// mergeInput buffers one shard's pending stream as a FIFO of slabs.
+type mergeInput struct {
+	slabs [][]stream.Item
+	off   int // consumed prefix of slabs[0]
+	// frontier is the punctuation guarantee: no future item at or below
+	// this timestamp.
+	frontier stream.Time
+}
+
+// newKmerge builds a merge over n shard inputs feeding emit.
+func newKmerge(n int, emit func([]stream.Item), free chan []stream.Item) *kmerge {
+	m := &kmerge{ins: make([]mergeInput, n), emit: emit, free: free, lastOut: -1}
+	for i := range m.ins {
+		m.ins[i].frontier = -1
+	}
+	return m
+}
+
+// push appends a slab to the shard's pending stream, taking ownership of
+// the slice (it is recycled once consumed).
+func (m *kmerge) push(shard int, items []stream.Item) {
+	if len(items) == 0 {
+		return
+	}
+	m.ins[shard].slabs = append(m.ins[shard].slabs, items)
+}
+
+// head returns the input's first pending tuple, absorbing leading
+// punctuations into the frontier (one counted comparison each, as in
+// Union.absorbPunctuations). It returns nil when no tuple is pending.
+func (m *kmerge) head(in *mergeInput) *stream.Tuple {
+	for len(in.slabs) > 0 {
+		slab := in.slabs[0]
+		for in.off < len(slab) {
+			it := slab[in.off]
+			if !it.IsPunct() {
+				return it.Tuple
+			}
+			m.meter.Union++
+			if it.Punct > in.frontier {
+				in.frontier = it.Punct
+			}
+			in.off++
+		}
+		m.recycle(in)
+	}
+	return nil
+}
+
+// recycle returns the consumed head slab to the free list and advances to
+// the next. The slab list shifts in place (it holds at most the few slabs
+// in flight), keeping its capacity for reuse — re-slicing the front off
+// would bleed capacity and re-allocate on every later push.
+func (m *kmerge) recycle(in *mergeInput) {
+	slab := in.slabs[0]
+	n := copy(in.slabs, in.slabs[1:])
+	in.slabs = in.slabs[:n]
+	in.off = 0
+	clear(slab)
+	select {
+	case m.free <- slab[:0]:
+	default:
+	}
+}
+
+// step emits every item the heads and frontiers allow, in runs, then
+// forwards the merge's own output frontier when it advanced.
+func (m *kmerge) step() {
+	for {
+		// One scan: the emission candidate (minimal (Time, Seq) head),
+		// the runner-up bounding its run, the tightest frontier of the
+		// inputs with nothing pending, and the merge's output frontier
+		// (no future output at or below it: pending heads still to be
+		// emitted cap it at head-1, empty inputs at their frontier).
+		best := -1
+		var bestT, openT *stream.Tuple
+		minFrontier := stream.MaxTime
+		outFrontier := stream.MaxTime
+		for i := range m.ins {
+			in := &m.ins[i]
+			h := m.head(in)
+			if h == nil {
+				if in.frontier < minFrontier {
+					minFrontier = in.frontier
+				}
+				if in.frontier < outFrontier {
+					outFrontier = in.frontier
+				}
+				continue
+			}
+			if h.Time-1 < outFrontier {
+				outFrontier = h.Time - 1
+			}
+			if best == -1 {
+				best, bestT = i, h
+				continue
+			}
+			m.meter.Union++
+			if tupleLess(h, bestT) {
+				openT = bestT
+				best, bestT = i, h
+			} else if openT == nil || tupleLess(h, openT) {
+				openT = h
+			}
+		}
+		if best == -1 || bestT.Time > minFrontier {
+			// Nothing pending, or an empty input may still deliver
+			// earlier items. Forward the advanced output frontier so a
+			// downstream union keeps draining (MaxTime passes through
+			// at the end of the stream and flushes it completely).
+			if outFrontier > m.lastOut {
+				m.lastOut = outFrontier
+				m.punctBuf[0] = stream.PunctItem(outFrontier)
+				m.emit(m.punctBuf[:])
+			}
+			return
+		}
+		// The selection guarantees the first run item is emittable, so
+		// every pass delivers at least one item: the rescan loop
+		// terminates.
+		m.emitRun(&m.ins[best], openT, minFrontier)
+	}
+}
+
+// emitRun delivers consecutive items of the winning input while they stay
+// below the bound and at or below the frontier, as whole spans per slab
+// segment, then returns for a rescan (the bound input may now win, or an
+// exhausted input's frontier may block further emission).
+func (m *kmerge) emitRun(in *mergeInput, openT *stream.Tuple, minFrontier stream.Time) {
+	for len(in.slabs) > 0 {
+		slab := in.slabs[0]
+		i := in.off
+		j := i
+		for j < len(slab) {
+			it := slab[j]
+			if it.IsPunct() {
+				break
+			}
+			t := it.Tuple
+			if openT != nil {
+				// One counted comparison per run item, as in the
+				// union's run loop.
+				m.meter.Union++
+				if !tupleLess(t, openT) {
+					m.deliver(in, slab, i, j)
+					return
+				}
+			}
+			if t.Time > minFrontier {
+				m.deliver(in, slab, i, j)
+				return
+			}
+			j++
+		}
+		if j > i {
+			m.deliver(in, slab, i, j)
+		}
+		if j == len(slab) {
+			m.recycle(in)
+			continue
+		}
+		// A punctuation inside the slab: absorb it and continue the run.
+		m.meter.Union++
+		if p := slab[j].Punct; p > in.frontier {
+			in.frontier = p
+		}
+		in.off = j + 1
+	}
+}
+
+// deliver hands span [i, j) of the input's head slab to the consumer and
+// advances the consumed offset.
+func (m *kmerge) deliver(in *mergeInput, slab []stream.Item, i, j int) {
+	if j > i {
+		m.emit(slab[i:j])
+		m.meter.Invocations += uint64(j - i)
+	}
+	in.off = j
+}
+
+// tupleLess orders tuples by (Time, Seq), as in the union merge.
+func tupleLess(a, b *stream.Tuple) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}

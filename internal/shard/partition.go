@@ -1,0 +1,44 @@
+package shard
+
+// Partitioner maps equijoin keys onto shard indexes. Tuples with equal keys
+// land on the same shard, so each shard's chain replica holds exactly the
+// window state its own males probe — the disjointness that makes sharded
+// execution lossless for key-partitionable joins
+// (stream.PartitionableByKey).
+//
+// Keys are mixed through a splitmix64-style finalizer before the modulo, so
+// consecutive or clustered key values still spread across shards; heavy
+// frequency skew on a single key value is irreducible (that key's whole
+// state must live on one shard) and caps the achievable speedup instead.
+type Partitioner struct {
+	n uint64
+}
+
+// NewPartitioner returns a partitioner over the given shard count (>= 1).
+func NewPartitioner(shards int) Partitioner {
+	if shards < 1 {
+		shards = 1
+	}
+	return Partitioner{n: uint64(shards)}
+}
+
+// Shards returns the shard count.
+func (p Partitioner) Shards() int { return int(p.n) }
+
+// Shard returns the shard index owning the key.
+func (p Partitioner) Shard(key int64) int {
+	if p.n <= 1 {
+		return 0
+	}
+	return int(mix64(uint64(key)) % p.n)
+}
+
+// mix64 is the splitmix64 finalizer, a cheap full-avalanche bijection.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

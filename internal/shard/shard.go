@@ -1,0 +1,627 @@
+// Package shard executes a state-slice chain as P independent replicas, one
+// per key range, with an order-preserving merge of the replica outputs.
+//
+// The sliced chain's joins are equijoins on Tuple.Key, so hash-partitioning
+// both input streams by key yields fully independent shard states: a pair of
+// tuples split across shards can never join, and each replica computes
+// exactly the results of its own key range — the same data-parallel move
+// that shared-arrangement and multi-way stream-join scale-out systems use to
+// spread indexed state across workers. Each replica is the unmodified
+// batched sequential engine (internal/engine) driving a full copy of the
+// chain on its own goroutine; no operator knows it is sharded.
+//
+// Ordering is restored by a run-based cross-replica merge (kmerge, the
+// shard specialization of the union merge in operator/union.go), driven by
+// the punctuation stream each replica's output already carries: a sliced
+// join emits punct(t) after the probing male at t, so a replica's output
+// frontier advances with every male it processes. Because a second male
+// with the *same* timestamp may still be in flight inside a replica, the
+// executor demotes forwarded punctuations to t-1, making the frontier
+// strict; the final MaxTime punctuation of Finish is forwarded untouched
+// and flushes the merge completely. Idle shards — inevitable under key
+// skew — are kept moving by periodic input punctuation broadcasts
+// (Config.PunctEvery), which the engine forwards through the chain
+// (engine.Session.FeedPunct).
+//
+// Two merge topologies share that machinery. The general path merges each
+// query's per-shard output streams (one merger goroutine per query); it
+// handles every chain the engine handles — filters, routed slices,
+// mid-stream migration. The slice-merge fast path (Config.SliceMerge, for
+// unfiltered chains whose every window is a slice boundary) merges each
+// *slice's* per-shard result stream instead and assembles the per-query
+// answers engine-style in one goroutine: every distinct result crosses
+// goroutines once, not once per subscribing query — the margin that lets
+// the sharded executor beat the single-core engine even on one core, where
+// only the probe-work reduction of smaller per-shard states (and none of
+// the parallelism) is available to pay for the merge.
+//
+// Result streams cross goroutines as item slabs (stream.Batcher) over
+// bounded channels, the same amortization the concurrent pipeline uses,
+// recycled through a free list so the steady state allocates nothing.
+// Within one shard a stream keeps its replica order (FIFO edges end to
+// end); across shards results never tie on (Time, Seq) — a joined tuple
+// inherits the Seq of its probing male, and every male lives on exactly
+// one shard — so the merged sequence is the unique global (Time, Seq)
+// order, byte-identical to the sequential engine's output at every shard
+// count.
+//
+// Chain migration (Section 5.3) fans out: Migrate flushes the pending feed
+// slabs, then every replica applies the same merge/split program at the
+// same global stream position (plan.MigrateTo) before feeding resumes.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/operator"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+// DefaultPunctEvery is the default input-tuple period of punctuation
+// broadcasts. Broadcasts only bound merge latency and memory on idle
+// shards — correctness never depends on the period, because every male a
+// shard does receive punctuates its output anyway and Finish flushes with
+// MaxTime.
+const DefaultPunctEvery = 256
+
+// chanBuf is the buffer size, in slabs, of the merge channels; it only
+// affects throughput, never correctness.
+const chanBuf = 32
+
+// feedSlab and feedBuf deliberately keep the feed edge fine-grained: one
+// input tuple amplifies into tens of result items per query, so a shard
+// running a large input lead floods the merge unions with items their
+// frontiers cannot release until the lagging shards catch up (the merge
+// channel itself cannot exert that backpressure — its consumer absorbs
+// batches unconditionally into the union queues). Capping a runner's lead
+// at (feedBuf+1)*feedSlab inputs bounds every merger queue to a small
+// multiple of the result amplification instead of the whole stream.
+const (
+	feedSlab = 16
+	feedBuf  = 4
+)
+
+// Config parameterises an Executor.
+type Config struct {
+	// Shards is the replica count P (>= 1). P = 1 still runs the full
+	// sharded machinery — feed channels, merge layer — and measures its
+	// overhead against the plain engine.
+	Shards int
+	// BatchSize is the engine micro-batch size K applied to every
+	// replica's session (see engine.Config.BatchSize).
+	BatchSize int
+	// PunctEvery is the input-tuple period of punctuation broadcasts to
+	// all shards; 0 selects DefaultPunctEvery, negative disables
+	// broadcasts (the final punctuation still flushes everything).
+	PunctEvery int
+	// SampleEvery is the per-replica monitor sampling period (see
+	// engine.Config.SampleEvery).
+	SampleEvery int
+	// Collect makes the per-query merge sinks retain result tuples.
+	Collect bool
+	// OnResult, when non-nil, receives every result of query qi in that
+	// query's delivery order, from the query's merger goroutine
+	// (callbacks for different queries run concurrently; on the
+	// slice-merge path all queries share the assembler goroutine).
+	OnResult func(qi int, t *stream.Tuple)
+	// SliceMerge selects the slice-level merge fast path: replicas are
+	// built with plan.StateSliceConfig.RawSliceResults, each slice's
+	// result stream crosses goroutines once, and one assembler goroutine
+	// merges the slices and assembles the per-query answers with
+	// engine-style unions. Requires Windows and raw replicas; the
+	// coordinator (the public build layer) selects it for eligible plans
+	// (unfiltered, every window a slice boundary, not migratable).
+	SliceMerge bool
+	// Windows are the query windows (ascending), required by SliceMerge
+	// to derive each query's contributing slices.
+	Windows []stream.Time
+	// Name labels the run's Result.
+	Name string
+}
+
+// feedMsg is one unit on a shard's feed channel: either an item slab or a
+// control barrier.
+type feedMsg struct {
+	items []stream.Item
+	ctl   *ctl
+}
+
+// ctl is a barrier command: a migration when target is non-nil, otherwise a
+// drain. The runner acknowledges on ack after the replica has quiesced.
+type ctl struct {
+	target []stream.Time
+	ack    chan error
+}
+
+// taggedBatch routes a result slab to a merger together with its source
+// shard index.
+type taggedBatch struct {
+	shard int
+	items []stream.Item
+}
+
+// replica is one chain copy with its session and feed edge. All fields
+// except feed are owned by the runner goroutine once the executor starts;
+// res and err are published to the driver by the runner's exit
+// (sync.WaitGroup) or a barrier acknowledgement.
+type replica struct {
+	idx  int
+	sp   *plan.StateSlicePlan
+	sess *engine.Session
+	feed chan feedMsg
+	out  []stream.Batcher // per-query (or per-slice) result batchers, runner-owned
+	res  *engine.Result
+	err  error
+}
+
+// merger merges one query's per-shard result streams in (Time, Seq) order
+// on its own goroutine, feeding the query's sink.
+type merger struct {
+	in   chan taggedBatch
+	mg   *kmerge
+	sink *operator.Sink
+}
+
+// Executor drives P chain replicas and their per-query merge. It is
+// single-driver: Feed, Consume, Drain, Migrate and Finish must be called
+// from one goroutine, like an engine session.
+type Executor struct {
+	cfg      Config
+	part     Partitioner
+	replicas []*replica
+	mergers  []*merger        // query-level merge path (nil under SliceMerge)
+	asm      *assembler       // slice-level merge path (nil otherwise)
+	feedB    []stream.Batcher // per-shard feed batchers, driver-owned
+	// free recycles consumed result slabs from the mergers back to the
+	// replica taps; a channel-based free list stays allocation-free where
+	// a sync.Pool would box every slice header.
+	free    chan []stream.Item
+	runWG   sync.WaitGroup
+	mergeWG sync.WaitGroup
+
+	fed        int
+	sincePunct int
+	lastTime   stream.Time
+	start      time.Time
+	finished   bool
+	err        error
+}
+
+// New builds the replicas via the factory (called once per shard; every
+// call must produce an identical chain over the same workload), wires the
+// merge layer and starts the shard and merger goroutines. The executor is
+// ready to Feed on return.
+func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Executor, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.PunctEvery == 0 {
+		cfg.PunctEvery = DefaultPunctEvery
+	}
+	if cfg.Name == "" {
+		cfg.Name = "state-slice(sharded)"
+	}
+	e := &Executor{
+		cfg:   cfg,
+		part:  NewPartitioner(cfg.Shards),
+		feedB: make([]stream.Batcher, cfg.Shards),
+		start: time.Now(),
+	}
+	queries := -1
+	for i := 0; i < cfg.Shards; i++ {
+		sp, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if n := len(sp.Plan.Sinks); queries == -1 {
+			queries = n
+		} else if n != queries {
+			return nil, fmt.Errorf("shard: replica %d has %d queries, replica 0 has %d", i, n, queries)
+		}
+		sess, err := engine.NewSession(sp.Plan, engine.Config{
+			BatchSize:   cfg.BatchSize,
+			SampleEvery: cfg.SampleEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		outs := queries
+		if cfg.SliceMerge {
+			outs = len(sp.Ends())
+		}
+		r := &replica{
+			idx:  i,
+			sp:   sp,
+			sess: sess,
+			feed: make(chan feedMsg, feedBuf),
+			out:  make([]stream.Batcher, outs),
+		}
+		e.replicas = append(e.replicas, r)
+	}
+	if cfg.SliceMerge && len(cfg.Windows) != queries {
+		return nil, fmt.Errorf("shard: SliceMerge needs the %d query windows, got %d", queries, len(cfg.Windows))
+	}
+
+	// Sized past the slabs that can be in flight at once (every merge
+	// channel plus every batcher), so recycling rarely misses.
+	e.free = make(chan []stream.Item, (chanBuf+2)*queries)
+
+	if cfg.SliceMerge {
+		asm, err := newAssembler(cfg.Shards, e.replicas[0].sp.Ends(), cfg.Windows, e.free, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.asm = asm
+	} else {
+		for qi := 0; qi < queries; qi++ {
+			m := &merger{
+				in:   make(chan taggedBatch, chanBuf),
+				sink: operator.NewDirectSink(fmt.Sprintf("Q%d", qi+1)),
+			}
+			m.mg = newKmerge(cfg.Shards, m.sink.AcceptRun, e.free)
+			if cfg.Collect {
+				m.sink.Collecting()
+			}
+			if cfg.OnResult != nil {
+				q := qi
+				m.sink.OnResult(func(t *stream.Tuple) { cfg.OnResult(q, t) })
+			}
+			e.mergers = append(e.mergers, m)
+		}
+	}
+
+	// Tap every replica's output streams — results and punctuations —
+	// into the runner-owned batchers, shipping every full slab to the
+	// merge layer immediately so a result-heavy drain never grows a batch
+	// past the slab size (the send may block on merge backpressure, which
+	// is the intended flow control). Punctuations are demoted one tick to
+	// a strict frontier (see the package docs); MaxTime passes through so
+	// Finish still flushes the merge.
+	//
+	// On the slice-merge path the taps sit on the raw slice result ports;
+	// on the query-level path, union-terminated queries hand their output
+	// port to the tap outright (the replica's relay sink hop disappears;
+	// migrations rewire union inputs, never the output), while
+	// direct-wired terminals keep their sink in tap-only mode because the
+	// terminal port may be shared between queries.
+	for _, r := range e.replicas {
+		shardIdx := r.idx
+		if cfg.SliceMerge {
+			for si, j := range r.sp.Slices() {
+				b := &r.out[si]
+				slice := si
+				j.Result().AttachFunc(func(it stream.Item) {
+					if it.IsPunct() && it.Punct < stream.MaxTime {
+						it.Punct--
+					}
+					b.Add(it)
+					if b.Full() {
+						e.asm.in <- sliceBatch{slice: slice, shard: shardIdx, items: b.TakeWith(e.getSlab())}
+					}
+				})
+			}
+			continue
+		}
+		for qi, sink := range r.sp.Plan.Sinks {
+			b := &r.out[qi]
+			m := e.mergers[qi]
+			tap := func(it stream.Item) {
+				if it.IsPunct() && it.Punct < stream.MaxTime {
+					it.Punct--
+				}
+				b.Add(it)
+				if b.Full() {
+					m.in <- taggedBatch{shard: shardIdx, items: b.TakeWith(e.getSlab())}
+				}
+			}
+			if u := r.sp.QueryUnion(qi); u != nil {
+				u.Out().DetachAll()
+				u.Out().AttachFunc(tap)
+			} else {
+				sink.OnItem(tap).TapOnly()
+			}
+		}
+	}
+
+	for _, r := range e.replicas {
+		e.runWG.Add(1)
+		go e.runReplica(r)
+	}
+	if e.asm != nil {
+		e.asm.wg.Add(1)
+		go e.asm.run()
+	}
+	for _, m := range e.mergers {
+		e.mergeWG.Add(1)
+		go m.run(&e.mergeWG)
+	}
+	return e, nil
+}
+
+// Shards returns the replica count.
+func (e *Executor) Shards() int { return e.cfg.Shards }
+
+// runReplica is the shard goroutine: it feeds its session from the slab
+// channel, applies barrier commands, and finishes the session when the
+// channel closes.
+func (e *Executor) runReplica(r *replica) {
+	defer e.runWG.Done()
+	for msg := range r.feed {
+		if msg.ctl != nil {
+			msg.ctl.ack <- e.applyCtl(r, msg.ctl)
+			continue
+		}
+		if r.err == nil {
+			for _, it := range msg.items {
+				var err error
+				if it.IsPunct() {
+					err = r.sess.FeedPunct(it.Punct)
+				} else {
+					err = r.sess.Feed(it.Tuple)
+				}
+				if err != nil {
+					r.err = fmt.Errorf("shard %d: %w", r.idx, err)
+					break
+				}
+			}
+		}
+		e.flushResults(r)
+	}
+	if r.err == nil {
+		r.res = r.sess.Finish()
+	}
+	e.flushResults(r)
+}
+
+// applyCtl executes one barrier command on the runner goroutine: all slabs
+// sent before it have been fed, so a migration happens at the same global
+// stream position on every replica.
+func (e *Executor) applyCtl(r *replica, c *ctl) error {
+	if r.err != nil {
+		return r.err
+	}
+	var err error
+	if c.target != nil {
+		if e.asm != nil {
+			err = errors.New("shard: the slice-merge fast path does not support migration; build the executor without SliceMerge")
+		} else {
+			err = r.sp.MigrateTo(r.sess, c.target)
+		}
+	} else {
+		r.sess.Drain()
+	}
+	e.flushResults(r)
+	return err
+}
+
+// flushResults ships every non-empty output slab to the merge layer
+// (per-query mergers, or the slice assembler on the fast path). Empty
+// batchers are skipped before drawing a spare from the free list —
+// TakeWith discards the spare when there is nothing to seal, which would
+// bleed a recycled slab per idle output per flush.
+func (e *Executor) flushResults(r *replica) {
+	for i := range r.out {
+		if r.out[i].Len() == 0 {
+			continue
+		}
+		items := r.out[i].TakeWith(e.getSlab())
+		if items == nil {
+			continue
+		}
+		if e.asm != nil {
+			e.asm.in <- sliceBatch{slice: i, shard: r.idx, items: items}
+		} else {
+			e.mergers[i].in <- taggedBatch{shard: r.idx, items: items}
+		}
+	}
+}
+
+// getSlab pops a recycled slab from the free list, or allocates a
+// full-capacity one when none is available (an empty spare would make the
+// next batch regrow through every append doubling).
+func (e *Executor) getSlab() []stream.Item {
+	select {
+	case s := <-e.free:
+		return s
+	default:
+		return make([]stream.Item, 0, stream.SlabCap)
+	}
+}
+
+// run is the merger goroutine: push each slab into its shard's union input
+// and let the union emit everything the punctuation frontiers allow.
+func (m *merger) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for tb := range m.in {
+		m.mg.push(tb.shard, tb.items)
+		m.mg.step()
+	}
+	m.mg.step()
+}
+
+// Feed routes one source tuple to its key's shard. Tuples must arrive in
+// global timestamp order.
+func (e *Executor) Feed(t *stream.Tuple) error {
+	if e.finished {
+		return errors.New("shard: Feed after Finish")
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if t.Time < e.lastTime {
+		return fmt.Errorf("shard: tuple %s out of timestamp order (last %s)", t, e.lastTime)
+	}
+	e.lastTime = t.Time
+	s := e.part.Shard(t.Key)
+	b := &e.feedB[s]
+	b.Add(stream.TupleItem(t))
+	if b.Len() >= feedSlab {
+		e.send(s)
+	}
+	e.fed++
+	e.sincePunct++
+	if e.cfg.PunctEvery > 0 && e.sincePunct >= e.cfg.PunctEvery && t.Time > 0 {
+		e.sincePunct = 0
+		e.broadcast(t.Time - 1)
+	}
+	return nil
+}
+
+// Consume feeds the executor from a source until it is exhausted.
+func (e *Executor) Consume(src stream.Source) error {
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("shard: source: %w", err)
+		}
+		if err := e.Feed(t); err != nil {
+			return err
+		}
+	}
+}
+
+// send flushes shard s's pending feed slab.
+func (e *Executor) send(s int) {
+	if items := e.feedB[s].Take(); items != nil {
+		e.replicas[s].feed <- feedMsg{items: items}
+	}
+}
+
+// broadcast appends a punctuation to every shard's feed and flushes, so
+// even shards that received no tuples learn the global frontier. The
+// timestamp is strictly below every future arrival (the last fed time minus
+// one tick), keeping the merge's frontiers safe under timestamp ties.
+func (e *Executor) broadcast(ts stream.Time) {
+	for s := range e.replicas {
+		e.feedB[s].Add(stream.PunctItem(ts))
+		e.send(s)
+	}
+}
+
+// barrier flushes all pending slabs, issues the command to every shard and
+// waits for every acknowledgement, returning the first error.
+func (e *Executor) barrier(target []stream.Time) error {
+	acks := make(chan error, len(e.replicas))
+	for i := range e.replicas {
+		e.send(i)
+		e.replicas[i].feed <- feedMsg{ctl: &ctl{target: target, ack: acks}}
+	}
+	var first error
+	for range e.replicas {
+		if err := <-acks; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Drain flushes the pending feed slabs and blocks until every replica has
+// quiesced. Results may still be in flight toward the mergers afterwards;
+// only Finish synchronizes the merge layer.
+func (e *Executor) Drain() {
+	if e.finished {
+		return
+	}
+	if err := e.barrier(nil); err != nil && e.err == nil {
+		e.err = err
+	}
+}
+
+// Migrate re-slices every replica to the target boundary layout at the
+// current stream position (all tuples fed so far are processed first; no
+// tuple overtakes the migration). It returns the chain's new boundary
+// layout.
+func (e *Executor) Migrate(to []stream.Time) ([]stream.Time, error) {
+	if e.finished {
+		return nil, errors.New("shard: Migrate after Finish")
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if err := e.barrier(to); err != nil {
+		return nil, err
+	}
+	// Safe: the barrier acknowledgements order every replica mutation
+	// before this read.
+	return e.replicas[0].sp.Ends(), nil
+}
+
+// Finish closes the feeds, waits for every replica to flush its final
+// punctuation and for every merger to drain, and returns the aggregated run
+// statistics together with the first replica or driver error. The memory
+// statistics sum the per-replica monitors (replicas sample at their own
+// arrival counts, so the sum is an approximation of the instantaneous
+// total).
+func (e *Executor) Finish() (*engine.Result, error) {
+	if !e.finished {
+		e.finished = true
+		for i := range e.replicas {
+			e.send(i)
+			close(e.replicas[i].feed)
+		}
+		e.runWG.Wait()
+		if e.asm != nil {
+			close(e.asm.in)
+			e.asm.wg.Wait()
+		}
+		for _, m := range e.mergers {
+			close(m.in)
+		}
+		e.mergeWG.Wait()
+	}
+	res := &engine.Result{
+		PlanName:        e.cfg.Name,
+		Inputs:          e.fed,
+		Wall:            time.Since(e.start),
+		VirtualDuration: e.lastTime,
+	}
+	err := e.err
+	for _, r := range e.replicas {
+		if r.err != nil && err == nil {
+			err = r.err
+		}
+		if r.res != nil {
+			res.Meter.Add(r.res.Meter)
+			res.Memory.Samples += r.res.Memory.Samples
+			res.Memory.Avg += r.res.Memory.Avg
+			res.Memory.Max += r.res.Memory.Max
+			res.Memory.Last += r.res.Memory.Last
+		}
+	}
+	if e.asm != nil {
+		for _, m := range e.asm.merges {
+			res.Meter.Add(m.meter)
+		}
+		res.Meter.Add(e.asm.meter)
+		for _, s := range e.asm.sinks {
+			res.SinkCounts = append(res.SinkCounts, s.Count())
+			res.OrderViolations += s.OrderViolations()
+			res.Results = append(res.Results, s.Results())
+		}
+	}
+	for _, m := range e.mergers {
+		res.Meter.Add(m.mg.meter)
+		res.SinkCounts = append(res.SinkCounts, m.sink.Count())
+		res.OrderViolations += m.sink.OrderViolations()
+		res.Results = append(res.Results, m.sink.Results())
+	}
+	return res, err
+}
+
+// Run is the batch convenience wrapper: consume the source, then Finish.
+func (e *Executor) Run(src stream.Source) (*engine.Result, error) {
+	if err := e.Consume(src); err != nil {
+		e.Finish()
+		return nil, err
+	}
+	return e.Finish()
+}

@@ -1,0 +1,60 @@
+package stream
+
+// SlabCap is the target number of items per batch slab of the concurrent
+// executors. One slab handoff replaces SlabCap channel operations of a
+// per-item scheme; see the pipeline package docs for why slab boundaries
+// never affect results (FIFO order within and across slabs is the per-item
+// order).
+const SlabCap = 128
+
+// Batcher accumulates items into slabs for channel handoff between
+// goroutines, coalescing consecutive punctuations: on a FIFO edge punct(t1)
+// followed immediately by punct(t2 >= t1) carries no extra information, so
+// only the last of a run survives. Both the concurrent pipeline and the
+// sharded executor batch their inter-goroutine edges with it.
+//
+// The zero value is ready to use. Not safe for concurrent use — a batcher
+// belongs to the single goroutine that fills it.
+type Batcher struct {
+	buf []Item
+}
+
+// Add appends an item, merging it with a trailing punctuation run.
+func (b *Batcher) Add(it Item) {
+	if it.IsPunct() && len(b.buf) > 0 && b.buf[len(b.buf)-1].IsPunct() {
+		b.buf[len(b.buf)-1] = it
+		return
+	}
+	b.buf = append(b.buf, it)
+}
+
+// Full reports whether the slab reached its target size.
+func (b *Batcher) Full() bool { return len(b.buf) >= SlabCap }
+
+// Len returns the number of items currently buffered.
+func (b *Batcher) Len() int { return len(b.buf) }
+
+// Take seals and returns the current slab, leaving the batcher empty. It
+// returns nil when nothing is buffered.
+func (b *Batcher) Take() []Item {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	out := b.buf
+	b.buf = make([]Item, 0, SlabCap)
+	return out
+}
+
+// TakeWith seals and returns the current slab like Take, but installs the
+// spare slice (emptied, capacity kept) as the new backing array instead of
+// allocating one. Executors recycle consumed slabs through it, keeping the
+// steady state allocation-free; a nil spare behaves like Take's fresh
+// allocation, deferred to the next Add.
+func (b *Batcher) TakeWith(spare []Item) []Item {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	out := b.buf
+	b.buf = spare[:0]
+	return out
+}

@@ -27,6 +27,29 @@ func (Equijoin) Match(a, b *Tuple) bool { return a.Key == b.Key }
 // String implements JoinPredicate.
 func (Equijoin) String() string { return "A.Key = B.Key" }
 
+// KeyPartitioner is optionally implemented by join predicates whose matches
+// imply equal Key attributes. For such predicates, hash-partitioning both
+// streams by Key yields fully independent sub-joins: a pair split across
+// partitions can never match, so a sharded executor loses no results.
+// Equijoin is recognized without implementing the interface; custom
+// predicates opt in by returning true.
+type KeyPartitioner interface {
+	// PartitionableByKey reports whether Match(a, b) implies
+	// a.Key == b.Key.
+	PartitionableByKey() bool
+}
+
+// PartitionableByKey reports whether the join predicate is an equijoin on
+// Tuple.Key (or declares itself key-partitionable), the precondition for
+// key-range sharded execution.
+func PartitionableByKey(j JoinPredicate) bool {
+	if kp, ok := j.(KeyPartitioner); ok {
+		return kp.PartitionableByKey()
+	}
+	_, ok := j.(Equijoin)
+	return ok
+}
+
 // CrossProduct matches every pair. Table 2 of the paper uses Cartesian
 // product semantics for its execution trace.
 type CrossProduct struct{}

@@ -129,6 +129,30 @@ func NQueries(d Distribution, n int, s1 float64) (plan.Workload, error) {
 	return w, w.Validate()
 }
 
+// EquijoinKeyDomain is the uniform key domain whose equijoin selectivity
+// (1/40 = 0.025) matches the low S1 setting of the Section 7.3 sweeps, so
+// the equijoin twin of the workload produces result volumes comparable to
+// the FractionMatch original.
+const EquijoinKeyDomain = 40
+
+// NQueriesEquijoin builds the equijoin twin of the Section 7.3 workload:
+// the same n windows, but joined on the key attribute (the paper's
+// A.LocationId = B.LocationId shape) instead of the synthetic fraction
+// match. Generate the input with KeyDomain = EquijoinKeyDomain for the
+// matching expected selectivity. Unlike FractionMatch, the equijoin is
+// key-partitionable, which the sharded executor requires.
+func NQueriesEquijoin(d Distribution, n int) (plan.Workload, error) {
+	ws, err := WindowsN(d, n)
+	if err != nil {
+		return plan.Workload{}, err
+	}
+	w := plan.Workload{Join: stream.Equijoin{}}
+	for _, sec := range ws {
+		w.Queries = append(w.Queries, plan.Query{Window: stream.Seconds(sec)})
+	}
+	return w, w.Validate()
+}
+
 // Specs converts a plan workload into the cost model's query specs.
 func Specs(w plan.Workload) []cost.QuerySpec {
 	out := make([]cost.QuerySpec, len(w.Queries))

@@ -150,8 +150,14 @@ func RunChainConcurrent(w Workload, input []*Tuple, collect bool) (*ConcurrentRe
 // Deprecated: use Build(..., WithHashProbing()).
 func EnableHashProbing(p *ExecPlan) error { return enableHashProbing(p) }
 
+// EngineSession is the sequential engine's concrete session, the Session
+// implementation behind every engine-backed plan. Raw-plan helpers
+// (ChainPlan.MergeSlices / SplitSlice) take it directly; code holding a
+// Plan uses the Session interface instead.
+type EngineSession = engine.Session
+
 // NewSession prepares an incremental run over a raw plan; use it to Feed
 // tuples one at a time and migrate chain plans mid-stream.
 //
 // Deprecated: use Plan.NewSession.
-func NewSession(p *ExecPlan, cfg RunConfig) (*Session, error) { return engine.NewSession(p, cfg) }
+func NewSession(p *ExecPlan, cfg RunConfig) (*EngineSession, error) { return engine.NewSession(p, cfg) }

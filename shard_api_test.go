@@ -1,0 +1,337 @@
+package stateslice_test
+
+// Tests of the WithShards execution path through the public API: build-time
+// validation of executor/option conflicts, byte-identical sharded execution
+// across shard counts, sessions with mid-stream migration, and streaming
+// sinks.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"stateslice"
+)
+
+// equijoinWorkload is the sharding-eligible example: same windows and
+// filters as exampleWorkload, but joined on the key attribute.
+func equijoinWorkload() stateslice.Workload {
+	return stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Name: "Q1", Window: 2 * stateslice.Second},
+			{Name: "Q2", Window: 8 * stateslice.Second, Filter: stateslice.Threshold{S: 0.4}},
+		},
+		Join: stateslice.Equijoin{},
+	}
+}
+
+// keyedInput generates a keyed input for equijoin workloads.
+func keyedInput(t *testing.T) []*stateslice.Tuple {
+	t.Helper()
+	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 30 * stateslice.Second, KeyDomain: 12, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return input
+}
+
+// TestWithShardsValidation pins the build-time rules: exactly one executor
+// per plan, chain strategies only, key-partitionable joins only.
+func TestWithShardsValidation(t *testing.T) {
+	eq := equijoinWorkload()
+	for _, tc := range []struct {
+		name string
+		w    stateslice.Workload
+		s    stateslice.Strategy
+		opts []stateslice.Option
+	}{
+		{"zero shards", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(0)}},
+		{"negative shards", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(-2)}},
+		{"non-equijoin predicate", exampleWorkload(), stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2)}},
+		{"non-chain strategy", eq, stateslice.PullUp, []stateslice.Option{stateslice.WithShards(2)}},
+		{"with concurrency", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2), stateslice.WithConcurrency()}},
+		{"with hash probing", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2), stateslice.WithHashProbing()}},
+	} {
+		if _, err := stateslice.Build(tc.w, tc.s, tc.opts...); err == nil {
+			t.Errorf("%s: Build must fail", tc.name)
+		}
+	}
+
+	// The compatible combinations build.
+	for _, opts := range [][]stateslice.Option{
+		{stateslice.WithShards(1)},
+		{stateslice.WithShards(4), stateslice.WithBatchSize(8)},
+		{stateslice.WithShards(4), stateslice.WithMigratable()},
+		{stateslice.WithShards(2), stateslice.WithEnds(8 * stateslice.Second)},
+	} {
+		if _, err := stateslice.Build(eq, stateslice.MemOpt, opts...); err != nil {
+			t.Errorf("compatible options rejected: %v", err)
+		}
+	}
+}
+
+// TestWithShardsByteIdentical runs the equijoin workload sharded at every
+// p and compares per-query result sequences byte-for-byte against the
+// sequential engine, including batched replicas and the CPU-Opt layout.
+func TestWithShardsByteIdentical(t *testing.T) {
+	w := equijoinWorkload()
+	input := keyedInput(t)
+
+	ref, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.TotalOutputs() == 0 {
+		t.Fatal("reference produced no results; the equivalence check is vacuous")
+	}
+	want := renderResults(refRes.Results)
+
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, k := range []int{0, 7} {
+			opts := []stateslice.Option{stateslice.WithCollect(), stateslice.WithShards(p)}
+			if k != 0 {
+				opts = append(opts, stateslice.WithBatchSize(k))
+			}
+			sp, err := stateslice.Build(w, stateslice.MemOpt, opts...)
+			if err != nil {
+				t.Fatalf("p=%d k=%d: %v", p, k, err)
+			}
+			res, err := sp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+			if err != nil {
+				t.Fatalf("p=%d k=%d: %v", p, k, err)
+			}
+			if res.OrderViolations != 0 {
+				t.Errorf("p=%d k=%d: %d order violations", p, k, res.OrderViolations)
+			}
+			if got := renderResults(res.Results); got != want {
+				t.Errorf("p=%d k=%d: sharded results differ from the sequential engine", p, k)
+			}
+		}
+	}
+
+	// CPU-Opt replicas shard the same way.
+	model := stateslice.DefaultCostModel()
+	cp, err := stateslice.Build(w, stateslice.CPUOpt, stateslice.WithCollect(),
+		stateslice.WithShards(3), stateslice.WithCostParams(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpRef, err := stateslice.Build(w, stateslice.CPUOpt, stateslice.WithCollect(),
+		stateslice.WithCostParams(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpRefRes, err := cpRef.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpRes, err := cp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderResults(cpRes.Results), renderResults(cpRefRes.Results); got != want {
+		t.Error("sharded CPU-Opt results differ from the sequential CPU-Opt chain")
+	}
+}
+
+// TestWithShardsFastPath pins the unfiltered Mem-Opt shape — the build
+// auto-selects the slice-merge fast path there — against the sequential
+// engine, byte for byte.
+func TestWithShardsFastPath(t *testing.T) {
+	w := stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Window: 2 * stateslice.Second},
+			{Window: 5 * stateslice.Second},
+			{Window: 8 * stateslice.Second},
+		},
+		Join: stateslice.Equijoin{},
+	}
+	input := keyedInput(t)
+	ref, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderResults(refRes.Results)
+	for _, p := range []int{1, 3, 8} {
+		sp, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect(), stateslice.WithShards(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OrderViolations != 0 {
+			t.Errorf("p=%d: %d order violations", p, res.OrderViolations)
+		}
+		if got := renderResults(res.Results); got != want {
+			t.Errorf("p=%d: fast-path sharded results differ from the sequential engine", p)
+		}
+	}
+}
+
+// TestWithShardsSessionMigrate drives a sharded session with a mid-stream
+// migration through the Plan interface and compares against a static run.
+func TestWithShardsSessionMigrate(t *testing.T) {
+	w := equijoinWorkload()
+	input := keyedInput(t)
+
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect(),
+		stateslice.WithShards(4), stateslice.WithMigratable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Migrate([]stateslice.Time{8 * stateslice.Second}); err == nil {
+		t.Error("Migrate without a session must fail")
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(input) / 2
+	if err := sess.Consume(stateslice.SliceSource(input[:half])); err != nil {
+		t.Fatal(err)
+	}
+	// Merge to one slice, then split at a boundary the chain never had.
+	if err := p.Migrate([]stateslice.Time{8 * stateslice.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Ends()); got != 1 {
+		t.Fatalf("after merge migration: %d slices", got)
+	}
+	if err := p.Migrate([]stateslice.Time{3 * stateslice.Second, 8 * stateslice.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Ends()); got != 2 {
+		t.Fatalf("after split migration: %d slices", got)
+	}
+	if err := sess.Consume(stateslice.SliceSource(input[half:])); err != nil {
+		t.Fatal(err)
+	}
+	res := sess.Finish()
+	if res.OrderViolations != 0 {
+		t.Error("sharded migration broke ordering")
+	}
+
+	// Reference 1: a sequential session applying the identical migrations
+	// at the identical stream position must match byte-for-byte.
+	ref, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect(), stateslice.WithMigratable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSess, err := ref.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refSess.Consume(stateslice.SliceSource(input[:half])); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Migrate([]stateslice.Time{8 * stateslice.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Migrate([]stateslice.Time{3 * stateslice.Second, 8 * stateslice.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := refSess.Consume(stateslice.SliceSource(input[half:])); err != nil {
+		t.Fatal(err)
+	}
+	refRes := refSess.Finish()
+	if got, want := renderResults(res.Results), renderResults(refRes.Results); got != want {
+		t.Error("sharded migrated results differ from the sequential session with identical migrations")
+	}
+
+	// Reference 2: migration must not lose or duplicate results — the
+	// per-query counts match the static chain's.
+	static, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticRes, err := static.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range res.SinkCounts {
+		if res.SinkCounts[qi] != staticRes.SinkCounts[qi] {
+			t.Errorf("query %d: sharded migrated run delivered %d results, static %d",
+				qi, res.SinkCounts[qi], staticRes.SinkCounts[qi])
+		}
+	}
+}
+
+// TestWithShardsSinks asserts WithSink callbacks observe every result of
+// their query in delivery order under sharded execution.
+func TestWithShardsSinks(t *testing.T) {
+	w := equijoinWorkload()
+	input := keyedInput(t)
+	var mu sync.Mutex
+	var got []*stateslice.Tuple
+	p, err := stateslice.Build(w, stateslice.MemOpt,
+		stateslice.WithCollect(),
+		stateslice.WithShards(3),
+		stateslice.WithSink(1, stateslice.SinkFunc(func(t *stateslice.Tuple) {
+			mu.Lock()
+			got = append(got, t)
+			mu.Unlock()
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if uint64(len(got)) != res.SinkCounts[1] {
+		t.Fatalf("sink observed %d results, query delivered %d", len(got), res.SinkCounts[1])
+	}
+	for i, tp := range res.Results[1] {
+		if got[i] != tp {
+			t.Fatalf("sink delivery order diverges from collected results at %d", i)
+		}
+	}
+}
+
+// TestWithShardsExplain sanity-checks the plan surface of a sharded build.
+func TestWithShardsExplain(t *testing.T) {
+	p, err := stateslice.Build(equijoinWorkload(), stateslice.MemOpt, stateslice.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Ends()); got != 2 {
+		t.Errorf("sharded Mem-Opt chain reports %d slices, want 2", got)
+	}
+	for _, wantSub := range []string{"shards=4", "hash(Key) mod 4", "mergers"} {
+		if s := p.Explain(); !strings.Contains(s, wantSub) {
+			t.Errorf("Explain missing %q:\n%s", wantSub, s)
+		}
+	}
+	if _, err := p.EstimatedCost(); err != nil {
+		t.Errorf("EstimatedCost: %v", err)
+	}
+}
+
+// TestWithShardsRunConfigRejections pins the RunConfig knobs sharded plans
+// cannot honor.
+func TestWithShardsRunConfigRejections(t *testing.T) {
+	p, err := stateslice.Build(equijoinWorkload(), stateslice.MemOpt, stateslice.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(stateslice.SliceSource(keyedInput(t)), stateslice.RunConfig{Series: true}); err == nil {
+		t.Error("RunConfig.Series must be rejected under sharding")
+	}
+	if _, err := p.NewSession(stateslice.RunConfig{WarmupFraction: 0.5}); err == nil {
+		t.Error("RunConfig.WarmupFraction must be rejected under sharding")
+	}
+}

@@ -1,0 +1,233 @@
+package stateslice
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"stateslice/internal/plan"
+	"stateslice/internal/shard"
+	"stateslice/internal/stream"
+)
+
+// This file implements the WithShards execution path: the plan is compiled
+// into p independent replicas of the full state-slice chain, the input is
+// hash-partitioned by the equijoin key, each replica runs on the batched
+// sequential engine on its own goroutine, and per-query order-preserving
+// merges reassemble the global output order (internal/shard).
+
+// buildSharded assembles the sharded Plan of WithShards.
+func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan, error) {
+	if !s.sliced() {
+		return nil, fmt.Errorf("stateslice: WithShards replicates a state-slice chain and applies to the chain strategies only, not %s", s)
+	}
+	if o.hashProbing {
+		return nil, errors.New("stateslice: WithShards cannot be combined with WithHashProbing: state-slice chains use sliced joins, which are always nested-loop")
+	}
+	if !stream.PartitionableByKey(w.Join) {
+		return nil, fmt.Errorf("stateslice: WithShards hash-partitions by the equijoin key and requires a key-partitionable join predicate, got %q (a matching pair with unequal keys would be split across shards and lost)", w.Join)
+	}
+	cfg, err := chainConfig(w, s, o, model)
+	if err != nil {
+		return nil, err
+	}
+	// The cross-shard merge sinks collect and stream results; replica
+	// sinks only relay.
+	cfg.Collect = false
+	// Compile one probe replica now so configuration errors surface at
+	// Build time, and to learn the chain's boundary layout.
+	probe, err := plan.BuildStateSlice(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	name := o.name
+	if name == "" {
+		name = fmt.Sprintf("state-slice(%s,shards=%d)", s, o.shards)
+	}
+	cfg.Name = name
+	// Eligible chains take the slice-merge fast path: each slice's result
+	// stream crosses goroutines once instead of once per subscribing
+	// query. It requires query-agnostic slice streams (unfiltered, every
+	// distinct window a slice boundary — CPU-Opt merged slices route
+	// results and are ineligible) and a fixed layout (not migratable).
+	cfg.RawSliceResults = plan.RawSliceEligible(w, probe.Ends(), o.migratable)
+	return &shardedPlan{
+		name:       name,
+		strategy:   s,
+		w:          w,
+		cfg:        cfg,
+		model:      model,
+		shards:     o.shards,
+		batchSize:  o.batchSize,
+		migratable: o.migratable,
+		collect:    o.collect,
+		sinks:      o.sinks,
+		initEnds:   probe.Ends(),
+		ends:       probe.Ends(),
+	}, nil
+}
+
+// shardedPlan executes the chain as hash-partitioned replicas with an
+// order-preserving merge. Like every Plan it is single-driver: Run,
+// NewSession and Migrate are called from one goroutine.
+type shardedPlan struct {
+	name       string
+	strategy   Strategy
+	w          Workload
+	cfg        plan.StateSliceConfig // replica configuration
+	model      CostModel
+	shards     int
+	batchSize  int
+	migratable bool
+	collect    bool
+	sinks      map[int]Sink
+
+	initEnds []Time
+	ends     []Time        // current layout (updated by Migrate)
+	sess     *shardSession // latest session, the migration target
+}
+
+func (p *shardedPlan) sealed() {}
+
+// Name implements Plan.
+func (p *shardedPlan) Name() string { return p.name }
+
+// Strategy implements Plan.
+func (p *shardedPlan) Strategy() Strategy { return p.strategy }
+
+// Ends implements Plan. Every replica carries the same boundary layout;
+// Migrate keeps this copy current.
+func (p *shardedPlan) Ends() []Time { return append([]Time(nil), p.ends...) }
+
+// executor assembles a fresh executor over fresh replicas.
+func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
+	if cfg.Series || cfg.WarmupFraction > 0 {
+		return nil, errors.New("stateslice: sharded plans aggregate per-replica memory monitors and do not support RunConfig.Series or WarmupFraction; run without WithShards for per-arrival memory series")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = p.batchSize
+	}
+	var onResult func(int, *Tuple)
+	if len(p.sinks) > 0 {
+		sinks := p.sinks
+		onResult = func(qi int, t *Tuple) {
+			if s, ok := sinks[qi]; ok {
+				s.Emit(t)
+			}
+		}
+	}
+	w, rcfg := p.w, p.cfg
+	scfg := shard.Config{
+		Shards:      p.shards,
+		BatchSize:   cfg.BatchSize,
+		SampleEvery: cfg.SampleEvery,
+		Collect:     p.collect,
+		OnResult:    onResult,
+		SliceMerge:  rcfg.RawSliceResults,
+		Name:        p.name,
+	}
+	if scfg.SliceMerge {
+		scfg.Windows = make([]Time, len(w.Queries))
+		for i, q := range w.Queries {
+			scfg.Windows[i] = q.Window
+		}
+	}
+	return shard.New(scfg, func(int) (*plan.StateSlicePlan, error) {
+		return plan.BuildStateSlice(w, rcfg)
+	})
+}
+
+// Run implements Plan.
+func (p *shardedPlan) Run(src Source, cfg RunConfig) (*Result, error) {
+	e, err := p.executor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(src)
+}
+
+// NewSession implements Plan. The session runs fresh replicas with the
+// build's original slice layout; it becomes the target of Migrate.
+func (p *shardedPlan) NewSession(cfg RunConfig) (Session, error) {
+	e, err := p.executor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.ends = append([]Time(nil), p.initEnds...)
+	p.sess = &shardSession{e: e}
+	return p.sess, nil
+}
+
+// Migrate implements Plan: the re-slicing fans out to every replica at the
+// current stream position — all tuples fed so far are processed first, no
+// later tuple overtakes the migration on any shard.
+func (p *shardedPlan) Migrate(to []Time) error {
+	if !p.migratable {
+		return errors.New("stateslice: build the chain with WithMigratable to migrate it")
+	}
+	if p.sess == nil {
+		return errors.New("stateslice: Migrate needs an active session; call NewSession first")
+	}
+	ends, err := p.sess.e.Migrate(to)
+	if err != nil {
+		return err
+	}
+	p.ends = ends
+	return nil
+}
+
+// EstimatedCost implements Plan. The analytic model prices the chain's
+// aggregate shape: partitioning splits the same window states across
+// replicas, so the state memory estimate carries over, while the
+// comparison estimate is an upper bound under sharding (each replica
+// probes only its own key range).
+func (p *shardedPlan) EstimatedCost() (Cost, error) {
+	return estimateCost(p.strategy, p.w, p.ends, p.model)
+}
+
+// Explain implements Plan.
+func (p *shardedPlan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q  strategy=%s  shards=%d\n", p.name, p.strategy, p.shards)
+	explainQueries(&b, p.w)
+	start := Time(0)
+	b.WriteString("  chain:")
+	for _, e := range p.ends {
+		fmt.Fprintf(&b, " (%s,%s]", fmtTime(start), fmtTime(e))
+		start = e
+	}
+	if p.migratable {
+		b.WriteString("  (migratable)")
+	}
+	b.WriteString("\n")
+	if p.cfg.RawSliceResults {
+		fmt.Fprintf(&b, "  executor: hash(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d per-slice merges + one query assembler\n",
+			p.shards, p.shards, len(p.ends))
+	} else {
+		fmt.Fprintf(&b, "  executor: hash(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers\n",
+			p.shards, p.shards, len(p.w.Queries))
+	}
+	return b.String()
+}
+
+// shardSession adapts the shard executor to the Session interface. Errors
+// detected inside replicas surface on the next Feed, Consume or Migrate
+// call; Finish returns the statistics of whatever completed.
+type shardSession struct {
+	e *shard.Executor
+}
+
+// Feed implements Session.
+func (s *shardSession) Feed(t *Tuple) error { return s.e.Feed(t) }
+
+// Consume implements Session.
+func (s *shardSession) Consume(src Source) error { return s.e.Consume(src) }
+
+// Drain implements Session.
+func (s *shardSession) Drain() { s.e.Drain() }
+
+// Finish implements Session.
+func (s *shardSession) Finish() *Result {
+	res, _ := s.e.Finish()
+	return res
+}

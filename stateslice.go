@@ -60,8 +60,20 @@
 //	err = p.Migrate([]stateslice.Time{60 * stateslice.Minute}) // merge the chain
 //	res := sess.Finish()
 //
+// # Sharded execution
+//
+// Equijoin workloads can run the chain as p independent replicas, the input
+// hash-partitioned by the join key, with an order-preserving merge
+// reassembling the exact sequential output order — byte-identical results
+// at every shard count. Each replica's window states shrink by roughly the
+// partitioning factor (probe work falls ~p-fold even on one core) and the
+// replicas run on separate goroutines:
+//
+//	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithShards(4))
+//	res, err := p.Run(src, stateslice.RunConfig{})
+//
 // See examples/ for runnable programs and EXPERIMENTS.md for the paper's
-// evaluation harness.
+// evaluation harness and the tracked shard sweep.
 package stateslice
 
 import (
@@ -143,9 +155,6 @@ type (
 	RunConfig = engine.Config
 	// Result reports a finished run.
 	Result = engine.Result
-	// Session drives a plan tuple by tuple and supports online
-	// migration between feeds.
-	Session = engine.Session
 	// MemoryStats aggregates sampled state sizes.
 	MemoryStats = engine.MemoryStats
 )

@@ -145,6 +145,8 @@ type buildOptions struct {
 	disableLineage bool
 	hashProbing    bool
 	concurrent     bool
+	shards         int
+	shardsSet      bool
 	ends           []Time
 	model          CostModel
 	modelSet       bool
@@ -221,8 +223,47 @@ func WithHashProbing() Option {
 // instead of the sequential engine. Valid only with MemOpt over an
 // unfiltered workload; such plans run via Plan.Run but do not support
 // sessions or migration.
+//
+// Exactly one executor drives a plan, so WithConcurrency cannot be combined
+// with WithShards (a different parallel executor) or with WithBatchSize
+// (which tunes the sequential engine the pipeline replaces): Build reports
+// an error for either combination instead of letting one option silently
+// win.
 func WithConcurrency() Option {
 	return func(o *buildOptions) { o.concurrent = true }
+}
+
+// WithShards executes the chain as p independent full replicas, the input
+// hash-partitioned by the equijoin key (Tuple.Key): tuples with equal keys
+// always land on the same replica, so every replica computes exactly the
+// results of its own key range on its own goroutine — driven by the
+// unmodified batched sequential engine — and an order-preserving per-query
+// merge reassembles the global (Time, Seq) output order. Results are
+// byte-identical to the unsharded engine at every p; service rate scales
+// with the shard count both by parallelism and because each replica's
+// window states (and therefore its nested-loop probe spans) shrink by the
+// partitioning factor.
+//
+// WithShards requires a chain strategy (MemOpt or CPUOpt) and a
+// key-partitionable join predicate — an Equijoin workload; for any other
+// predicate a pair of matching tuples could be split across replicas and
+// silently lost, so Build reports an error. Sharded plans support sessions,
+// WithSink streaming (sink callbacks run on per-query merger goroutines, so
+// sinks of different queries may fire concurrently), and WithMigratable
+// migration, which fans out to every replica at the same stream position.
+// WithBatchSize composes: it tunes each replica's engine micro-batch.
+// WithShards(1) runs the full sharded machinery with one replica,
+// measuring the feed/merge overhead against the plain engine. It cannot be
+// combined with WithConcurrency (one executor per plan) or WithHashProbing
+// (sliced chains are always nested-loop).
+func WithShards(p int) Option {
+	return func(o *buildOptions) {
+		if p < 1 && o.err == nil {
+			o.err = fmt.Errorf("stateslice: WithShards needs at least 1 shard, got %d", p)
+		}
+		o.shards = p
+		o.shardsSet = true
+	}
 }
 
 // WithBatchSize sets the engine's micro-batch size K for every run and
@@ -235,8 +276,12 @@ func WithConcurrency() Option {
 // schedule exactly; negative K means unbounded (drain only at Finish or a
 // migration flush), which is usually a pessimisation — see EXPERIMENTS.md.
 // A RunConfig carrying its own non-zero BatchSize overrides this option.
-// Not valid with WithConcurrency: the pipeline batches by channel slab
-// instead.
+//
+// WithBatchSize tunes whichever plan runs on the sequential engine: plain
+// chains and baselines directly, sharded chains (WithShards) through each
+// replica's engine. It is not valid with WithConcurrency — the pipeline
+// batches by channel slab instead, and Build reports the conflict rather
+// than picking a winner.
 func WithBatchSize(k int) Option {
 	return func(o *buildOptions) {
 		if k == 0 && o.err == nil {
