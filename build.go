@@ -80,7 +80,11 @@ type Session interface {
 	// every replica has quiesced).
 	Drain()
 	// Finish flushes the plan with a final punctuation and returns the
-	// run statistics. The session cannot be fed afterwards.
+	// run statistics. The session cannot be fed afterwards. For sharded
+	// sessions, the first replica or driver failure of the run — which
+	// also surfaces on Feed/Consume as soon as it happens — is carried on
+	// Result.Err; always check it before trusting a sharded session's
+	// statistics.
 	Finish() *Result
 }
 
@@ -134,6 +138,9 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 
 	if o.concurrent && o.shardsSet {
 		return nil, errors.New("stateslice: WithConcurrency and WithShards select different executors for the same plan; choose one")
+	}
+	if o.assemblySet && !o.shardsSet {
+		return nil, errors.New("stateslice: WithAssemblyWorkers tunes the sharded executor's merge layer and requires WithShards")
 	}
 	if o.concurrent {
 		if o.batchSet {

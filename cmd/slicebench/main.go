@@ -54,6 +54,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the machine-readable perf report to this path (\"-\" for stdout) and exit")
 		reps       = flag.Int("reps", 3, "repetitions per perf variant for -json (best wall clock wins)")
 		shardList  = flag.String("shards", "1,2,4,8", "shard counts for the -json equijoin sweep (empty disables the sharded suite)")
+		workerList = flag.String("workers", "0", "assembly-worker counts crossed with every shard count in the -json sweep (0 = the automatic default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	)
 	flag.Parse()
@@ -77,7 +78,9 @@ func main() {
 	if *jsonOut != "" {
 		shards, err := parseShards(*shardList)
 		check(err)
-		check(perfJSON(*jsonOut, *duration, *seed, *reps, shards))
+		workers, err := parseWorkers(*workerList)
+		check(err)
+		check(perfJSON(*jsonOut, *duration, *seed, *reps, shards, workers))
 		return
 	}
 
@@ -229,12 +232,13 @@ func runFig19(p bench.Fig19Panel, rates []float64, dur float64, seed int64) ([]b
 }
 
 // perfJSON runs the tracked perf suite and writes the JSON report.
-func perfJSON(path string, duration float64, seed int64, reps int, shards []int) error {
+func perfJSON(path string, duration float64, seed int64, reps int, shards, workers []int) error {
 	rep, err := bench.RunPerf(bench.PerfConfig{
 		DurationSec: duration,
 		Seed:        seed,
 		Reps:        reps,
 		Shards:      shards,
+		Workers:     workers,
 	})
 	if err != nil {
 		return err
@@ -262,6 +266,23 @@ func parseShards(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("bad shard count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseWorkers parses the -workers list; 0 entries select the automatic
+// assembly-worker default.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	if strings.TrimSpace(s) == "" {
+		return []int{0}, nil
+	}
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad worker count %q", p)
 		}
 		out = append(out, v)
 	}

@@ -60,6 +60,11 @@ type PerfRun struct {
 	// variants. Comparable across hosts only together with the report's
 	// GOMAXPROCS.
 	Shards int `json:"shards,omitempty"`
+	// Workers is the resolved assembly-worker pool size of a sharded run
+	// (the goroutines reassembling the global output order); 0 for
+	// unsharded variants. Like Shards it is only comparable together with
+	// GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
 	// Inputs is the number of source tuples fed.
 	Inputs int `json:"inputs"`
 	// Outputs is the total number of result tuples across all queries.
@@ -131,6 +136,11 @@ type PerfConfig struct {
 	// Shards is the shard-count sweep of the equijoin suite; nil selects
 	// DefaultShardCounts, an explicit empty slice disables the suite.
 	Shards []int
+	// Workers is the assembly-worker sweep of the equijoin suite, crossed
+	// with every shard count; nil selects DefaultWorkerCounts (the
+	// automatic default only). A 0 entry means "auto"; the report records
+	// the resolved pool size per run either way.
+	Workers []int
 	// KeyDomain is the equijoin suite's uniform key domain; 0 selects
 	// workload.EquijoinKeyDomain (selectivity matching S1's default).
 	KeyDomain int64
@@ -138,6 +148,10 @@ type PerfConfig struct {
 
 // DefaultShardCounts is the tracked shard sweep.
 var DefaultShardCounts = []int{1, 2, 4, 8}
+
+// DefaultWorkerCounts is the tracked assembly-worker sweep: the automatic
+// default only, so the baseline report stays one run per shard count.
+var DefaultWorkerCounts = []int{0}
 
 func (c *PerfConfig) defaults() {
 	if c.Queries == 0 {
@@ -163,6 +177,9 @@ func (c *PerfConfig) defaults() {
 	}
 	if c.Shards == nil {
 		c.Shards = DefaultShardCounts
+	}
+	if c.Workers == nil {
+		c.Workers = DefaultWorkerCounts
 	}
 	if c.KeyDomain == 0 {
 		c.KeyDomain = workload.EquijoinKeyDomain
@@ -274,37 +291,43 @@ func runShardSuite(cfg PerfConfig) (*PerfSuite, error) {
 	}
 	suite.Runs = append(suite.Runs, *run)
 	for _, p := range cfg.Shards {
-		run, err := perfSharded(w, input, p, cfg.Reps)
-		if err != nil {
-			return nil, err
+		for _, workers := range cfg.Workers {
+			run, err := perfSharded(w, input, p, workers, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			suite.Runs = append(suite.Runs, *run)
 		}
-		suite.Runs = append(suite.Runs, *run)
 	}
 	return suite, nil
 }
 
-// perfSharded measures the key-range sharded executor at shard count p, on
-// the slice-merge fast path the public WithShards build selects for this
-// workload shape (unfiltered Mem-Opt).
-func perfSharded(w plan.Workload, input []*stream.Tuple, p, reps int) (*PerfRun, error) {
+// perfSharded measures the key-range sharded executor at shard count p with
+// the given assembly-worker setting (0 = the automatic default; the run
+// records the resolved pool size), on the slice-merge fast path the public
+// WithShards build selects for this workload shape (unfiltered Mem-Opt).
+func perfSharded(w plan.Workload, input []*stream.Tuple, p, workers, reps int) (*PerfRun, error) {
 	windows := make([]stream.Time, len(w.Queries))
 	for i, q := range w.Queries {
 		windows[i] = q.Window
 	}
-	run := &PerfRun{Variant: fmt.Sprintf("shards/p=%d", p), Shards: p}
+	run := &PerfRun{Shards: p}
 	for r := 0; r < reps; r++ {
 		e, err := shard.New(shard.Config{
-			Shards:      p,
-			SampleEvery: 1 << 30, // no memory sampling on the measured path
-			SliceMerge:  true,
-			Windows:     windows,
-			Name:        "perf-sharded",
+			Shards:          p,
+			AssemblyWorkers: workers,
+			SampleEvery:     1 << 30, // no memory sampling on the measured path
+			SliceMerge:      true,
+			Windows:         windows,
+			Name:            "perf-sharded",
 		}, func(int) (*plan.StateSlicePlan, error) {
 			return plan.BuildStateSlice(w, plan.StateSliceConfig{Name: "perf", RawSliceResults: true})
 		})
 		if err != nil {
 			return nil, err
 		}
+		run.Workers = e.Workers()
+		run.Variant = fmt.Sprintf("shards/p=%d,w=%d", p, run.Workers)
 		allocs, bytes, wall, res, err := measured(func() (perfResult, error) {
 			er, err := e.Run(stream.NewSliceSource(input))
 			if err != nil {

@@ -108,6 +108,12 @@ type Result struct {
 	Wall time.Duration
 	// VirtualDuration is the timestamp of the last input tuple.
 	VirtualDuration stream.Time
+	// Err is the first replica or driver error of a sharded session run,
+	// carried here because Session.Finish has no error return. It is
+	// always nil for sequential engine runs, and for executions driven
+	// through Plan.Run or the shard executor's own Finish/Run, which
+	// return the error directly.
+	Err error
 }
 
 // TotalOutputs sums the per-sink result counts.

@@ -23,17 +23,26 @@
 // (Config.PunctEvery), which the engine forwards through the chain
 // (engine.Session.FeedPunct).
 //
-// Two merge topologies share that machinery. The general path merges each
-// query's per-shard output streams (one merger goroutine per query); it
-// handles every chain the engine handles — filters, routed slices,
-// mid-stream migration. The slice-merge fast path (Config.SliceMerge, for
-// unfiltered chains whose every window is a slice boundary) merges each
-// *slice's* per-shard result stream instead and assembles the per-query
-// answers engine-style in one goroutine: every distinct result crosses
-// goroutines once, not once per subscribing query — the margin that lets
-// the sharded executor beat the single-core engine even on one core, where
-// only the probe-work reduction of smaller per-shard states (and none of
-// the parallelism) is available to pay for the merge.
+// Two merge topologies share that machinery, both parallelized across a
+// pool of assembly workers (Config.AssemblyWorkers) so that no single
+// goroutine has to touch every result item. The general path merges each
+// query's per-shard output streams; the query mergers are distributed over
+// the worker pool (by default one worker per query, so every merger runs
+// concurrently); it handles every chain the engine handles — filters,
+// routed slices, mid-stream migration. The slice-merge fast path
+// (Config.SliceMerge, for unfiltered chains whose every window is a slice
+// boundary) merges each *slice's* per-shard result stream instead and
+// assembles the per-query answers engine-style: every distinct result
+// crosses goroutines from the replicas once, not once per subscribing query
+// — the margin that lets the sharded executor beat the single-core engine
+// even on one core, where only the probe-work reduction of smaller
+// per-shard states (and none of the parallelism) is available to pay for
+// the merge. On the fast path the assembly itself is sharded by query:
+// each worker owns a disjoint subset of the per-query unions, slice merges
+// are distributed across the workers, and a worker that merges a slice
+// forwards the merged spans (as recycled slabs) to the other workers whose
+// queries subscribe to it — see assemble.go for the topology and its
+// deadlock-freedom argument.
 //
 // Result streams cross goroutines as item slabs (stream.Batcher) over
 // bounded channels, the same amortization the concurrent pipeline uses,
@@ -43,7 +52,11 @@
 // inherits the Seq of its probing male, and every male lives on exactly
 // one shard — so the merged sequence is the unique global (Time, Seq)
 // order, byte-identical to the sequential engine's output at every shard
-// count.
+// and worker count.
+//
+// Replica failures are never swallowed: the first error any runner hits is
+// published to the driver, surfaces on the next Feed/Consume/Migrate call,
+// and is returned again by Finish.
 //
 // Chain migration (Section 5.3) fans out: Migrate flushes the pending feed
 // slabs, then every replica applies the same merge/split program at the
@@ -54,7 +67,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stateslice/internal/engine"
@@ -93,6 +108,16 @@ type Config struct {
 	// sharded machinery — feed channels, merge layer — and measures its
 	// overhead against the plain engine.
 	Shards int
+	// AssemblyWorkers is the number of goroutines the merge layer runs
+	// (>= 1; capped at the query count). 0 selects an automatic default:
+	// on the query-level merge path, one worker per query, so every
+	// query's merger runs concurrently; on the slice-merge fast path,
+	// min(queries, max(1, GOMAXPROCS/2), 4) — half the schedulable cores
+	// (the replicas need the other half; they are ~70% of the work), and
+	// never more than the parallelism the assembly stage has been
+	// measured to use productively. Results are byte-identical at every
+	// worker count; the knob only moves where the reassembly work runs.
+	AssemblyWorkers int
 	// BatchSize is the engine micro-batch size K applied to every
 	// replica's session (see engine.Config.BatchSize).
 	BatchSize int
@@ -106,23 +131,84 @@ type Config struct {
 	// Collect makes the per-query merge sinks retain result tuples.
 	Collect bool
 	// OnResult, when non-nil, receives every result of query qi in that
-	// query's delivery order, from the query's merger goroutine
-	// (callbacks for different queries run concurrently; on the
-	// slice-merge path all queries share the assembler goroutine).
+	// query's delivery order, from the assembly worker owning the query
+	// (callbacks for queries owned by different workers run
+	// concurrently).
 	OnResult func(qi int, t *stream.Tuple)
 	// SliceMerge selects the slice-level merge fast path: replicas are
 	// built with plan.StateSliceConfig.RawSliceResults, each slice's
-	// result stream crosses goroutines once, and one assembler goroutine
+	// result stream crosses goroutines once, and the assembly-worker pool
 	// merges the slices and assembles the per-query answers with
 	// engine-style unions. Requires Windows and raw replicas; the
 	// coordinator (the public build layer) selects it for eligible plans
 	// (unfiltered, every window a slice boundary, not migratable).
 	SliceMerge bool
-	// Windows are the query windows (ascending), required by SliceMerge
-	// to derive each query's contributing slices.
+	// Windows are the query windows, required by SliceMerge to derive
+	// each query's contributing slices. Every window must equal one of
+	// the chain's slice boundaries (ValidateSliceMergeWindows).
 	Windows []stream.Time
 	// Name labels the run's Result.
 	Name string
+}
+
+// resolveWorkers returns the assembly-worker pool size for the given query
+// count, applying the automatic default documented on AssemblyWorkers.
+func (cfg Config) resolveWorkers(queries int) (int, error) {
+	w := cfg.AssemblyWorkers
+	if w < 0 {
+		return 0, fmt.Errorf("shard: AssemblyWorkers must be >= 1 (or 0 for the automatic default), got %d", w)
+	}
+	if w == 0 {
+		if cfg.SliceMerge {
+			w = runtime.GOMAXPROCS(0) / 2
+			if w > 4 {
+				w = 4
+			}
+			if w < 1 {
+				w = 1
+			}
+		} else {
+			w = queries
+		}
+	}
+	if w > queries {
+		w = queries
+	}
+	return w, nil
+}
+
+// queryOwner maps a query index onto its owning assembly worker —
+// contiguous balanced blocks. Both merge topologies use this one function,
+// so their ownership layouts (and the documented OnResult concurrency
+// semantics) cannot drift apart.
+func queryOwner(qi, workers, queries int) int { return qi * workers / queries }
+
+// ValidateSliceMergeWindows checks a slice-merge configuration against the
+// chain's slice boundary layout: every query window must equal one of the
+// boundaries, so each query's contributing slice prefix is non-empty and
+// the assembly needs no routing. The public build layer runs this check at
+// Build time — a misconfigured plan fails before any session or goroutine
+// exists — and New repeats it before wiring anything, so the executor never
+// reaches session time with windows its assembler cannot serve. It is the
+// executor-side counterpart of plan.RawSliceEligible.
+func ValidateSliceMergeWindows(ends, windows []stream.Time) error {
+	if len(windows) == 0 {
+		return errors.New("shard: SliceMerge needs the query windows")
+	}
+	if len(ends) == 0 {
+		return errors.New("shard: SliceMerge needs a chain with at least one slice boundary")
+	}
+	isEnd := make(map[stream.Time]bool, len(ends))
+	for _, e := range ends {
+		isEnd[e] = true
+	}
+	for qi, w := range windows {
+		if !isEnd[w] {
+			return fmt.Errorf("shard: query %d window %s is not a slice boundary of the chain (first boundary %s, last %s); the slice-merge fast path requires every query window to be a boundary — use the query-level merge for this layout",
+				qi, w, ends[0], ends[len(ends)-1])
+		}
+	}
+	return nil
 }
 
 // feedMsg is one unit on a shard's feed channel: either an item slab or a
@@ -139,9 +225,10 @@ type ctl struct {
 	ack    chan error
 }
 
-// taggedBatch routes a result slab to a merger together with its source
-// shard index.
+// taggedBatch routes a result slab to a query merger together with its
+// query index and source shard.
 type taggedBatch struct {
+	query int
 	shard int
 	items []stream.Item
 }
@@ -149,7 +236,9 @@ type taggedBatch struct {
 // replica is one chain copy with its session and feed edge. All fields
 // except feed are owned by the runner goroutine once the executor starts;
 // res and err are published to the driver by the runner's exit
-// (sync.WaitGroup) or a barrier acknowledgement.
+// (sync.WaitGroup) or a barrier acknowledgement, and the first error is
+// additionally published through Executor.noteErr so the driver observes it
+// mid-run.
 type replica struct {
 	idx  int
 	sp   *plan.StateSlicePlan
@@ -160,30 +249,58 @@ type replica struct {
 	err  error
 }
 
-// merger merges one query's per-shard result streams in (Time, Seq) order
-// on its own goroutine, feeding the query's sink.
+// replicaFeedHook, when non-nil, intercepts every tuple a replica runner is
+// about to feed its engine session; a non-nil return fails the replica as a
+// session error would. It exists so tests can inject replica failures — a
+// healthy engine session cannot be made to fail from outside — and is nil
+// outside tests.
+var replicaFeedHook func(shard int, t *stream.Tuple) error
+
+// merger merges one query's per-shard result streams in (Time, Seq) order,
+// feeding the query's sink. Each merger is owned by exactly one merge
+// worker; mergers owned by different workers run concurrently.
 type merger struct {
-	in   chan taggedBatch
 	mg   *kmerge
 	sink *operator.Sink
 }
 
-// Executor drives P chain replicas and their per-query merge. It is
-// single-driver: Feed, Consume, Drain, Migrate and Finish must be called
+// mergeWorker drains the tagged result batches of a disjoint subset of the
+// query mergers on its own goroutine.
+type mergeWorker struct {
+	in      chan taggedBatch
+	queries []int // owned query indexes
+}
+
+// Executor drives P chain replicas and their cross-replica merge layer. It
+// is single-driver: Feed, Consume, Drain, Migrate and Finish must be called
 // from one goroutine, like an engine session.
 type Executor struct {
 	cfg      Config
 	part     Partitioner
+	workers  int
 	replicas []*replica
-	mergers  []*merger        // query-level merge path (nil under SliceMerge)
-	asm      *assembler       // slice-level merge path (nil otherwise)
-	feedB    []stream.Batcher // per-shard feed batchers, driver-owned
-	// free recycles consumed result slabs from the mergers back to the
+	// Query-level merge path (nil under SliceMerge): per-query mergers
+	// distributed over the merge workers.
+	mergers      []*merger
+	mergeWorkers []*mergeWorker
+	queryWorker  []int // query -> owning merge worker
+	// Slice-level merge path (nil otherwise).
+	asm   *assembler
+	feedB []stream.Batcher // per-shard feed batchers, driver-owned
+	// free recycles consumed result slabs from the merge layer back to the
 	// replica taps; a channel-based free list stays allocation-free where
 	// a sync.Pool would box every slice header.
 	free    chan []stream.Item
 	runWG   sync.WaitGroup
 	mergeWG sync.WaitGroup
+
+	// failed flags that a replica has published a failure; the per-tuple
+	// hot path (Feed) checks only this single atomic load and takes errMu
+	// — which guards asyncErr, the first such failure — exclusively on
+	// the rare failure branch.
+	failed   atomic.Bool
+	errMu    sync.Mutex
+	asyncErr error
 
 	fed        int
 	sincePunct int
@@ -195,8 +312,10 @@ type Executor struct {
 
 // New builds the replicas via the factory (called once per shard; every
 // call must produce an identical chain over the same workload), wires the
-// merge layer and starts the shard and merger goroutines. The executor is
-// ready to Feed on return.
+// merge layer and starts the shard and assembly goroutines. The executor is
+// ready to Feed on return. All configuration errors — including slice-merge
+// windows that do not align with the chain's boundaries — surface here,
+// before any goroutine starts.
 func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Executor, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", cfg.Shards)
@@ -244,26 +363,35 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 		}
 		e.replicas = append(e.replicas, r)
 	}
-	if cfg.SliceMerge && len(cfg.Windows) != queries {
-		return nil, fmt.Errorf("shard: SliceMerge needs the %d query windows, got %d", queries, len(cfg.Windows))
-	}
-
-	// Sized past the slabs that can be in flight at once (every merge
-	// channel plus every batcher), so recycling rarely misses.
-	e.free = make(chan []stream.Item, (chanBuf+2)*queries)
-
 	if cfg.SliceMerge {
-		asm, err := newAssembler(cfg.Shards, e.replicas[0].sp.Ends(), cfg.Windows, e.free, cfg)
-		if err != nil {
+		if len(cfg.Windows) != queries {
+			return nil, fmt.Errorf("shard: SliceMerge needs the %d query windows, got %d", queries, len(cfg.Windows))
+		}
+		if err := ValidateSliceMergeWindows(e.replicas[0].sp.Ends(), cfg.Windows); err != nil {
 			return nil, err
 		}
-		e.asm = asm
+	}
+	workers, err := cfg.resolveWorkers(queries)
+	if err != nil {
+		return nil, err
+	}
+	e.workers = workers
+
+	// Sized past the slabs that can be in flight at once (every merge
+	// channel, every batcher, and the fast path's cross-worker forward
+	// edges), so recycling rarely misses.
+	e.free = make(chan []stream.Item, (chanBuf+2)*queries+4*chanBuf*workers)
+
+	if cfg.SliceMerge {
+		e.asm = newAssembler(cfg.Shards, workers, e.replicas[0].sp.Ends(), cfg.Windows, e.free, cfg)
 	} else {
+		e.queryWorker = make([]int, queries)
+		e.mergeWorkers = make([]*mergeWorker, workers)
+		for w := range e.mergeWorkers {
+			e.mergeWorkers[w] = &mergeWorker{in: make(chan taggedBatch, chanBuf)}
+		}
 		for qi := 0; qi < queries; qi++ {
-			m := &merger{
-				in:   make(chan taggedBatch, chanBuf),
-				sink: operator.NewDirectSink(fmt.Sprintf("Q%d", qi+1)),
-			}
+			m := &merger{sink: operator.NewDirectSink(fmt.Sprintf("Q%d", qi+1))}
 			m.mg = newKmerge(cfg.Shards, m.sink.AcceptRun, e.free)
 			if cfg.Collect {
 				m.sink.Collecting()
@@ -273,6 +401,9 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 				m.sink.OnResult(func(t *stream.Tuple) { cfg.OnResult(q, t) })
 			}
 			e.mergers = append(e.mergers, m)
+			w := queryOwner(qi, workers, queries)
+			e.queryWorker[qi] = w
+			e.mergeWorkers[w].queries = append(e.mergeWorkers[w].queries, qi)
 		}
 	}
 
@@ -284,8 +415,9 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	// a strict frontier (see the package docs); MaxTime passes through so
 	// Finish still flushes the merge.
 	//
-	// On the slice-merge path the taps sit on the raw slice result ports;
-	// on the query-level path, union-terminated queries hand their output
+	// On the slice-merge path the taps sit on the raw slice result ports
+	// and route each slice to the assembly worker owning its merge; on
+	// the query-level path, union-terminated queries hand their output
 	// port to the tap outright (the replica's relay sink hop disappears;
 	// migrations rewire union inputs, never the output), while
 	// direct-wired terminals keep their sink in tap-only mode because the
@@ -296,13 +428,14 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 			for si, j := range r.sp.Slices() {
 				b := &r.out[si]
 				slice := si
+				in := e.asm.workers[e.asm.sliceOwner[si]].in
 				j.Result().AttachFunc(func(it stream.Item) {
 					if it.IsPunct() && it.Punct < stream.MaxTime {
 						it.Punct--
 					}
 					b.Add(it)
 					if b.Full() {
-						e.asm.in <- sliceBatch{slice: slice, shard: shardIdx, items: b.TakeWith(e.getSlab())}
+						in <- sliceBatch{slice: slice, shard: shardIdx, items: b.TakeWith(e.getSlab())}
 					}
 				})
 			}
@@ -310,14 +443,15 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 		}
 		for qi, sink := range r.sp.Plan.Sinks {
 			b := &r.out[qi]
-			m := e.mergers[qi]
+			query := qi
+			in := e.mergeWorkers[e.queryWorker[qi]].in
 			tap := func(it stream.Item) {
 				if it.IsPunct() && it.Punct < stream.MaxTime {
 					it.Punct--
 				}
 				b.Add(it)
 				if b.Full() {
-					m.in <- taggedBatch{shard: shardIdx, items: b.TakeWith(e.getSlab())}
+					in <- taggedBatch{query: query, shard: shardIdx, items: b.TakeWith(e.getSlab())}
 				}
 			}
 			if u := r.sp.QueryUnion(qi); u != nil {
@@ -334,12 +468,11 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 		go e.runReplica(r)
 	}
 	if e.asm != nil {
-		e.asm.wg.Add(1)
-		go e.asm.run()
+		e.asm.start()
 	}
-	for _, m := range e.mergers {
+	for _, w := range e.mergeWorkers {
 		e.mergeWG.Add(1)
-		go m.run(&e.mergeWG)
+		go e.runMergeWorker(w)
 	}
 	return e, nil
 }
@@ -347,9 +480,37 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 // Shards returns the replica count.
 func (e *Executor) Shards() int { return e.cfg.Shards }
 
+// Workers returns the resolved assembly-worker pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// noteErr publishes the first replica failure so the driver observes it on
+// the next Feed, Consume, Migrate or Finish call instead of the run
+// silently looking clean.
+func (e *Executor) noteErr(err error) {
+	e.errMu.Lock()
+	if e.asyncErr == nil {
+		e.asyncErr = err
+	}
+	e.errMu.Unlock()
+	e.failed.Store(true)
+}
+
+// pendingErr returns the first published replica failure, if any. The
+// no-failure fast path is a single atomic load, so checking it per fed
+// tuple costs the hot path nothing.
+func (e *Executor) pendingErr() error {
+	if !e.failed.Load() {
+		return nil
+	}
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.asyncErr
+}
+
 // runReplica is the shard goroutine: it feeds its session from the slab
 // channel, applies barrier commands, and finishes the session when the
-// channel closes.
+// channel closes. The first error fails the replica permanently (later
+// slabs are drained but not fed) and is published to the driver.
 func (e *Executor) runReplica(r *replica) {
 	defer e.runWG.Done()
 	for msg := range r.feed {
@@ -363,10 +524,16 @@ func (e *Executor) runReplica(r *replica) {
 				if it.IsPunct() {
 					err = r.sess.FeedPunct(it.Punct)
 				} else {
-					err = r.sess.Feed(it.Tuple)
+					if h := replicaFeedHook; h != nil {
+						err = h(r.idx, it.Tuple)
+					}
+					if err == nil {
+						err = r.sess.Feed(it.Tuple)
+					}
 				}
 				if err != nil {
 					r.err = fmt.Errorf("shard %d: %w", r.idx, err)
+					e.noteErr(r.err)
 					break
 				}
 			}
@@ -401,7 +568,7 @@ func (e *Executor) applyCtl(r *replica, c *ctl) error {
 }
 
 // flushResults ships every non-empty output slab to the merge layer
-// (per-query mergers, or the slice assembler on the fast path). Empty
+// (the merge workers, or the assembly workers on the fast path). Empty
 // batchers are skipped before drawing a spare from the free list —
 // TakeWith discards the spare when there is nothing to seal, which would
 // bleed a recycled slab per idle output per flush.
@@ -415,9 +582,9 @@ func (e *Executor) flushResults(r *replica) {
 			continue
 		}
 		if e.asm != nil {
-			e.asm.in <- sliceBatch{slice: i, shard: r.idx, items: items}
+			e.asm.workers[e.asm.sliceOwner[i]].in <- sliceBatch{slice: i, shard: r.idx, items: items}
 		} else {
-			e.mergers[i].in <- taggedBatch{shard: r.idx, items: items}
+			e.mergeWorkers[e.queryWorker[i]].in <- taggedBatch{query: i, shard: r.idx, items: items}
 		}
 	}
 }
@@ -425,31 +592,54 @@ func (e *Executor) flushResults(r *replica) {
 // getSlab pops a recycled slab from the free list, or allocates a
 // full-capacity one when none is available (an empty spare would make the
 // next batch regrow through every append doubling).
-func (e *Executor) getSlab() []stream.Item {
+func (e *Executor) getSlab() []stream.Item { return getSlab(e.free) }
+
+// getSlab pops a recycled slab from the free list, or allocates one.
+func getSlab(free chan []stream.Item) []stream.Item {
 	select {
-	case s := <-e.free:
+	case s := <-free:
 		return s
 	default:
 		return make([]stream.Item, 0, stream.SlabCap)
 	}
 }
 
-// run is the merger goroutine: push each slab into its shard's union input
-// and let the union emit everything the punctuation frontiers allow.
-func (m *merger) run(wg *sync.WaitGroup) {
-	defer wg.Done()
-	for tb := range m.in {
+// recycleSlab clears a fully-consumed slab and offers it back to the free
+// list, dropping it when the list is full.
+func recycleSlab(free chan []stream.Item, slab []stream.Item) {
+	clear(slab)
+	select {
+	case free <- slab[:0]:
+	default:
+	}
+}
+
+// runMergeWorker drains one worker's share of the query mergers: push each
+// slab into its query's per-shard union input and let the merge emit
+// everything the punctuation frontiers allow. Mergers of other workers run
+// concurrently; a merger itself is only ever touched by its owning worker.
+func (e *Executor) runMergeWorker(w *mergeWorker) {
+	defer e.mergeWG.Done()
+	for tb := range w.in {
+		m := e.mergers[tb.query]
 		m.mg.push(tb.shard, tb.items)
 		m.mg.step()
 	}
-	m.mg.step()
+	for _, qi := range w.queries {
+		e.mergers[qi].mg.step()
+	}
 }
 
 // Feed routes one source tuple to its key's shard. Tuples must arrive in
-// global timestamp order.
+// global timestamp order. A replica failure published since the last call
+// surfaces here (and sticks), so a failed run cannot keep consuming input
+// silently.
 func (e *Executor) Feed(t *stream.Tuple) error {
 	if e.finished {
 		return errors.New("shard: Feed after Finish")
+	}
+	if e.err == nil {
+		e.err = e.pendingErr()
 	}
 	if e.err != nil {
 		return e.err
@@ -525,8 +715,8 @@ func (e *Executor) barrier(target []stream.Time) error {
 }
 
 // Drain flushes the pending feed slabs and blocks until every replica has
-// quiesced. Results may still be in flight toward the mergers afterwards;
-// only Finish synchronizes the merge layer.
+// quiesced. Results may still be in flight toward the merge layer
+// afterwards; only Finish synchronizes it.
 func (e *Executor) Drain() {
 	if e.finished {
 		return
@@ -544,6 +734,9 @@ func (e *Executor) Migrate(to []stream.Time) ([]stream.Time, error) {
 	if e.finished {
 		return nil, errors.New("shard: Migrate after Finish")
 	}
+	if e.err == nil {
+		e.err = e.pendingErr()
+	}
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -556,8 +749,9 @@ func (e *Executor) Migrate(to []stream.Time) ([]stream.Time, error) {
 }
 
 // Finish closes the feeds, waits for every replica to flush its final
-// punctuation and for every merger to drain, and returns the aggregated run
-// statistics together with the first replica or driver error. The memory
+// punctuation and for the merge layer to drain, and returns the aggregated
+// run statistics together with the first replica or driver error — a failed
+// replica is an error, never a silently clean-looking run. The memory
 // statistics sum the per-replica monitors (replicas sample at their own
 // arrival counts, so the sum is an approximation of the instantaneous
 // total).
@@ -570,11 +764,10 @@ func (e *Executor) Finish() (*engine.Result, error) {
 		}
 		e.runWG.Wait()
 		if e.asm != nil {
-			close(e.asm.in)
-			e.asm.wg.Wait()
+			e.asm.stop()
 		}
-		for _, m := range e.mergers {
-			close(m.in)
+		for _, w := range e.mergeWorkers {
+			close(w.in)
 		}
 		e.mergeWG.Wait()
 	}
@@ -585,6 +778,9 @@ func (e *Executor) Finish() (*engine.Result, error) {
 		VirtualDuration: e.lastTime,
 	}
 	err := e.err
+	if err == nil {
+		err = e.pendingErr()
+	}
 	for _, r := range e.replicas {
 		if r.err != nil && err == nil {
 			err = r.err
@@ -598,15 +794,7 @@ func (e *Executor) Finish() (*engine.Result, error) {
 		}
 	}
 	if e.asm != nil {
-		for _, m := range e.asm.merges {
-			res.Meter.Add(m.meter)
-		}
-		res.Meter.Add(e.asm.meter)
-		for _, s := range e.asm.sinks {
-			res.SinkCounts = append(res.SinkCounts, s.Count())
-			res.OrderViolations += s.OrderViolations()
-			res.Results = append(res.Results, s.Results())
-		}
+		e.asm.fold(res)
 	}
 	for _, m := range e.mergers {
 		res.Meter.Add(m.mg.meter)

@@ -394,3 +394,54 @@ func TestPartitionerSpreadsAndIsDeterministic(t *testing.T) {
 		t.Error("single shard must own every key")
 	}
 }
+
+// TestPartitionerSpreadsClusteredKeys pins the reason the partitioner mixes
+// through splitmix64 before the modulo: consecutive or clustered key values
+// — the common case for auto-incremented or range-allocated keys, which a
+// plain `key mod p` would send to shards round-robin within each cluster
+// but pathologically for stride-p clusters — must still spread near
+// uniformly across every shard. The mix is deterministic, so the bounds are
+// exact, not flaky.
+func TestPartitionerSpreadsClusteredKeys(t *testing.T) {
+	const shards = 8
+	p := NewPartitioner(shards)
+	for _, tc := range []struct {
+		name string
+		keys func() []int64
+	}{
+		{"consecutive", func() []int64 {
+			keys := make([]int64, 0, 4096)
+			for k := int64(1_000_000); k < 1_004_096; k++ {
+				keys = append(keys, k)
+			}
+			return keys
+		}},
+		{"strided clusters", func() []int64 {
+			// Three far-apart clusters with stride equal to the shard
+			// count — the worst case for an unmixed modulo, which would
+			// map each whole cluster onto a single shard.
+			var keys []int64
+			for _, base := range []int64{0, 1 << 32, 7_777_777_777} {
+				for i := int64(0); i < 1024; i++ {
+					keys = append(keys, base+i*shards)
+				}
+			}
+			return keys
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := tc.keys()
+			counts := make([]int, shards)
+			for _, k := range keys {
+				counts[p.Shard(k)]++
+			}
+			mean := float64(len(keys)) / shards
+			for s, c := range counts {
+				if f := float64(c); f < 0.75*mean || f > 1.25*mean {
+					t.Errorf("shard %d holds %d of %d keys (mean %.0f); clustered keys must spread near uniformly",
+						s, c, len(keys), mean)
+				}
+			}
+		})
+	}
+}

@@ -53,6 +53,8 @@ func TestWithShardsValidation(t *testing.T) {
 		{"non-chain strategy", eq, stateslice.PullUp, []stateslice.Option{stateslice.WithShards(2)}},
 		{"with concurrency", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2), stateslice.WithConcurrency()}},
 		{"with hash probing", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2), stateslice.WithHashProbing()}},
+		{"zero assembly workers", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2), stateslice.WithAssemblyWorkers(0)}},
+		{"assembly workers without shards", eq, stateslice.MemOpt, []stateslice.Option{stateslice.WithAssemblyWorkers(2)}},
 	} {
 		if _, err := stateslice.Build(tc.w, tc.s, tc.opts...); err == nil {
 			t.Errorf("%s: Build must fail", tc.name)
@@ -65,6 +67,7 @@ func TestWithShardsValidation(t *testing.T) {
 		{stateslice.WithShards(4), stateslice.WithBatchSize(8)},
 		{stateslice.WithShards(4), stateslice.WithMigratable()},
 		{stateslice.WithShards(2), stateslice.WithEnds(8 * stateslice.Second)},
+		{stateslice.WithShards(2), stateslice.WithAssemblyWorkers(3)},
 	} {
 		if _, err := stateslice.Build(eq, stateslice.MemOpt, opts...); err != nil {
 			t.Errorf("compatible options rejected: %v", err)
@@ -163,19 +166,25 @@ func TestWithShardsFastPath(t *testing.T) {
 	}
 	want := renderResults(refRes.Results)
 	for _, p := range []int{1, 3, 8} {
-		sp, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect(), stateslice.WithShards(p))
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := sp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.OrderViolations != 0 {
-			t.Errorf("p=%d: %d order violations", p, res.OrderViolations)
-		}
-		if got := renderResults(res.Results); got != want {
-			t.Errorf("p=%d: fast-path sharded results differ from the sequential engine", p)
+		for _, workers := range []int{0, 1, 2, 3} {
+			opts := []stateslice.Option{stateslice.WithCollect(), stateslice.WithShards(p)}
+			if workers != 0 {
+				opts = append(opts, stateslice.WithAssemblyWorkers(workers))
+			}
+			sp, err := stateslice.Build(w, stateslice.MemOpt, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OrderViolations != 0 {
+				t.Errorf("p=%d w=%d: %d order violations", p, workers, res.OrderViolations)
+			}
+			if got := renderResults(res.Results); got != want {
+				t.Errorf("p=%d w=%d: fast-path sharded results differ from the sequential engine", p, workers)
+			}
 		}
 	}
 }
@@ -219,6 +228,9 @@ func TestWithShardsSessionMigrate(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := sess.Finish()
+	if res.Err != nil {
+		t.Fatalf("clean sharded session reported an error: %v", res.Err)
+	}
 	if res.OrderViolations != 0 {
 		t.Error("sharded migration broke ordering")
 	}
@@ -311,10 +323,24 @@ func TestWithShardsExplain(t *testing.T) {
 	if got := len(p.Ends()); got != 2 {
 		t.Errorf("sharded Mem-Opt chain reports %d slices, want 2", got)
 	}
-	for _, wantSub := range []string{"shards=4", "hash(Key) mod 4", "mergers"} {
+	// The executor line must name the real partitioning function — the
+	// partitioner mixes through splitmix64 before the modulo, so a plain
+	// "hash(Key) mod p" would misdescribe how clustered keys spread.
+	for _, wantSub := range []string{"shards=4", "splitmix64(Key) mod 4", "mergers", "auto workers"} {
 		if s := p.Explain(); !strings.Contains(s, wantSub) {
 			t.Errorf("Explain missing %q:\n%s", wantSub, s)
 		}
+	}
+	if s := p.Explain(); strings.Contains(s, "hash(Key)") {
+		t.Errorf("Explain still claims a plain key hash:\n%s", s)
+	}
+	wp, err := stateslice.Build(equijoinWorkload(), stateslice.MemOpt,
+		stateslice.WithShards(4), stateslice.WithAssemblyWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wp.Explain(); !strings.Contains(s, "on 2 workers") {
+		t.Errorf("Explain missing the explicit worker count:\n%s", s)
 	}
 	if _, err := p.EstimatedCost(); err != nil {
 		t.Errorf("EstimatedCost: %v", err)

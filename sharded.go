@@ -51,6 +51,15 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 	// distinct window a slice boundary — CPU-Opt merged slices route
 	// results and are ineligible) and a fixed layout (not migratable).
 	cfg.RawSliceResults = plan.RawSliceEligible(w, probe.Ends(), o.migratable)
+	if cfg.RawSliceResults {
+		// Defense in depth: the executor's slice-merge windows must align
+		// with the chain's boundaries. RawSliceEligible implies this, but
+		// running the executor-side check here means a drifted eligibility
+		// rule fails at Build time, not when NewSession wires goroutines.
+		if err := shard.ValidateSliceMergeWindows(probe.Ends(), queryWindows(w)); err != nil {
+			return nil, err
+		}
+	}
 	return &shardedPlan{
 		name:       name,
 		strategy:   s,
@@ -58,6 +67,7 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 		cfg:        cfg,
 		model:      model,
 		shards:     o.shards,
+		workers:    o.assemblyWorkers,
 		batchSize:  o.batchSize,
 		migratable: o.migratable,
 		collect:    o.collect,
@@ -65,6 +75,15 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 		initEnds:   probe.Ends(),
 		ends:       probe.Ends(),
 	}, nil
+}
+
+// queryWindows lists the workload's query windows in query order.
+func queryWindows(w Workload) []Time {
+	windows := make([]Time, len(w.Queries))
+	for i, q := range w.Queries {
+		windows[i] = q.Window
+	}
+	return windows
 }
 
 // shardedPlan executes the chain as hash-partitioned replicas with an
@@ -77,6 +96,7 @@ type shardedPlan struct {
 	cfg        plan.StateSliceConfig // replica configuration
 	model      CostModel
 	shards     int
+	workers    int // assembly workers (0 = auto)
 	batchSize  int
 	migratable bool
 	collect    bool
@@ -118,19 +138,17 @@ func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
 	}
 	w, rcfg := p.w, p.cfg
 	scfg := shard.Config{
-		Shards:      p.shards,
-		BatchSize:   cfg.BatchSize,
-		SampleEvery: cfg.SampleEvery,
-		Collect:     p.collect,
-		OnResult:    onResult,
-		SliceMerge:  rcfg.RawSliceResults,
-		Name:        p.name,
+		Shards:          p.shards,
+		AssemblyWorkers: p.workers,
+		BatchSize:       cfg.BatchSize,
+		SampleEvery:     cfg.SampleEvery,
+		Collect:         p.collect,
+		OnResult:        onResult,
+		SliceMerge:      rcfg.RawSliceResults,
+		Name:            p.name,
 	}
 	if scfg.SliceMerge {
-		scfg.Windows = make([]Time, len(w.Queries))
-		for i, q := range w.Queries {
-			scfg.Windows[i] = q.Window
-		}
+		scfg.Windows = queryWindows(w)
 	}
 	return shard.New(scfg, func(int) (*plan.StateSlicePlan, error) {
 		return plan.BuildStateSlice(w, rcfg)
@@ -200,19 +218,35 @@ func (p *shardedPlan) Explain() string {
 		b.WriteString("  (migratable)")
 	}
 	b.WriteString("\n")
+	// The partitioner mixes keys through splitmix64 before the modulo —
+	// not a plain `hash(Key) mod p` on the raw key value — so clustered
+	// or consecutive key *values* still spread across shards. Per-key
+	// frequency skew is irreducible either way: one key's whole state
+	// lives on one shard (see internal/shard.Partitioner).
 	if p.cfg.RawSliceResults {
-		fmt.Fprintf(&b, "  executor: hash(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d per-slice merges + one query assembler\n",
-			p.shards, p.shards, len(p.ends))
+		fmt.Fprintf(&b, "  executor: splitmix64(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d per-slice merges + per-query assembly on %s workers\n",
+			p.shards, p.shards, len(p.ends), workersLabel(p.workers))
 	} else {
-		fmt.Fprintf(&b, "  executor: hash(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers\n",
-			p.shards, p.shards, len(p.w.Queries))
+		fmt.Fprintf(&b, "  executor: splitmix64(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers on %s workers\n",
+			p.shards, p.shards, len(p.w.Queries), workersLabel(p.workers))
 	}
 	return b.String()
 }
 
+// workersLabel renders the assembly-worker setting for Explain output; the
+// automatic default resolves against GOMAXPROCS when the executor starts.
+func workersLabel(n int) string {
+	if n == 0 {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
 // shardSession adapts the shard executor to the Session interface. Errors
 // detected inside replicas surface on the next Feed, Consume or Migrate
-// call; Finish returns the statistics of whatever completed.
+// call; Finish returns the statistics of whatever completed and carries the
+// first replica or driver error on Result.Err, since the Session interface
+// has no error return there — a failed replica is never silently dropped.
 type shardSession struct {
 	e *shard.Executor
 }
@@ -226,8 +260,11 @@ func (s *shardSession) Consume(src Source) error { return s.e.Consume(src) }
 // Drain implements Session.
 func (s *shardSession) Drain() { s.e.Drain() }
 
-// Finish implements Session.
+// Finish implements Session. A replica failure — which also surfaces on
+// Feed/Consume/Migrate as soon as it is published — is returned on
+// Result.Err rather than discarded.
 func (s *shardSession) Finish() *Result {
-	res, _ := s.e.Finish()
+	res, err := s.e.Finish()
+	res.Err = err
 	return res
 }

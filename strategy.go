@@ -139,21 +139,23 @@ func (m CostModel) Validate() error {
 
 // buildOptions accumulates the functional options of Build.
 type buildOptions struct {
-	name           string
-	collect        bool
-	migratable     bool
-	disableLineage bool
-	hashProbing    bool
-	concurrent     bool
-	shards         int
-	shardsSet      bool
-	ends           []Time
-	model          CostModel
-	modelSet       bool
-	sinks          map[int]Sink
-	batchSize      int
-	batchSet       bool
-	err            error
+	name            string
+	collect         bool
+	migratable      bool
+	disableLineage  bool
+	hashProbing     bool
+	concurrent      bool
+	shards          int
+	shardsSet       bool
+	assemblyWorkers int
+	assemblySet     bool
+	ends            []Time
+	model           CostModel
+	modelSet        bool
+	sinks           map[int]Sink
+	batchSize       int
+	batchSet        bool
+	err             error
 }
 
 // Option customizes a Build call. Options compose left to right; an invalid
@@ -244,12 +246,19 @@ func WithConcurrency() Option {
 // window states (and therefore its nested-loop probe spans) shrink by the
 // partitioning factor.
 //
+// Keys are spread by a splitmix64 mixing hash before the modulo, so
+// clustered or consecutive key values still distribute across shards;
+// per-key frequency skew is irreducible — a hot key's entire window state
+// lives on one shard and caps the achievable speedup (results stay
+// byte-identical; only the balance degrades). The cross-replica merge layer
+// runs on a pool of assembly workers, tunable with WithAssemblyWorkers.
+//
 // WithShards requires a chain strategy (MemOpt or CPUOpt) and a
 // key-partitionable join predicate — an Equijoin workload; for any other
 // predicate a pair of matching tuples could be split across replicas and
 // silently lost, so Build reports an error. Sharded plans support sessions,
-// WithSink streaming (sink callbacks run on per-query merger goroutines, so
-// sinks of different queries may fire concurrently), and WithMigratable
+// WithSink streaming (sink callbacks run on assembly-worker goroutines, so
+// sinks of queries owned by different workers may fire concurrently), and WithMigratable
 // migration, which fans out to every replica at the same stream position.
 // WithBatchSize composes: it tunes each replica's engine micro-batch.
 // WithShards(1) runs the full sharded machinery with one replica,
@@ -263,6 +272,26 @@ func WithShards(p int) Option {
 		}
 		o.shards = p
 		o.shardsSet = true
+	}
+}
+
+// WithAssemblyWorkers sets how many goroutines a sharded plan's merge
+// layer runs (n >= 1, capped at the query count): the stage that
+// reassembles the global per-query output order from the replica streams.
+// Without the option the executor picks automatically — on the query-level
+// merge path one worker per query, so every query's merger runs
+// concurrently; on the slice-merge fast path roughly half of GOMAXPROCS
+// (the replicas need the other half), at most 4. Results are byte-identical
+// at every worker count; the knob only moves where the reassembly work
+// runs, trading cross-goroutine traffic against assembly parallelism on
+// multi-core hosts. Valid only together with WithShards.
+func WithAssemblyWorkers(n int) Option {
+	return func(o *buildOptions) {
+		if n < 1 && o.err == nil {
+			o.err = fmt.Errorf("stateslice: WithAssemblyWorkers needs at least 1 worker, got %d (omit the option for the automatic default)", n)
+		}
+		o.assemblyWorkers = n
+		o.assemblySet = true
 	}
 }
 
