@@ -10,9 +10,9 @@ package stateslice_test
 //
 // Workloads are scaled to ~20 virtual seconds per iteration so `go test
 // -bench=.` finishes quickly; cmd/slicebench runs the full 90-second sweeps.
-// Ablation benchmarks cover the design choices DESIGN.md calls out: hash vs
-// nested-loop probing, lineage marks vs predicate re-evaluation, and the
-// slice-count trade-off behind the CPU-Opt chain.
+// Ablation benchmarks cover DESIGN.md's "Design choices the ablations pin
+// down": hash vs nested-loop probing, lineage marks vs predicate
+// re-evaluation, and the slice-count trade-off behind the CPU-Opt chain.
 
 import (
 	"fmt"

@@ -142,6 +142,9 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 	if o.assemblySet && !o.shardsSet {
 		return nil, errors.New("stateslice: WithAssemblyWorkers tunes the sharded executor's merge layer and requires WithShards")
 	}
+	if o.keyRangeSet && !o.shardsSet {
+		return nil, errors.New("stateslice: WithKeyRange parameterizes the sharded executor's band partitioner and requires WithShards")
+	}
 	if o.concurrent {
 		if o.batchSet {
 			return nil, errors.New("stateslice: WithBatchSize tunes the sequential engine's micro-batch; the concurrent pipeline batches by channel slab and cannot be combined with it")

@@ -16,9 +16,11 @@
 // workload through the sequential engine at several micro-batch sizes and
 // through the concurrent pipeline, plus the workload's equijoin twin through
 // the engine, the pipeline and the key-range sharded executor at the -shards
-// sweep — and writes a JSON report (service rate, comparison counts, allocs
-// per input tuple, state memory, GOMAXPROCS for cross-host comparability) to
-// the given path ("-" for stdout). Committed snapshots live in
+// sweep, plus its band-join twin (|A.Key - B.Key| <= -band) through the
+// band-partitioned sharded executor at the same sweep — and writes a JSON
+// report (service rate, comparison counts, allocs per input tuple, state
+// memory, GOMAXPROCS for cross-host comparability) to the given path ("-"
+// for stdout). Committed snapshots live in
 // BENCH_<pr>.json files at the repository root and track the perf trajectory
 // across PRs. -cpuprofile wraps any run in a CPU profile.
 //
@@ -55,6 +57,7 @@ func main() {
 		reps       = flag.Int("reps", 3, "repetitions per perf variant for -json (best wall clock wins)")
 		shardList  = flag.String("shards", "1,2,4,8", "shard counts for the -json equijoin sweep (empty disables the sharded suite)")
 		workerList = flag.String("workers", "0", "assembly-worker counts crossed with every shard count in the -json sweep (0 = the automatic default)")
+		bandWidth  = flag.Int64("band", 1, "band width B of the -json band-join suite (|A.Key - B.Key| <= B; negative disables the suite)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	)
 	flag.Parse()
@@ -80,7 +83,14 @@ func main() {
 		check(err)
 		workers, err := parseWorkers(*workerList)
 		check(err)
-		check(perfJSON(*jsonOut, *duration, *seed, *reps, shards, workers))
+		if *bandWidth == 0 {
+			// PerfConfig treats 0 as "use the tracked default", so an
+			// explicit -band 0 would silently measure B=1. B=0 is the
+			// equijoin degenerate, which the equijoin suite already
+			// measures with the cheaper hash partitioner.
+			check(fmt.Errorf("-band 0 is the equijoin degenerate (measured by the sharded suite); use a positive width, or -band -1 to disable the band suite"))
+		}
+		check(perfJSON(*jsonOut, *duration, *seed, *reps, shards, workers, *bandWidth))
 		return
 	}
 
@@ -232,13 +242,14 @@ func runFig19(p bench.Fig19Panel, rates []float64, dur float64, seed int64) ([]b
 }
 
 // perfJSON runs the tracked perf suite and writes the JSON report.
-func perfJSON(path string, duration float64, seed int64, reps int, shards, workers []int) error {
+func perfJSON(path string, duration float64, seed int64, reps int, shards, workers []int, band int64) error {
 	rep, err := bench.RunPerf(bench.PerfConfig{
 		DurationSec: duration,
 		Seed:        seed,
 		Reps:        reps,
 		Shards:      shards,
 		Workers:     workers,
+		BandWidth:   band,
 	})
 	if err != nil {
 		return err

@@ -22,9 +22,13 @@ import (
 // equijoin twin — same windows, A.Key = B.Key join, key domain matched to
 // the same selectivity — through the engine, the pipeline and the
 // key-range sharded executor at a shard-count sweep; FractionMatch is not
-// key-partitionable, so the sharded variants require the twin. Committed
-// snapshots (BENCH_<pr>.json) track the repository's performance trajectory
-// over time.
+// key-partitionable, so the sharded variants require the twin. A third
+// suite runs the band-join twin (|A.Key - B.Key| <= B over a domain matched
+// to the same selectivity) through the band-partitioned sharded executor —
+// contiguous owner ranges with boundary replication — recording the
+// replicated feed volume next to the shard sweep. Committed snapshots
+// (BENCH_<pr>.json) track the repository's performance trajectory over
+// time.
 
 // PerfWorkload describes the workload a report was measured on.
 type PerfWorkload struct {
@@ -65,6 +69,16 @@ type PerfRun struct {
 	// unsharded variants. Like Shards it is only comparable together with
 	// GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// Band is the band width B of a band-partitioned sharded run; absent
+	// for hash-partitioned and unsharded variants (note B = 0 is only
+	// reachable through the equijoin suite, so omitempty is unambiguous).
+	Band int64 `json:"band,omitempty"`
+	// ReplicaFeeds is the total number of per-replica tuple deliveries of
+	// a sharded run: Inputs under hash partitioning, inflated by the
+	// boundary replication factor (~1 + 2B/rangeWidth) under band
+	// partitioning. ReplicaFeeds/Inputs is the measured replication
+	// factor.
+	ReplicaFeeds int `json:"replica_feeds,omitempty"`
 	// Inputs is the number of source tuples fed.
 	Inputs int `json:"inputs"`
 	// Outputs is the total number of result tuples across all queries.
@@ -120,6 +134,9 @@ type PerfReport struct {
 	// Sharded is the equijoin-twin suite with the shard-count sweep, nil
 	// when the sweep was disabled.
 	Sharded *PerfSuite `json:"sharded,omitempty"`
+	// Band is the band-join-twin suite with the band-partitioned shard
+	// sweep, nil when disabled.
+	Band *PerfSuite `json:"band,omitempty"`
 }
 
 // PerfConfig parameterises RunPerf. The zero value selects the tracked
@@ -144,6 +161,12 @@ type PerfConfig struct {
 	// KeyDomain is the equijoin suite's uniform key domain; 0 selects
 	// workload.EquijoinKeyDomain (selectivity matching S1's default).
 	KeyDomain int64
+	// BandWidth is the band width B of the band-join suite, measured over
+	// the workload.BandKeyDomain uniform domain; 0 selects
+	// workload.BandWidth (selectivity matching S1's default), negative
+	// disables the band suite. The suite's shard sweep reuses Shards, so
+	// an empty Shards disables it as well.
+	BandWidth int64
 }
 
 // DefaultShardCounts is the tracked shard sweep.
@@ -183,6 +206,9 @@ func (c *PerfConfig) defaults() {
 	}
 	if c.KeyDomain == 0 {
 		c.KeyDomain = workload.EquijoinKeyDomain
+	}
+	if c.BandWidth == 0 {
+		c.BandWidth = workload.BandWidth
 	}
 }
 
@@ -243,26 +269,59 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 			return nil, err
 		}
 		rep.Sharded = suite
+		if cfg.BandWidth >= 0 {
+			suite, err := runBandSuite(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep.Band = suite
+		}
 	}
 	return rep, nil
 }
 
 // runShardSuite measures the equijoin twin of the workload — the same
 // windows joined on A.Key = B.Key over a key domain matching the tracked
-// selectivity — through the engine, the pipeline and the sharded executor
-// at every shard count. The in-suite engine run is the single-core baseline
-// the sweep is judged against; every variant must produce identical output
-// counts.
+// selectivity — through the engine, the pipeline and the hash-partitioned
+// sharded executor at every shard count.
 func runShardSuite(cfg PerfConfig) (*PerfSuite, error) {
 	w, err := workload.NQueriesEquijoin(cfg.Dist, cfg.Queries)
 	if err != nil {
 		return nil, err
 	}
+	return runTwinSuite(cfg, w, cfg.KeyDomain, 1/float64(cfg.KeyDomain), nil)
+}
+
+// runBandSuite measures the band-join twin of the workload — the same
+// windows joined on |A.Key - B.Key| <= BandWidth over the
+// workload.BandKeyDomain uniform domain, whose expected selectivity matches
+// the tracked low S1 — through the engine, the pipeline and the
+// band-partitioned sharded executor at every shard count. Band predicates
+// are not key-partitionable, so this sweep exercises the contiguous range
+// partitioner with boundary replication and owner-rule suppression; the
+// replicated feed volume is recorded per run (PerfRun.ReplicaFeeds).
+func runBandSuite(cfg PerfConfig) (*PerfSuite, error) {
+	w, err := workload.NQueriesBand(cfg.Dist, cfg.Queries, cfg.BandWidth)
+	if err != nil {
+		return nil, err
+	}
+	sel := float64(2*cfg.BandWidth+1) / float64(workload.BandKeyDomain)
+	band := &shard.Band{Width: cfg.BandWidth, MinKey: 0, MaxKey: workload.BandKeyDomain - 1}
+	return runTwinSuite(cfg, w, workload.BandKeyDomain, sel, band)
+}
+
+// runTwinSuite is the shared sweep skeleton of the sharded twin suites: one
+// keyed input, the in-suite engine and pipeline baselines (the single-core
+// references the sweep is judged against; every variant must produce
+// identical output counts), then the sharded executor over the shards ×
+// workers grid — hash-partitioned when band is nil, band-partitioned
+// otherwise.
+func runTwinSuite(cfg PerfConfig, w plan.Workload, keyDomain int64, selectivity float64, band *shard.Band) (*PerfSuite, error) {
 	input, err := stream.Generate(stream.GeneratorConfig{
 		RateA:     cfg.Rate,
 		RateB:     cfg.Rate,
 		Duration:  stream.Seconds(cfg.DurationSec),
-		KeyDomain: cfg.KeyDomain,
+		KeyDomain: keyDomain,
 		Seed:      cfg.Seed,
 	})
 	if err != nil {
@@ -273,8 +332,8 @@ func runShardSuite(cfg PerfConfig) (*PerfSuite, error) {
 			Queries:         cfg.Queries,
 			Dist:            string(cfg.Dist),
 			Join:            w.Join.String(),
-			JoinSelectivity: 1 / float64(cfg.KeyDomain),
-			KeyDomain:       cfg.KeyDomain,
+			JoinSelectivity: selectivity,
+			KeyDomain:       keyDomain,
 			Rate:            cfg.Rate,
 			DurationSec:     cfg.DurationSec,
 			Seed:            cfg.Seed,
@@ -292,7 +351,7 @@ func runShardSuite(cfg PerfConfig) (*PerfSuite, error) {
 	suite.Runs = append(suite.Runs, *run)
 	for _, p := range cfg.Shards {
 		for _, workers := range cfg.Workers {
-			run, err := perfSharded(w, input, p, workers, cfg.Reps)
+			run, err := perfSharded(w, input, p, workers, cfg.Reps, band)
 			if err != nil {
 				return nil, err
 			}
@@ -302,11 +361,13 @@ func runShardSuite(cfg PerfConfig) (*PerfSuite, error) {
 	return suite, nil
 }
 
-// perfSharded measures the key-range sharded executor at shard count p with
-// the given assembly-worker setting (0 = the automatic default; the run
-// records the resolved pool size), on the slice-merge fast path the public
-// WithShards build selects for this workload shape (unfiltered Mem-Opt).
-func perfSharded(w plan.Workload, input []*stream.Tuple, p, workers, reps int) (*PerfRun, error) {
+// perfSharded measures the sharded executor at shard count p with the given
+// assembly-worker setting (0 = the automatic default; the run records the
+// resolved pool size), on the slice-merge fast path the public WithShards
+// build selects for this workload shape (unfiltered Mem-Opt). A non-nil
+// band selects the range-partitioned executor with boundary replication;
+// nil keeps the key hash.
+func perfSharded(w plan.Workload, input []*stream.Tuple, p, workers, reps int, band *shard.Band) (*PerfRun, error) {
 	windows := make([]stream.Time, len(w.Queries))
 	for i, q := range w.Queries {
 		windows[i] = q.Window
@@ -317,6 +378,7 @@ func perfSharded(w plan.Workload, input []*stream.Tuple, p, workers, reps int) (
 			Shards:          p,
 			AssemblyWorkers: workers,
 			SampleEvery:     1 << 30, // no memory sampling on the measured path
+			Band:            band,
 			SliceMerge:      true,
 			Windows:         windows,
 			Name:            "perf-sharded",
@@ -327,7 +389,12 @@ func perfSharded(w plan.Workload, input []*stream.Tuple, p, workers, reps int) (
 			return nil, err
 		}
 		run.Workers = e.Workers()
-		run.Variant = fmt.Sprintf("shards/p=%d,w=%d", p, run.Workers)
+		if band != nil {
+			run.Band = band.Width
+			run.Variant = fmt.Sprintf("band/p=%d,w=%d", p, run.Workers)
+		} else {
+			run.Variant = fmt.Sprintf("shards/p=%d,w=%d", p, run.Workers)
+		}
 		allocs, bytes, wall, res, err := measured(func() (perfResult, error) {
 			er, err := e.Run(stream.NewSliceSource(input))
 			if err != nil {
@@ -343,6 +410,7 @@ func perfSharded(w plan.Workload, input []*stream.Tuple, p, workers, reps int) (
 		if err != nil {
 			return nil, err
 		}
+		run.ReplicaFeeds = e.ReplicatedFeeds()
 		record(run, res, allocs, bytes, wall)
 	}
 	return run, nil

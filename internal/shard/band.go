@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"stateslice/internal/stream"
+)
+
+// Band-partitioned sharding for non-equijoin predicates with a bounded key
+// distance (stream.BandPartitioner, e.g. stream.BandJoin): the key domain is
+// split into P contiguous owner ranges, and every tuple is fed to its owner
+// shard plus every shard whose range lies within the band width B of its key
+// — the overlapped range partitioning of parallel band joins. Replication
+// makes every matching pair co-resident on at least one shard; the executor
+// then suppresses the boundary duplicates with the owner rule below, so the
+// merged output stays byte-identical to the sequential engine.
+//
+// Ownership rule. A joined pair is owned by the shard that owns the *probing
+// male's* key, and only that shard's copy of the result survives to the
+// merge. The rule is sound and complete:
+//
+//   - Complete: male m (key km) is fed natively to Owner(km); every female f
+//     with |kf - km| <= B satisfies km ∈ [kf-B, kf+B], so f's replication
+//     span — all shards owning keys in that interval — includes Owner(km).
+//     Owner(km)'s window state therefore holds every female m can match, in
+//     global arrival order, and m's probe there produces exactly the
+//     sequential engine's result run for m (the matching females are the
+//     same set in the same relative order; extra replicated females in the
+//     state fail the predicate just as they would fail it sequentially).
+//   - Sound: Owner(km) is a single shard, so each pair survives exactly
+//     once; copies of m probing on other shards produce duplicates that the
+//     suppression filter drops before they reach a batcher.
+//
+// The rule also preserves the merge's no-ties invariant (see kmerge): a
+// result inherits the Seq of its probing male, and after suppression every
+// result of one male comes from the one shard owning that male's key, so
+// heads of different merge inputs still never tie on (Time, Seq) and the
+// merged sequence remains the unique global order.
+//
+// Skew caveat: unlike the hash partitioner, contiguous ranges do not mix key
+// values — keys clustered inside one range land on one shard, and keys
+// clustered at a range boundary additionally replicate to the neighbor.
+// Both degrade balance, never correctness (the equivalence tests pin
+// boundary-clustered keys explicitly).
+
+// Band configures band-partitioned sharded execution. A nil *Band on Config
+// selects the default hash partitioning for key-partitionable joins.
+type Band struct {
+	// Width is the band bound B of the join predicate: matching pairs
+	// satisfy |A.Key - B.Key| <= Width. Must be >= 0.
+	Width int64
+	// MinKey and MaxKey bound the expected key domain, inclusive. The
+	// domain is split into Shards contiguous ranges of near-equal width
+	// (every range gets floor(span/Shards) or ceil(span/Shards) keys, so
+	// small domains never leave trailing shards without keys); keys
+	// outside the domain are clamped onto the first/last range (correct,
+	// but they concentrate load there).
+	MinKey, MaxKey int64
+}
+
+// Validate reports the first invalid field, if any.
+func (b Band) Validate() error {
+	if b.Width < 0 {
+		return fmt.Errorf("shard: band width must be >= 0, got %d", b.Width)
+	}
+	if b.MinKey > b.MaxKey {
+		return fmt.Errorf("shard: band key range [%d, %d] is empty (MinKey > MaxKey)", b.MinKey, b.MaxKey)
+	}
+	return nil
+}
+
+// RangePartitioner maps keys onto contiguous owner ranges and computes the
+// replication span of band-partitioned execution. Owner is monotone in the
+// key, which is what makes the replication span a contiguous shard interval
+// and the ownership lemma above hold for clamped out-of-domain keys too.
+type RangePartitioner struct {
+	n   int
+	min int64
+	// span is the domain size MaxKey-MinKey+1; 0 encodes the full int64
+	// domain (2^64 does not fit in uint64).
+	span uint64
+	band int64
+}
+
+// NewRangePartitioner builds a partitioner splitting [b.MinKey, b.MaxKey]
+// into shards contiguous ranges of near-equal width: range i covers the
+// keys whose offsets fall in [i*span/shards, (i+1)*span/shards), so every
+// shard owns floor(span/shards) or ceil(span/shards) keys and a domain
+// smaller than the shard count still spreads over the first span shards
+// instead of leaving trailing shards keyless.
+func NewRangePartitioner(shards int, b Band) (RangePartitioner, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if err := b.Validate(); err != nil {
+		return RangePartitioner{}, err
+	}
+	// Unsigned span arithmetic: MaxKey-MinKey may not fit in int64.
+	span := uint64(b.MaxKey) - uint64(b.MinKey) + 1
+	return RangePartitioner{n: shards, min: b.MinKey, span: span, band: b.Width}, nil
+}
+
+// Shards returns the shard count.
+func (p RangePartitioner) Shards() int { return p.n }
+
+// RangeWidth returns the nominal owner range width floor(span/shards); the
+// expected replication factor of uniform keys is roughly
+// 1 + 2*Width/RangeWidth for Width << RangeWidth.
+func (p RangePartitioner) RangeWidth() uint64 {
+	if p.span == 0 { // full int64 domain
+		return math.MaxUint64/uint64(p.n) + 1
+	}
+	return p.span / uint64(p.n)
+}
+
+// Owner returns the shard owning the key: the index of the contiguous range
+// containing it, clamped onto the edge shards for out-of-domain keys.
+func (p RangePartitioner) Owner(key int64) int {
+	if p.n <= 1 || key <= p.min {
+		return 0
+	}
+	d := uint64(key) - uint64(p.min)
+	if p.span == 0 { // full domain: fixed width ceil(2^64 / n)
+		return int(d / (math.MaxUint64/uint64(p.n) + 1))
+	}
+	if d >= p.span {
+		return p.n - 1
+	}
+	// floor(d * n / span) via the 128-bit intermediate: d < span and
+	// n < 2^64 guarantee hi < span, so Div64 cannot overflow.
+	hi, lo := bits.Mul64(d, uint64(p.n))
+	q, _ := bits.Div64(hi, lo, p.span)
+	return int(q)
+}
+
+// Replicas returns the inclusive shard interval [lo, hi] that must hold the
+// key's tuple: every shard owning a key within the band width of it. The
+// interval always contains Owner(key); for band width 0 it is exactly the
+// owner.
+func (p RangePartitioner) Replicas(key int64) (lo, hi int) {
+	if p.band == 0 {
+		o := p.Owner(key)
+		return o, o
+	}
+	// Saturating key +- band: Owner clamps onto the edge shards anyway, so
+	// saturation preserves the span (and monotonicity) where key+-band
+	// would overflow.
+	l := key - p.band
+	if l > key {
+		l = math.MinInt64
+	}
+	h := key + p.band
+	if h < key {
+		h = math.MaxInt64
+	}
+	return p.Owner(l), p.Owner(h)
+}
+
+// bandOwnerKey returns the key that decides a result item's owner shard: the
+// probing male's. A joined tuple inherits the Seq of its probing male (the
+// later of its two sources — the probe only ever sees earlier arrivals), so
+// the male is identified without any extra bookkeeping on the tuple.
+// Non-result tuples own themselves.
+func bandOwnerKey(t *stream.Tuple) int64 {
+	if !t.IsResult() {
+		return t.Key
+	}
+	if t.B.Seq == t.Seq {
+		return t.B.Key
+	}
+	return t.A.Key
+}

@@ -1,0 +1,343 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+// These tests pin band-partitioned sharding: contiguous owner ranges with
+// boundary replication and merge-side duplicate suppression must deliver
+// byte-identical per-query result sequences to the sequential engine for
+// every shard count and band width, on both merge topologies, including the
+// distributions range partitioning handles worst (skewed and
+// boundary-clustered keys) and the B = 0 degenerate case that must match an
+// equijoin exactly.
+
+// bandWidths is the width sweep of the equivalence matrix: the equijoin
+// degenerate, a small band, and a band wider than the whole key domain
+// (every tuple replicated everywhere).
+func bandWidths(domain int64) []int64 { return []int64{0, 1, 4 * domain} }
+
+// bandWorkload builds a band-join workload over the given windows.
+func bandWorkload(width int64, windows ...stream.Time) plan.Workload {
+	w := plan.Workload{Join: stream.BandJoin{B: width}}
+	for _, win := range windows {
+		w.Queries = append(w.Queries, plan.Query{Window: win})
+	}
+	return w
+}
+
+// TestBandValidation pins the configuration surface of band partitioning.
+func TestBandValidation(t *testing.T) {
+	if err := (Band{Width: -1, MinKey: 0, MaxKey: 9}).Validate(); err == nil {
+		t.Error("negative band width must fail")
+	}
+	if err := (Band{Width: 1, MinKey: 5, MaxKey: 4}).Validate(); err == nil {
+		t.Error("empty key range must fail")
+	}
+	w := bandWorkload(1, 2*stream.Second)
+	if _, err := New(Config{Shards: 2, Band: &Band{Width: -1, MinKey: 0, MaxKey: 9}},
+		factory(w, plan.StateSliceConfig{})); err == nil {
+		t.Error("New must reject an invalid band configuration")
+	}
+}
+
+// TestBandRangePartitionerOwnership checks the partitioner's structural
+// guarantees exhaustively on a small domain with out-of-range keys: the
+// owner is monotone in the key, the replication span always contains the
+// owner, and — the lemma byte-identical band sharding rests on — for every
+// pair of keys within the band width, the owner shard of either key lies
+// inside the replication span of the other, so the owner of a probing male
+// always holds the matching partner.
+func TestBandRangePartitionerOwnership(t *testing.T) {
+	const dom = 40
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		for _, width := range []int64{0, 1, 3, 17, dom, math.MaxInt64} {
+			rp, err := NewRangePartitioner(shards, Band{Width: width, MinKey: 0, MaxKey: dom - 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("p=%d B=%d", shards, width)
+			prev := 0
+			for k := int64(-10); k < dom+10; k++ {
+				o := rp.Owner(k)
+				if o < 0 || o >= shards {
+					t.Fatalf("%s: key %d owned by shard %d", label, k, o)
+				}
+				if o < prev {
+					t.Fatalf("%s: owner not monotone at key %d (%d after %d)", label, k, o, prev)
+				}
+				prev = o
+				lo, hi := rp.Replicas(k)
+				if lo > o || hi < o {
+					t.Fatalf("%s: replication span [%d,%d] of key %d misses owner %d", label, lo, hi, k, o)
+				}
+				if width == 0 && (lo != o || hi != o) {
+					t.Fatalf("%s: B=0 must not replicate (key %d span [%d,%d])", label, k, lo, hi)
+				}
+			}
+			if width == math.MaxInt64 {
+				if lo, hi := rp.Replicas(0); lo != 0 || hi != shards-1 {
+					t.Fatalf("%s: unbounded band must replicate everywhere, got [%d,%d]", label, lo, hi)
+				}
+			}
+			// The pair lemma, over in- and out-of-domain keys. Cap the
+			// reach so the loop stays small for huge widths.
+			reach := width
+			if reach > dom {
+				reach = dom
+			}
+			for ka := int64(-10); ka < dom+10; ka++ {
+				lo, hi := rp.Replicas(ka)
+				for kb := ka - reach; kb <= ka+reach; kb++ {
+					if o := rp.Owner(kb); o < lo || o > hi {
+						t.Fatalf("%s: owner %d of key %d outside replication span [%d,%d] of matching key %d",
+							label, o, kb, lo, hi, ka)
+					}
+				}
+			}
+		}
+	}
+
+	// The split is balanced: every shard owns floor(dom/p) or ceil(dom/p)
+	// in-domain keys, including uneven splits and domains smaller than the
+	// shard count (no trailing keyless shards while earlier shards double
+	// up).
+	for _, tc := range []struct {
+		dom    int64
+		shards int
+	}{
+		{64, 8}, {12, 8}, {11, 4}, {5, 8}, {40, 7},
+	} {
+		rp, err := NewRangePartitioner(tc.shards, Band{Width: 1, MinKey: 0, MaxKey: tc.dom - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, tc.shards)
+		for k := int64(0); k < tc.dom; k++ {
+			counts[rp.Owner(k)]++
+		}
+		lo, hi := int(tc.dom)/tc.shards, (int(tc.dom)+tc.shards-1)/tc.shards
+		for s, c := range counts {
+			if c < lo || c > hi {
+				t.Errorf("dom=%d p=%d: shard %d owns %d keys, want %d..%d (balanced split)",
+					tc.dom, tc.shards, s, c, lo, hi)
+			}
+		}
+	}
+}
+
+// bandConfig returns a band executor configuration over [0, dom-1].
+func bandConfig(p int, width, dom int64) Config {
+	return Config{Shards: p, Band: &Band{Width: width, MinKey: 0, MaxKey: dom - 1}, PunctEvery: 64}
+}
+
+// TestBandShardedByteIdentical is the band equivalence matrix:
+// p ∈ {1,2,4,8} × B ∈ {0, 1, >domain} × {uniform, quadratic-skew,
+// boundary-clustered} keys, on both merge topologies, byte-identical to the
+// sequential engine. Keys 7 and 8 straddle an owner-range boundary at every
+// tested shard count for the 16-key domain (ranges split at multiples of
+// 16/p), making the boundary-clustered case exercise maximal replication
+// and suppression traffic.
+func TestBandShardedByteIdentical(t *testing.T) {
+	const dom = 16
+	windows := []stream.Time{2 * stream.Second, 5 * stream.Second, 9 * stream.Second}
+	for _, tc := range []struct {
+		name string
+		key  func(int64) int64
+	}{
+		{"uniform", func(k int64) int64 { return k }},
+		{"quadratic-skew", func(k int64) int64 { return (k * k) / dom }},
+		{"boundary-clustered", func(k int64) int64 { return 7 + k%2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			input := testInput(t, 9, dom)
+			for _, tp := range input {
+				tp.Key = tc.key(tp.Key)
+			}
+			for _, width := range bandWidths(dom) {
+				w := bandWorkload(width, windows...)
+				ref := engineRef(t, w, input)
+				if width > 0 && ref.TotalOutputs() == 0 {
+					t.Fatal("reference produced no results; the equivalence check is vacuous")
+				}
+				for _, p := range shardCounts {
+					label := fmt.Sprintf("B=%d p=%d", width, p)
+					res := runSharded(t, w, input, bandConfig(p, width, dom))
+					assertByteIdentical(t, label, res, ref)
+					res = runSlicedMerge(t, w, input, bandConfig(p, width, dom))
+					assertByteIdentical(t, label+" slice-merge", res, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestBandFilteredWorkload shards a band chain with pushed-down selections
+// on both streams — the general merge path's main use case. Filters matter
+// beyond coverage: the chain's lineage marker writes Tuple.Level/CondMask
+// in place, so this test (run under -race in CI) is what pins the feed
+// fan-out's copy-per-extra-replica rule — a shared tuple instance across
+// replica goroutines would race exactly here.
+func TestBandFilteredWorkload(t *testing.T) {
+	const dom = 16
+	w := plan.Workload{
+		Queries: []plan.Query{
+			{Window: 2 * stream.Second},
+			{Window: 6 * stream.Second, Filter: stream.Threshold{S: 0.5}},
+			{Window: 9 * stream.Second, Filter: stream.Threshold{S: 0.3}, FilterB: stream.Threshold{S: 0.6}},
+		},
+		Join: stream.BandJoin{B: 2},
+	}
+	input := testInput(t, 21, dom)
+	ref := engineRef(t, w, input)
+	if ref.TotalOutputs() == 0 {
+		t.Fatal("reference produced no results")
+	}
+	for _, p := range shardCounts {
+		res := runSharded(t, w, input, bandConfig(p, 2, dom))
+		assertByteIdentical(t, fmt.Sprintf("filtered band p=%d", p), res, ref)
+	}
+}
+
+// TestBandZeroMatchesEquijoin pins the degenerate band: B = 0 sharded over
+// contiguous ranges must reproduce the Equijoin workload's sequential
+// results exactly — same pairs, same order — even though the partitioning
+// scheme (ranges vs mixed hash) assigns keys to entirely different shards.
+func TestBandZeroMatchesEquijoin(t *testing.T) {
+	const dom = 12
+	windows := []stream.Time{3 * stream.Second, 7 * stream.Second}
+	input := testInput(t, 13, dom)
+	eqRef := engineRef(t, chainWorkload(windows...), input)
+	if eqRef.TotalOutputs() == 0 {
+		t.Fatal("equijoin reference produced no results")
+	}
+	w := bandWorkload(0, windows...)
+	for _, p := range shardCounts {
+		res := runSharded(t, w, input, bandConfig(p, 0, dom))
+		assertByteIdentical(t, fmt.Sprintf("band B=0 p=%d vs equijoin", p), res, eqRef)
+		res = runSlicedMerge(t, w, input, bandConfig(p, 0, dom))
+		assertByteIdentical(t, fmt.Sprintf("band B=0 p=%d slice-merge vs equijoin", p), res, eqRef)
+	}
+}
+
+// TestBandDuplicateSuppression pins the owner rule directly: a
+// boundary-straddling workload replicates tuples to both neighboring shards
+// (visible in ReplicatedFeeds), both replicas produce the straddling pairs,
+// and exactly one copy of each survives to the sinks — the per-query
+// sequences match the sequential engine and no pair is delivered twice.
+func TestBandDuplicateSuppression(t *testing.T) {
+	const (
+		dom   = 16 // p=2 splits ownership at key 8
+		width = 1
+	)
+	w := bandWorkload(width, 4*stream.Second)
+	// All keys on the boundary pair (7, 8): every tuple lands within the
+	// band of the p=2 range split, so every tuple is fed to both shards
+	// and every joined pair is produced twice before suppression.
+	input := testInput(t, 17, 2)
+	for _, tp := range input {
+		tp.Key += 7
+	}
+	ref := engineRef(t, w, input)
+	if ref.TotalOutputs() == 0 {
+		t.Fatal("reference produced no results")
+	}
+
+	cfg := bandConfig(2, width, dom)
+	cfg.Collect = true
+	e, err := New(cfg, factory(w, plan.StateSliceConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(stream.NewSliceSource(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.ReplicatedFeeds(), 2*res.Inputs; got != want {
+		t.Errorf("boundary-clustered feed replicated %d tuple deliveries, want %d (every tuple on both shards)", got, want)
+	}
+	assertByteIdentical(t, "boundary suppression", res, ref)
+	seen := make(map[string]int)
+	for _, tp := range res.Results[0] {
+		seen[fmt.Sprintf("%d.%d-%d.%d", tp.A.Stream, tp.A.Ord, tp.B.Stream, tp.B.Ord)]++
+	}
+	for pair, n := range seen {
+		if n != 1 {
+			t.Errorf("pair %s delivered %d times; the owner rule must keep exactly one copy", pair, n)
+		}
+	}
+
+	// Hash-partitioned runs report no inflation.
+	eq, err := New(Config{Shards: 2}, factory(chainWorkload(4*stream.Second), plan.StateSliceConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqRes, err := eq.Run(stream.NewSliceSource(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eq.ReplicatedFeeds(); got != eqRes.Inputs {
+		t.Errorf("hash partitioning reported %d replicated feeds for %d inputs", got, eqRes.Inputs)
+	}
+}
+
+// TestBandMigration re-slices a band-partitioned chain mid-stream: the
+// replication and suppression machinery is orthogonal to slice-layout
+// surgery, so the migrated run must stay byte-identical to a sequential
+// session migrated at the same position.
+func TestBandMigration(t *testing.T) {
+	const dom = 16
+	w := bandWorkload(2, 3*stream.Second, 8*stream.Second)
+	input := testInput(t, 19, dom)
+	half := len(input) / 2
+	target := []stream.Time{8 * stream.Second}
+
+	refSP, err := plan.BuildStateSlice(w, plan.StateSliceConfig{Migratable: true, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSess, err := engine.NewSession(refSP.Plan, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range input {
+		if i == half {
+			if err := refSP.MigrateTo(refSess, target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := refSess.Feed(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := refSess.Finish()
+
+	for _, p := range []int{2, 4} {
+		cfg := bandConfig(p, 2, dom)
+		cfg.Collect = true
+		e, err := New(cfg, factory(w, plan.StateSliceConfig{Migratable: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Consume(stream.NewSliceSource(input[:half])); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Migrate(target); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Consume(stream.NewSliceSource(input[half:])); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertByteIdentical(t, fmt.Sprintf("band migrated p=%d", p), res, ref)
+	}
+}

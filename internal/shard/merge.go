@@ -17,9 +17,11 @@ import (
 //     stores, and run spans are delivered to the sink with one call
 //     (Sink.AcceptRun) rather than one port push per tuple.
 //   - Heads of different inputs can never tie on (Time, Seq): a joined
-//     tuple inherits the Seq of its probing male and every male lives on
-//     exactly one shard. The union's same-key chain-order concatenation
-//     degenerates to a strict comparison.
+//     tuple inherits the Seq of its probing male, and every male's
+//     surviving results leave exactly one shard — the only shard holding
+//     the male under hash partitioning, the owner shard of the male's key
+//     after band suppression (band.go). The union's same-key chain-order
+//     concatenation degenerates to a strict comparison.
 //
 // The emitted sequence is exactly the union's: an item is emitted only once
 // every other input either exposes a later head or has punctuated past it.

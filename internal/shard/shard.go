@@ -1,14 +1,20 @@
 // Package shard executes a state-slice chain as P independent replicas, one
 // per key range, with an order-preserving merge of the replica outputs.
 //
-// The sliced chain's joins are equijoins on Tuple.Key, so hash-partitioning
+// For key-partitionable joins (equijoins on Tuple.Key) hash-partitioning
 // both input streams by key yields fully independent shard states: a pair of
 // tuples split across shards can never join, and each replica computes
 // exactly the results of its own key range — the same data-parallel move
 // that shared-arrangement and multi-way stream-join scale-out systems use to
-// spread indexed state across workers. Each replica is the unmodified
-// batched sequential engine (internal/engine) driving a full copy of the
-// chain on its own goroutine; no operator knows it is sharded.
+// spread indexed state across workers. Band joins (|A.Key - B.Key| <= B)
+// use contiguous range partitioning with boundary replication instead:
+// every tuple is fed to each shard whose owner range lies within B of its
+// key, and the taps drop every joined pair not owned by the shard of the
+// probing male's key, so the replication's boundary duplicates never reach
+// the merge (Config.Band; band.go states the ownership lemma). Either way
+// each replica is the unmodified batched sequential engine
+// (internal/engine) driving a full copy of the chain on its own goroutine;
+// no operator knows it is sharded.
 //
 // Ordering is restored by a run-based cross-replica merge (kmerge, the
 // shard specialization of the union merge in operator/union.go), driven by
@@ -49,10 +55,11 @@
 // recycled through a free list so the steady state allocates nothing.
 // Within one shard a stream keeps its replica order (FIFO edges end to
 // end); across shards results never tie on (Time, Seq) — a joined tuple
-// inherits the Seq of its probing male, and every male lives on exactly
-// one shard — so the merged sequence is the unique global (Time, Seq)
-// order, byte-identical to the sequential engine's output at every shard
-// and worker count.
+// inherits the Seq of its probing male, and every male's surviving results
+// come from exactly one shard (its key's only shard under hash
+// partitioning; its key's owner shard after band suppression) — so the
+// merged sequence is the unique global (Time, Seq) order, byte-identical
+// to the sequential engine's output at every shard and worker count.
 //
 // Replica failures are never swallowed: the first error any runner hits is
 // published to the driver, surfaces on the next Feed/Consume/Migrate call,
@@ -128,6 +135,15 @@ type Config struct {
 	// SampleEvery is the per-replica monitor sampling period (see
 	// engine.Config.SampleEvery).
 	SampleEvery int
+	// Band, when non-nil, selects contiguous range partitioning with
+	// boundary replication for band-join predicates (|A.Key - B.Key| <=
+	// Band.Width) instead of the default key hash: each tuple is fed to
+	// every shard whose owner range lies within Band.Width of its key, and
+	// the taps suppress every joined result not owned by the shard that
+	// owns the probing male's key, so exactly one copy of each pair
+	// reaches the merge (see band.go for the ownership lemma). nil keeps
+	// hash partitioning, which requires a key-partitionable join.
+	Band *Band
 	// Collect makes the per-query merge sinks retain result tuples.
 	Collect bool
 	// OnResult, when non-nil, receives every result of query qi in that
@@ -275,8 +291,11 @@ type mergeWorker struct {
 // is single-driver: Feed, Consume, Drain, Migrate and Finish must be called
 // from one goroutine, like an engine session.
 type Executor struct {
-	cfg      Config
-	part     Partitioner
+	cfg  Config
+	part Partitioner
+	// rpart replaces the hash partitioner under band partitioning
+	// (Config.Band); nil otherwise.
+	rpart    *RangePartitioner
 	workers  int
 	replicas []*replica
 	// Query-level merge path (nil under SliceMerge): per-query mergers
@@ -303,6 +322,7 @@ type Executor struct {
 	asyncErr error
 
 	fed        int
+	repFed     int
 	sincePunct int
 	lastTime   stream.Time
 	start      time.Time
@@ -331,6 +351,13 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 		part:  NewPartitioner(cfg.Shards),
 		feedB: make([]stream.Batcher, cfg.Shards),
 		start: time.Now(),
+	}
+	if cfg.Band != nil {
+		rp, err := NewRangePartitioner(cfg.Shards, *cfg.Band)
+		if err != nil {
+			return nil, err
+		}
+		e.rpart = &rp
 	}
 	queries := -1
 	for i := 0; i < cfg.Shards; i++ {
@@ -422,16 +449,31 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	// migrations rewire union inputs, never the output), while
 	// direct-wired terminals keep their sink in tap-only mode because the
 	// terminal port may be shared between queries.
+	//
+	// Under band partitioning every tap additionally applies the owner
+	// rule before batching: a joined result survives only on the shard
+	// owning the probing male's key, so the boundary duplicates that
+	// replication creates never reach the merge (band.go). Punctuations
+	// always pass — duplicate-male punctuation only advances frontiers.
 	for _, r := range e.replicas {
 		shardIdx := r.idx
+		var foreign func(*stream.Tuple) bool
+		if e.rpart != nil {
+			rp := e.rpart
+			foreign = func(t *stream.Tuple) bool { return rp.Owner(bandOwnerKey(t)) != shardIdx }
+		}
 		if cfg.SliceMerge {
 			for si, j := range r.sp.Slices() {
 				b := &r.out[si]
 				slice := si
 				in := e.asm.workers[e.asm.sliceOwner[si]].in
 				j.Result().AttachFunc(func(it stream.Item) {
-					if it.IsPunct() && it.Punct < stream.MaxTime {
-						it.Punct--
+					if it.IsPunct() {
+						if it.Punct < stream.MaxTime {
+							it.Punct--
+						}
+					} else if foreign != nil && foreign(it.Tuple) {
+						return
 					}
 					b.Add(it)
 					if b.Full() {
@@ -446,8 +488,12 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 			query := qi
 			in := e.mergeWorkers[e.queryWorker[qi]].in
 			tap := func(it stream.Item) {
-				if it.IsPunct() && it.Punct < stream.MaxTime {
-					it.Punct--
+				if it.IsPunct() {
+					if it.Punct < stream.MaxTime {
+						it.Punct--
+					}
+				} else if foreign != nil && foreign(it.Tuple) {
+					return
 				}
 				b.Add(it)
 				if b.Full() {
@@ -479,6 +525,13 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 
 // Shards returns the replica count.
 func (e *Executor) Shards() int { return e.cfg.Shards }
+
+// ReplicatedFeeds returns the total number of per-replica tuple deliveries
+// so far: equal to the fed tuple count under hash partitioning, and inflated
+// by the boundary replication factor (roughly 1 + 2*Width/RangeWidth for
+// uniform keys) under band partitioning. The bench harness records it so
+// feed-volume inflation is visible next to the probe-comparison savings.
+func (e *Executor) ReplicatedFeeds() int { return e.repFed }
 
 // Workers returns the resolved assembly-worker pool size.
 func (e *Executor) Workers() int { return e.workers }
@@ -630,10 +683,11 @@ func (e *Executor) runMergeWorker(w *mergeWorker) {
 	}
 }
 
-// Feed routes one source tuple to its key's shard. Tuples must arrive in
-// global timestamp order. A replica failure published since the last call
-// surfaces here (and sticks), so a failed run cannot keep consuming input
-// silently.
+// Feed routes one source tuple to its key's shard — or, under band
+// partitioning, to every shard within the band width of its key. Tuples
+// must arrive in global timestamp order. A replica failure published since
+// the last call surfaces here (and sticks), so a failed run cannot keep
+// consuming input silently.
 func (e *Executor) Feed(t *stream.Tuple) error {
 	if e.finished {
 		return errors.New("shard: Feed after Finish")
@@ -648,11 +702,41 @@ func (e *Executor) Feed(t *stream.Tuple) error {
 		return fmt.Errorf("shard: tuple %s out of timestamp order (last %s)", t, e.lastTime)
 	}
 	e.lastTime = t.Time
-	s := e.part.Shard(t.Key)
-	b := &e.feedB[s]
-	b.Add(stream.TupleItem(t))
-	if b.Len() >= feedSlab {
-		e.send(s)
+	if e.rpart != nil {
+		lo, hi := e.rpart.Replicas(t.Key)
+		// Each replica beyond the first gets its own copy of the tuple:
+		// the chain's lineage marker writes Tuple.Level/CondMask in
+		// place, so sharing one instance across replica goroutines would
+		// race. The snapshot is taken before *any* delivery — once shard
+		// lo holds the original, even reading t from this goroutine races
+		// with its marker. Copies are value-identical, so every
+		// downstream comparison (owner rule, merge order, rendered
+		// results) is unaffected.
+		var v stream.Tuple
+		if hi > lo {
+			v = *t
+		}
+		for s := lo; s <= hi; s++ {
+			tc := t
+			if s > lo {
+				c := v
+				tc = &c
+			}
+			b := &e.feedB[s]
+			b.Add(stream.TupleItem(tc))
+			if b.Len() >= feedSlab {
+				e.send(s)
+			}
+		}
+		e.repFed += hi - lo + 1
+	} else {
+		s := e.part.Shard(t.Key)
+		b := &e.feedB[s]
+		b.Add(stream.TupleItem(t))
+		if b.Len() >= feedSlab {
+			e.send(s)
+		}
+		e.repFed++
 	}
 	e.fed++
 	e.sincePunct++

@@ -50,6 +50,70 @@ func PartitionableByKey(j JoinPredicate) bool {
 	return ok
 }
 
+// BandJoin matches tuples whose Key attributes lie within a fixed distance
+// of each other: |A.Key - B.Key| <= B. Band predicates cover proximity
+// queries the equijoin cannot express — "sensors within one grid cell of
+// each other", "trades within a price tick" — while still bounding how far
+// apart a matching pair's keys can be, which is exactly the property the
+// sharded executor's contiguous range partitioner exploits (replicate
+// tuples within B of a range boundary to the neighboring shard and no pair
+// is ever split; see internal/shard and DESIGN.md "Sharded execution:
+// ownership rules"). B = 0 degenerates to the equijoin: only equal keys
+// match.
+type BandJoin struct {
+	// B is the maximum key distance of a matching pair; negative matches
+	// nothing.
+	B int64
+}
+
+// Match implements JoinPredicate.
+func (j BandJoin) Match(a, b *Tuple) bool {
+	if j.B < 0 {
+		return false
+	}
+	// Unsigned distance: exact for the full int64 key range, where the
+	// signed difference could overflow.
+	var d uint64
+	if a.Key >= b.Key {
+		d = uint64(a.Key) - uint64(b.Key)
+	} else {
+		d = uint64(b.Key) - uint64(a.Key)
+	}
+	return d <= uint64(j.B)
+}
+
+// String implements JoinPredicate.
+func (j BandJoin) String() string { return fmt.Sprintf("|A.Key - B.Key| <= %d", j.B) }
+
+// PartitionableByBand implements BandPartitioner.
+func (j BandJoin) PartitionableByBand() (int64, bool) { return j.B, j.B >= 0 }
+
+// BandPartitioner is optionally implemented by join predicates whose matches
+// imply a bounded key distance. For such predicates, partitioning both
+// streams into contiguous key ranges and replicating each tuple to every
+// range within distance B of its key keeps all matching pairs co-located on
+// the owner shard of the probing tuple's key, so a sharded executor loses no
+// results (and suppresses the boundary duplicates the replication creates;
+// see internal/shard). BandJoin implements the interface; custom predicates
+// opt in by returning their bound and true.
+type BandPartitioner interface {
+	// PartitionableByBand returns (B, true) when Match(a, b) implies
+	// |a.Key - b.Key| <= B, and (_, false) when the predicate offers no
+	// such bound.
+	PartitionableByBand() (int64, bool)
+}
+
+// PartitionableByBand reports the join predicate's band bound, if it
+// declares one: the precondition for band-partitioned sharded execution.
+// Key-partitionable predicates (PartitionableByKey) are the B = 0 special
+// case but are handled by the cheaper hash partitioner instead.
+func PartitionableByBand(j JoinPredicate) (int64, bool) {
+	if bp, ok := j.(BandPartitioner); ok {
+		return bp.PartitionableByBand()
+	}
+	return 0, false
+}
+
 // CrossProduct matches every pair. Table 2 of the paper uses Cartesian
 // product semantics for its execution trace.
 type CrossProduct struct{}
@@ -67,7 +131,8 @@ func (CrossProduct) String() string { return "true" }
 // 0.025, 0.1 and 0.4 that a uniform equijoin cannot realise (it only gives
 // 1/D). FractionMatch hashes the pair of sequence numbers, so the decision is
 // stable across sharing strategies and runs — a substitution documented in
-// DESIGN.md that preserves the nested-loop probing work exactly.
+// DESIGN.md ("The FractionMatch substitution") that preserves the
+// nested-loop probing work exactly.
 type FractionMatch struct {
 	// S is the join selectivity in [0,1].
 	S float64

@@ -153,6 +153,39 @@ func NQueriesEquijoin(d Distribution, n int) (plan.Workload, error) {
 	return w, w.Validate()
 }
 
+// BandKeyDomain is the uniform key domain of the band-join twin: with the
+// default band width BandWidth, the expected selectivity
+// (2*BandWidth + 1) / BandKeyDomain = 3/120 = 0.025 matches the low S1
+// setting of the Section 7.3 sweeps (and the equijoin twin's 1/40), so the
+// three tracked workloads produce comparable result volumes.
+const BandKeyDomain = 120
+
+// BandWidth is the tracked band width B of the band-join twin.
+const BandWidth = 1
+
+// NQueriesBand builds the band-join twin of the Section 7.3 workload: the
+// same n windows, joined on |A.Key - B.Key| <= width — a proximity
+// predicate no equijoin expresses. Generate the input with
+// KeyDomain = BandKeyDomain; uniform keys then give an expected join
+// selectivity of about (2*width + 1) / BandKeyDomain (slightly less from
+// edge effects). Band predicates are not key-partitionable, but they are
+// band-partitionable: the sharded executor runs them with contiguous owner
+// ranges plus boundary replication (internal/shard, Config.Band).
+func NQueriesBand(d Distribution, n int, width int64) (plan.Workload, error) {
+	ws, err := WindowsN(d, n)
+	if err != nil {
+		return plan.Workload{}, err
+	}
+	if width < 0 {
+		return plan.Workload{}, fmt.Errorf("workload: band width must be >= 0, got %d", width)
+	}
+	w := plan.Workload{Join: stream.BandJoin{B: width}}
+	for _, sec := range ws {
+		w.Queries = append(w.Queries, plan.Query{Window: stream.Seconds(sec)})
+	}
+	return w, w.Validate()
+}
+
 // Specs converts a plan workload into the cost model's query specs.
 func Specs(w plan.Workload) []cost.QuerySpec {
 	out := make([]cost.QuerySpec, len(w.Queries))

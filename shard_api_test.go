@@ -280,6 +280,143 @@ func TestWithShardsSessionMigrate(t *testing.T) {
 	}
 }
 
+// bandWorkloadAPI is the band-sharding example: a proximity join
+// |A.Key - B.Key| <= width over the keyedInput domain.
+func bandWorkloadAPI(width int64) stateslice.Workload {
+	return stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Name: "Q1", Window: 2 * stateslice.Second},
+			{Name: "Q2", Window: 8 * stateslice.Second},
+		},
+		Join: stateslice.BandJoin{B: width},
+	}
+}
+
+// TestWithShardsBandValidation pins the build-time rules of band-partitioned
+// sharding: band predicates are legal with WithShards exactly when the key
+// domain is declared, WithKeyRange is rejected anywhere else, and a
+// predicate that is neither key- nor band-partitionable still fails with a
+// clear error.
+func TestWithShardsBandValidation(t *testing.T) {
+	band := bandWorkloadAPI(1)
+	for _, tc := range []struct {
+		name    string
+		w       stateslice.Workload
+		opts    []stateslice.Option
+		wantSub string
+	}{
+		{"band without key range", band,
+			[]stateslice.Option{stateslice.WithShards(2)}, "WithKeyRange"},
+		{"key range without shards", band,
+			[]stateslice.Option{stateslice.WithKeyRange(0, 11)}, "WithShards"},
+		{"key range on an equijoin", equijoinWorkload(),
+			[]stateslice.Option{stateslice.WithShards(2), stateslice.WithKeyRange(0, 11)}, "hash-partitioned"},
+		{"empty key range", band,
+			[]stateslice.Option{stateslice.WithShards(2), stateslice.WithKeyRange(5, 4)}, "min <= max"},
+		{"negative band width", bandWorkloadAPI(-1),
+			[]stateslice.Option{stateslice.WithShards(2), stateslice.WithKeyRange(0, 11)}, "partitionable"},
+		{"unpartitionable predicate", exampleWorkload(),
+			[]stateslice.Option{stateslice.WithShards(2)}, "band-partitionable"},
+	} {
+		_, err := stateslice.Build(tc.w, stateslice.MemOpt, tc.opts...)
+		if err == nil {
+			t.Errorf("%s: Build must fail", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+	if _, err := stateslice.Build(band, stateslice.MemOpt,
+		stateslice.WithShards(4), stateslice.WithKeyRange(0, 11)); err != nil {
+		t.Errorf("band predicate with WithShards and WithKeyRange must build: %v", err)
+	}
+}
+
+// TestWithShardsBandByteIdentical runs band workloads sharded through the
+// public API across p ∈ {1,2,4,8} and B ∈ {0, 1, large} and compares the
+// per-query sequences byte-for-byte against the sequential engine; the
+// B = 0 runs are additionally compared against the Equijoin workload's
+// results, which they must reproduce exactly.
+func TestWithShardsBandByteIdentical(t *testing.T) {
+	input := keyedInput(t)
+	const dom = 12
+
+	eqRef, err := stateslice.Build(stateslice.Workload{
+		Queries: bandWorkloadAPI(0).Queries,
+		Join:    stateslice.Equijoin{},
+	}, stateslice.MemOpt, stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqRes, err := eqRef.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEquijoin := renderResults(eqRes.Results)
+
+	for _, width := range []int64{0, 1, 100} {
+		w := bandWorkloadAPI(width)
+		ref, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refRes.TotalOutputs() == 0 {
+			t.Fatalf("B=%d: reference produced no results; the equivalence check is vacuous", width)
+		}
+		want := renderResults(refRes.Results)
+		if width == 0 && want != wantEquijoin {
+			t.Error("sequential BandJoin{0} differs from Equijoin")
+		}
+		for _, p := range []int{1, 2, 4, 8} {
+			sp, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect(),
+				stateslice.WithShards(p), stateslice.WithKeyRange(0, dom-1))
+			if err != nil {
+				t.Fatalf("B=%d p=%d: %v", width, p, err)
+			}
+			res, err := sp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+			if err != nil {
+				t.Fatalf("B=%d p=%d: %v", width, p, err)
+			}
+			if res.OrderViolations != 0 {
+				t.Errorf("B=%d p=%d: %d order violations", width, p, res.OrderViolations)
+			}
+			if got := renderResults(res.Results); got != want {
+				t.Errorf("B=%d p=%d: band-sharded results differ from the sequential engine", width, p)
+			}
+			if width == 0 {
+				if got := renderResults(res.Results); got != wantEquijoin {
+					t.Errorf("p=%d: band-sharded B=0 results differ from the Equijoin reference", p)
+				}
+			}
+		}
+	}
+}
+
+// TestWithShardsBandExplain pins the Explain surface of a band plan: it
+// must name the range partitioning, the replication band and the
+// suppression — not the hash scheme the plan does not use.
+func TestWithShardsBandExplain(t *testing.T) {
+	p, err := stateslice.Build(bandWorkloadAPI(2), stateslice.MemOpt,
+		stateslice.WithShards(4), stateslice.WithKeyRange(0, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Explain()
+	for _, wantSub := range []string{"range(Key in [0,99])", "4 owner ranges", "band 2", "owner-suppressed"} {
+		if !strings.Contains(s, wantSub) {
+			t.Errorf("Explain missing %q:\n%s", wantSub, s)
+		}
+	}
+	if strings.Contains(s, "splitmix64") {
+		t.Errorf("band plan Explain claims hash partitioning:\n%s", s)
+	}
+}
+
 // TestWithShardsSinks asserts WithSink callbacks observe every result of
 // their query in delivery order under sharded execution.
 func TestWithShardsSinks(t *testing.T) {

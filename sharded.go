@@ -12,9 +12,11 @@ import (
 
 // This file implements the WithShards execution path: the plan is compiled
 // into p independent replicas of the full state-slice chain, the input is
-// hash-partitioned by the equijoin key, each replica runs on the batched
-// sequential engine on its own goroutine, and per-query order-preserving
-// merges reassemble the global output order (internal/shard).
+// partitioned by the join key — hashed for key-partitionable joins,
+// contiguous owner ranges with boundary replication for band joins
+// (WithKeyRange) — each replica runs on the batched sequential engine on
+// its own goroutine, and order-preserving merges reassemble the global
+// output order (internal/shard).
 
 // buildSharded assembles the sharded Plan of WithShards.
 func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan, error) {
@@ -24,8 +26,26 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 	if o.hashProbing {
 		return nil, errors.New("stateslice: WithShards cannot be combined with WithHashProbing: state-slice chains use sliced joins, which are always nested-loop")
 	}
-	if !stream.PartitionableByKey(w.Join) {
-		return nil, fmt.Errorf("stateslice: WithShards hash-partitions by the equijoin key and requires a key-partitionable join predicate, got %q (a matching pair with unequal keys would be split across shards and lost)", w.Join)
+	// Partitioning eligibility: key-partitionable joins hash-partition (the
+	// cheaper scheme, no replication); band-partitionable joins range-
+	// partition with boundary replication, which needs the key domain from
+	// WithKeyRange. Anything else cannot be sharded losslessly.
+	var band *shard.Band
+	switch width, bandOK := stream.PartitionableByBand(w.Join); {
+	case stream.PartitionableByKey(w.Join):
+		if o.keyRangeSet {
+			return nil, fmt.Errorf("stateslice: WithKeyRange parameterizes band partitioning, but the key-partitionable join %q is hash-partitioned and ignores the key domain; drop the option (or use a band predicate such as BandJoin)", w.Join)
+		}
+	case bandOK:
+		if !o.keyRangeSet {
+			return nil, fmt.Errorf("stateslice: the band-partitionable join %q needs WithKeyRange(min, max) so WithShards can split the key domain into contiguous owner ranges", w.Join)
+		}
+		band = &shard.Band{Width: width, MinKey: o.keyMin, MaxKey: o.keyMax}
+		if err := band.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("stateslice: WithShards partitions by the join key and requires a key-partitionable or band-partitionable join predicate, got %q (a matching pair could be split across shards and lost)", w.Join)
 	}
 	cfg, err := chainConfig(w, s, o, model)
 	if err != nil {
@@ -69,6 +89,7 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 		shards:     o.shards,
 		workers:    o.assemblyWorkers,
 		batchSize:  o.batchSize,
+		band:       band,
 		migratable: o.migratable,
 		collect:    o.collect,
 		sinks:      o.sinks,
@@ -86,9 +107,9 @@ func queryWindows(w Workload) []Time {
 	return windows
 }
 
-// shardedPlan executes the chain as hash-partitioned replicas with an
-// order-preserving merge. Like every Plan it is single-driver: Run,
-// NewSession and Migrate are called from one goroutine.
+// shardedPlan executes the chain as key-partitioned replicas (hash or band
+// range) with an order-preserving merge. Like every Plan it is
+// single-driver: Run, NewSession and Migrate are called from one goroutine.
 type shardedPlan struct {
 	name       string
 	strategy   Strategy
@@ -98,6 +119,7 @@ type shardedPlan struct {
 	shards     int
 	workers    int // assembly workers (0 = auto)
 	batchSize  int
+	band       *shard.Band // nil = hash partitioning
 	migratable bool
 	collect    bool
 	sinks      map[int]Sink
@@ -142,6 +164,7 @@ func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
 		AssemblyWorkers: p.workers,
 		BatchSize:       cfg.BatchSize,
 		SampleEvery:     cfg.SampleEvery,
+		Band:            p.band,
 		Collect:         p.collect,
 		OnResult:        onResult,
 		SliceMerge:      rcfg.RawSliceResults,
@@ -218,17 +241,25 @@ func (p *shardedPlan) Explain() string {
 		b.WriteString("  (migratable)")
 	}
 	b.WriteString("\n")
-	// The partitioner mixes keys through splitmix64 before the modulo —
-	// not a plain `hash(Key) mod p` on the raw key value — so clustered
-	// or consecutive key *values* still spread across shards. Per-key
-	// frequency skew is irreducible either way: one key's whole state
-	// lives on one shard (see internal/shard.Partitioner).
+	// The hash partitioner mixes keys through splitmix64 before the
+	// modulo — not a plain `hash(Key) mod p` on the raw key value — so
+	// clustered or consecutive key *values* still spread across shards.
+	// Per-key frequency skew is irreducible either way: one key's whole
+	// state lives on one shard (see internal/shard.Partitioner). Band
+	// plans use contiguous owner ranges instead, which do not mix values
+	// at all — the Explain line names the scheme so the skew caveats of
+	// each are attributable.
+	part := fmt.Sprintf("splitmix64(Key) mod %d", p.shards)
+	if p.band != nil {
+		part = fmt.Sprintf("range(Key in [%d,%d]) into %d owner ranges, replicated within band %d of a boundary, owner-suppressed duplicates",
+			p.band.MinKey, p.band.MaxKey, p.shards, p.band.Width)
+	}
 	if p.cfg.RawSliceResults {
-		fmt.Fprintf(&b, "  executor: splitmix64(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d per-slice merges + per-query assembly on %s workers\n",
-			p.shards, p.shards, len(p.ends), workersLabel(p.workers))
+		fmt.Fprintf(&b, "  executor: %s -> %d chain replicas (one engine goroutine each) -> %d per-slice merges + per-query assembly on %s workers\n",
+			part, p.shards, len(p.ends), workersLabel(p.workers))
 	} else {
-		fmt.Fprintf(&b, "  executor: splitmix64(Key) mod %d -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers on %s workers\n",
-			p.shards, p.shards, len(p.w.Queries), workersLabel(p.workers))
+		fmt.Fprintf(&b, "  executor: %s -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers on %s workers\n",
+			part, p.shards, len(p.w.Queries), workersLabel(p.workers))
 	}
 	return b.String()
 }

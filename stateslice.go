@@ -101,10 +101,23 @@ type (
 	Threshold = stream.Threshold
 	// Equijoin matches tuples with equal keys.
 	Equijoin = stream.Equijoin
+	// BandJoin matches tuples whose keys lie within distance B of each
+	// other (|A.Key - B.Key| <= B); shardable via WithShards +
+	// WithKeyRange.
+	BandJoin = stream.BandJoin
 	// CrossProduct matches every pair.
 	CrossProduct = stream.CrossProduct
 	// FractionMatch matches a deterministic fraction S of pairs.
 	FractionMatch = stream.FractionMatch
+	// KeyPartitioner is the opt-in capability interface for custom join
+	// predicates whose matches imply equal keys, making them eligible for
+	// hash-partitioned WithShards execution.
+	KeyPartitioner = stream.KeyPartitioner
+	// BandPartitioner is the opt-in capability interface for custom join
+	// predicates whose matches imply a bounded key distance, making them
+	// eligible for band-partitioned WithShards execution (with
+	// WithKeyRange).
+	BandPartitioner = stream.BandPartitioner
 )
 
 // Time units.

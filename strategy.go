@@ -149,6 +149,8 @@ type buildOptions struct {
 	shardsSet       bool
 	assemblyWorkers int
 	assemblySet     bool
+	keyMin, keyMax  int64
+	keyRangeSet     bool
 	ends            []Time
 	model           CostModel
 	modelSet        bool
@@ -253,10 +255,14 @@ func WithConcurrency() Option {
 // byte-identical; only the balance degrades). The cross-replica merge layer
 // runs on a pool of assembly workers, tunable with WithAssemblyWorkers.
 //
-// WithShards requires a chain strategy (MemOpt or CPUOpt) and a
-// key-partitionable join predicate — an Equijoin workload; for any other
-// predicate a pair of matching tuples could be split across replicas and
-// silently lost, so Build reports an error. Sharded plans support sessions,
+// WithShards requires a chain strategy (MemOpt or CPUOpt) and a join
+// predicate the partitioner can reason about: either key-partitionable (an
+// Equijoin workload, hash-partitioned as above) or band-partitionable (a
+// BandJoin workload, |A.Key - B.Key| <= B, which additionally needs
+// WithKeyRange — see that option for the contiguous range partitioning and
+// boundary replication it selects). For any other predicate a pair of
+// matching tuples could be split across replicas and silently lost, so
+// Build reports an error. Sharded plans support sessions,
 // WithSink streaming (sink callbacks run on assembly-worker goroutines, so
 // sinks of queries owned by different workers may fire concurrently), and WithMigratable
 // migration, which fans out to every replica at the same stream position.
@@ -272,6 +278,36 @@ func WithShards(p int) Option {
 		}
 		o.shards = p
 		o.shardsSet = true
+	}
+}
+
+// WithKeyRange declares the inclusive [min, max] key domain of the input
+// streams for a band-partitioned sharded build: WithShards over a
+// band-partitionable join predicate (such as BandJoin) splits the declared
+// domain into p contiguous owner ranges, feeds every tuple to each replica
+// whose range lies within the band width B of its key, and suppresses the
+// boundary duplicates on the merge side, so results stay byte-identical to
+// the sequential engine at every shard count. Keys outside the declared
+// range are clamped onto the edge shards — correct, but they concentrate
+// load there, so declare the real domain.
+//
+// Unlike the hash partitioner, contiguous ranges do not mix key values:
+// keys clustered inside one range land on one shard, and keys clustered at
+// a range boundary replicate to the neighbor too. Both degrade balance and
+// feed volume (the replication factor is roughly 1 + 2B/rangeWidth for
+// uniform keys), never correctness.
+//
+// WithKeyRange is required for, and only valid with, a band-partitionable
+// join under WithShards: key-partitionable joins are hash-partitioned and
+// ignore the domain, so Build rejects the combination instead of silently
+// dropping the option.
+func WithKeyRange(min, max int64) Option {
+	return func(o *buildOptions) {
+		if min > max && o.err == nil {
+			o.err = fmt.Errorf("stateslice: WithKeyRange needs min <= max, got [%d, %d]", min, max)
+		}
+		o.keyMin, o.keyMax = min, max
+		o.keyRangeSet = true
 	}
 }
 
