@@ -58,13 +58,22 @@ type Plan interface {
 	sealed()
 }
 
+// QueryID identifies a query within one plan's session lifetime: the
+// 0-based workload index for queries built in at Build time, or the ID
+// Session.Attach returned for queries admitted mid-stream. IDs are never
+// reused — a detached query's ID stays assigned (its slot in Result's
+// per-query statistics is preserved), so a stale ID can never silently
+// address a different subscriber.
+type QueryID int
+
 // Session drives a plan incrementally: feed tuples one at a time (in global
 // timestamp order), consume sources, and — between feeds — migrate the
-// owning chain plan via Plan.Migrate. Sequential plans are driven by an
-// engine session (*EngineSession); sharded plans (WithShards) by a session
-// that routes each tuple to its key's replica. Every Session is
-// single-shot: Finish flushes the plan with a final punctuation and returns
-// the run statistics, after which the session cannot be fed.
+// owning chain plan via Plan.Migrate or change the subscriber set via
+// Attach and Detach. Sequential plans are driven by an engine-backed
+// session; sharded plans (WithShards) by a session that routes each tuple
+// to its key's replica. Every Session is single-shot: Finish flushes the
+// plan with a final punctuation and returns the run statistics, after which
+// the session cannot be fed.
 //
 // Sessions are not safe for concurrent use; one goroutine drives a session.
 type Session interface {
@@ -79,6 +88,25 @@ type Session interface {
 	// flushing any pending micro-batch (for sharded plans: blocking until
 	// every replica has quiesced).
 	Drain()
+	// Attach admits a new query to the running plan at a feed barrier:
+	// every tuple fed so far is fully processed, the query subscribes to
+	// the existing slice prefix covering its window (splitting at most
+	// one slice), and feeding resumes — the stream never stops, no state
+	// is rebuilt, no input is replayed. From the first post-admission
+	// arrival on, the query's results are byte-identical to those of the
+	// same query built in from the start. Requires a chain strategy with
+	// WithMigratable, a fully unfiltered workload, an unfiltered query,
+	// and a window within (0, largest slice boundary]. Results stream
+	// through WithResultHandler; per-query statistics appear in Finish's
+	// Result under the returned ID.
+	Attach(q Query) (QueryID, error)
+	// Detach unsubscribes a previously built-in or attached query at a
+	// feed barrier: buffered results flush in order, the query stops
+	// receiving results, and slices no remaining query subscribes to are
+	// garbage-collected (shrinking the chain's window states). The ID's
+	// statistics — result counts, collected tuples — survive to Finish.
+	// At least one live query must remain.
+	Detach(id QueryID) error
 	// Finish flushes the plan with a final punctuation and returns the
 	// run statistics. The session cannot be fed afterwards. For sharded
 	// sessions, the first replica or driver failure of the run — which
@@ -162,6 +190,10 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Chains route WithResultHandler and WithSink through the plan's
+		// own result hook: sinks created later by Session.Attach then get
+		// the same composite, so admitted queries stream results too.
+		cfg.OnResult = sequentialOnResult(o)
 		sp, err := plan.BuildStateSlice(w, cfg)
 		if err != nil {
 			return nil, err
@@ -197,11 +229,32 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 			return nil, err
 		}
 	}
-	for qi, sink := range o.sinks {
-		emit := sink.Emit
-		bp.exec.Sinks[qi].OnResult(emit)
+	if h := sequentialOnResult(o); h != nil && bp.chain == nil {
+		for qi := range bp.exec.Sinks {
+			qi := qi
+			bp.exec.Sinks[qi].OnResult(func(t *Tuple) { h(qi, t) })
+		}
 	}
 	return bp, nil
+}
+
+// sequentialOnResult composes the build's streaming result callbacks — the
+// WithResultHandler handler first, then the query's WithSink sink — into the
+// single per-query hook the sequential executors invoke. Nil when neither is
+// configured.
+func sequentialOnResult(o buildOptions) func(int, *Tuple) {
+	if o.resultHandler == nil && len(o.sinks) == 0 {
+		return nil
+	}
+	handler, sinks := o.resultHandler, o.sinks
+	return func(qi int, t *Tuple) {
+		if handler != nil {
+			handler(QueryID(qi), t)
+		}
+		if s, ok := sinks[qi]; ok {
+			s.Emit(t)
+		}
+	}
 }
 
 // chainConfig assembles the chain configuration of a MemOpt or CPUOpt
@@ -290,7 +343,57 @@ func (p *builtPlan) NewSession(cfg RunConfig) (Session, error) {
 		return nil, err
 	}
 	p.sess = s
-	return s, nil
+	return &builtSession{s: s, p: p}, nil
+}
+
+// builtSession wraps the engine session driving a sequential plan with the
+// admission surface: Attach and Detach delegate to the chain's feed-barrier
+// protocol (internal/plan Attach/Detach).
+type builtSession struct {
+	s *engine.Session
+	p *builtPlan
+}
+
+// Feed implements Session.
+func (cs *builtSession) Feed(t *Tuple) error { return cs.s.Feed(t) }
+
+// Consume implements Session.
+func (cs *builtSession) Consume(src Source) error { return cs.s.Consume(src) }
+
+// Drain implements Session.
+func (cs *builtSession) Drain() { cs.s.Drain() }
+
+// Finish implements Session.
+func (cs *builtSession) Finish() *Result { return cs.s.Finish() }
+
+// Attach implements Session.
+func (cs *builtSession) Attach(q Query) (QueryID, error) {
+	if err := cs.p.admissionReady(); err != nil {
+		return 0, err
+	}
+	qi, err := cs.p.chain.Attach(cs.s, q)
+	return QueryID(qi), err
+}
+
+// Detach implements Session.
+func (cs *builtSession) Detach(id QueryID) error {
+	if err := cs.p.admissionReady(); err != nil {
+		return err
+	}
+	return cs.p.chain.Detach(cs.s, int(id))
+}
+
+// admissionReady mirrors Migrate's structural preconditions for Attach and
+// Detach, which reuse the migration wiring (a union per query, splittable
+// slices).
+func (p *builtPlan) admissionReady() error {
+	if p.chain == nil {
+		return fmt.Errorf("stateslice: the %s strategy does not support query admission; only state-slice chains attach and detach queries live", p.strategy)
+	}
+	if !p.migratable {
+		return errors.New("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring)")
+	}
+	return nil
 }
 
 // runConfig applies the build's WithBatchSize default unless the run config
@@ -328,7 +431,11 @@ func (p *builtPlan) EstimatedCost() (Cost, error) {
 func (p *builtPlan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan %q  strategy=%s\n", p.Name(), p.strategy)
-	explainQueries(&b, p.w)
+	if p.chain != nil {
+		explainSlots(&b, p.chain.QuerySlots())
+	} else {
+		explainQueries(&b, p.w)
+	}
 	if p.chain != nil {
 		start := Time(0)
 		b.WriteString("  chain:")
@@ -366,6 +473,29 @@ func explainQueries(b *strings.Builder, w Workload) {
 		}
 		if q.HasFilterB() {
 			fmt.Fprintf(b, ", filter(B) %s", q.FilterB)
+		}
+		b.WriteString("\n")
+	}
+}
+
+// explainSlots renders a live chain's query roster — every slot ever
+// admitted, built in or attached, with detached slots marked — so Explain
+// observes the effect of Session.Attach and Session.Detach.
+func explainSlots(b *strings.Builder, slots []plan.QuerySlot) {
+	for i, s := range slots {
+		name := s.Query.Name
+		if name == "" {
+			name = "Q" + strconv.Itoa(i+1)
+		}
+		fmt.Fprintf(b, "  %s: window %s", name, fmtTime(s.Query.Window))
+		if s.Query.HasFilter() {
+			fmt.Fprintf(b, ", filter(A) %s", s.Query.Filter)
+		}
+		if s.Query.HasFilterB() {
+			fmt.Fprintf(b, ", filter(B) %s", s.Query.FilterB)
+		}
+		if !s.Live {
+			b.WriteString("  (detached)")
 		}
 		b.WriteString("\n")
 	}
@@ -465,6 +595,9 @@ func buildConcurrent(w Workload, s Strategy, o buildOptions, model CostModel) (P
 	}
 	if o.ends != nil || o.disableLineage {
 		return nil, errors.New("stateslice: WithConcurrency runs the distinct-window Mem-Opt layout and cannot be combined with WithEnds or WithoutLineage")
+	}
+	if o.resultHandler != nil {
+		return nil, errors.New("stateslice: WithResultHandler delivers one ordered callback stream; the concurrent pipeline's per-query mergers fire in parallel — register a WithSink per query instead, or build without WithConcurrency")
 	}
 	windows := make([]Time, 0, len(w.Queries))
 	for i, q := range w.Queries {

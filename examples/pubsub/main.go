@@ -1,10 +1,12 @@
 // Pubsub: a publish/subscribe service hosting dozens of subscriptions over
 // the same two event streams, each subscription a window join with its own
 // window size (the paper's Section 7.3 scenario, Table 4's Small-Large
-// distribution). The example builds the Mem-Opt and CPU-Opt chains through
-// Build, compares their modelled and measured costs, runs the Mem-Opt chain
-// concurrently (one goroutine per slice), and then re-slices the running
-// plan with Migrate when subscriptions churn.
+// distribution). Subscribers churn while events flow: the example starts a
+// Mem-Opt chain with a founding subscription set, then admits late
+// subscribers with Session.Attach and cancels others with Session.Detach —
+// no rebuild, no replay, the stream never stops. WithResultHandler streams
+// every subscription's matches (including ones admitted mid-stream) and
+// Explain renders the live subscription set after each change.
 //
 // Run with:
 //
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 
 	"stateslice"
 )
@@ -26,21 +29,36 @@ func main() {
 
 	// Subscriptions cluster at short windows (breaking-news correlation)
 	// and long windows (daily digests): the bimodal Small-Large shape.
-	var queries []stateslice.Query
+	// Half the service's subscribers are present at launch; the rest
+	// register while events are already flowing.
+	var founding, late []stateslice.Query
 	h := *subs / 2
 	for i := 1; i <= h; i++ {
-		queries = append(queries, stateslice.Query{
+		q := stateslice.Query{
 			Name:   fmt.Sprintf("fresh-%d", i),
 			Window: stateslice.Seconds(6 * float64(i) / float64(h)),
-		})
+		}
+		if i%2 == 0 {
+			late = append(late, q)
+		} else {
+			founding = append(founding, q)
+		}
 	}
 	for i := 1; i <= h; i++ {
-		queries = append(queries, stateslice.Query{
+		q := stateslice.Query{
 			Name:   fmt.Sprintf("digest-%d", i),
 			Window: stateslice.Seconds(24 + 6*float64(i)/float64(h)),
-		})
+		}
+		if i%2 == 1 && i < h {
+			late = append(late, q)
+		} else {
+			founding = append(founding, q)
+		}
 	}
-	w := stateslice.Workload{Queries: queries, Join: stateslice.FractionMatch{S: 0.025}}
+	// Admission subscribes a query to the existing slice prefix, so a
+	// late window may not exceed the chain's largest boundary: keep the
+	// largest digest in the founding set (done above — i == h stays).
+	w := stateslice.Workload{Queries: founding, Join: stateslice.FractionMatch{S: 0.025}}
 
 	input, err := stateslice.Generate(stateslice.GeneratorConfig{
 		RateA: *rate, RateB: *rate,
@@ -51,105 +69,101 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The same cost model drives the CPU-Opt optimizer and every plan's
-	// EstimatedCost. Values are taken verbatim — no silent defaulting.
-	model := stateslice.CostModel{
-		RateA: *rate, RateB: *rate,
-		JoinSelectivity: 0.025,
-		Csys:            stateslice.DefaultCsys,
-		TupleKB:         stateslice.DefaultTupleKB,
+	// Every subscription's matches stream through one handler, keyed by
+	// the QueryID that Build (founding set, in order) or Attach (late
+	// set, on admission) assigned. Names are tracked alongside so the
+	// final report reads like a subscriber ledger.
+	var (
+		mu        sync.Mutex
+		delivered = map[stateslice.QueryID]uint64{}
+	)
+	names := map[stateslice.QueryID]string{}
+	for i, q := range founding {
+		names[stateslice.QueryID(i)] = q.Name
 	}
 
-	fmt.Printf("%d subscriptions sharing one chain\n", len(queries))
-	for _, s := range []stateslice.Strategy{stateslice.MemOpt, stateslice.CPUOpt} {
-		p, err := stateslice.Build(w, s, stateslice.WithCostParams(model))
+	p, err := stateslice.Build(w, stateslice.MemOpt,
+		stateslice.WithMigratable(),
+		stateslice.WithResultHandler(func(id stateslice.QueryID, t *stateslice.Tuple) {
+			mu.Lock()
+			delivered[id]++
+			mu.Unlock()
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{SampleEvery: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("launch: %d founding subscriptions, %d slices\n",
+		len(founding), len(p.Ends()))
+
+	// Phase 1: the founding subscribers alone.
+	third := len(input) / 3
+	if err := sess.Consume(stateslice.SliceSource(input[:third])); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 2: the late subscribers register, one Attach barrier each.
+	// Each admission splits at most one slice and rewires the prefix the
+	// new window covers; from its admission on, a subscriber's matches
+	// are byte-identical to what a chain built with it would deliver.
+	before := len(p.Ends())
+	for _, q := range late {
+		id, err := sess.Attach(q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := p.EstimatedCost()
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{SampleEvery: 8})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %s: %d slices, modelled %.0f KB / %.0f cmp/s; measured %d comparisons + %d invocations, avg state %.0f tuples, wall %.0f tuples/s\n",
-			p.Name(), len(p.Ends()), est.MemoryKB, est.CPU,
-			res.Meter.Comparisons(), res.Meter.Invocations, res.Memory.Avg, res.ServiceRate())
+		names[id] = q.Name
+	}
+	fmt.Printf("churn-in: +%d subscribers admitted live, %d slices -> %d\n",
+		len(late), before, len(p.Ends()))
+	if err := sess.Consume(stateslice.SliceSource(input[third : 2*third])); err != nil {
+		log.Fatal(err)
 	}
 
-	// The same Mem-Opt chain under the concurrent executor: one
-	// goroutine per sliced join, reached through the same Build path.
-	pc, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithConcurrency())
-	if err != nil {
+	// Phase 3: every odd-numbered digest cancels. Detach unsubscribes
+	// the query and garbage-collects trailing slices no remaining
+	// subscriber reads; the canceled IDs stay valid (and dead) in the
+	// final result, they are never reused for later subscribers.
+	var canceled []stateslice.QueryID
+	for id, name := range names {
+		var d int
+		if n, _ := fmt.Sscanf(name, "digest-%d", &d); n != 1 || d%2 == 0 {
+			continue
+		}
+		if err := sess.Detach(id); err != nil {
+			log.Fatal(err)
+		}
+		canceled = append(canceled, id)
+	}
+	fmt.Printf("churn-out: -%d subscribers detached, %d slices remain\n",
+		len(canceled), len(p.Ends()))
+	fmt.Println("\nlive set after churn (Explain):")
+	fmt.Print(p.Explain())
+	if err := sess.Consume(stateslice.SliceSource(input[2*third:])); err != nil {
 		log.Fatal(err)
 	}
-	cres, err := pc.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  %s: %d results, wall %.0f tuples/s\n",
-		pc.Name(), cres.TotalOutputs(), cres.ServiceRate())
 
-	// Subscription churn: the shortest-window subscriber leaves, a new
-	// one registers between two existing windows. Re-slice the running
-	// CPU-Opt chain with one Migrate call (Section 5.3) without
-	// stopping the stream.
-	fmt.Println("\nsubscription churn: migrating the live chain")
-	live, err := stateslice.Build(w, stateslice.CPUOpt,
-		stateslice.WithCostParams(model), stateslice.WithMigratable())
-	if err != nil {
-		log.Fatal(err)
-	}
-	sess, err := live.NewSession(stateslice.RunConfig{SampleEvery: 8})
-	if err != nil {
-		log.Fatal(err)
-	}
-	half := len(input) / 2
-	if err := sess.Consume(stateslice.SliceSource(input[:half])); err != nil {
-		log.Fatal(err)
-	}
-	before := live.Ends()
-	// Drop the smallest boundary (its subscriber left, unless the chain
-	// is already a single slice) and add an intermediate boundary in the
-	// last slice (a new subscriber).
-	target := append([]stateslice.Time{}, before...)
-	if len(target) > 1 {
-		target = target[1:]
-	}
-	last := len(target) - 1
-	var prevEnd stateslice.Time
-	if last > 0 {
-		prevEnd = target[last-1]
-	}
-	mid := (prevEnd + target[last]) / 2
-	target = append(target[:last], mid, target[last])
-	if err := live.Migrate(target); err != nil {
-		log.Fatal(err)
-	}
-	if err := sess.Consume(stateslice.SliceSource(input[half:])); err != nil {
-		log.Fatal(err)
-	}
 	res := sess.Finish()
-	fmt.Printf("  boundaries before: %d slices, after: %d slices\n", len(before), len(live.Ends()))
-	fmt.Printf("  run finished with %d results, %d order violations\n",
-		res.TotalOutputs(), res.OrderViolations)
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fmt.Printf("\nrun finished: %d results, %d order violations, avg state %.0f tuples\n",
+		res.TotalOutputs(), res.OrderViolations, res.Memory.Avg)
 
-	// Sanity: a static run delivers the same answer set sizes.
-	ref, err := stateslice.Build(w, stateslice.MemOpt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	refRes, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{SampleEvery: 8})
-	if err != nil {
-		log.Fatal(err)
-	}
-	same := true
-	for i := range res.SinkCounts {
-		if res.SinkCounts[i] != refRes.SinkCounts[i] {
+	// The handler saw exactly what the per-query counters delivered —
+	// for founding, admitted and canceled subscribers alike.
+	same := len(res.SinkCounts) == len(names)
+	for id := range names {
+		if delivered[id] != res.SinkCounts[id] {
 			same = false
 		}
 	}
-	fmt.Printf("  per-subscription answers identical to an unmigrated run: %v\n", same)
+	fmt.Printf("handler deliveries match per-subscription counts: %v\n", same)
+	fmt.Printf("sample ledger: %s=%d matches, %s=%d matches (canceled id %d kept its %d)\n",
+		names[0], delivered[0],
+		names[stateslice.QueryID(len(founding))], delivered[stateslice.QueryID(len(founding))],
+		canceled[0], delivered[canceled[0]])
 }

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/operator"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+	"stateslice/internal/workload"
+)
+
+// Admission suite: the cost of growing a live chain query by query
+// (plan.Attach at a feed barrier) against the same query set built in from
+// the start. The suite starts a chain with only the largest-window query of
+// the equijoin twin workload, streams the first half of the input, attaches
+// the remaining N-1 queries one by one — timing each barrier — and streams
+// the second half. The built-in baseline runs the full N-query chain over
+// the identical input and times the same second half, so the two
+// steady-state figures price exactly the same post-admission work: the
+// admitted chain must deliver the identical number of second-half results
+// (OutputsMatch pins that), it just acquired its subscribers without a
+// rebuild or replay.
+
+// AdmissionReport is the admission suite of the machine-readable report.
+type AdmissionReport struct {
+	// Queries is the final query count of both variants.
+	Queries int `json:"queries"`
+	// Attaches is the number of timed live admissions (Queries - 1).
+	Attaches int `json:"attaches"`
+	// AttachMeanMicros and AttachMaxMicros aggregate the wall-clock cost
+	// of one Attach barrier — drain, at most one slice split, subscriber
+	// rewiring, drain — across all repetitions, in microseconds.
+	AttachMeanMicros float64 `json:"attach_mean_micros"`
+	AttachMaxMicros  float64 `json:"attach_max_micros"`
+	// AdmittedSteadyRate and BuiltinSteadyRate are the second-half service
+	// rates (tuples/sec, best repetition) of the chain that attached its
+	// queries mid-stream and of the chain built with all of them.
+	AdmittedSteadyRate float64 `json:"admitted_steady_rate"`
+	BuiltinSteadyRate  float64 `json:"builtin_steady_rate"`
+	// SteadyOutputs is the number of result tuples both variants delivered
+	// over the measured second half.
+	SteadyOutputs uint64 `json:"steady_outputs"`
+	// OutputsMatch reports that the admitted chain's second-half output
+	// count equaled the built-in chain's — the equivalence the admission
+	// protocol promises (false would invalidate the comparison).
+	OutputsMatch bool `json:"outputs_match"`
+}
+
+// runAdmissionSuite measures the admission suite on the sequential engine
+// with the paper-faithful per-tuple schedule.
+func runAdmissionSuite(cfg PerfConfig) (*AdmissionReport, error) {
+	w, err := workload.NQueriesEquijoin(cfg.Dist, cfg.Queries)
+	if err != nil {
+		return nil, err
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA:     cfg.Rate,
+		RateB:     cfg.Rate,
+		Duration:  stream.Seconds(cfg.DurationSec),
+		KeyDomain: cfg.KeyDomain,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	half := len(input) / 2
+	base := plan.Workload{
+		Queries: []plan.Query{w.Queries[len(w.Queries)-1]},
+		Join:    w.Join,
+	}
+	rep := &AdmissionReport{Queries: len(w.Queries), Attaches: len(w.Queries) - 1}
+	var attachTotal, attachMax time.Duration
+	attachCount := 0
+	var admittedOuts, builtinOuts uint64
+
+	for r := 0; r < cfg.Reps; r++ {
+		// Admitted variant: largest window only, then N-1 live attaches.
+		sp, err := plan.BuildStateSlice(base, plan.StateSliceConfig{Name: "admit", Migratable: true})
+		if err != nil {
+			return nil, err
+		}
+		s, err := engine.NewSession(sp.Plan, engineConfig(1))
+		if err != nil {
+			return nil, err
+		}
+		if err := feedAll(s, input[:half]); err != nil {
+			return nil, err
+		}
+		for _, q := range w.Queries[:len(w.Queries)-1] {
+			start := time.Now()
+			if _, err := sp.Attach(s, q); err != nil {
+				return nil, fmt.Errorf("bench: admission suite: %w", err)
+			}
+			d := time.Since(start)
+			attachTotal += d
+			attachCount++
+			if d > attachMax {
+				attachMax = d
+			}
+		}
+		pre := sinkTotal(sp.Sinks())
+		start := time.Now()
+		if err := feedAll(s, input[half:]); err != nil {
+			return nil, err
+		}
+		s.Drain()
+		wall := time.Since(start)
+		admittedOuts = sinkTotal(sp.Sinks()) - pre
+		if rate := steadyRate(len(input)-half, admittedOuts, wall); rate > rep.AdmittedSteadyRate {
+			rep.AdmittedSteadyRate = rate
+		}
+
+		// Built-in baseline: the full chain with the identical migratable
+		// wiring (one union per query), same input, same measured half.
+		bp, err := plan.BuildStateSlice(w, plan.StateSliceConfig{Name: "builtin", Migratable: true})
+		if err != nil {
+			return nil, err
+		}
+		bs, err := engine.NewSession(bp.Plan, engineConfig(1))
+		if err != nil {
+			return nil, err
+		}
+		if err := feedAll(bs, input[:half]); err != nil {
+			return nil, err
+		}
+		pre = sinkTotal(bp.Sinks())
+		start = time.Now()
+		if err := feedAll(bs, input[half:]); err != nil {
+			return nil, err
+		}
+		bs.Drain()
+		wall = time.Since(start)
+		builtinOuts = sinkTotal(bp.Sinks()) - pre
+		if rate := steadyRate(len(input)-half, builtinOuts, wall); rate > rep.BuiltinSteadyRate {
+			rep.BuiltinSteadyRate = rate
+		}
+	}
+	if attachCount > 0 {
+		rep.AttachMeanMicros = float64(attachTotal.Microseconds()) / float64(attachCount)
+	}
+	rep.AttachMaxMicros = float64(attachMax.Microseconds())
+	rep.SteadyOutputs = builtinOuts
+	rep.OutputsMatch = admittedOuts == builtinOuts
+	return rep, nil
+}
+
+// feedAll feeds a batch tuple by tuple.
+func feedAll(s *engine.Session, tuples []*stream.Tuple) error {
+	for _, t := range tuples {
+		if err := s.Feed(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sinkTotal sums the per-sink delivery counts.
+func sinkTotal(sinks []*operator.Sink) uint64 {
+	var n uint64
+	for _, sk := range sinks {
+		n += sk.Count()
+	}
+	return n
+}
+
+// steadyRate is the service rate of a measured half-run.
+func steadyRate(inputs int, outputs uint64, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(inputs+int(outputs)) / wall.Seconds()
+}

@@ -137,6 +137,12 @@ type PerfReport struct {
 	// Band is the band-join-twin suite with the band-partitioned shard
 	// sweep, nil when disabled.
 	Band *PerfSuite `json:"band,omitempty"`
+	// Admission is the live-admission suite: attach-barrier latency and
+	// the steady-state cost of a chain that attached its queries
+	// mid-stream against the same query set built in from the start. Nil
+	// when the shard suites are disabled (the suite shares their equijoin
+	// twin workload).
+	Admission *AdmissionReport `json:"admission,omitempty"`
 }
 
 // PerfConfig parameterises RunPerf. The zero value selects the tracked
@@ -276,6 +282,11 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 			}
 			rep.Band = suite
 		}
+		adm, err := runAdmissionSuite(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Admission = adm
 	}
 	return rep, nil
 }

@@ -258,6 +258,25 @@ func (s *Session) Drain() {
 	}
 }
 
+// Barrier runs fn at a feed barrier: every tuple fed so far is fully
+// processed first (including any micro-batch buffered by Feed), fn mutates
+// the plan while no item is in flight between operators, and the graph is
+// drained again afterwards so any items fn released — e.g. residual tuples
+// flushed out of closed union inputs — reach their sinks before the next
+// Feed. Chain migration and live query admission both restructure the plan
+// through this protocol.
+func (s *Session) Barrier(fn func() error) error {
+	if s.finished {
+		return errors.New("engine: Barrier after Finish")
+	}
+	s.Drain()
+	if err := fn(); err != nil {
+		return err
+	}
+	s.Drain()
+	return nil
+}
+
 // Finish flushes the plan with a final punctuation and returns the run
 // statistics. The session cannot be fed afterwards.
 func (s *Session) Finish() *Result {

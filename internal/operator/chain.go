@@ -45,6 +45,11 @@ func (j *SlicedBinaryJoin) SplitAt(name string, mid stream.Time) (*SlicedBinaryJ
 	return right, nil
 }
 
+// Rename updates the operator's display name. SplitAt and MergeFrom mutate
+// the window range in place but cannot re-render the caller's naming scheme,
+// so the caller renames the surviving join after the surgery.
+func (j *SlicedBinaryJoin) Rename(name string) { j.name = name }
+
 // MergeFrom absorbs the next adjacent slice `right` into j: j's window range
 // becomes [j.start, right.end) and right's states are concatenated in front
 // of j's (they hold strictly older tuples). The queue between j and right

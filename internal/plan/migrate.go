@@ -29,6 +29,16 @@ func (sp *StateSlicePlan) MergeSlices(s *engine.Session, i int) error {
 	if err := sp.migratable(s); err != nil {
 		return err
 	}
+	if err := sp.beginRestructure("MergeSlices"); err != nil {
+		return err
+	}
+	defer sp.endRestructure()
+	return sp.mergeSlices(s, i)
+}
+
+// mergeSlices is the MergeSlices body, shared with MigrateTo, which holds
+// the restructuring guard across its whole merge/split sequence.
+func (sp *StateSlicePlan) mergeSlices(s *engine.Session, i int) error {
 	if i < 0 || i+1 >= len(sp.slices) {
 		return fmt.Errorf("plan: MergeSlices(%d): chain has %d slices", i, len(sp.slices))
 	}
@@ -38,6 +48,7 @@ func (sp *StateSlicePlan) MergeSlices(s *engine.Session, i int) error {
 	if err := left.join.MergeFrom(right.join); err != nil {
 		return fmt.Errorf("plan: MergeSlices(%d): %w", i, err)
 	}
+	left.join.Rename(sliceName(left.join.Range()))
 	sp.closeEdges(left)
 	sp.closeEdges(right)
 	left.join.Result().DetachAll()
@@ -55,6 +66,17 @@ func (sp *StateSlicePlan) SplitSlice(s *engine.Session, i int, mid stream.Time) 
 	if err := sp.migratable(s); err != nil {
 		return err
 	}
+	if err := sp.beginRestructure("SplitSlice"); err != nil {
+		return err
+	}
+	defer sp.endRestructure()
+	return sp.splitSlice(s, i, mid)
+}
+
+// splitSlice is the SplitSlice body, shared with MigrateTo and with
+// admission (Attach splits at most one slice), which hold the restructuring
+// guard across their whole sequence.
+func (sp *StateSlicePlan) splitSlice(s *engine.Session, i int, mid stream.Time) error {
 	if i < 0 || i >= len(sp.slices) {
 		return fmt.Errorf("plan: SplitSlice(%d): chain has %d slices", i, len(sp.slices))
 	}
@@ -65,6 +87,7 @@ func (sp *StateSlicePlan) SplitSlice(s *engine.Session, i int, mid stream.Time) 
 	if err != nil {
 		return fmt.Errorf("plan: SplitSlice(%d): %w", i, err)
 	}
+	left.join.Rename(sliceName(left.join.Range()))
 	rightNode := &sliceNode{join: rightJoin}
 	// Interpose the selection gate between the two new slices when the
 	// remaining queries warrant one. SplitAt wired left.next directly to
@@ -91,6 +114,13 @@ func (sp *StateSlicePlan) SplitSlice(s *engine.Session, i int, mid stream.Time) 
 // form of MergeSlices/SplitSlice used by Plan.Migrate; the sharded executor
 // fans it out to every chain replica.
 func (sp *StateSlicePlan) MigrateTo(s *engine.Session, to []stream.Time) error {
+	if err := sp.migratable(s); err != nil {
+		return err
+	}
+	if err := sp.beginRestructure("MigrateTo"); err != nil {
+		return err
+	}
+	defer sp.endRestructure()
 	if len(to) == 0 {
 		return fmt.Errorf("plan: migration target needs at least one slice boundary")
 	}
@@ -122,7 +152,7 @@ func (sp *StateSlicePlan) MigrateTo(s *engine.Session, to []stream.Time) error {
 		if idx < 0 {
 			break
 		}
-		if err := sp.MergeSlices(s, idx); err != nil {
+		if err := sp.mergeSlices(s, idx); err != nil {
 			return err
 		}
 	}
@@ -149,12 +179,27 @@ func (sp *StateSlicePlan) MigrateTo(s *engine.Session, to []stream.Time) error {
 		if idx < 0 {
 			return fmt.Errorf("plan: no slice contains migration boundary %s (chain ends %v)", b, cur)
 		}
-		if err := sp.SplitSlice(s, idx, b); err != nil {
+		if err := sp.splitSlice(s, idx, b); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// beginRestructure takes the chain's restructuring guard, rejecting
+// reentrant surgery: a sink callback fired from inside a live migration or
+// admission barrier observes the chain mid-restructure and must not start a
+// second one.
+func (sp *StateSlicePlan) beginRestructure(op string) error {
+	if sp.restructuring {
+		return fmt.Errorf("plan: %s: chain %s is already being restructured (a migration or admission is in progress; calling back into the chain from a result sink during a barrier is not allowed)", op, sp.Plan.Name)
+	}
+	sp.restructuring = true
+	return nil
+}
+
+// endRestructure releases the restructuring guard.
+func (sp *StateSlicePlan) endRestructure() { sp.restructuring = false }
 
 // migratable validates migration preconditions.
 func (sp *StateSlicePlan) migratable(s *engine.Session) error {

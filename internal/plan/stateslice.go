@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 
 	"stateslice/internal/engine"
 	"stateslice/internal/operator"
@@ -38,6 +39,11 @@ type StateSliceConfig struct {
 	// incompatible with Migratable; Build reports violations. The plan's
 	// sinks exist but receive nothing.
 	RawSliceResults bool
+	// OnResult, when set, is invoked for every result tuple of every
+	// query — built in or attached later — as it reaches the query's
+	// sink, with the query's slot index. It runs on the goroutine driving
+	// the session.
+	OnResult func(qi int, t *stream.Tuple)
 	// Name overrides the plan name; empty defaults to "state-slice".
 	Name string
 }
@@ -54,8 +60,19 @@ type StateSlicePlan struct {
 	entryOps []operator.Operator
 	chainIn  *operator.ChainInput
 	slices   []*sliceNode
-	unions   []*operator.Union // per query; nil when wired directly to the sink
+	unions   []*operator.Union // per query slot; nil when wired directly to the sink
 	sinks    []*operator.Sink
+
+	// live marks which query slots subscribe to the chain. Build admits
+	// every workload query; Attach appends slots, Detach clears them.
+	// Slots are never removed — a detached query's union and sink stay in
+	// the operator list (inert once flushed) so slot indices, and the
+	// QueryIDs derived from them, stay stable for the plan's lifetime.
+	live []bool
+	// restructuring guards the chain against reentrant surgery: a sink
+	// callback fired from inside a migration or admission barrier cannot
+	// start a second restructuring of the same chain.
+	restructuring bool
 }
 
 // sliceNode bundles one sliced join with its input gate and result wiring.
@@ -166,9 +183,11 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 	// identical work to another scheduling pass.
 	sp.unions = make([]*operator.Union, len(w.Queries))
 	sp.sinks = make([]*operator.Sink, len(w.Queries))
+	sp.live = make([]bool, len(w.Queries))
 	for qi, q := range w.Queries {
+		sp.live[qi] = true
 		contributing := sp.sliceOf(q.Window) + 1
-		sink := operator.NewDirectSink(w.QueryName(qi))
+		sink := sp.newQuerySink(qi)
 		if !cfg.RawSliceResults && (cfg.Migratable || contributing > 1) {
 			u := operator.NewUnion(w.QueryName(qi) + ".union")
 			sp.unions[qi] = u
@@ -176,9 +195,6 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 		}
 		// Otherwise a single slice contributes and wireSliceResults
 		// attaches the sink to its (possibly filtered) result port.
-		if cfg.Collect {
-			sink.Collecting()
-		}
 		sp.sinks[qi] = sink
 	}
 
@@ -189,6 +205,19 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 	}
 	sp.rebuildOps()
 	return sp, nil
+}
+
+// newQuerySink builds the terminal sink of query slot qi, applying the
+// plan-wide collection and result-handler settings.
+func (sp *StateSlicePlan) newQuerySink(qi int) *operator.Sink {
+	sink := operator.NewDirectSink(sp.w.QueryName(qi))
+	if sp.cfg.Collect {
+		sink.Collecting()
+	}
+	if h := sp.cfg.OnResult; h != nil {
+		sink.OnResult(func(t *stream.Tuple) { h(qi, t) })
+	}
+	return sink
 }
 
 // RawSliceEligible reports whether a chain over the given slice boundaries
@@ -263,6 +292,26 @@ func (sp *StateSlicePlan) Ends() []stream.Time {
 
 // Sinks returns the per-query sinks (indexed like the workload queries).
 func (sp *StateSlicePlan) Sinks() []*operator.Sink { return sp.sinks }
+
+// QuerySlot describes one query slot of the live chain: the query as
+// admitted and whether the slot still subscribes to results. Detached slots
+// stay in place (Live false) so slot indices remain stable.
+type QuerySlot struct {
+	Query Query
+	Live  bool
+}
+
+// QuerySlots returns the chain's query slots — built-in and attached, in
+// slot order — reflecting every admission applied so far. Explain renders
+// from this, not from the build-time workload, so attach/detach (and the
+// query set a migration serves) stay observable.
+func (sp *StateSlicePlan) QuerySlots() []QuerySlot {
+	out := make([]QuerySlot, len(sp.w.Queries))
+	for qi, q := range sp.w.Queries {
+		out[qi] = QuerySlot{Query: q, Live: sp.live[qi]}
+	}
+	return out
+}
 
 // QueryUnion returns the order-preserving union assembling query qi's
 // answer, or nil when a single slice feeds the sink directly (possible only
@@ -374,32 +423,37 @@ func (g chainedGate) Step(m *operator.CostMeter, max int) int {
 // wireSliceResults (re)builds the result path of slice si: router (when the
 // slice serves several distinct query windows), per-edge selection filters
 // grouped by predicate, and the connections into the per-query unions or
-// sinks. The slice's previous wiring must have been detached already.
+// sinks. The slice's previous wiring must have been detached already. The
+// served set is computed per slot — live queries whose window exceeds the
+// slice start — not positionally, because admission appends slots out of
+// window order and detach leaves dead slots in place.
 func (sp *StateSlicePlan) wireSliceResults(si int) {
 	node := sp.slices[si]
 	node.router = nil
 	node.filters = nil
 	node.edges = nil
 	start, end := node.join.Range()
-	minQ := firstQueryBeyond(sp.w.Queries, start)
+	served := sp.servedAt(start)
 
 	// Partition the served queries: windows inside (start, end] need
 	// routing when more than one distinct window lands there; windows
-	// beyond end accept every result of this slice.
+	// beyond end accept every result of this slice. Router branches must
+	// ascend, and served slots carry no window order, so the inside
+	// windows are sorted and deduplicated explicitly.
 	type target struct {
 		qi   int
 		port *operator.Port
 	}
 	var targets []target
 	insideW := []stream.Time{}
-	for qi := minQ; qi < len(sp.w.Queries); qi++ {
+	for _, qi := range served {
 		w := sp.w.Queries[qi].Window
 		if w <= end {
-			if len(insideW) == 0 || insideW[len(insideW)-1] != w {
-				insideW = append(insideW, w)
-			}
+			insideW = append(insideW, w)
 		}
 	}
+	sort.Slice(insideW, func(a, b int) bool { return insideW[a] < insideW[b] })
+	insideW = dedupeTimes(insideW)
 	// Routing is needed when the slice serves several distinct windows,
 	// or when its end window exceeds every inside window (possible after
 	// an online split at a non-window boundary): results between the
@@ -423,7 +477,7 @@ func (sp *StateSlicePlan) wireSliceResults(si int) {
 			}
 			ports[w] = port
 		}
-		for qi := minQ; qi < len(sp.w.Queries); qi++ {
+		for _, qi := range served {
 			w := sp.w.Queries[qi].Window
 			if w <= end {
 				targets = append(targets, target{qi, ports[w]})
@@ -432,7 +486,7 @@ func (sp *StateSlicePlan) wireSliceResults(si int) {
 			}
 		}
 	} else {
-		for qi := minQ; qi < len(sp.w.Queries); qi++ {
+		for _, qi := range served {
 			targets = append(targets, target{qi, node.join.Result()})
 		}
 	}
@@ -448,8 +502,8 @@ func (sp *StateSlicePlan) wireSliceResults(si int) {
 	for _, tg := range targets {
 		q := sp.w.Queries[tg.qi]
 		out := tg.port
-		needA := q.HasFilter() && !sp.impliedAtSlice(minQ, tg.qi, stream.StreamA)
-		needB := q.HasFilterB() && !sp.impliedAtSlice(minQ, tg.qi, stream.StreamB)
+		needA := q.HasFilter() && !sp.impliedAtSlice(start, tg.qi, stream.StreamA)
+		needB := q.HasFilterB() && !sp.impliedAtSlice(start, tg.qi, stream.StreamB)
 		if needA || needB {
 			keyStr := ""
 			if needA {
@@ -500,10 +554,10 @@ func (sp *StateSlicePlan) connect(node *sliceNode, qi int, src *operator.Port) {
 }
 
 // impliedAtSlice reports whether every tuple of the given stream admitted
-// into the slice whose first served query is minQ already satisfies query
-// qi's selection on that stream, making a result-side filter redundant (the
+// into the slice starting at the given boundary already satisfies query qi's
+// selection on that stream, making a result-side filter redundant (the
 // Figure 10 situation, where only the first slice's results need sigma'_A).
-func (sp *StateSlicePlan) impliedAtSlice(minQ, qi int, side stream.ID) bool {
+func (sp *StateSlicePlan) impliedAtSlice(start stream.Time, qi int, side stream.ID) bool {
 	pick := func(q Query) stream.Predicate {
 		if side == stream.StreamB {
 			return q.filterBOrTrue()
@@ -511,12 +565,35 @@ func (sp *StateSlicePlan) impliedAtSlice(minQ, qi int, side stream.ID) bool {
 		return q.filterOrTrue()
 	}
 	want := pick(sp.w.Queries[qi])
-	for _, q := range sp.w.Queries[minQ:] {
-		if !implies(pick(q), want) {
+	for _, k := range sp.servedAt(start) {
+		if !implies(pick(sp.w.Queries[k]), want) {
 			return false
 		}
 	}
 	return true
+}
+
+// servedAt lists the live query slots subscribed to results of a slice
+// starting at the given boundary, in slot order.
+func (sp *StateSlicePlan) servedAt(start stream.Time) []int {
+	var out []int
+	for qi, q := range sp.w.Queries {
+		if sp.live[qi] && q.Window > start {
+			out = append(out, qi)
+		}
+	}
+	return out
+}
+
+// dedupeTimes removes adjacent duplicates from a sorted time slice.
+func dedupeTimes(ts []stream.Time) []stream.Time {
+	out := ts[:0]
+	for _, t := range ts {
+		if len(out) == 0 || out[len(out)-1] != t {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // rebuildOps regenerates the topological operator list after construction or

@@ -234,19 +234,49 @@ type feedMsg struct {
 	ctl   *ctl
 }
 
-// ctl is a barrier command: a migration when target is non-nil, otherwise a
-// drain. The runner acknowledges on ack after the replica has quiesced.
+// ctl is a barrier command: a migration when target is non-nil, an admission
+// when attach or detach is set, otherwise a drain. The runner acknowledges
+// on ack after the replica has quiesced.
 type ctl struct {
 	target []stream.Time
+	attach *attachCmd
+	detach *int
 	ack    chan error
 }
 
+// attachCmd fans one query admission out to every replica. The merger and
+// its owning worker are built by the driver before the barrier, so runners
+// only wire taps — they never touch driver-owned registries.
+type attachCmd struct {
+	q  plan.Query
+	qi int // slot index every replica must produce
+	m  *merger
+	mw *mergeWorker
+}
+
 // taggedBatch routes a result slab to a query merger together with its
-// query index and source shard.
+// source shard. It carries the merger itself, not an index into a registry:
+// admission appends mergers while the workers run, and a pointer in the
+// batch is immune to the registry growing under them.
 type taggedBatch struct {
-	query int
+	m     *merger
 	shard int
 	items []stream.Item
+}
+
+// outEdge is one replica output stream — a query terminal or, on the
+// slice-merge fast path, a slice result port — with its batcher and merge
+// destination. Edges are runner-owned (the taps and flushResults run on the
+// runner goroutine); each is allocated individually so admission can append
+// edges without invalidating the pointers captured by earlier taps.
+type outEdge struct {
+	b *stream.Batcher
+	// Query-level merge path:
+	m  *merger
+	mw *mergeWorker
+	// Slice-merge fast path:
+	slice int
+	asmIn chan sliceBatch
 }
 
 // replica is one chain copy with its session and feed edge. All fields
@@ -260,7 +290,7 @@ type replica struct {
 	sp   *plan.StateSlicePlan
 	sess *engine.Session
 	feed chan feedMsg
-	out  []stream.Batcher // per-query (or per-slice) result batchers, runner-owned
+	out  []*outEdge // per-query (or per-slice) result edges, runner-owned
 	res  *engine.Result
 	err  error
 }
@@ -283,8 +313,12 @@ type merger struct {
 // mergeWorker drains the tagged result batches of a disjoint subset of the
 // query mergers on its own goroutine.
 type mergeWorker struct {
-	in      chan taggedBatch
-	queries []int // owned query indexes
+	in chan taggedBatch
+	// mergers owned by this worker. The driver appends here (at New and on
+	// every Attach) and the worker goroutine reads the slice only after in
+	// is closed — the close orders every prior append before the read, so
+	// no lock is needed.
+	mergers []*merger
 }
 
 // Executor drives P chain replicas and their cross-replica merge layer. It
@@ -377,16 +411,11 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		outs := queries
-		if cfg.SliceMerge {
-			outs = len(sp.Ends())
-		}
 		r := &replica{
 			idx:  i,
 			sp:   sp,
 			sess: sess,
 			feed: make(chan feedMsg, feedBuf),
-			out:  make([]stream.Batcher, outs),
 		}
 		e.replicas = append(e.replicas, r)
 	}
@@ -412,25 +441,14 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	if cfg.SliceMerge {
 		e.asm = newAssembler(cfg.Shards, workers, e.replicas[0].sp.Ends(), cfg.Windows, e.free, cfg)
 	} else {
-		e.queryWorker = make([]int, queries)
+		e.queryWorker = make([]int, 0, queries)
 		e.mergeWorkers = make([]*mergeWorker, workers)
 		for w := range e.mergeWorkers {
 			e.mergeWorkers[w] = &mergeWorker{in: make(chan taggedBatch, chanBuf)}
 		}
 		for qi := 0; qi < queries; qi++ {
-			m := &merger{sink: operator.NewDirectSink(fmt.Sprintf("Q%d", qi+1))}
-			m.mg = newKmerge(cfg.Shards, m.sink.AcceptRun, e.free)
-			if cfg.Collect {
-				m.sink.Collecting()
-			}
-			if cfg.OnResult != nil {
-				q := qi
-				m.sink.OnResult(func(t *stream.Tuple) { cfg.OnResult(q, t) })
-			}
-			e.mergers = append(e.mergers, m)
 			w := queryOwner(qi, workers, queries)
-			e.queryWorker[qi] = w
-			e.mergeWorkers[w].queries = append(e.mergeWorkers[w].queries, qi)
+			e.registerMerger(e.newMerger(qi, fmt.Sprintf("Q%d", qi+1)), w)
 		}
 	}
 
@@ -456,17 +474,12 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	// replication creates never reach the merge (band.go). Punctuations
 	// always pass — duplicate-male punctuation only advances frontiers.
 	for _, r := range e.replicas {
-		shardIdx := r.idx
-		var foreign func(*stream.Tuple) bool
-		if e.rpart != nil {
-			rp := e.rpart
-			foreign = func(t *stream.Tuple) bool { return rp.Owner(bandOwnerKey(t)) != shardIdx }
-		}
 		if cfg.SliceMerge {
+			shardIdx := r.idx
+			foreign := e.foreignFn(shardIdx)
 			for si, j := range r.sp.Slices() {
-				b := &r.out[si]
-				slice := si
-				in := e.asm.workers[e.asm.sliceOwner[si]].in
+				o := &outEdge{b: new(stream.Batcher), slice: si, asmIn: e.asm.workers[e.asm.sliceOwner[si]].in}
+				r.out = append(r.out, o)
 				j.Result().AttachFunc(func(it stream.Item) {
 					if it.IsPunct() {
 						if it.Punct < stream.MaxTime {
@@ -475,37 +488,16 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 					} else if foreign != nil && foreign(it.Tuple) {
 						return
 					}
-					b.Add(it)
-					if b.Full() {
-						in <- sliceBatch{slice: slice, shard: shardIdx, items: b.TakeWith(e.getSlab())}
+					o.b.Add(it)
+					if o.b.Full() {
+						o.asmIn <- sliceBatch{slice: o.slice, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
 					}
 				})
 			}
 			continue
 		}
 		for qi, sink := range r.sp.Plan.Sinks {
-			b := &r.out[qi]
-			query := qi
-			in := e.mergeWorkers[e.queryWorker[qi]].in
-			tap := func(it stream.Item) {
-				if it.IsPunct() {
-					if it.Punct < stream.MaxTime {
-						it.Punct--
-					}
-				} else if foreign != nil && foreign(it.Tuple) {
-					return
-				}
-				b.Add(it)
-				if b.Full() {
-					in <- taggedBatch{query: query, shard: shardIdx, items: b.TakeWith(e.getSlab())}
-				}
-			}
-			if u := r.sp.QueryUnion(qi); u != nil {
-				u.Out().DetachAll()
-				u.Out().AttachFunc(tap)
-			} else {
-				sink.OnItem(tap).TapOnly()
-			}
+			r.out = append(r.out, e.tapQuery(r, r.sp.QueryUnion(qi), sink, e.mergers[qi], e.mergeWorkers[e.queryWorker[qi]]))
 		}
 	}
 
@@ -521,6 +513,76 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 		go e.runMergeWorker(w)
 	}
 	return e, nil
+}
+
+// foreignFn returns the band owner-rule predicate for a shard — a result
+// survives only on the shard owning the probing male's key — or nil under
+// hash partitioning, where no tuple is ever replicated.
+func (e *Executor) foreignFn(shardIdx int) func(*stream.Tuple) bool {
+	if e.rpart == nil {
+		return nil
+	}
+	rp := e.rpart
+	return func(t *stream.Tuple) bool { return rp.Owner(bandOwnerKey(t)) != shardIdx }
+}
+
+// tapQuery wires one query terminal on replica r into the merge layer and
+// returns its output edge. Union-terminated queries hand their output port
+// to the tap outright (the replica's relay sink hop disappears; migrations
+// and admissions rewire union inputs, never the output), while direct-wired
+// terminals keep their sink in tap-only mode because the terminal port may
+// be shared between queries. Punctuations are demoted one tick to a strict
+// frontier (MaxTime passes so Finish — and a detach flush — still complete
+// the merge); under band partitioning the owner rule drops boundary
+// duplicates before batching.
+func (e *Executor) tapQuery(r *replica, u *operator.Union, sink *operator.Sink, m *merger, mw *mergeWorker) *outEdge {
+	o := &outEdge{b: new(stream.Batcher), m: m, mw: mw}
+	shardIdx := r.idx
+	foreign := e.foreignFn(shardIdx)
+	tap := func(it stream.Item) {
+		if it.IsPunct() {
+			if it.Punct < stream.MaxTime {
+				it.Punct--
+			}
+		} else if foreign != nil && foreign(it.Tuple) {
+			return
+		}
+		o.b.Add(it)
+		if o.b.Full() {
+			o.mw.in <- taggedBatch{m: o.m, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
+		}
+	}
+	if u != nil {
+		u.Out().DetachAll()
+		u.Out().AttachFunc(tap)
+	} else {
+		sink.OnItem(tap).TapOnly()
+	}
+	return o
+}
+
+// newMerger builds one query merger — sink, k-way merge, collection and
+// result-handler wiring — for query slot qi.
+func (e *Executor) newMerger(qi int, name string) *merger {
+	m := &merger{sink: operator.NewDirectSink(name)}
+	m.mg = newKmerge(e.cfg.Shards, m.sink.AcceptRun, e.free)
+	if e.cfg.Collect {
+		m.sink.Collecting()
+	}
+	if h := e.cfg.OnResult; h != nil {
+		slot := qi
+		m.sink.OnResult(func(t *stream.Tuple) { h(slot, t) })
+	}
+	return m
+}
+
+// registerMerger records a merger in the driver-owned registries and hands
+// it to worker w. Driver-only (New and Attach); the worker goroutine reads
+// its merger list only after its channel closes.
+func (e *Executor) registerMerger(m *merger, w int) {
+	e.mergers = append(e.mergers, m)
+	e.queryWorker = append(e.queryWorker, w)
+	e.mergeWorkers[w].mergers = append(e.mergeWorkers[w].mergers, m)
 }
 
 // Shards returns the replica count.
@@ -600,24 +662,44 @@ func (e *Executor) runReplica(r *replica) {
 }
 
 // applyCtl executes one barrier command on the runner goroutine: all slabs
-// sent before it have been fed, so a migration happens at the same global
-// stream position on every replica.
+// sent before it have been fed, so a migration or admission happens at the
+// same global stream position on every replica.
 func (e *Executor) applyCtl(r *replica, c *ctl) error {
 	if r.err != nil {
 		return r.err
 	}
 	var err error
-	if c.target != nil {
+	switch {
+	case c.attach != nil:
+		err = e.applyAttach(r, c.attach)
+	case c.detach != nil:
+		err = r.sp.Detach(r.sess, *c.detach)
+	case c.target != nil:
 		if e.asm != nil {
 			err = errors.New("shard: the slice-merge fast path does not support migration; build the executor without SliceMerge")
 		} else {
 			err = r.sp.MigrateTo(r.sess, c.target)
 		}
-	} else {
+	default:
 		r.sess.Drain()
 	}
 	e.flushResults(r)
 	return err
+}
+
+// applyAttach admits the query on one replica and taps its fresh union into
+// the merger the driver built for it. Runs on the runner goroutine, so the
+// append to the runner-owned edge list is race-free.
+func (e *Executor) applyAttach(r *replica, c *attachCmd) error {
+	qi, err := r.sp.Attach(r.sess, c.q)
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", r.idx, err)
+	}
+	if qi != c.qi {
+		return fmt.Errorf("shard %d: attach produced query slot %d, expected %d (replicas diverged)", r.idx, qi, c.qi)
+	}
+	r.out = append(r.out, e.tapQuery(r, r.sp.QueryUnion(qi), r.sp.Sinks()[qi], c.m, c.mw))
+	return nil
 }
 
 // flushResults ships every non-empty output slab to the merge layer
@@ -626,18 +708,18 @@ func (e *Executor) applyCtl(r *replica, c *ctl) error {
 // TakeWith discards the spare when there is nothing to seal, which would
 // bleed a recycled slab per idle output per flush.
 func (e *Executor) flushResults(r *replica) {
-	for i := range r.out {
-		if r.out[i].Len() == 0 {
+	for _, o := range r.out {
+		if o.b.Len() == 0 {
 			continue
 		}
-		items := r.out[i].TakeWith(e.getSlab())
+		items := o.b.TakeWith(e.getSlab())
 		if items == nil {
 			continue
 		}
-		if e.asm != nil {
-			e.asm.workers[e.asm.sliceOwner[i]].in <- sliceBatch{slice: i, shard: r.idx, items: items}
+		if o.asmIn != nil {
+			o.asmIn <- sliceBatch{slice: o.slice, shard: r.idx, items: items}
 		} else {
-			e.mergeWorkers[e.queryWorker[i]].in <- taggedBatch{query: i, shard: r.idx, items: items}
+			o.mw.in <- taggedBatch{m: o.m, shard: r.idx, items: items}
 		}
 	}
 }
@@ -674,12 +756,13 @@ func recycleSlab(free chan []stream.Item, slab []stream.Item) {
 func (e *Executor) runMergeWorker(w *mergeWorker) {
 	defer e.mergeWG.Done()
 	for tb := range w.in {
-		m := e.mergers[tb.query]
-		m.mg.push(tb.shard, tb.items)
-		m.mg.step()
+		tb.m.mg.push(tb.shard, tb.items)
+		tb.m.mg.step()
 	}
-	for _, qi := range w.queries {
-		e.mergers[qi].mg.step()
+	// Safe: the channel close orders every driver append to w.mergers
+	// before this read.
+	for _, m := range w.mergers {
+		m.mg.step()
 	}
 }
 
@@ -783,11 +866,13 @@ func (e *Executor) broadcast(ts stream.Time) {
 
 // barrier flushes all pending slabs, issues the command to every shard and
 // waits for every acknowledgement, returning the first error.
-func (e *Executor) barrier(target []stream.Time) error {
+func (e *Executor) barrier(c ctl) error {
 	acks := make(chan error, len(e.replicas))
 	for i := range e.replicas {
 		e.send(i)
-		e.replicas[i].feed <- feedMsg{ctl: &ctl{target: target, ack: acks}}
+		ci := c
+		ci.ack = acks
+		e.replicas[i].feed <- feedMsg{ctl: &ci}
 	}
 	var first error
 	for range e.replicas {
@@ -805,7 +890,7 @@ func (e *Executor) Drain() {
 	if e.finished {
 		return
 	}
-	if err := e.barrier(nil); err != nil && e.err == nil {
+	if err := e.barrier(ctl{}); err != nil && e.err == nil {
 		e.err = err
 	}
 }
@@ -824,11 +909,73 @@ func (e *Executor) Migrate(to []stream.Time) ([]stream.Time, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
-	if err := e.barrier(to); err != nil {
+	if err := e.barrier(ctl{target: to}); err != nil {
 		return nil, err
 	}
 	// Safe: the barrier acknowledgements order every replica mutation
 	// before this read.
+	return e.replicas[0].sp.Ends(), nil
+}
+
+// Attach admits one query on every replica at the current stream position —
+// all tuples fed so far are processed first; no later tuple overtakes the
+// admission on any shard — and wires a fresh cross-replica merger for it.
+// It returns the query's slot index (stable for the executor's lifetime)
+// and the chain's boundary layout after the admission, which may have
+// gained one boundary from the slice split. The merge-worker pool is fixed
+// at construction; the new merger joins an existing worker.
+func (e *Executor) Attach(q plan.Query) (int, []stream.Time, error) {
+	if e.finished {
+		return 0, nil, errors.New("shard: Attach after Finish")
+	}
+	if e.err == nil {
+		e.err = e.pendingErr()
+	}
+	if e.err != nil {
+		return 0, nil, e.err
+	}
+	if e.asm != nil {
+		return 0, nil, errors.New("shard: the slice-merge fast path has a fixed query set; build the plan with WithMigratable to admit queries live")
+	}
+	qi := len(e.mergers)
+	name := q.Name
+	if name == "" {
+		name = fmt.Sprintf("Q%d", qi+1)
+	}
+	m := e.newMerger(qi, name)
+	w := qi % e.workers
+	if err := e.barrier(ctl{attach: &attachCmd{q: q, qi: qi, m: m, mw: e.mergeWorkers[w]}}); err != nil {
+		return 0, nil, err
+	}
+	e.registerMerger(m, w)
+	return qi, e.replicas[0].sp.Ends(), nil
+}
+
+// Detach unsubscribes query slot qi on every replica at the current stream
+// position. Each replica's union flushes its residue followed by a MaxTime
+// punctuation, which completes the query's cross-replica merge — the
+// merger's sink keeps every result delivered before the detach and appears
+// as usual in Finish. It returns the chain's boundary layout after the
+// detach, which shrinks when trailing slices lost their last subscriber.
+func (e *Executor) Detach(qi int) ([]stream.Time, error) {
+	if e.finished {
+		return nil, errors.New("shard: Detach after Finish")
+	}
+	if e.err == nil {
+		e.err = e.pendingErr()
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.asm != nil {
+		return nil, errors.New("shard: the slice-merge fast path has a fixed query set; build the plan with WithMigratable to admit queries live")
+	}
+	if qi < 0 || qi >= len(e.mergers) {
+		return nil, fmt.Errorf("shard: Detach(%d): executor has %d query slots", qi, len(e.mergers))
+	}
+	if err := e.barrier(ctl{detach: &qi}); err != nil {
+		return nil, err
+	}
 	return e.replicas[0].sp.Ends(), nil
 }
 

@@ -115,6 +115,10 @@ func Run(p *ExecPlan, input []*Tuple, cfg RunConfig) (*Result, error) {
 }
 
 // ConcurrentResult reports a concurrent chain execution.
+//
+// Deprecated: Build(w, MemOpt, WithConcurrency()) plans report the unified
+// Result type from Plan.Run; only the deprecated RunChainConcurrent still
+// returns this shape.
 type ConcurrentResult = pipeline.Result
 
 // RunChainConcurrent executes the workload's Mem-Opt chain with one
@@ -150,10 +154,11 @@ func RunChainConcurrent(w Workload, input []*Tuple, collect bool) (*ConcurrentRe
 // Deprecated: use Build(..., WithHashProbing()).
 func EnableHashProbing(p *ExecPlan) error { return enableHashProbing(p) }
 
-// EngineSession is the sequential engine's concrete session, the Session
-// implementation behind every engine-backed plan. Raw-plan helpers
-// (ChainPlan.MergeSlices / SplitSlice) take it directly; code holding a
-// Plan uses the Session interface instead.
+// EngineSession is the sequential engine's concrete session. Raw-plan
+// helpers (ChainPlan.MergeSlices / SplitSlice) take it directly.
+//
+// Deprecated: use the Session interface returned by Plan.NewSession, which
+// adds live query admission (Attach / Detach) on top of the engine session.
 type EngineSession = engine.Session
 
 // NewSession prepares an incremental run over a raw plan; use it to Feed

@@ -93,9 +93,21 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 		migratable: o.migratable,
 		collect:    o.collect,
 		sinks:      o.sinks,
+		handler:    o.resultHandler,
 		initEnds:   probe.Ends(),
 		ends:       probe.Ends(),
+		slots:      initialSlots(w),
 	}, nil
+}
+
+// initialSlots builds the query roster of a fresh plan or session: the
+// build-time workload, every slot live.
+func initialSlots(w Workload) []plan.QuerySlot {
+	slots := make([]plan.QuerySlot, len(w.Queries))
+	for i, q := range w.Queries {
+		slots[i] = plan.QuerySlot{Query: q, Live: true}
+	}
+	return slots
 }
 
 // queryWindows lists the workload's query windows in query order.
@@ -123,10 +135,16 @@ type shardedPlan struct {
 	migratable bool
 	collect    bool
 	sinks      map[int]Sink
+	handler    func(QueryID, *Tuple) // WithResultHandler
 
 	initEnds []Time
-	ends     []Time        // current layout (updated by Migrate)
-	sess     *shardSession // latest session, the migration target
+	ends     []Time // current layout (updated by Migrate and admission)
+	// slots is the query roster the latest session has admitted — built-in
+	// and attached queries, detached ones marked dead — mirroring the
+	// replicas' plan.QuerySlots so Explain renders the live set without
+	// crossing into executor goroutines.
+	slots []plan.QuerySlot
+	sess  *shardSession // latest session, the migration and admission target
 }
 
 func (p *shardedPlan) sealed() {}
@@ -150,9 +168,12 @@ func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
 		cfg.BatchSize = p.batchSize
 	}
 	var onResult func(int, *Tuple)
-	if len(p.sinks) > 0 {
-		sinks := p.sinks
+	if p.handler != nil || len(p.sinks) > 0 {
+		handler, sinks := p.handler, p.sinks
 		onResult = func(qi int, t *Tuple) {
+			if handler != nil {
+				handler(QueryID(qi), t)
+			}
 			if s, ok := sinks[qi]; ok {
 				s.Emit(t)
 			}
@@ -195,7 +216,8 @@ func (p *shardedPlan) NewSession(cfg RunConfig) (Session, error) {
 		return nil, err
 	}
 	p.ends = append([]Time(nil), p.initEnds...)
-	p.sess = &shardSession{e: e}
+	p.slots = initialSlots(p.w)
+	p.sess = &shardSession{e: e, p: p}
 	return p.sess, nil
 }
 
@@ -230,7 +252,7 @@ func (p *shardedPlan) EstimatedCost() (Cost, error) {
 func (p *shardedPlan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan %q  strategy=%s  shards=%d\n", p.name, p.strategy, p.shards)
-	explainQueries(&b, p.w)
+	explainSlots(&b, p.slots)
 	start := Time(0)
 	b.WriteString("  chain:")
 	for _, e := range p.ends {
@@ -259,7 +281,7 @@ func (p *shardedPlan) Explain() string {
 			part, p.shards, len(p.ends), workersLabel(p.workers))
 	} else {
 		fmt.Fprintf(&b, "  executor: %s -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers on %s workers\n",
-			part, p.shards, len(p.w.Queries), workersLabel(p.workers))
+			part, p.shards, len(p.slots), workersLabel(p.workers))
 	}
 	return b.String()
 }
@@ -280,6 +302,7 @@ func workersLabel(n int) string {
 // has no error return there — a failed replica is never silently dropped.
 type shardSession struct {
 	e *shard.Executor
+	p *shardedPlan
 }
 
 // Feed implements Session.
@@ -290,6 +313,38 @@ func (s *shardSession) Consume(src Source) error { return s.e.Consume(src) }
 
 // Drain implements Session.
 func (s *shardSession) Drain() { s.e.Drain() }
+
+// Attach implements Session: the admission fans out to every replica at the
+// current stream position — all tuples fed so far are processed on every
+// shard before the query subscribes, so no shard's suffix starts early.
+func (s *shardSession) Attach(q Query) (QueryID, error) {
+	if !s.p.migratable {
+		return 0, errors.New("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring)")
+	}
+	qi, ends, err := s.e.Attach(q)
+	if err != nil {
+		return 0, err
+	}
+	s.p.slots = append(s.p.slots, plan.QuerySlot{Query: q, Live: true})
+	s.p.ends = ends
+	return QueryID(qi), nil
+}
+
+// Detach implements Session: every replica unsubscribes the query and
+// garbage-collects subscriber-less trailing slices; the plan's recorded
+// layout shrinks with them.
+func (s *shardSession) Detach(id QueryID) error {
+	if !s.p.migratable {
+		return errors.New("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring)")
+	}
+	ends, err := s.e.Detach(int(id))
+	if err != nil {
+		return err
+	}
+	s.p.slots[id].Live = false
+	s.p.ends = ends
+	return nil
+}
 
 // Finish implements Session. A replica failure — which also surfaces on
 // Feed/Consume/Migrate as soon as it is published — is returned on

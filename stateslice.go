@@ -60,6 +60,14 @@
 //	err = p.Migrate([]stateslice.Time{60 * stateslice.Minute}) // merge the chain
 //	res := sess.Finish()
 //
+// Sessions on migratable chains over unfiltered workloads also change the
+// query set while the stream runs: Session.Attach admits a new query against
+// the live slice states at a feed barrier (splitting at most one slice, no
+// rebuild, no replay — its results from then on are byte-identical to a
+// chain built with it from the start), and Session.Detach unsubscribes a
+// query, garbage-collecting slices no remaining query reads. WithResultHandler
+// streams every query's results, including ones admitted after Build.
+//
 // # Sharded execution
 //
 // Equijoin workloads can run the chain as p independent replicas, the input
@@ -155,14 +163,20 @@ type (
 	// Workload is a set of queries sharing one join over two streams.
 	Workload = plan.Workload
 	// ExecPlan is the raw executable operator graph behind a Plan. The
-	// deprecated per-strategy constructors traffic in it directly; new
-	// code should hold the Plan interface returned by Build instead.
+	// deprecated per-strategy constructors traffic in it directly.
+	//
+	// Deprecated: hold the Plan interface returned by Build instead.
 	ExecPlan = engine.Plan
 	// ChainPlan is an executable state-slice chain with online
 	// migration support (MergeSlices / SplitSlice).
+	//
+	// Deprecated: use Build with a chain strategy and WithMigratable;
+	// Plan.Migrate re-slices and Session.Attach / Session.Detach admit
+	// and remove queries without touching the raw chain.
 	ChainPlan = plan.StateSlicePlan
-	// ChainConfig tunes the deprecated state-slice plan constructors;
-	// Build expresses the same knobs as options.
+	// ChainConfig tunes the deprecated state-slice plan constructors.
+	//
+	// Deprecated: Build expresses the same knobs as options.
 	ChainConfig = plan.StateSliceConfig
 	// RunConfig tunes an engine run.
 	RunConfig = engine.Config

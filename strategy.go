@@ -155,6 +155,7 @@ type buildOptions struct {
 	model           CostModel
 	modelSet        bool
 	sinks           map[int]Sink
+	resultHandler   func(QueryID, *Tuple)
 	batchSize       int
 	batchSet        bool
 	err             error
@@ -366,5 +367,24 @@ func WithSink(query int, s Sink) Option {
 			o.sinks = make(map[int]Sink)
 		}
 		o.sinks[query] = s
+	}
+}
+
+// WithResultHandler registers one streaming callback receiving every result
+// tuple of every query together with the query's ID — the 0-based workload
+// index for built-in queries, or the ID Session.Attach returned for queries
+// admitted mid-stream. Unlike WithSink it needs no per-query registration,
+// which is what makes it fit a churning subscriber set: queries that do not
+// exist yet at Build time still stream through it. It composes with WithSink
+// (the handler fires first, then the query's sink, on the same goroutine —
+// the session driver for sequential plans, an assembly worker for sharded
+// ones; under WithShards different queries' callbacks run on different
+// workers and may fire concurrently, so guard any state they share).
+func WithResultHandler(fn func(QueryID, *Tuple)) Option {
+	return func(o *buildOptions) {
+		if fn == nil && o.err == nil {
+			o.err = errors.New("stateslice: WithResultHandler needs a non-nil handler")
+		}
+		o.resultHandler = fn
 	}
 }
