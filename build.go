@@ -1,6 +1,7 @@
 package stateslice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -114,6 +115,24 @@ type Session interface {
 	// Result.Err; always check it before trusting a sharded session's
 	// statistics.
 	Finish() *Result
+	// Close aborts the session without the final flush Finish performs:
+	// feeding stops, every replica, merge and assembly goroutine of a
+	// sharded session unwinds deadlock- and leak-free — even mid-Migrate
+	// or mid-Attach barrier — and every subsequent operation fails with
+	// ErrClosed. Close returns the session's first recorded failure (a
+	// contained PanicError, a replica error), or nil for a clean abort;
+	// ctx bounds how long Close waits for the teardown (the unwind keeps
+	// finishing in the background if ctx expires first). Close is
+	// idempotent: later calls return ErrClosed. Finish after Close
+	// returns the partial statistics with Result.Err classified, so an
+	// aborted run is never mistaken for a completed one.
+	//
+	// On sharded sessions (WithShards) Close alone may be called from any
+	// goroutine — including concurrently with a Feed or Consume in
+	// progress, which it unblocks. Sequential sessions follow the
+	// single-driver rule even for Close; to abort one from outside its
+	// driving goroutine, build the plan with WithContext and cancel.
+	Close(ctx context.Context) error
 }
 
 // Build compiles the workload into an executable Plan under the given
@@ -183,7 +202,7 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 		return buildSharded(w, s, o, model)
 	}
 
-	bp := &builtPlan{strategy: s, w: w, model: model, migratable: o.migratable, batchSize: o.batchSize}
+	bp := &builtPlan{strategy: s, w: w, model: model, migratable: o.migratable, batchSize: o.batchSize, ctx: o.ctx}
 	switch s {
 	case MemOpt, CPUOpt:
 		cfg, err := chainConfig(w, s, o, model)
@@ -312,6 +331,7 @@ type builtPlan struct {
 	model      CostModel
 	migratable bool
 	batchSize  int             // WithBatchSize default for runs and sessions
+	ctx        context.Context // WithContext bound for runs and sessions
 	sess       *engine.Session // latest session, the migration target
 }
 
@@ -366,6 +386,11 @@ func (cs *builtSession) Drain() { cs.s.Drain() }
 // Finish implements Session.
 func (cs *builtSession) Finish() *Result { return cs.s.Finish() }
 
+// Close implements Session. Sequential sessions own no goroutines, so the
+// abort is immediate: the session becomes unusable and its first recorded
+// failure, if any, is returned.
+func (cs *builtSession) Close(ctx context.Context) error { return cs.s.Close(ctx) }
+
 // Attach implements Session.
 func (cs *builtSession) Attach(q Query) (QueryID, error) {
 	if err := cs.p.admissionReady(); err != nil {
@@ -391,16 +416,19 @@ func (p *builtPlan) admissionReady() error {
 		return fmt.Errorf("stateslice: the %s strategy does not support query admission; only state-slice chains attach and detach queries live", p.strategy)
 	}
 	if !p.migratable {
-		return errors.New("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring)")
+		return fmt.Errorf("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring): %w", ErrNotMigratable)
 	}
 	return nil
 }
 
-// runConfig applies the build's WithBatchSize default unless the run config
-// sets its own batch size.
+// runConfig applies the build's WithBatchSize and WithContext defaults
+// unless the run config sets its own.
 func (p *builtPlan) runConfig(cfg RunConfig) RunConfig {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = p.batchSize
+	}
+	if cfg.Ctx == nil {
+		cfg.Ctx = p.ctx
 	}
 	return cfg
 }
@@ -414,10 +442,10 @@ func (p *builtPlan) Migrate(to []Time) error {
 		return fmt.Errorf("stateslice: the %s strategy does not support migration; only state-slice chains re-slice online", p.strategy)
 	}
 	if !p.migratable {
-		return errors.New("stateslice: build the chain with WithMigratable to migrate it")
+		return fmt.Errorf("stateslice: build the chain with WithMigratable to migrate it: %w", ErrNotMigratable)
 	}
 	if p.sess == nil {
-		return errors.New("stateslice: Migrate needs an active session; call NewSession first")
+		return fmt.Errorf("stateslice: Migrate needs a session from NewSession first: %w", ErrNoSession)
 	}
 	return p.chain.MigrateTo(p.sess, to)
 }
@@ -617,6 +645,7 @@ func buildConcurrent(w Workload, s Strategy, o buildOptions, model CostModel) (P
 		collect: o.collect,
 		sinks:   o.sinks,
 		model:   model,
+		ctx:     o.ctx,
 	}, nil
 }
 
@@ -629,6 +658,7 @@ type concurrentPlan struct {
 	collect bool
 	sinks   map[int]Sink
 	model   CostModel
+	ctx     context.Context // WithContext bound for Run
 }
 
 func (p *concurrentPlan) sealed() {}
@@ -656,8 +686,12 @@ func (p *concurrentPlan) Run(src Source, cfg RunConfig) (*Result, error) {
 			}
 		}
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = p.ctx
+	}
 	start := time.Now()
-	pr, err := pipeline.RunChainSource(p.windows, p.w.Join, src, p.collect, onResult)
+	pr, err := pipeline.RunChainSource(ctx, p.windows, p.w.Join, src, p.collect, onResult)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"stateslice/internal/plan"
+	"stateslice/internal/shard"
+	"stateslice/internal/stream"
+	"stateslice/internal/workload"
+)
+
+// Lifecycle suite: the cost of aborting a live sharded session mid-stream.
+// Close must unwind every replica, merge and assembly goroutine without a
+// final result flush, so its latency is the price a caller pays to cancel a
+// shared chain — the figure the crash-containment layer promises to keep
+// small and bounded. The suite feeds half the keyed input into the sharded
+// executor (slice-merge fast path, the tracked topology) and times Close on
+// the live session, repeating per repetition with a fresh executor.
+
+// LifecycleReport is the lifecycle suite of the machine-readable report.
+type LifecycleReport struct {
+	// Shards is the replica count of the aborted sessions.
+	Shards int `json:"shards"`
+	// Closes is the number of timed mid-stream Closes across repetitions.
+	Closes int `json:"closes"`
+	// FedInputs is the number of tuples fed before each Close.
+	FedInputs int `json:"fed_inputs"`
+	// CloseMeanMicros and CloseMaxMicros aggregate the wall-clock cost of
+	// Close on a live mid-stream session — context cancellation, feed
+	// channel close, replica unwind, merge/assembly pool shutdown — across
+	// all repetitions, in microseconds.
+	CloseMeanMicros float64 `json:"close_mean_micros"`
+	CloseMaxMicros  float64 `json:"close_max_micros"`
+}
+
+// runLifecycleSuite measures mid-stream abort latency on the sharded
+// executor at the largest tracked shard count.
+func runLifecycleSuite(cfg PerfConfig) (*LifecycleReport, error) {
+	w, err := workload.NQueriesEquijoin(cfg.Dist, cfg.Queries)
+	if err != nil {
+		return nil, err
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA:     cfg.Rate,
+		RateB:     cfg.Rate,
+		Duration:  stream.Seconds(cfg.DurationSec),
+		KeyDomain: cfg.KeyDomain,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	shards := 1
+	for _, p := range cfg.Shards {
+		if p > shards {
+			shards = p
+		}
+	}
+	windows := make([]stream.Time, len(w.Queries))
+	for i, q := range w.Queries {
+		windows[i] = q.Window
+	}
+	half := len(input) / 2
+	rep := &LifecycleReport{Shards: shards, FedInputs: half}
+	var total, max time.Duration
+	for r := 0; r < cfg.Reps; r++ {
+		e, err := shard.New(shard.Config{
+			Shards:      shards,
+			SampleEvery: 1 << 30,
+			SliceMerge:  true,
+			Windows:     windows,
+			Name:        "perf-lifecycle",
+		}, func(int) (*plan.StateSlicePlan, error) {
+			return plan.BuildStateSlice(w, plan.StateSliceConfig{Name: "perf", RawSliceResults: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range input[:half] {
+			if err := e.Feed(t); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		if err := e.Close(context.Background()); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		total += d
+		rep.Closes++
+		if d > max {
+			max = d
+		}
+	}
+	if rep.Closes > 0 {
+		rep.CloseMeanMicros = float64(total.Microseconds()) / float64(rep.Closes)
+	}
+	rep.CloseMaxMicros = float64(max.Microseconds())
+	return rep, nil
+}

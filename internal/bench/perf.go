@@ -143,6 +143,10 @@ type PerfReport struct {
 	// when the shard suites are disabled (the suite shares their equijoin
 	// twin workload).
 	Admission *AdmissionReport `json:"admission,omitempty"`
+	// Lifecycle is the session-abort suite: the wall-clock cost of Close
+	// on a live mid-stream sharded session. Nil when the shard suites are
+	// disabled (the suite shares their equijoin twin workload).
+	Lifecycle *LifecycleReport `json:"lifecycle,omitempty"`
 }
 
 // PerfConfig parameterises RunPerf. The zero value selects the tracked
@@ -287,6 +291,11 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 			return nil, err
 		}
 		rep.Admission = adm
+		lc, err := runLifecycleSuite(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Lifecycle = lc
 	}
 	return rep, nil
 }

@@ -12,11 +12,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"time"
 
+	"stateslice/internal/fault"
 	"stateslice/internal/operator"
 	"stateslice/internal/stream"
 )
@@ -84,6 +86,11 @@ type Config struct {
 	// (Section 7.1 runs CAPE that way); negative means unbounded, draining
 	// only at Finish, Drain or a migration flush.
 	BatchSize int
+	// Ctx, when non-nil, bounds the session's feed loops: Consume stops
+	// between tuples once the context is done, returning the context's
+	// error. It does not interrupt a Feed in progress (one tuple's
+	// processing is never abandoned halfway).
+	Ctx context.Context
 }
 
 // Result reports a finished run.
@@ -108,11 +115,12 @@ type Result struct {
 	Wall time.Duration
 	// VirtualDuration is the timestamp of the last input tuple.
 	VirtualDuration stream.Time
-	// Err is the first replica or driver error of a sharded session run,
-	// carried here because Session.Finish has no error return. It is
-	// always nil for sequential engine runs, and for executions driven
-	// through Plan.Run or the shard executor's own Finish/Run, which
-	// return the error directly.
+	// Err classifies a run that did not complete cleanly, carried here
+	// because Session.Finish has no error return: the first replica or
+	// driver error of a sharded session, a sequential session's contained
+	// failure (a PanicError or ErrNotQuiescing), or ErrClosed for a
+	// session aborted by Close. Executions driven through Plan.Run or the
+	// shard executor's own Finish/Run return the same error directly.
 	Err error
 }
 
@@ -160,6 +168,12 @@ type Session struct {
 	fed      int
 	lastTime stream.Time
 	finished bool
+	closed   bool
+	// err is the session's first failure — a contained operator or
+	// callback panic, or a graph that stopped quiescing. It is sticky: once
+	// set, every subsequent Feed, Barrier and Finish surfaces it, and
+	// Result.Err carries it.
+	err error
 	// pending counts arrivals buffered in entry queues since the last
 	// drain; Feed schedules the graph when it reaches cfg.BatchSize.
 	pending int
@@ -188,14 +202,39 @@ func (s *Session) Meter() *operator.CostMeter { return s.meter }
 // Plan returns the plan under execution (migrations mutate it in place).
 func (s *Session) Plan() *Plan { return s.plan }
 
+// usable rejects operations on a closed, finished or failed session with
+// the matching typed error.
+func (s *Session) usable(op string) error {
+	if s.closed {
+		return fmt.Errorf("engine: %s: %w", op, fault.ErrClosed)
+	}
+	if s.finished {
+		return fmt.Errorf("engine: %s after Finish: %w", op, fault.ErrSessionFinished)
+	}
+	return s.err
+}
+
+// fail records the session's first failure and returns it.
+func (s *Session) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Err returns the session's sticky failure, if any: a contained panic
+// (PanicError) or a non-quiescing graph. It also surfaces on the next Feed,
+// FeedPunct or Barrier and on Result.Err.
+func (s *Session) Err() error { return s.err }
+
 // Feed pushes one source tuple into the plan's entry queues and drains the
 // graph to quiescence. Tuples must arrive in global timestamp order.
 func (s *Session) Feed(t *stream.Tuple) error {
-	if s.finished {
-		return errors.New("engine: Feed after Finish")
+	if err := s.usable("Feed"); err != nil {
+		return err
 	}
 	if t.Time < s.lastTime {
-		return fmt.Errorf("engine: tuple %s out of timestamp order (last %s)", t, s.lastTime)
+		return fmt.Errorf("engine: tuple %s after %s: %w", t, s.lastTime, fault.ErrOutOfOrder)
 	}
 	s.lastTime = t.Time
 	entries := s.plan.EntryA
@@ -207,7 +246,9 @@ func (s *Session) Feed(t *stream.Tuple) error {
 	}
 	s.pending++
 	if s.cfg.BatchSize >= 0 && s.pending >= max(s.cfg.BatchSize, 1) {
-		s.Drain()
+		if err := s.drain(); err != nil {
+			return err
+		}
 	}
 	s.mon.observe(s.fed, s.cfg.ExpectedInputs)
 	s.fed++
@@ -224,23 +265,38 @@ func (s *Session) Feed(t *stream.Tuple) error {
 // past replicas that are currently idle. Like Feed, it counts toward the
 // micro-batch and drains the graph on batch boundaries.
 func (s *Session) FeedPunct(ts stream.Time) error {
-	if s.finished {
-		return errors.New("engine: FeedPunct after Finish")
+	if err := s.usable("FeedPunct"); err != nil {
+		return err
 	}
 	for _, q := range dedupQueues(s.plan.EntryA, s.plan.EntryB) {
 		q.PushPunct(ts)
 	}
 	s.pending++
 	if s.cfg.BatchSize >= 0 && s.pending >= max(s.cfg.BatchSize, 1) {
-		s.Drain()
+		if err := s.drain(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // Drain runs every operator until the whole graph quiesces, flushing any
 // micro-batch buffered by Feed. It is exposed so chain migration can empty
-// inter-slice queues before merging.
-func (s *Session) Drain() {
+// inter-slice queues before merging. A scheduling failure — an operator (or
+// a sink callback it fires) panicking, or a graph that never quiesces — is
+// contained into the session's sticky error (Err) instead of crashing the
+// process; it surfaces on the next Feed/Barrier and on Result.Err.
+func (s *Session) Drain() { s.drain() }
+
+// drain is Drain with the error returned directly: operator and callback
+// panics are recovered into a PanicError, a graph still moving items past
+// the pass bound fails with ErrNotQuiescing. Either failure is sticky.
+func (s *Session) drain() (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = s.fail(fmt.Errorf("engine: plan %s: %w", s.plan.Name, fault.Capture("operator drain", -1, v)))
+		}
+	}()
 	s.pending = 0
 	for pass := 0; ; pass++ {
 		moved := false
@@ -250,10 +306,10 @@ func (s *Session) Drain() {
 			}
 		}
 		if !moved {
-			return
+			return nil
 		}
 		if pass > 4*len(s.plan.Ops)+8 {
-			panic(fmt.Sprintf("engine: plan %s does not quiesce; operator cycle?", s.plan.Name))
+			return s.fail(fmt.Errorf("engine: plan %s still moving after %d passes (operator cycle?): %w", s.plan.Name, pass, fault.ErrNotQuiescing))
 		}
 	}
 }
@@ -266,28 +322,52 @@ func (s *Session) Drain() {
 // Feed. Chain migration and live query admission both restructure the plan
 // through this protocol.
 func (s *Session) Barrier(fn func() error) error {
-	if s.finished {
-		return errors.New("engine: Barrier after Finish")
-	}
-	s.Drain()
-	if err := fn(); err != nil {
+	if err := s.usable("Barrier"); err != nil {
 		return err
 	}
-	s.Drain()
-	return nil
+	if err := s.drain(); err != nil {
+		return err
+	}
+	if err := s.runBarrierFn(fn); err != nil {
+		return err
+	}
+	return s.drain()
+}
+
+// runBarrierFn contains a panic inside the barrier's plan surgery: the
+// chain's state is unknown after it, so the failure is sticky (unlike fn's
+// ordinary error returns, which reject the operation and leave the chain
+// usable).
+func (s *Session) runBarrierFn(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = s.fail(fmt.Errorf("engine: plan %s: %w", s.plan.Name, fault.Capture("barrier", -1, v)))
+		}
+	}()
+	return fn()
 }
 
 // Finish flushes the plan with a final punctuation and returns the run
-// statistics. The session cannot be fed afterwards.
+// statistics. The session cannot be fed afterwards. A failed or closed
+// session skips the final flush (its graph may be corrupt) and carries the
+// classification on Result.Err — ErrClosed for a cleanly aborted session —
+// so partial statistics are never mistaken for a completed run.
 func (s *Session) Finish() *Result {
 	if !s.finished {
-		for _, q := range dedupQueues(s.plan.EntryA, s.plan.EntryB) {
-			q.PushPunct(stream.MaxTime)
+		if !s.closed && s.err == nil {
+			for _, q := range dedupQueues(s.plan.EntryA, s.plan.EntryB) {
+				q.PushPunct(stream.MaxTime)
+			}
+			s.drain()
 		}
-		s.Drain()
 		s.finished = true
 	}
+	resErr := s.err
+	if resErr == nil && s.closed {
+		resErr = fmt.Errorf("engine: session was closed before Finish: %w", fault.ErrClosed)
+	}
 	res := &Result{
+		Err:             resErr,
 		PlanName:        s.plan.Name,
 		Inputs:          s.fed,
 		Meter:           *s.meter,
@@ -303,22 +383,66 @@ func (s *Session) Finish() *Result {
 	return res
 }
 
+// Close aborts the session: it becomes unusable (every subsequent
+// operation fails with ErrClosed, Finish's Result.Err is classified), and
+// the first failure the session recorded — if any — is returned. Sequential
+// sessions own no goroutines, so there is nothing to wait on and the
+// context is not consulted; the parameter exists for symmetry with the
+// sharded session's abort, which does unwind goroutines under it. Close is
+// idempotent: later calls return ErrClosed.
+func (s *Session) Close(context.Context) error {
+	if s.closed {
+		return fmt.Errorf("engine: Close: %w", fault.ErrClosed)
+	}
+	s.closed = true
+	return s.err
+}
+
 // Consume feeds the session from a source until it is exhausted. It may be
 // called several times (with sources whose timestamps continue ascending)
-// and interleaved with Feed and plan migrations.
+// and interleaved with Feed and plan migrations. When the session was built
+// with Config.Ctx, Consume additionally stops between tuples once the
+// context is done, returning its error; a panicking Source is contained
+// into a sticky PanicError instead of crashing the process.
 func (s *Session) Consume(src stream.Source) error {
+	var done <-chan struct{}
+	if s.cfg.Ctx != nil {
+		done = s.cfg.Ctx.Done()
+	}
 	for {
-		t, err := src.Next()
+		if done != nil {
+			select {
+			case <-done:
+				return fmt.Errorf("engine: Consume: %w", context.Cause(s.cfg.Ctx))
+			default:
+			}
+		}
+		t, err := s.pull(src)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("engine: source: %w", err)
+			return err
 		}
 		if err := s.Feed(t); err != nil {
 			return err
 		}
 	}
+}
+
+// pull draws one tuple from the source, containing a panicking Source —
+// a user-callback boundary — into a sticky session failure.
+func (s *Session) pull(src stream.Source) (t *stream.Tuple, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = s.fail(fmt.Errorf("engine: %w", fault.Capture("source pull", -1, v)))
+		}
+	}()
+	t, err = src.Next()
+	if err != nil && err != io.EOF {
+		err = fmt.Errorf("engine: source: %w", err)
+	}
+	return t, err
 }
 
 // RunSource executes the plan over a tuple source (in global timestamp
@@ -339,7 +463,11 @@ func RunSource(p *Plan, src stream.Source, cfg Config) (*Result, error) {
 	if err := s.Consume(src); err != nil {
 		return nil, err
 	}
-	return s.Finish(), nil
+	res := s.Finish()
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res, nil
 }
 
 // Run executes the plan over the input tuples (which must be in global

@@ -26,10 +26,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 
+	"stateslice/internal/fault"
 	"stateslice/internal/operator"
 	"stateslice/internal/stream"
 )
@@ -53,6 +55,21 @@ type Result struct {
 	Meter operator.CostMeter
 }
 
+// pullSrc draws one tuple from the source, containing a panicking Source —
+// a user-callback boundary — into a classified error.
+func pullSrc(src stream.Source) (t *stream.Tuple, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("pipeline: %w", fault.Capture("source pull", -1, v))
+		}
+	}()
+	t, err = src.Next()
+	if err != nil && err != io.EOF {
+		err = fmt.Errorf("pipeline: source: %w", err)
+	}
+	return t, err
+}
+
 // taggedBatch routes a slab of items to a merger together with its source
 // slice index.
 type taggedBatch struct {
@@ -64,12 +81,33 @@ type taggedBatch struct {
 // affects throughput, never correctness.
 const chanBuf = 32
 
+// firstErr collects the first failure any pipeline goroutine publishes —
+// the same first-error discipline the sharded executor uses.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstErr) note(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
 // RunChain executes the chain of sliced binary window joins with slice end
 // boundaries equal to the distinct query windows (the Mem-Opt layout) over
 // the input, concurrently. Windows must be ascending; the i-th query's
 // answer is the sliding-window join with windows[i] on both streams.
 func RunChain(windows []stream.Time, join stream.JoinPredicate, input []*stream.Tuple, collect bool) (*Result, error) {
-	return RunChainSource(windows, join, stream.NewSliceSource(input), collect, nil)
+	return RunChainSource(context.Background(), windows, join, stream.NewSliceSource(input), collect, nil)
 }
 
 // RunChainSource is the streaming form of RunChain: the feeder pulls tuples
@@ -78,7 +116,14 @@ func RunChain(windows []stream.Time, join stream.JoinPredicate, input []*stream.
 // non-nil it is invoked for every result of query qi in that query's
 // delivery order (from the query's merger goroutine; callbacks for
 // different queries run concurrently).
-func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream.Source, collect bool, onResult func(qi int, t *stream.Tuple)) (*Result, error) {
+//
+// ctx bounds the run: once it is done, the feeder stops between tuples and
+// the run returns the context's cause after the stages drain (nil selects
+// Background). Panics in any stage goroutine or user callback (Source,
+// onResult, collection) are contained into a fault.PanicError returned as
+// the run's error; a failed stage keeps draining its input and closing its
+// output so the rest of the pipeline always unwinds.
+func RunChainSource(ctx context.Context, windows []stream.Time, join stream.JoinPredicate, src stream.Source, collect bool, onResult func(qi int, t *stream.Tuple)) (*Result, error) {
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("pipeline: no query windows")
 	}
@@ -119,10 +164,17 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 	}
 
 	var wg sync.WaitGroup
+	var ferr firstErr
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
 
 	// Feeder: pull from the source, split each tuple into its female and
 	// male reference copies — two roles of the same *Tuple, nothing is
-	// copied — and punctuate the end of the stream.
+	// copied — and punctuate the end of the stream. The pull is a
+	// user-callback boundary, so a panicking Source is contained into the
+	// run's error; the context is checked between tuples.
 	feed := make(chan []stream.Item, chanBuf)
 	var (
 		inputs   int
@@ -135,16 +187,26 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 		defer close(feed)
 		var b stream.Batcher
 		for {
-			t, err := src.Next()
+			if done != nil {
+				select {
+				case <-done:
+					srcErr = fmt.Errorf("pipeline: %w", context.Cause(ctx))
+				default:
+				}
+				if srcErr != nil {
+					break
+				}
+			}
+			t, err := pullSrc(src)
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
-				srcErr = fmt.Errorf("pipeline: source: %w", err)
+				srcErr = err
 				break
 			}
 			if t.Time < lastTime {
-				srcErr = fmt.Errorf("pipeline: tuple %s out of timestamp order (last %s)", t, lastTime)
+				srcErr = fmt.Errorf("pipeline: tuple %s after %s: %w", t, lastTime, fault.ErrOutOfOrder)
 				break
 			}
 			inputs++
@@ -183,17 +245,42 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 		sinks[qi] = sink
 		m := newMeter()
 		ch := mergeIn[qi]
+		// step folds one batch (or, with an empty batch, just flushes the
+		// union) inside the merger's containment boundary: collection and
+		// onResult callbacks fire in Step, so a panicking user handler
+		// lands here.
+		slot := qi
+		step := func(msg taggedBatch) (err error) {
+			defer func() {
+				if v := recover(); v != nil {
+					err = fmt.Errorf("pipeline: %w", fault.Capture("query merger", slot, v))
+				}
+			}()
+			q := queues[msg.slice]
+			for _, it := range msg.items {
+				q.Push(it)
+			}
+			u.Step(m, -1)
+			return nil
+		}
 		mergeWG.Add(1)
 		go func() {
 			defer mergeWG.Done()
+			failed := false
 			for msg := range ch {
-				q := queues[msg.slice]
-				for _, it := range msg.items {
-					q.Push(it)
+				if failed {
+					continue
 				}
-				u.Step(m, -1)
+				if err := step(msg); err != nil {
+					failed = true
+					ferr.note(err)
+				}
 			}
-			u.Step(m, -1)
+			if !failed {
+				if err := step(taggedBatch{items: nil}); err != nil {
+					ferr.note(err)
+				}
+			}
 		}()
 	}
 
@@ -235,37 +322,59 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 		m := newMeter()
 		stage := si
 		stageIn := in
+		var nextB, resB stream.Batcher
+		// work processes one input slab inside the stage's containment
+		// boundary; a panicking join fails the stage without taking the
+		// process (or the rest of the pipeline) down.
+		work := func(slab []stream.Item) (err error) {
+			defer func() {
+				if v := recover(); v != nil {
+					err = fmt.Errorf("pipeline: %w", fault.Capture("slice stage", stage, v))
+				}
+			}()
+			for _, it := range slab {
+				inQ.Push(it)
+			}
+			j.Step(m, -1)
+			for nextQ != nil && !nextQ.Empty() {
+				nextB.Add(nextQ.Pop())
+				if nextB.Full() {
+					out <- nextB.Take()
+				}
+			}
+			for resQ != nil && !resQ.Empty() {
+				resB.Add(resQ.Pop())
+			}
+			// Ship the results of this input slab as one batch
+			// per subscriber; coalescing already collapsed the
+			// per-male punctuation bursts.
+			if items := resB.Take(); items != nil {
+				for _, qi := range subs {
+					mergeIn[qi] <- taggedBatch{slice: stage, items: items}
+				}
+			}
+			return nil
+		}
 		stageWG.Add(1)
 		go func() {
 			defer stageWG.Done()
 			if out != nil {
 				defer close(out)
 			}
-			var nextB, resB stream.Batcher
+			failed := false
 			for slab := range stageIn {
-				for _, it := range slab {
-					inQ.Push(it)
+				if failed {
+					// Keep draining so the upstream stage (and the
+					// feeder) never block on a dead consumer; the out
+					// channel still closes, so downstream unwinds too.
+					continue
 				}
-				j.Step(m, -1)
-				for nextQ != nil && !nextQ.Empty() {
-					nextB.Add(nextQ.Pop())
-					if nextB.Full() {
-						out <- nextB.Take()
-					}
-				}
-				for resQ != nil && !resQ.Empty() {
-					resB.Add(resQ.Pop())
-				}
-				// Ship the results of this input slab as one batch
-				// per subscriber; coalescing already collapsed the
-				// per-male punctuation bursts.
-				if items := resB.Take(); items != nil {
-					for _, qi := range subs {
-						mergeIn[qi] <- taggedBatch{slice: stage, items: items}
-					}
+				if err := work(slab); err != nil {
+					failed = true
+					ferr.note(err)
 				}
 			}
-			if out != nil {
+			if !failed && out != nil {
 				if items := nextB.Take(); items != nil {
 					out <- items
 				}
@@ -288,6 +397,9 @@ func RunChainSource(windows []stream.Time, join stream.JoinPredicate, src stream
 	mergeWG.Wait()
 	if srcErr != nil {
 		return nil, srcErr
+	}
+	if err := ferr.get(); err != nil {
+		return nil, err
 	}
 
 	res := &Result{Inputs: inputs, VirtualDuration: lastTime}

@@ -83,7 +83,9 @@ func (sp *StateSlicePlan) Attach(s *engine.Session, q Query) (int, error) {
 		sp.sinks = append(sp.sinks, sink)
 		for si := range sp.slices {
 			if start, _ := sp.slices[si].join.Range(); start < q.Window {
-				sp.rewireSlice(si)
+				if err := sp.rewireSlice(si); err != nil {
+					return err
+				}
 			}
 		}
 		sp.rebuildOps()
@@ -160,7 +162,9 @@ func (sp *StateSlicePlan) Detach(s *engine.Session, qi int) error {
 		// drain flushes it through the sink.
 		for si := range sp.slices {
 			if start, _ := sp.slices[si].join.Range(); start < win {
-				sp.rewireSlice(si)
+				if err := sp.rewireSlice(si); err != nil {
+					return err
+				}
 			}
 		}
 		sp.rebuildOps()
@@ -197,9 +201,9 @@ func (sp *StateSlicePlan) boundaryIndex(w stream.Time) int {
 // existing union inputs are closed (their residue drains in order), the
 // result port is stripped, and wireSliceResults reattaches routers, filters
 // and union edges for the live subscribers.
-func (sp *StateSlicePlan) rewireSlice(si int) {
+func (sp *StateSlicePlan) rewireSlice(si int) error {
 	node := sp.slices[si]
 	sp.closeEdges(node)
 	node.join.Result().DetachAll()
-	sp.wireSliceResults(si)
+	return sp.wireSliceResults(si)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stateslice/internal/engine"
+	"stateslice/internal/fault"
 	"stateslice/internal/stream"
 )
 
@@ -42,8 +43,13 @@ func (sp *StateSlicePlan) mergeSlices(s *engine.Session, i int) error {
 	if i < 0 || i+1 >= len(sp.slices) {
 		return fmt.Errorf("plan: MergeSlices(%d): chain has %d slices", i, len(sp.slices))
 	}
-	// Empty the inter-slice queue (and everything else) first.
+	// Empty the inter-slice queue (and everything else) first; a drain
+	// failure (contained operator panic, non-quiescing graph) aborts the
+	// surgery before any wiring is touched.
 	s.Drain()
+	if err := s.Err(); err != nil {
+		return fmt.Errorf("plan: MergeSlices(%d): %w", i, err)
+	}
 	left, right := sp.slices[i], sp.slices[i+1]
 	if err := left.join.MergeFrom(right.join); err != nil {
 		return fmt.Errorf("plan: MergeSlices(%d): %w", i, err)
@@ -53,7 +59,9 @@ func (sp *StateSlicePlan) mergeSlices(s *engine.Session, i int) error {
 	sp.closeEdges(right)
 	left.join.Result().DetachAll()
 	sp.slices = append(sp.slices[:i+1], sp.slices[i+2:]...)
-	sp.wireSliceResults(i)
+	if err := sp.wireSliceResults(i); err != nil {
+		return err
+	}
 	sp.rebuildOps()
 	return nil
 }
@@ -81,6 +89,9 @@ func (sp *StateSlicePlan) splitSlice(s *engine.Session, i int, mid stream.Time) 
 		return fmt.Errorf("plan: SplitSlice(%d): chain has %d slices", i, len(sp.slices))
 	}
 	s.Drain()
+	if err := s.Err(); err != nil {
+		return fmt.Errorf("plan: SplitSlice(%d): %w", i, err)
+	}
 	left := sp.slices[i]
 	_, end := left.join.Range()
 	rightJoin, err := left.join.SplitAt(sliceName(mid, end), mid)
@@ -99,8 +110,12 @@ func (sp *StateSlicePlan) splitSlice(s *engine.Session, i int, mid stream.Time) 
 	sp.closeEdges(left)
 	left.join.Result().DetachAll()
 	sp.slices = append(sp.slices[:i+1], append([]*sliceNode{rightNode}, sp.slices[i+1:]...)...)
-	sp.wireSliceResults(i)
-	sp.wireSliceResults(i + 1)
+	if err := sp.wireSliceResults(i); err != nil {
+		return err
+	}
+	if err := sp.wireSliceResults(i + 1); err != nil {
+		return err
+	}
 	sp.rebuildOps()
 	return nil
 }
@@ -192,7 +207,7 @@ func (sp *StateSlicePlan) MigrateTo(s *engine.Session, to []stream.Time) error {
 // second one.
 func (sp *StateSlicePlan) beginRestructure(op string) error {
 	if sp.restructuring {
-		return fmt.Errorf("plan: %s: chain %s is already being restructured (a migration or admission is in progress; calling back into the chain from a result sink during a barrier is not allowed)", op, sp.Plan.Name)
+		return fmt.Errorf("plan: %s: chain %s: %w (a migration or admission is in progress; calling back into the chain from a result sink during a barrier is not allowed)", op, sp.Plan.Name, fault.ErrRestructuring)
 	}
 	sp.restructuring = true
 	return nil
@@ -204,10 +219,10 @@ func (sp *StateSlicePlan) endRestructure() { sp.restructuring = false }
 // migratable validates migration preconditions.
 func (sp *StateSlicePlan) migratable(s *engine.Session) error {
 	if !sp.cfg.Migratable {
-		return fmt.Errorf("plan: %s was not built with Migratable set", sp.Plan.Name)
+		return fmt.Errorf("plan: %s: %w (build with Migratable set)", sp.Plan.Name, fault.ErrNotMigratable)
 	}
 	if s == nil || s.Plan() != sp.Plan {
-		return fmt.Errorf("plan: session does not drive this plan")
+		return fmt.Errorf("plan: %s: %w", sp.Plan.Name, fault.ErrNoSession)
 	}
 	return nil
 }

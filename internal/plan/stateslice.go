@@ -200,7 +200,9 @@ func BuildStateSlice(w Workload, cfg StateSliceConfig) (*StateSlicePlan, error) 
 
 	if !cfg.RawSliceResults {
 		for si := range sp.slices {
-			sp.wireSliceResults(si)
+			if err := sp.wireSliceResults(si); err != nil {
+				return nil, err
+			}
 		}
 	}
 	sp.rebuildOps()
@@ -426,8 +428,10 @@ func (g chainedGate) Step(m *operator.CostMeter, max int) int {
 // sinks. The slice's previous wiring must have been detached already. The
 // served set is computed per slot — live queries whose window exceeds the
 // slice start — not positionally, because admission appends slots out of
-// window order and detach leaves dead slots in place.
-func (sp *StateSlicePlan) wireSliceResults(si int) {
+// window order and detach leaves dead slots in place. A wiring failure
+// propagates as an error (Build and the restructuring operations all have
+// error returns) rather than crashing the process.
+func (sp *StateSlicePlan) wireSliceResults(si int) error {
 	node := sp.slices[si]
 	node.router = nil
 	node.filters = nil
@@ -471,9 +475,10 @@ func (sp *StateSlicePlan) wireSliceResults(si int) {
 		for _, w := range insideW {
 			port, err := r.AddBranch(w)
 			if err != nil {
-				// Windows are deduplicated and ascending; failure
-				// here is a plan builder bug.
-				panic(fmt.Sprintf("plan: %s: %v", r.Name(), err))
+				// Windows are deduplicated and ascending, so this
+				// indicates a plan builder bug — but it surfaces as a
+				// build/restructure error, not a process crash.
+				return fmt.Errorf("plan: %s: %w", r.Name(), err)
 			}
 			ports[w] = port
 		}
@@ -540,6 +545,7 @@ func (sp *StateSlicePlan) wireSliceResults(si int) {
 		}
 		sp.connect(node, tg.qi, out)
 	}
+	return nil
 }
 
 // connect attaches one query terminal to a result source port.

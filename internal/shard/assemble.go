@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"stateslice/internal/engine"
+	"stateslice/internal/fault"
 	"stateslice/internal/operator"
 	"stateslice/internal/stream"
 )
@@ -67,6 +68,9 @@ type assembler struct {
 	sliceOwner []int             // slice -> worker owning its kmerge
 	mergeDone  sync.WaitGroup    // workers past the merge-flush barrier
 	wg         sync.WaitGroup    // workers fully exited
+	// noteErr publishes a worker's contained panic as the executor's first
+	// error (Executor.noteErr).
+	noteErr func(error)
 }
 
 // asmWorker is one assembly goroutine: it merges its owned slices, runs its
@@ -84,6 +88,13 @@ type asmWorker struct {
 	// alike).
 	localQ    [][]*stream.Queue
 	localSubs [][]int
+	// failed marks a worker whose containment boundary recovered a panic
+	// (a merge bug, or a user sink callback firing inside a union step).
+	// A failed worker publishes the fault once, then keeps draining and
+	// recycling both of its channels without applying anything — its
+	// unions are corrupt, and a stalled channel would block replica taps
+	// and peer forwards. Only the worker goroutine touches it.
+	failed bool
 	// ownSlices lists the slices whose kmerge this worker owns; fwdTo and
 	// fwdB give, per owned slice, the peer workers subscribing to it and
 	// the outgoing span batchers.
@@ -114,7 +125,7 @@ type fwdBatch struct {
 // windows; New has validated them (ValidateSliceMergeWindows), so every
 // window equals a boundary and each query's contributing prefix is
 // non-empty.
-func newAssembler(shards, workers int, ends, windows []stream.Time, free chan []stream.Item, cfg Config) *assembler {
+func newAssembler(shards, workers int, ends, windows []stream.Time, free chan []stream.Item, cfg Config, noteErr func(error)) *assembler {
 	queries := len(windows)
 	a := &assembler{
 		workers:    make([]*asmWorker, workers),
@@ -122,6 +133,7 @@ func newAssembler(shards, workers int, ends, windows []stream.Time, free chan []
 		unions:     make([]*operator.Union, queries),
 		sinks:      make([]*operator.Sink, queries),
 		sliceOwner: make([]int, len(ends)),
+		noteErr:    noteErr,
 	}
 	for wi := range a.workers {
 		a.workers[wi] = &asmWorker{
@@ -244,8 +256,14 @@ func (w *asmWorker) run() {
 		case tb, ok := <-in:
 			if !ok {
 				in = nil
-				w.finishMerges()
+				if !w.failed {
+					w.finishMerges()
+				}
 				w.a.mergeDone.Done()
+				continue
+			}
+			if w.failed {
+				recycleSlab(w.free, tb.items)
 				continue
 			}
 			w.apply(tb)
@@ -257,8 +275,19 @@ func (w *asmWorker) run() {
 			w.applyFwd(fb)
 		}
 	}
-	for _, qi := range w.queries {
-		w.a.unions[qi].Step(&w.meter, -1)
+	if !w.failed {
+		w.finalSteps()
+	}
+}
+
+// recoverFail is the worker's containment boundary: deferred (open-coded,
+// so the hot path allocates no closure) around every stage that runs merge,
+// union or sink code, it converts a panic into the executor's first error
+// and fails the worker.
+func (w *asmWorker) recoverFail() {
+	if v := recover(); v != nil {
+		w.failed = true
+		w.a.noteErr(fmt.Errorf("shard: %w", fault.Capture("assembly worker", w.idx, v)))
 	}
 }
 
@@ -267,6 +296,13 @@ func (w *asmWorker) run() {
 // forward batchers so peers never wait on a part-filled slab, and steps the
 // local subscribing unions.
 func (w *asmWorker) apply(tb sliceBatch) {
+	defer w.recoverFail()
+	if err := fault.Fire(fault.AssembleApply, w.idx); err != nil {
+		w.failed = true
+		w.a.noteErr(fmt.Errorf("shard: assembly: %w", err))
+		recycleSlab(w.free, tb.items)
+		return
+	}
 	m := w.a.merges[tb.slice]
 	m.push(tb.shard, tb.items)
 	m.step()
@@ -277,8 +313,15 @@ func (w *asmWorker) apply(tb sliceBatch) {
 }
 
 // applyFwd pushes a forwarded merged span into the local subscribing
-// unions, recycles the slab, and steps those unions.
+// unions, recycles the slab, and steps those unions. It is also called from
+// sendFwd's drain side, so the failed check lives here: a failed worker
+// recycles forwards instead of applying them.
 func (w *asmWorker) applyFwd(fb fwdBatch) {
+	if w.failed {
+		recycleSlab(w.free, fb.items)
+		return
+	}
+	defer w.recoverFail()
 	for _, q := range w.localQ[fb.slice] {
 		for _, it := range fb.items {
 			q.Push(it)
@@ -286,6 +329,15 @@ func (w *asmWorker) applyFwd(fb fwdBatch) {
 	}
 	recycleSlab(w.free, fb.items)
 	for _, qi := range w.localSubs[fb.slice] {
+		w.a.unions[qi].Step(&w.meter, -1)
+	}
+}
+
+// finalSteps flushes the owned unions once after both channels closed,
+// inside the containment boundary — the last sink callbacks fire here.
+func (w *asmWorker) finalSteps() {
+	defer w.recoverFail()
+	for _, qi := range w.queries {
 		w.a.unions[qi].Step(&w.meter, -1)
 	}
 }
@@ -346,8 +398,10 @@ func (w *asmWorker) sendFwd(dst, slice int, b *stream.Batcher) {
 // finishMerges runs after the slice channel closes: every input slab has
 // been applied, so a final step per owned merge emits everything the final
 // frontiers allow, the forward batchers flush, and the local unions catch
-// up.
+// up. Contained like apply — run still passes the mergeDone barrier when a
+// panic lands here, so stop's two-phase shutdown completes.
 func (w *asmWorker) finishMerges() {
+	defer w.recoverFail()
 	for _, si := range w.ownSlices {
 		w.a.merges[si].step()
 		w.flushFwd(si)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"stateslice/internal/engine"
+	"stateslice/internal/fault"
 	"stateslice/internal/plan"
 	"stateslice/internal/stream"
 )
@@ -176,13 +177,13 @@ func TestReplicaErrorPropagates(t *testing.T) {
 		t.Run(map[bool]string{false: "general", true: "fast"}[fast], func(t *testing.T) {
 			injected := errors.New("injected replica failure")
 			var fed atomic.Int64
-			replicaFeedHook = func(shard int, _ *stream.Tuple) error {
+			restore := fault.Inject(fault.ReplicaFeed, func(int) error {
 				if fed.Add(1) == 40 {
 					return injected
 				}
 				return nil
-			}
-			defer func() { replicaFeedHook = nil }()
+			})
+			defer restore()
 
 			w := chainWorkload(2*stream.Second, 6*stream.Second)
 			input := testInput(t, 5, 16)
@@ -247,13 +248,13 @@ func TestReplicaErrorOnFinishOnly(t *testing.T) {
 	input := testInput(t, 9, 16)
 	total := int64(len(input))
 	var fed atomic.Int64
-	replicaFeedHook = func(int, *stream.Tuple) error {
+	restore := fault.Inject(fault.ReplicaFeed, func(int) error {
 		if fed.Add(1) == total {
 			return injected
 		}
 		return nil
-	}
-	defer func() { replicaFeedHook = nil }()
+	})
+	defer restore()
 
 	e, err := New(Config{Shards: 2}, factory(w, plan.StateSliceConfig{}))
 	if err != nil {

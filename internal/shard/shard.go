@@ -63,7 +63,18 @@
 //
 // Replica failures are never swallowed: the first error any runner hits is
 // published to the driver, surfaces on the next Feed/Consume/Migrate call,
-// and is returned again by Finish.
+// and is returned again by Finish. Panics inside any spawned goroutine —
+// replica runners, merge workers, assembly workers — are contained the same
+// way: recovered into a fault.PanicError and published as the first error,
+// so one crashing operator or user callback fails the session instead of
+// the process (the blast-radius property a shared chain owes its co-hosted
+// queries).
+//
+// The executor is also cancellable: Config.Ctx bounds the whole run, and
+// Close aborts it — both unwind the feed channels, replica runners, mergers
+// and assemblers through the same ordered teardown Finish uses, deadlock-
+// and leak-free even when the abort lands mid-barrier (see barrier and
+// teardownLocked).
 //
 // Chain migration (Section 5.3) fans out: Migrate flushes the pending feed
 // slabs, then every replica applies the same merge/split program at the
@@ -71,6 +82,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -80,6 +92,7 @@ import (
 	"time"
 
 	"stateslice/internal/engine"
+	"stateslice/internal/fault"
 	"stateslice/internal/operator"
 	"stateslice/internal/plan"
 	"stateslice/internal/stream"
@@ -151,6 +164,12 @@ type Config struct {
 	// (callbacks for queries owned by different workers run
 	// concurrently).
 	OnResult func(qi int, t *stream.Tuple)
+	// Ctx, when non-nil, bounds the whole run: once it is done, Consume
+	// stops between tuples, barrier waits abandon, and blocked feed sends
+	// release — the same unwind Close performs, surfacing the context's
+	// cause instead of ErrClosed. nil means the run is bounded only by
+	// Close/Finish.
+	Ctx context.Context
 	// SliceMerge selects the slice-level merge fast path: replicas are
 	// built with plan.StateSliceConfig.RawSliceResults, each slice's
 	// result stream crosses goroutines once, and the assembly-worker pool
@@ -295,13 +314,6 @@ type replica struct {
 	err  error
 }
 
-// replicaFeedHook, when non-nil, intercepts every tuple a replica runner is
-// about to feed its engine session; a non-nil return fails the replica as a
-// session error would. It exists so tests can inject replica failures — a
-// healthy engine session cannot be made to fail from outside — and is nil
-// outside tests.
-var replicaFeedHook func(shard int, t *stream.Tuple) error
-
 // merger merges one query's per-shard result streams in (Time, Seq) order,
 // feeding the query's sink. Each merger is owned by exactly one merge
 // worker; mergers owned by different workers run concurrently.
@@ -321,9 +333,12 @@ type mergeWorker struct {
 	mergers []*merger
 }
 
-// Executor drives P chain replicas and their cross-replica merge layer. It
-// is single-driver: Feed, Consume, Drain, Migrate and Finish must be called
-// from one goroutine, like an engine session.
+// Executor drives P chain replicas and their cross-replica merge layer.
+// Driver calls (Feed, Consume, Drain, Migrate, Attach, Detach, Finish) are
+// serialized on one driver-gate mutex, and Close may be called from any
+// goroutine at any time: it cancels the executor context first — which
+// in-flight Consume loops, barrier waits and blocked feed sends observe and
+// release the gate on — then runs the ordered teardown under the gate.
 type Executor struct {
 	cfg  Config
 	part Partitioner
@@ -355,13 +370,36 @@ type Executor struct {
 	errMu    sync.Mutex
 	asyncErr error
 
+	// ctx bounds the run: derived from Config.Ctx (or Background) with a
+	// cancel cause, cancelled by Close with fault.ErrClosed. closing
+	// mirrors ctx.Done as one atomic load for the per-tuple hot path
+	// (context.AfterFunc sets it, so a parent cancellation is observed
+	// without a per-tuple channel poll).
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	ctxDone <-chan struct{}
+	closing atomic.Bool
+
+	// mu is the driver gate: every driver call and Close's teardown take
+	// it, so channel closes can never race channel sends. Fields below it
+	// are driver state, only touched with mu held.
+	mu         sync.Mutex
 	fed        int
 	repFed     int
 	sincePunct int
 	lastTime   stream.Time
 	start      time.Time
 	finished   bool
+	torn       bool
 	err        error
+
+	// Close's single-shot rendezvous: the first Close wins closeStarted,
+	// runs the teardown on its own goroutine (so a stuck replica cannot
+	// wedge Close past its context), stores closeErr, then closes
+	// closeDone — the store is ordered before every reader's receive.
+	closeStarted atomic.Bool
+	closeDone    chan struct{}
+	closeErr     error
 }
 
 // New builds the replicas via the factory (called once per shard; every
@@ -381,11 +419,19 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 		cfg.Name = "state-slice(sharded)"
 	}
 	e := &Executor{
-		cfg:   cfg,
-		part:  NewPartitioner(cfg.Shards),
-		feedB: make([]stream.Batcher, cfg.Shards),
-		start: time.Now(),
+		cfg:       cfg,
+		part:      NewPartitioner(cfg.Shards),
+		feedB:     make([]stream.Batcher, cfg.Shards),
+		start:     time.Now(),
+		closeDone: make(chan struct{}),
 	}
+	parent := cfg.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	e.ctx, e.cancel = context.WithCancelCause(parent)
+	e.ctxDone = e.ctx.Done()
+	context.AfterFunc(e.ctx, func() { e.closing.Store(true) })
 	if cfg.Band != nil {
 		rp, err := NewRangePartitioner(cfg.Shards, *cfg.Band)
 		if err != nil {
@@ -439,7 +485,7 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	e.free = make(chan []stream.Item, (chanBuf+2)*queries+4*chanBuf*workers)
 
 	if cfg.SliceMerge {
-		e.asm = newAssembler(cfg.Shards, workers, e.replicas[0].sp.Ends(), cfg.Windows, e.free, cfg)
+		e.asm = newAssembler(cfg.Shards, workers, e.replicas[0].sp.Ends(), cfg.Windows, e.free, cfg, e.noteErr)
 	} else {
 		e.queryWorker = make([]int, 0, queries)
 		e.mergeWorkers = make([]*mergeWorker, workers)
@@ -624,8 +670,9 @@ func (e *Executor) pendingErr() error {
 
 // runReplica is the shard goroutine: it feeds its session from the slab
 // channel, applies barrier commands, and finishes the session when the
-// channel closes. The first error fails the replica permanently (later
-// slabs are drained but not fed) and is published to the driver.
+// channel closes. The first error — a session error or a contained panic —
+// fails the replica permanently (later slabs are drained but not fed, so no
+// sender ever blocks on a dead consumer) and is published to the driver.
 func (e *Executor) runReplica(r *replica) {
 	defer e.runWG.Done()
 	for msg := range r.feed {
@@ -634,41 +681,96 @@ func (e *Executor) runReplica(r *replica) {
 			continue
 		}
 		if r.err == nil {
-			for _, it := range msg.items {
-				var err error
-				if it.IsPunct() {
-					err = r.sess.FeedPunct(it.Punct)
-				} else {
-					if h := replicaFeedHook; h != nil {
-						err = h(r.idx, it.Tuple)
-					}
-					if err == nil {
-						err = r.sess.Feed(it.Tuple)
-					}
-				}
-				if err != nil {
-					r.err = fmt.Errorf("shard %d: %w", r.idx, err)
-					e.noteErr(r.err)
-					break
-				}
+			if err := e.feedReplica(r, msg.items); err != nil {
+				r.err = err
+				e.noteErr(err)
 			}
 		}
 		e.flushResults(r)
 	}
 	if r.err == nil {
-		r.res = r.sess.Finish()
+		if e.closing.Load() {
+			// Aborted run: mark the session closed so Finish skips the
+			// final MaxTime flush — the merge layer is being torn down,
+			// not completed, and abort latency should not pay for a full
+			// result flush. The ErrClosed echo on the replica's Result is
+			// the abort itself, not a fault, so it is not published.
+			r.sess.Close(context.Background())
+		}
+		res, err := e.finishReplica(r)
+		r.res = res
+		if err != nil && !errors.Is(err, fault.ErrClosed) {
+			r.err = err
+			e.noteErr(err)
+		}
 	}
 	e.flushResults(r)
 }
 
+// feedReplica feeds one slab into the replica's session, containing a panic
+// — an injected hook, or a failure the engine's own containment cannot see
+// — into a classified replica error instead of crashing the process.
+func (e *Executor) feedReplica(r *replica, items []stream.Item) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("shard: %w", fault.Capture("replica runner", r.idx, v))
+		}
+	}()
+	for _, it := range items {
+		if it.IsPunct() {
+			err = r.sess.FeedPunct(it.Punct)
+		} else {
+			if err = fault.Fire(fault.ReplicaFeed, r.idx); err == nil {
+				err = r.sess.Feed(it.Tuple)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", r.idx, err)
+		}
+	}
+	return nil
+}
+
+// finishReplica finishes the replica's session inside a containment
+// boundary: the final flush runs the whole operator graph and every sink
+// callback one last time, and a panic there must fail the replica, not the
+// process. A non-nil Result.Err (the engine's own contained failure) is
+// surfaced the same way.
+func (e *Executor) finishReplica(r *replica) (res *engine.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fmt.Errorf("shard: %w", fault.Capture("replica finish", r.idx, v))
+		}
+	}()
+	res = r.sess.Finish()
+	if res.Err != nil {
+		return res, fmt.Errorf("shard %d: %w", r.idx, res.Err)
+	}
+	return res, nil
+}
+
 // applyCtl executes one barrier command on the runner goroutine: all slabs
 // sent before it have been fed, so a migration or admission happens at the
-// same global stream position on every replica.
-func (e *Executor) applyCtl(r *replica, c *ctl) error {
+// same global stream position on every replica. Plain errors (validation
+// rejections, which fail identically on every replica before any mutation)
+// are returned to the driver without failing the replica, as before; a
+// contained panic, by contrast, may have left the chain half-restructured,
+// so it fails the replica permanently and is published.
+func (e *Executor) applyCtl(r *replica, c *ctl) (err error) {
 	if r.err != nil {
 		return r.err
 	}
-	var err error
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("shard: %w", fault.Capture("replica barrier", r.idx, v))
+			r.err = err
+			e.noteErr(err)
+		}
+		e.flushResults(r)
+	}()
+	if err := fault.Fire(fault.BarrierApply, r.idx); err != nil {
+		return fmt.Errorf("shard %d: %w", r.idx, err)
+	}
 	switch {
 	case c.attach != nil:
 		err = e.applyAttach(r, c.attach)
@@ -682,8 +784,8 @@ func (e *Executor) applyCtl(r *replica, c *ctl) error {
 		}
 	default:
 		r.sess.Drain()
+		err = r.sess.Err()
 	}
-	e.flushResults(r)
 	return err
 }
 
@@ -753,11 +855,25 @@ func recycleSlab(free chan []stream.Item, slab []stream.Item) {
 // slab into its query's per-shard union input and let the merge emit
 // everything the punctuation frontiers allow. Mergers of other workers run
 // concurrently; a merger itself is only ever touched by its owning worker.
+// A contained panic (a merge bug, or a user result handler firing inside
+// step) fails the worker: it publishes the fault, then keeps draining and
+// recycling incoming slabs so no replica tap ever blocks on it, and skips
+// the final merge steps — its mergers' output is already corrupt.
 func (e *Executor) runMergeWorker(w *mergeWorker) {
 	defer e.mergeWG.Done()
+	failed := false
 	for tb := range w.in {
-		tb.m.mg.push(tb.shard, tb.items)
-		tb.m.mg.step()
+		if failed {
+			recycleSlab(e.free, tb.items)
+			continue
+		}
+		if err := e.applyMerge(tb); err != nil {
+			failed = true
+			e.noteErr(err)
+		}
+	}
+	if failed {
+		return
 	}
 	// Safe: the channel close orders every driver append to w.mergers
 	// before this read.
@@ -766,23 +882,106 @@ func (e *Executor) runMergeWorker(w *mergeWorker) {
 	}
 }
 
+// applyMerge folds one tagged batch into its merger inside the merge
+// worker's containment boundary. Sink callbacks (Collect, OnResult) fire
+// inside step, so a panicking user handler lands here too.
+func (e *Executor) applyMerge(tb taggedBatch) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("shard: %w", fault.Capture("merge worker", tb.shard, v))
+		}
+	}()
+	if err := fault.Fire(fault.MergeApply, tb.shard); err != nil {
+		return fmt.Errorf("shard: merge: %w", err)
+	}
+	tb.m.mg.push(tb.shard, tb.items)
+	tb.m.mg.step()
+	return nil
+}
+
+// usable rejects a driver call on a finished, aborted or failed executor,
+// with mu held. The healthy fast path costs two atomic loads (closing,
+// failed) plus one non-blocking ctxDone poll per call — the poll makes an
+// external cancellation deterministic (the AfterFunc flag alone could lose
+// the race against a fast feed loop draining its source). A replica failure
+// surfacing here for the first time aborts the run (failLocked), and an
+// external cancellation surfacing here unwinds the goroutine tree in place,
+// so a session abandoned right after either fail-fast error leaks nothing.
+// Close-initiated teardown stays with Close's own goroutine — the surfacing
+// call only reports the abort.
+func (e *Executor) usable(op string) error {
+	if e.finished {
+		return fmt.Errorf("shard: %s: %w", op, fault.ErrSessionFinished)
+	}
+	aborted := e.closing.Load()
+	if !aborted {
+		select {
+		case <-e.ctxDone:
+			e.closing.Store(true)
+			aborted = true
+		default:
+		}
+	}
+	if aborted {
+		if e.err != nil {
+			return e.err
+		}
+		if !e.closeStarted.Load() {
+			e.teardownLocked()
+		}
+		return fmt.Errorf("shard: %s: %w", op, e.abortCause())
+	}
+	if e.err == nil {
+		if err := e.pendingErr(); err != nil {
+			e.failLocked(err)
+		}
+	}
+	return e.err
+}
+
+// failLocked records the first published failure as the driver's sticky
+// error and aborts the run in place: the context is cancelled with the
+// failure as its cause and the goroutine tree is torn down, so a driver that
+// abandons the session right after the fail-fast error leaks nothing. mu
+// held; the surfacing call (Feed, Consume, Migrate, …) pays the teardown
+// wait once, and every later call returns the sticky error immediately.
+func (e *Executor) failLocked(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.cancel(err)
+	e.closing.Store(true)
+	e.teardownLocked()
+}
+
+// abortCause reports why the executor was aborted: fault.ErrClosed after
+// Close, the context's cancellation cause otherwise.
+func (e *Executor) abortCause() error {
+	if err := context.Cause(e.ctx); err != nil {
+		return err
+	}
+	return fault.ErrClosed
+}
+
 // Feed routes one source tuple to its key's shard — or, under band
 // partitioning, to every shard within the band width of its key. Tuples
 // must arrive in global timestamp order. A replica failure published since
 // the last call surfaces here (and sticks), so a failed run cannot keep
 // consuming input silently.
 func (e *Executor) Feed(t *stream.Tuple) error {
-	if e.finished {
-		return errors.New("shard: Feed after Finish")
-	}
-	if e.err == nil {
-		e.err = e.pendingErr()
-	}
-	if e.err != nil {
-		return e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.feed(t)
+}
+
+// feed is the Feed body, with mu held; Consume calls it directly so the
+// feed loop takes the driver gate once per source, not once per tuple.
+func (e *Executor) feed(t *stream.Tuple) error {
+	if err := e.usable("Feed"); err != nil {
+		return err
 	}
 	if t.Time < e.lastTime {
-		return fmt.Errorf("shard: tuple %s out of timestamp order (last %s)", t, e.lastTime)
+		return fmt.Errorf("shard: tuple %s after %s: %w", t, e.lastTime, fault.ErrOutOfOrder)
 	}
 	e.lastTime = t.Time
 	if e.rpart != nil {
@@ -830,26 +1029,56 @@ func (e *Executor) Feed(t *stream.Tuple) error {
 	return nil
 }
 
-// Consume feeds the executor from a source until it is exhausted.
+// Consume feeds the executor from a source until it is exhausted, holding
+// the driver gate for the whole source. An abort (Close, context done)
+// surfaces between tuples through the per-tuple closing check in feed — at
+// which point Consume returns and releases the gate, letting Close's
+// teardown proceed. A panicking Source is contained into a sticky driver
+// error instead of crashing the process.
 func (e *Executor) Consume(src stream.Source) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for {
-		t, err := src.Next()
+		t, err := e.pull(src)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("shard: source: %w", err)
+			return err
 		}
-		if err := e.Feed(t); err != nil {
+		if err := e.feed(t); err != nil {
 			return err
 		}
 	}
 }
 
-// send flushes shard s's pending feed slab.
+// pull draws one tuple from the source, containing a panicking Source — a
+// user-callback boundary — into a sticky driver failure. mu held.
+func (e *Executor) pull(src stream.Source) (t *stream.Tuple, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("shard: %w", fault.Capture("source pull", -1, v))
+			e.failLocked(err)
+			err = e.err
+		}
+	}()
+	t, err = src.Next()
+	if err != nil && err != io.EOF {
+		err = fmt.Errorf("shard: source: %w", err)
+	}
+	return t, err
+}
+
+// send flushes shard s's pending feed slab. The send releases when the
+// executor context is cancelled — a stuck replica must not wedge the driver
+// (or Close's teardown) forever; the dropped slab is irrelevant, because an
+// aborted run never reports results as complete.
 func (e *Executor) send(s int) {
 	if items := e.feedB[s].Take(); items != nil {
-		e.replicas[s].feed <- feedMsg{items: items}
+		select {
+		case e.replicas[s].feed <- feedMsg{items: items}:
+		case <-e.ctxDone:
+		}
 	}
 }
 
@@ -865,29 +1094,59 @@ func (e *Executor) broadcast(ts stream.Time) {
 }
 
 // barrier flushes all pending slabs, issues the command to every shard and
-// waits for every acknowledgement, returning the first error.
+// waits for every acknowledgement, returning the first error. Both the
+// command sends and the acknowledgement waits abandon when the executor
+// context is cancelled — that is what makes Close safe to call while an
+// Attach or Migrate is blocked here. An abandoned barrier leaves the
+// replicas at possibly divergent stream positions (some applied the
+// command, some never received it), so it fails the driver permanently; the
+// buffered ack channel absorbs every late acknowledgement, so mid-barrier
+// runners complete and exit normally during teardown.
 func (e *Executor) barrier(c ctl) error {
 	acks := make(chan error, len(e.replicas))
+	sent := 0
 	for i := range e.replicas {
 		e.send(i)
 		ci := c
 		ci.ack = acks
-		e.replicas[i].feed <- feedMsg{ctl: &ci}
+		select {
+		case e.replicas[i].feed <- feedMsg{ctl: &ci}:
+			sent++
+		case <-e.ctxDone:
+			return e.abandonBarrier()
+		}
 	}
 	var first error
-	for range e.replicas {
-		if err := <-acks; err != nil && first == nil {
-			first = err
+	for ; sent > 0; sent-- {
+		select {
+		case err := <-acks:
+			if err != nil && first == nil {
+				first = err
+			}
+		case <-e.ctxDone:
+			return e.abandonBarrier()
 		}
 	}
 	return first
+}
+
+// abandonBarrier records an aborted barrier as a sticky driver error. mu
+// held (barrier is only called from driver methods).
+func (e *Executor) abandonBarrier() error {
+	err := fmt.Errorf("shard: barrier abandoned: %w", e.abortCause())
+	if e.err == nil {
+		e.err = err
+	}
+	return err
 }
 
 // Drain flushes the pending feed slabs and blocks until every replica has
 // quiesced. Results may still be in flight toward the merge layer
 // afterwards; only Finish synchronizes it.
 func (e *Executor) Drain() {
-	if e.finished {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.finished || e.closing.Load() {
 		return
 	}
 	if err := e.barrier(ctl{}); err != nil && e.err == nil {
@@ -900,14 +1159,10 @@ func (e *Executor) Drain() {
 // tuple overtakes the migration). It returns the chain's new boundary
 // layout.
 func (e *Executor) Migrate(to []stream.Time) ([]stream.Time, error) {
-	if e.finished {
-		return nil, errors.New("shard: Migrate after Finish")
-	}
-	if e.err == nil {
-		e.err = e.pendingErr()
-	}
-	if e.err != nil {
-		return nil, e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usable("Migrate"); err != nil {
+		return nil, err
 	}
 	if err := e.barrier(ctl{target: to}); err != nil {
 		return nil, err
@@ -925,14 +1180,10 @@ func (e *Executor) Migrate(to []stream.Time) ([]stream.Time, error) {
 // gained one boundary from the slice split. The merge-worker pool is fixed
 // at construction; the new merger joins an existing worker.
 func (e *Executor) Attach(q plan.Query) (int, []stream.Time, error) {
-	if e.finished {
-		return 0, nil, errors.New("shard: Attach after Finish")
-	}
-	if e.err == nil {
-		e.err = e.pendingErr()
-	}
-	if e.err != nil {
-		return 0, nil, e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usable("Attach"); err != nil {
+		return 0, nil, err
 	}
 	if e.asm != nil {
 		return 0, nil, errors.New("shard: the slice-merge fast path has a fixed query set; build the plan with WithMigratable to admit queries live")
@@ -958,14 +1209,10 @@ func (e *Executor) Attach(q plan.Query) (int, []stream.Time, error) {
 // as usual in Finish. It returns the chain's boundary layout after the
 // detach, which shrinks when trailing slices lost their last subscriber.
 func (e *Executor) Detach(qi int) ([]stream.Time, error) {
-	if e.finished {
-		return nil, errors.New("shard: Detach after Finish")
-	}
-	if e.err == nil {
-		e.err = e.pendingErr()
-	}
-	if e.err != nil {
-		return nil, e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usable("Detach"); err != nil {
+		return nil, err
 	}
 	if e.asm != nil {
 		return nil, errors.New("shard: the slice-merge fast path has a fixed query set; build the plan with WithMigratable to admit queries live")
@@ -987,20 +1234,15 @@ func (e *Executor) Detach(qi int) ([]stream.Time, error) {
 // arrival counts, so the sum is an approximation of the instantaneous
 // total).
 func (e *Executor) Finish() (*engine.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.finished {
 		e.finished = true
-		for i := range e.replicas {
-			e.send(i)
-			close(e.replicas[i].feed)
-		}
-		e.runWG.Wait()
-		if e.asm != nil {
-			e.asm.stop()
-		}
-		for _, w := range e.mergeWorkers {
-			close(w.in)
-		}
-		e.mergeWG.Wait()
+		e.teardownLocked()
+		// Release the executor's registration in the parent context (a
+		// no-op when Close or the parent cancelled first — the original
+		// cause wins, which the abort classification below relies on).
+		e.cancel(fault.ErrSessionFinished)
 	}
 	res := &engine.Result{
 		PlanName:        e.cfg.Name,
@@ -1024,6 +1266,11 @@ func (e *Executor) Finish() (*engine.Result, error) {
 			res.Memory.Last += r.res.Memory.Last
 		}
 	}
+	if cause := context.Cause(e.ctx); err == nil && cause != nil && !errors.Is(cause, fault.ErrSessionFinished) {
+		// An aborted run must never report its partial statistics as a
+		// completed one, even when no replica recorded a fault of its own.
+		err = fmt.Errorf("shard: session was aborted before Finish: %w", cause)
+	}
 	if e.asm != nil {
 		e.asm.fold(res)
 	}
@@ -1033,7 +1280,77 @@ func (e *Executor) Finish() (*engine.Result, error) {
 		res.OrderViolations += m.sink.OrderViolations()
 		res.Results = append(res.Results, m.sink.Results())
 	}
+	res.Err = err
 	return res, err
+}
+
+// teardownLocked shuts the goroutine tree down exactly once, with mu held,
+// in the one order that cannot deadlock: flush and close every feed channel
+// (runners drain them and exit; their result sends keep draining because
+// the merge layer is still up), wait for the runners, stop the assembler,
+// close the merge-worker channels, wait for the workers. Both Finish and
+// Close's teardown goroutine funnel through here — torn makes the second
+// caller a no-op, whichever came first.
+func (e *Executor) teardownLocked() {
+	if e.torn {
+		return
+	}
+	e.torn = true
+	for i := range e.replicas {
+		e.send(i)
+		close(e.replicas[i].feed)
+	}
+	e.runWG.Wait()
+	if e.asm != nil {
+		e.asm.stop()
+	}
+	for _, w := range e.mergeWorkers {
+		close(w.in)
+	}
+	e.mergeWG.Wait()
+}
+
+// Close aborts the executor from any goroutine: it cancels the executor
+// context — which in-flight Consume loops, barrier waits and blocked feed
+// sends observe, releasing the driver gate — then runs the ordered teardown
+// under the gate on its own goroutine and waits for it, bounded by ctx. It
+// returns the first failure the run recorded (nil for a clean abort), the
+// ctx error when the teardown outlives ctx (the teardown keeps unwinding in
+// the background — e.g. a replica stuck in a blocking user callback cannot
+// be interrupted, only outwaited), and ErrClosed on every later call.
+func (e *Executor) Close(ctx context.Context) error {
+	if !e.closeStarted.CompareAndSwap(false, true) {
+		return fmt.Errorf("shard: Close: %w", fault.ErrClosed)
+	}
+	e.cancel(fault.ErrClosed)
+	e.closing.Store(true)
+	go func() {
+		e.mu.Lock()
+		e.teardownLocked()
+		err := e.err
+		if err == nil {
+			err = e.pendingErr()
+		}
+		for _, r := range e.replicas {
+			if err == nil && r.err != nil {
+				err = r.err
+			}
+		}
+		if errors.Is(err, fault.ErrClosed) {
+			// The abort's own traces (abandoned barrier, closing checks)
+			// are not faults; a clean Close returns nil.
+			err = nil
+		}
+		e.closeErr = err
+		e.mu.Unlock()
+		close(e.closeDone)
+	}()
+	select {
+	case <-e.closeDone:
+		return e.closeErr
+	case <-ctx.Done():
+		return fmt.Errorf("shard: Close: %w", ctx.Err())
+	}
 }
 
 // Run is the batch convenience wrapper: consume the source, then Finish.

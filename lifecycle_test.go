@@ -1,0 +1,219 @@
+package stateslice_test
+
+// Lifecycle regression tests: every way a session can end early — a
+// fail-fast Feed error followed by abandonment, an explicit Close
+// mid-stream, a Close racing an in-flight Attach barrier — must release
+// every goroutine the executor spawned. Leaks are caught by comparing
+// runtime.NumGoroutine against a baseline with a retry deadline (the
+// stdlib-only stand-in for a leak detector), dumping all stacks on failure.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stateslice"
+	"stateslice/internal/fault"
+)
+
+// sourceFunc adapts a pull function to the Source interface.
+type sourceFunc func() (*stateslice.Tuple, error)
+
+func (f sourceFunc) Next() (*stateslice.Tuple, error) { return f() }
+
+// goroutineBase samples the goroutine count after letting any stragglers
+// from a previous test finish dying.
+func goroutineBase() int {
+	for i := 0; i < 10; i++ {
+		runtime.Gosched()
+	}
+	return runtime.NumGoroutine()
+}
+
+// assertGoroutinesReleased retries for up to 5s waiting for the goroutine
+// count to fall back to the baseline (teardown goroutines and context
+// AfterFunc callbacks die asynchronously). On timeout it dumps every
+// goroutine stack, which names the leaked runner directly.
+func assertGoroutinesReleased(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d alive, baseline %d\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLifecycleAbandonedAfterFeedError is the fail-fast leak regression: a
+// replica failure surfaces on Feed, the caller drops the session without
+// Finish or Close (the natural reaction to a fatal error), and every
+// executor goroutine must still unwind — the first surfacing aborts the run
+// in place.
+func TestLifecycleAbandonedAfterFeedError(t *testing.T) {
+	base := goroutineBase()
+	input := chaosInput(t)
+	injected := errors.New("lifecycle: replica fault")
+	var fed atomic.Int64
+	restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+		if fed.Add(1) >= 40 {
+			return injected
+		}
+		return nil
+	})
+	defer restore()
+
+	p, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt, stateslice.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feedErr error
+	for _, tup := range input {
+		if feedErr = sess.Feed(tup); feedErr != nil {
+			break
+		}
+	}
+	if !errors.Is(feedErr, injected) {
+		t.Fatalf("the replica fault never surfaced on Feed: %v", feedErr)
+	}
+	sess = nil // abandon: no Finish, no Close
+	assertGoroutinesReleased(t, base)
+}
+
+// TestLifecycleCloseMidStream closes a sharded session from another
+// goroutine while Consume is still feeding: Consume must return an
+// ErrClosed-classified error promptly and all replica, merge, and feed
+// goroutines must be released.
+func TestLifecycleCloseMidStream(t *testing.T) {
+	base := goroutineBase()
+	input := chaosInput(t)
+	for _, shards := range []int{1, 4} {
+		p, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt, stateslice.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := p.NewSession(stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fedSome := make(chan struct{})
+		var once atomic.Bool
+		src, err := stateslice.GeneratorSource(stateslice.GeneratorConfig{
+			RateA: 25, RateB: 25, Duration: 3600 * stateslice.Second, KeyDomain: 12, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumeErr := make(chan error, 1)
+		go func() {
+			consumeErr <- sess.Consume(sourceFunc(func() (*stateslice.Tuple, error) {
+				if once.CompareAndSwap(false, true) {
+					close(fedSome)
+				}
+				return src.Next()
+			}))
+		}()
+		<-fedSome
+		if err := sess.Close(context.Background()); err != nil {
+			t.Fatalf("Close mid-stream returned %v, want nil", err)
+		}
+		if err := <-consumeErr; !errors.Is(err, stateslice.ErrClosed) {
+			t.Fatalf("Consume against a closed session returned %v, want ErrClosed", err)
+		}
+		if err := sess.Close(context.Background()); !errors.Is(err, stateslice.ErrClosed) {
+			t.Fatalf("second Close returned %v, want ErrClosed", err)
+		}
+	}
+	_ = input
+	assertGoroutinesReleased(t, base)
+}
+
+// TestLifecycleCloseDuringAttachBarrier closes the session while an Attach
+// admission barrier is blocked inside every replica: the Attach must abort
+// ErrClosed-classified instead of deadlocking, and the unwinding must
+// complete once the replicas unblock.
+func TestLifecycleCloseDuringAttachBarrier(t *testing.T) {
+	base := goroutineBase()
+	input := chaosInput(t)
+	p, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt,
+		stateslice.WithShards(4), stateslice.WithMigratable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Consume(stateslice.SliceSource(input[:len(input)/2])); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	restore := fault.Inject(fault.BarrierApply, func(int) error {
+		entered <- struct{}{}
+		<-release
+		return nil
+	})
+	defer restore()
+	attachErr := make(chan error, 1)
+	go func() {
+		_, err := sess.Attach(stateslice.Query{Name: "Q3", Window: 4 * stateslice.Second})
+		attachErr <- err
+	}()
+	<-entered
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- sess.Close(context.Background()) }()
+	if err := <-attachErr; !errors.Is(err, stateslice.ErrClosed) {
+		t.Fatalf("in-flight Attach returned %v, want an ErrClosed-classified abort", err)
+	}
+	close(release)
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close during an Attach barrier returned %v, want nil", err)
+	}
+	assertGoroutinesReleased(t, base)
+}
+
+// TestLifecycleSequentialClose pins the sequential session's Close
+// semantics: a clean Close returns nil, later Feeds and Closes report
+// ErrClosed, and Finish classifies the aborted run without flushing.
+func TestLifecycleSequentialClose(t *testing.T) {
+	input := chaosInput(t)
+	p, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Consume(stateslice.SliceSource(input[:200])); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(context.Background()); err != nil {
+		t.Fatalf("Close returned %v, want nil", err)
+	}
+	if err := sess.Feed(input[200]); !errors.Is(err, stateslice.ErrClosed) {
+		t.Fatalf("Feed after Close returned %v, want ErrClosed", err)
+	}
+	if err := sess.Close(context.Background()); !errors.Is(err, stateslice.ErrClosed) {
+		t.Fatalf("second Close returned %v, want ErrClosed", err)
+	}
+	res := sess.Finish()
+	if !errors.Is(res.Err, stateslice.ErrClosed) {
+		t.Fatalf("Result.Err = %v, want the ErrClosed classification", res.Err)
+	}
+}

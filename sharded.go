@@ -1,6 +1,7 @@
 package stateslice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -94,6 +95,7 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 		collect:    o.collect,
 		sinks:      o.sinks,
 		handler:    o.resultHandler,
+		ctx:        o.ctx,
 		initEnds:   probe.Ends(),
 		ends:       probe.Ends(),
 		slots:      initialSlots(w),
@@ -136,6 +138,7 @@ type shardedPlan struct {
 	collect    bool
 	sinks      map[int]Sink
 	handler    func(QueryID, *Tuple) // WithResultHandler
+	ctx        context.Context       // WithContext bound for runs and sessions
 
 	initEnds []Time
 	ends     []Time // current layout (updated by Migrate and admission)
@@ -179,6 +182,10 @@ func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
 			}
 		}
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = p.ctx
+	}
 	w, rcfg := p.w, p.cfg
 	scfg := shard.Config{
 		Shards:          p.shards,
@@ -188,6 +195,7 @@ func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
 		Band:            p.band,
 		Collect:         p.collect,
 		OnResult:        onResult,
+		Ctx:             ctx,
 		SliceMerge:      rcfg.RawSliceResults,
 		Name:            p.name,
 	}
@@ -226,10 +234,10 @@ func (p *shardedPlan) NewSession(cfg RunConfig) (Session, error) {
 // later tuple overtakes the migration on any shard.
 func (p *shardedPlan) Migrate(to []Time) error {
 	if !p.migratable {
-		return errors.New("stateslice: build the chain with WithMigratable to migrate it")
+		return fmt.Errorf("stateslice: build the chain with WithMigratable to migrate it: %w", ErrNotMigratable)
 	}
 	if p.sess == nil {
-		return errors.New("stateslice: Migrate needs an active session; call NewSession first")
+		return fmt.Errorf("stateslice: Migrate needs a session from NewSession first: %w", ErrNoSession)
 	}
 	ends, err := p.sess.e.Migrate(to)
 	if err != nil {
@@ -319,7 +327,7 @@ func (s *shardSession) Drain() { s.e.Drain() }
 // shard before the query subscribes, so no shard's suffix starts early.
 func (s *shardSession) Attach(q Query) (QueryID, error) {
 	if !s.p.migratable {
-		return 0, errors.New("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring)")
+		return 0, fmt.Errorf("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring): %w", ErrNotMigratable)
 	}
 	qi, ends, err := s.e.Attach(q)
 	if err != nil {
@@ -335,7 +343,7 @@ func (s *shardSession) Attach(q Query) (QueryID, error) {
 // layout shrinks with them.
 func (s *shardSession) Detach(id QueryID) error {
 	if !s.p.migratable {
-		return errors.New("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring)")
+		return fmt.Errorf("stateslice: build the chain with WithMigratable to attach or detach queries (admission reuses the migration wiring): %w", ErrNotMigratable)
 	}
 	ends, err := s.e.Detach(int(id))
 	if err != nil {
@@ -354,3 +362,11 @@ func (s *shardSession) Finish() *Result {
 	res.Err = err
 	return res
 }
+
+// Close implements Session: it cancels the executor's run context and waits
+// — bounded by ctx — for every replica, merge and assembly goroutine to
+// unwind through the ordered teardown Finish uses, even when the abort lands
+// mid-Migrate or mid-Attach barrier. Unlike the other session methods, Close
+// may be called from any goroutine, including concurrently with a Feed or
+// Consume in progress (which it unblocks).
+func (s *shardSession) Close(ctx context.Context) error { return s.e.Close(ctx) }

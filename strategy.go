@@ -1,6 +1,7 @@
 package stateslice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -158,6 +159,7 @@ type buildOptions struct {
 	resultHandler   func(QueryID, *Tuple)
 	batchSize       int
 	batchSet        bool
+	ctx             context.Context
 	err             error
 }
 
@@ -355,6 +357,23 @@ func WithBatchSize(k int) Option {
 		}
 		o.batchSize = k
 		o.batchSet = true
+	}
+}
+
+// WithContext bounds every run and session of the built plan by ctx: once
+// the context is done, Consume feed loops stop between tuples, barrier waits
+// (migration and admission on sharded plans) abandon, and blocked cross-
+// goroutine sends release — the same unwind Session.Close performs, with the
+// context's cause reported instead of ErrClosed. Cancellation never
+// interrupts one tuple's processing halfway; it takes effect at the next
+// tuple or batch boundary. A RunConfig carrying its own non-nil Ctx
+// overrides the option for that run.
+func WithContext(ctx context.Context) Option {
+	return func(o *buildOptions) {
+		if ctx == nil && o.err == nil {
+			o.err = errors.New("stateslice: WithContext needs a non-nil context (omit the option for an unbounded run)")
+		}
+		o.ctx = ctx
 	}
 }
 
