@@ -108,6 +108,17 @@ type Session interface {
 	// statistics — result counts, collected tuples — survive to Finish.
 	// At least one live query must remain.
 	Detach(id QueryID) error
+	// Checkpoint takes a barrier-consistent snapshot of the running
+	// session: every tuple fed so far is fully processed first (for
+	// sharded sessions, on every replica, at the same global stream
+	// position), the per-slice window contents, feed frontiers and query
+	// roster are copied while nothing is in flight, and feeding resumes.
+	// The session continues unaffected. Serialize the snapshot with
+	// Checkpoint.Bytes and resume it — in this process or another — by
+	// building the same workload with WithRestore. Requires a chain
+	// strategy (MemOpt, CPUOpt); ctx only gates entry (a done context
+	// fails fast), it cannot interrupt the barrier itself.
+	Checkpoint(ctx context.Context) (*Checkpoint, error)
 	// Finish flushes the plan with a final punctuation and returns the
 	// run statistics. The session cannot be fed afterwards. For sharded
 	// sessions, the first replica or driver failure of the run — which
@@ -169,10 +180,20 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 			{o.migratable, "WithMigratable"},
 			{o.disableLineage, "WithoutLineage"},
 			{o.concurrent, "WithConcurrency"},
+			{o.restore != nil, "WithRestore"},
+			{o.recovery != nil, "WithRecovery"},
 		} {
 			if bad.set {
 				return nil, fmt.Errorf("stateslice: %s applies to state-slice chains only, not the %s strategy", bad.name, s)
 			}
+		}
+	}
+	if o.recovery != nil && !o.shardsSet {
+		return nil, errors.New("stateslice: WithRecovery supervises the sharded executor's replicas and requires WithShards; sequential sessions stay fail-fast")
+	}
+	if o.restore != nil {
+		if err := validateRestoreShape(o); err != nil {
+			return nil, err
 		}
 	}
 	if o.ends != nil && s != MemOpt {
@@ -213,9 +234,18 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 		// own result hook: sinks created later by Session.Attach then get
 		// the same composite, so admitted queries stream results too.
 		cfg.OnResult = sequentialOnResult(o)
-		sp, err := plan.BuildStateSlice(w, cfg)
-		if err != nil {
-			return nil, err
+		var sp *plan.StateSlicePlan
+		if o.restore != nil {
+			sp, err = plan.RestoreStateSlice(w, cfg, o.restore.chain)
+			if err != nil {
+				return nil, err
+			}
+			bp.restore = o.restore.chain
+		} else {
+			sp, err = plan.BuildStateSlice(w, cfg)
+			if err != nil {
+				return nil, err
+			}
 		}
 		bp.chain = sp
 		bp.exec = sp.Plan
@@ -330,9 +360,10 @@ type builtPlan struct {
 	chain      *plan.StateSlicePlan // nil unless strategy.sliced()
 	model      CostModel
 	migratable bool
-	batchSize  int             // WithBatchSize default for runs and sessions
-	ctx        context.Context // WithContext bound for runs and sessions
-	sess       *engine.Session // latest session, the migration target
+	batchSize  int                   // WithBatchSize default for runs and sessions
+	ctx        context.Context       // WithContext bound for runs and sessions
+	restore    *plan.ChainCheckpoint // WithRestore snapshot; sessions seed its frontier
+	sess       *engine.Session       // latest session, the migration target
 }
 
 func (p *builtPlan) sealed() {}
@@ -351,8 +382,23 @@ func (p *builtPlan) Ends() []Time {
 	return p.chain.Ends()
 }
 
-// Run implements Plan.
+// Run implements Plan. A restored plan runs through a session so the
+// snapshot's feed frontier is seeded before the first tuple.
 func (p *builtPlan) Run(src Source, cfg RunConfig) (*Result, error) {
+	if p.restore != nil {
+		s, err := p.NewSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Consume(src); err != nil {
+			return nil, err
+		}
+		res := s.Finish()
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		return res, nil
+	}
 	return engine.RunSource(p.exec, src, p.runConfig(cfg))
 }
 
@@ -361,6 +407,11 @@ func (p *builtPlan) NewSession(cfg RunConfig) (Session, error) {
 	s, err := engine.NewSession(p.exec, p.runConfig(cfg))
 	if err != nil {
 		return nil, err
+	}
+	if p.restore != nil {
+		if err := s.SeedFrontier(p.restore.Fed, p.restore.LastTime); err != nil {
+			return nil, err
+		}
 	}
 	p.sess = s
 	return &builtSession{s: s, p: p}, nil
@@ -382,6 +433,25 @@ func (cs *builtSession) Consume(src Source) error { return cs.s.Consume(src) }
 
 // Drain implements Session.
 func (cs *builtSession) Drain() { cs.s.Drain() }
+
+// Checkpoint implements Session: the chain drains to quiescence inside the
+// same feed-barrier protocol migration and admission use, and the snapshot
+// is copied while nothing is in flight.
+func (cs *builtSession) Checkpoint(ctx context.Context) (*Checkpoint, error) {
+	if cs.p.chain == nil {
+		return nil, fmt.Errorf("stateslice: the %s strategy does not support checkpoints; only state-slice chains snapshot their sliced state", cs.p.strategy)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	cp, err := cs.p.chain.Checkpoint(cs.s)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{chain: cp}, nil
+}
 
 // Finish implements Session.
 func (cs *builtSession) Finish() *Result { return cs.s.Finish() }

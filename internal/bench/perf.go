@@ -147,6 +147,11 @@ type PerfReport struct {
 	// on a live mid-stream sharded session. Nil when the shard suites are
 	// disabled (the suite shares their equijoin twin workload).
 	Lifecycle *LifecycleReport `json:"lifecycle,omitempty"`
+	// Recovery is the self-healing suite: checkpoint latency and blob
+	// size, supervised-restart cost, and the healed run's output
+	// equivalence. Nil when the shard suites are disabled (the suite
+	// shares their equijoin twin workload).
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
 }
 
 // PerfConfig parameterises RunPerf. The zero value selects the tracked
@@ -296,6 +301,11 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 			return nil, err
 		}
 		rep.Lifecycle = lc
+		rc, err := runRecoverySuite(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Recovery = rc
 	}
 	return rep, nil
 }

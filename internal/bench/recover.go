@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"stateslice/internal/fault"
+	"stateslice/internal/plan"
+	rec "stateslice/internal/recover"
+	"stateslice/internal/shard"
+	"stateslice/internal/stream"
+	"stateslice/internal/workload"
+)
+
+// Recovery suite: the cost of the self-healing layer on the sharded
+// executor. Three figures matter operationally: how expensive a
+// barrier-consistent full-session checkpoint is (latency and blob size),
+// how long a supervised replica restart takes before output flows again
+// (rebuild from the runner-local snapshot plus delta replay, excluding the
+// policy's backoff sleep), and whether the healed run's output still equals
+// the unfaulted run's — the equivalence everything else is priced against.
+// The suite feeds half the keyed equijoin input, times Checkpoint on the
+// live session, injects one replica panic mid second half, and lets
+// supervision heal it; an unfaulted reference run over the identical input
+// pins the output count.
+
+// RecoveryReport is the recovery suite of the machine-readable report.
+type RecoveryReport struct {
+	// Shards is the replica count of the supervised sessions.
+	Shards int `json:"shards"`
+	// SnapshotEvery is the restart policy's snapshot cadence (inputs per
+	// runner-local checkpoint), the replay-ring bound.
+	SnapshotEvery int `json:"snapshot_every"`
+	// Checkpoints is the number of timed full-session checkpoints.
+	Checkpoints int `json:"checkpoints"`
+	// CheckpointBytes is the encoded blob size of a mid-stream checkpoint
+	// of the whole session (all replicas, states included).
+	CheckpointBytes int `json:"checkpoint_bytes"`
+	// CheckpointMeanMicros and CheckpointMaxMicros aggregate the wall-clock
+	// cost of Session.Checkpoint — barrier, per-replica state snapshot,
+	// resume — across repetitions, in microseconds.
+	CheckpointMeanMicros float64 `json:"checkpoint_mean_micros"`
+	CheckpointMaxMicros  float64 `json:"checkpoint_max_micros"`
+	// Restarts and ReplayedBatches total the supervised restarts and the
+	// feed slabs replayed from the ring across all repetitions.
+	Restarts        int `json:"restarts"`
+	ReplayedBatches int `json:"replayed_batches"`
+	// RestartToFirstOutputMicros is the mean wall time from a replica's
+	// death to its rebuilt session accepting feeds again — chain rebuild
+	// from the snapshot plus delta replay with duplicate suppression,
+	// excluding backoff sleeps. Output resumes on the next fed tuple.
+	RestartToFirstOutputMicros float64 `json:"restart_to_first_output_micros"`
+	// UnfaultedOutputs is the reference run's result count.
+	UnfaultedOutputs uint64 `json:"unfaulted_outputs"`
+	// OutputsMatch reports that every healed run delivered exactly the
+	// unfaulted reference's result count (false invalidates the suite).
+	OutputsMatch bool `json:"outputs_match"`
+}
+
+// runRecoverySuite measures checkpoint latency and supervised-restart cost
+// at the largest tracked shard count.
+func runRecoverySuite(cfg PerfConfig) (*RecoveryReport, error) {
+	w, err := workload.NQueriesEquijoin(cfg.Dist, cfg.Queries)
+	if err != nil {
+		return nil, err
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA:     cfg.Rate,
+		RateB:     cfg.Rate,
+		Duration:  stream.Seconds(cfg.DurationSec),
+		KeyDomain: cfg.KeyDomain,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	shards := 1
+	for _, p := range cfg.Shards {
+		if p > shards {
+			shards = p
+		}
+	}
+	windows := make([]stream.Time, len(w.Queries))
+	for i, q := range w.Queries {
+		windows[i] = q.Window
+	}
+	pcfg := plan.StateSliceConfig{Name: "perf", RawSliceResults: true}
+	policy := &rec.Restart{
+		MaxRestarts:   3,
+		Backoff:       time.Microsecond,
+		MaxBackoff:    10 * time.Microsecond,
+		SnapshotEvery: 512,
+	}
+	newExec := func(recovery *rec.Restart) (*shard.Executor, error) {
+		return shard.New(shard.Config{
+			Shards:      shards,
+			SampleEvery: 1 << 30,
+			SliceMerge:  true,
+			Windows:     windows,
+			Name:        "perf-recovery",
+			Recovery:    recovery,
+			RestoreFn: func(_ int, cp *plan.ChainCheckpoint) (*plan.StateSlicePlan, error) {
+				return plan.RestoreStateSlice(w, pcfg, cp)
+			},
+		}, func(int) (*plan.StateSlicePlan, error) {
+			return plan.BuildStateSlice(w, pcfg)
+		})
+	}
+
+	// Unfaulted reference: same executor shape, no fault, no supervision.
+	ref, err := shard.New(shard.Config{
+		Shards:      shards,
+		SampleEvery: 1 << 30,
+		SliceMerge:  true,
+		Windows:     windows,
+		Name:        "perf-recovery-ref",
+	}, func(int) (*plan.StateSlicePlan, error) {
+		return plan.BuildStateSlice(w, pcfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	refRes, err := ref.Run(stream.NewSliceSource(input))
+	if err != nil {
+		return nil, err
+	}
+
+	half := len(input) / 2
+	rep := &RecoveryReport{
+		Shards:           shards,
+		SnapshotEvery:    policy.SnapshotEvery,
+		UnfaultedOutputs: refRes.TotalOutputs(),
+		OutputsMatch:     true,
+	}
+	var cpTotal, cpMax time.Duration
+	var restartTime time.Duration
+	for r := 0; r < cfg.Reps; r++ {
+		e, err := newExec(policy)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range input[:half] {
+			if err := e.Feed(t); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		cp, err := e.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		cpTotal += d
+		rep.Checkpoints++
+		if d > cpMax {
+			cpMax = d
+		}
+		if rep.CheckpointBytes == 0 {
+			blob, err := cp.Encode()
+			if err != nil {
+				return nil, err
+			}
+			rep.CheckpointBytes = len(blob)
+		}
+		// One replica panic a quarter into the second half; supervision
+		// heals it and the run must end with the reference's outputs.
+		var fed atomic.Int64
+		trip := int64((len(input) - half) / 4)
+		restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+			if fed.Add(1) == trip {
+				panic("bench: injected replica crash")
+			}
+			return nil
+		})
+		for _, t := range input[half:] {
+			if err := e.Feed(t); err != nil {
+				restore()
+				return nil, err
+			}
+		}
+		restore()
+		res, err := e.Finish()
+		if err != nil {
+			return nil, err
+		}
+		if res.Recovery != nil {
+			rep.Restarts += res.Recovery.Restarts
+			rep.ReplayedBatches += res.Recovery.ReplayedBatches
+			restartTime += res.Recovery.RestartTime
+		}
+		if res.TotalOutputs() != rep.UnfaultedOutputs {
+			rep.OutputsMatch = false
+		}
+	}
+	if rep.Checkpoints > 0 {
+		rep.CheckpointMeanMicros = float64(cpTotal.Microseconds()) / float64(rep.Checkpoints)
+	}
+	rep.CheckpointMaxMicros = float64(cpMax.Microseconds())
+	if rep.Restarts > 0 {
+		rep.RestartToFirstOutputMicros = float64(restartTime.Microseconds()) / float64(rep.Restarts)
+	}
+	return rep, nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"stateslice/internal/fault"
 	"stateslice/internal/operator"
+	rec "stateslice/internal/recover"
 	"stateslice/internal/stream"
 )
 
@@ -115,6 +116,10 @@ type Result struct {
 	Wall time.Duration
 	// VirtualDuration is the timestamp of the last input tuple.
 	VirtualDuration stream.Time
+	// Recovery reports what supervised restart did during the session —
+	// restarts, replayed slabs, exhausted budgets. It is nil unless the
+	// session ran under the sharded executor with a recovery policy.
+	Recovery *rec.Stats
 	// Err classifies a run that did not complete cleanly, carried here
 	// because Session.Finish has no error return: the first replica or
 	// driver error of a sharded session, a sequential session's contained
@@ -226,6 +231,31 @@ func (s *Session) fail(err error) error {
 // (PanicError) or a non-quiescing graph. It also surfaces on the next Feed,
 // FeedPunct or Barrier and on Result.Err.
 func (s *Session) Err() error { return s.err }
+
+// Frontier returns the session's feed frontier: how many source tuples were
+// fed and the timestamp of the latest one. Checkpoints record it so a
+// restored session resumes exactly where the snapshot was taken.
+func (s *Session) Frontier() (fed int, last stream.Time) { return s.fed, s.lastTime }
+
+// SeedFrontier initializes a fresh session's feed frontier from a
+// checkpoint: the session behaves as if fed tuples up to timestamp last had
+// already been processed, so order checking and input accounting continue
+// from the snapshot instead of zero. It is valid only on an unused session
+// (nothing fed yet).
+func (s *Session) SeedFrontier(fed int, last stream.Time) error {
+	if err := s.usable("SeedFrontier"); err != nil {
+		return err
+	}
+	if s.fed != 0 || s.pending != 0 {
+		return fmt.Errorf("engine: SeedFrontier on a session that was already fed %d tuples", s.fed)
+	}
+	if fed < 0 || last < 0 {
+		return fmt.Errorf("engine: SeedFrontier with negative frontier (fed=%d, last=%s)", fed, last)
+	}
+	s.fed = fed
+	s.lastTime = last
+	return nil
+}
 
 // Feed pushes one source tuple into the plan's entry queues and drains the
 // graph to quiescence. Tuples must arrive in global timestamp order.

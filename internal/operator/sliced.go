@@ -87,6 +87,19 @@ func (j *SlicedBinaryJoin) StateSnapshot(id stream.ID) []*stream.Tuple {
 	return j.states[id].Snapshot()
 }
 
+// RestoreState replaces the window state of the given stream with the given
+// tuples, oldest-first — the inverse of StateSnapshot. Checkpoint restore
+// fills a freshly built chain with snapshotted slice contents; the tuples
+// must already be in arrival (timestamp) order, exactly as Snapshot emitted
+// them.
+func (j *SlicedBinaryJoin) RestoreState(id stream.ID, tuples []*stream.Tuple) {
+	st := j.states[id]
+	st.Clear()
+	for _, t := range tuples {
+		st.Insert(t)
+	}
+}
+
 // Step implements Operator.
 func (j *SlicedBinaryJoin) Step(m *CostMeter, max int) int {
 	n := 0

@@ -61,6 +61,41 @@ func (u *Union) CloseInput(q *stream.Queue) bool {
 // Inputs returns the number of registered inputs.
 func (u *Union) Inputs() int { return len(u.ins) }
 
+// InputSnapshot returns the registered input queues in merge order (closed
+// inputs included). Checkpointing reads it to record the tie order of the
+// live chain.
+func (u *Union) InputSnapshot() []*stream.Queue {
+	return append([]*stream.Queue(nil), u.ins...)
+}
+
+// Reorder permutes the registered inputs into the given order, which must
+// list exactly the current inputs. Ties on (Time, Seq) follow input order,
+// and on a chain that was restructured mid-stream that order reflects the
+// restructure history rather than the slice layout — a chain rebuilt from a
+// checkpoint calls Reorder so its unions inherit the snapshot's order
+// instead of the fresh build's.
+func (u *Union) Reorder(qs []*stream.Queue) error {
+	if len(qs) != len(u.ins) {
+		return fmt.Errorf("operator: %s: Reorder got %d inputs, union has %d", u.name, len(qs), len(u.ins))
+	}
+	pos := make(map[*stream.Queue]int, len(u.ins))
+	for i, in := range u.ins {
+		pos[in] = i
+	}
+	frontiers := make([]stream.Time, len(qs))
+	for i, q := range qs {
+		j, ok := pos[q]
+		if !ok {
+			return fmt.Errorf("operator: %s: Reorder input %d is not registered (or listed twice)", u.name, i)
+		}
+		delete(pos, q)
+		frontiers[i] = u.frontiers[j]
+	}
+	u.ins = append(u.ins[:0:0], qs...)
+	u.frontiers = frontiers
+	return nil
+}
+
 // Out exposes the merged output port.
 func (u *Union) Out() *Port { return &u.out }
 

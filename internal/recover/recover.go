@@ -1,0 +1,170 @@
+// Package recover implements the supervised-restart policy of the sharded
+// executor: when a replica dies with a contained crash (a fault.PanicError,
+// not a build or usage error), the supervisor decides whether the replica
+// may be rebuilt from its last checkpoint and how long to back off first.
+// Exhausting the restart budget degrades to the executor's fail-fast
+// teardown — supervision never hides a fault, it bounds how many times the
+// same replica may be healed before the session gives up.
+//
+// The package holds policy and accounting only; the mechanics of rebuilding
+// a replica (checkpoint restore, replay ring, merge dedup) live in
+// internal/shard, which imports this package under the alias rec.
+package recover
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"stateslice/internal/fault"
+)
+
+// Defaults of the zero Restart policy.
+const (
+	// DefaultMaxRestarts bounds restarts per replica for a session.
+	DefaultMaxRestarts = 3
+	// DefaultBackoff is the delay before the first restart of a replica;
+	// it doubles per consecutive restart of the same replica.
+	DefaultBackoff = time.Millisecond
+	// DefaultMaxBackoff caps the per-restart delay.
+	DefaultMaxBackoff = 100 * time.Millisecond
+	// DefaultSnapshotEvery is how many fed inputs a replica processes
+	// between periodic checkpoint snapshots. It bounds the replay ring: at
+	// most this many inputs (rounded up to feed slabs) are replayed on a
+	// restart.
+	DefaultSnapshotEvery = 2048
+)
+
+// Restart is the supervised-restart policy WithRecovery selects: a replica
+// that dies with a contained PanicError is quarantined, rebuilt from its
+// last checkpoint and fed the delta from the replay ring, up to MaxRestarts
+// times per replica with exponential backoff between attempts. The zero
+// value selects every default.
+type Restart struct {
+	// MaxRestarts bounds how many times one replica may be restarted in a
+	// session; exceeding it degrades to fail-fast teardown. Zero or
+	// negative selects DefaultMaxRestarts.
+	MaxRestarts int
+	// Backoff is the delay before the first restart of a replica,
+	// doubling per consecutive restart. Zero or negative selects
+	// DefaultBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the delay. Zero or negative selects
+	// DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// SnapshotEvery is how many fed inputs pass between a replica's
+	// periodic checkpoint snapshots — the replay-ring bound. Zero or
+	// negative selects DefaultSnapshotEvery.
+	SnapshotEvery int
+}
+
+// WithDefaults returns the policy with zero fields replaced by defaults.
+func (p Restart) WithDefaults() Restart {
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = DefaultMaxRestarts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.MaxBackoff < p.Backoff {
+		p.MaxBackoff = p.Backoff
+	}
+	if p.SnapshotEvery <= 0 {
+		p.SnapshotEvery = DefaultSnapshotEvery
+	}
+	return p
+}
+
+// Recoverable reports whether a replica failure is eligible for supervised
+// restart: contained crashes (PanicError) are; build, usage and order
+// errors are not — restarting cannot fix a misuse, and masking it would
+// hide the bug.
+func Recoverable(err error) bool {
+	var pe *fault.PanicError
+	return errors.As(err, &pe)
+}
+
+// Stats aggregates what supervision did during a session.
+type Stats struct {
+	// Restarts counts successful replica restarts.
+	Restarts int
+	// ReplayedBatches counts feed slabs replayed across all restarts.
+	ReplayedBatches int
+	// Exhausted counts replicas whose restart budget ran out (the session
+	// then failed fast).
+	Exhausted int
+	// RestartTime is the cumulative wall time spent rebuilding replicas,
+	// excluding backoff sleeps.
+	RestartTime time.Duration
+}
+
+// Supervisor tracks the per-replica restart budget and backoff state. It is
+// shared between the driver (which reads Stats) and the replica runner
+// goroutines (which admit and record restarts), so every method is
+// mutex-guarded.
+type Supervisor struct {
+	pol Restart
+
+	mu       sync.Mutex
+	restarts []int // per replica, total this session
+	stats    Stats
+}
+
+// NewSupervisor builds a supervisor for the given replica count.
+func NewSupervisor(pol Restart, shards int) *Supervisor {
+	return &Supervisor{pol: pol.WithDefaults(), restarts: make([]int, shards)}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (s *Supervisor) Policy() Restart { return s.pol }
+
+// Admit asks whether the given replica may restart once more. It returns
+// the backoff to sleep before the attempt and true, or false when the
+// replica's budget is exhausted (the caller then fails fast). Admit charges
+// the budget immediately, so a restart that itself crashes cannot retry for
+// free.
+func (s *Supervisor) Admit(shard int) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.restarts[shard]
+	if n >= s.pol.MaxRestarts {
+		s.stats.Exhausted++
+		return 0, false
+	}
+	s.restarts[shard] = n + 1
+	d := s.pol.Backoff
+	for i := 0; i < n && d < s.pol.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.pol.MaxBackoff {
+		d = s.pol.MaxBackoff
+	}
+	return d, true
+}
+
+// RecordRestart accounts one successful restart: how many feed slabs were
+// replayed and how long the rebuild took (excluding backoff).
+func (s *Supervisor) RecordRestart(shard, replayedBatches int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Restarts++
+	s.stats.ReplayedBatches += replayedBatches
+	s.stats.RestartTime += d
+}
+
+// Stats returns a snapshot of the supervision counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Restarts returns how many times the given replica restarted.
+func (s *Supervisor) Restarts(shard int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts[shard]
+}

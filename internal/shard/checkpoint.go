@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+// Sharded checkpoint: a barrier-consistent snapshot of the whole executor,
+// composed from one chain checkpoint per replica plus the driver's own feed
+// frontier. The snapshot is taken inside the same flush-command-ack barrier
+// migration and admission use, so every replica snapshots at the same global
+// stream position and nothing is in flight between the driver and the
+// runners.
+
+// ShardedCheckpointVersion is the current blob version for sharded
+// composite checkpoints.
+const ShardedCheckpointVersion uint16 = 1
+
+// Checkpoint is a barrier-consistent snapshot of a sharded run: the driver
+// feed frontier, the partitioning shape and one chain checkpoint per
+// replica. Restore it with Config.Restore on an executor built with the
+// same shard count, partitioning and workload.
+type Checkpoint struct {
+	// Shards is the replica count the snapshot was taken with; restore
+	// requires the same count (the per-replica states are partition-shaped).
+	Shards int
+	// Fed, RepFed, SincePunct and LastTime are the driver's feed frontier:
+	// source tuples fed, per-replica deliveries, tuples since the last
+	// punctuation broadcast, and the latest fed timestamp.
+	Fed        int
+	RepFed     int
+	SincePunct int
+	LastTime   stream.Time
+	// Band records the range-partitioning shape, nil under hash
+	// partitioning; restore requires an identical configuration.
+	Band *Band
+	// Replicas holds one chain snapshot per shard, in shard order.
+	Replicas []*plan.ChainCheckpoint
+}
+
+// StateTuples returns the total number of window-state tuples across every
+// replica — the snapshot's dominant size component.
+func (cp *Checkpoint) StateTuples() int {
+	n := 0
+	for _, r := range cp.Replicas {
+		if r != nil {
+			n += r.StateTuples()
+		}
+	}
+	return n
+}
+
+// Checkpoint takes a barrier-consistent snapshot of the whole executor: the
+// pending feed slabs are flushed, every replica drains to quiescence and
+// snapshots its chain at the same global stream position, and feeding
+// resumes. The executor continues unaffected — the snapshot shares no
+// mutable state with the live run.
+func (e *Executor) Checkpoint() (*Checkpoint, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usable("Checkpoint"); err != nil {
+		return nil, err
+	}
+	snap := make([]*plan.ChainCheckpoint, len(e.replicas))
+	if err := e.barrier(ctl{snap: snap}); err != nil {
+		return nil, err
+	}
+	for i, cp := range snap {
+		if cp == nil {
+			return nil, fmt.Errorf("shard: Checkpoint: replica %d produced no snapshot", i)
+		}
+	}
+	cp := &Checkpoint{
+		Shards:     e.cfg.Shards,
+		Fed:        e.fed,
+		RepFed:     e.repFed,
+		SincePunct: e.sincePunct,
+		LastTime:   e.lastTime,
+		Replicas:   snap,
+	}
+	if e.cfg.Band != nil {
+		b := *e.cfg.Band
+		cp.Band = &b
+	}
+	return cp, nil
+}
+
+// validateRestore checks a snapshot against the executor configuration it
+// is being restored into. Shape mismatches (shard count, partitioning) are
+// configuration errors caught before any goroutine starts.
+func validateRestore(cfg Config, cp *Checkpoint) error {
+	if cp.Shards != cfg.Shards {
+		return fmt.Errorf("shard: restore: checkpoint was taken with %d shards, executor has %d — per-replica states are partition-shaped and cannot be re-sharded", cp.Shards, cfg.Shards)
+	}
+	if len(cp.Replicas) != cp.Shards {
+		return fmt.Errorf("shard: restore: checkpoint has %d replica snapshots for %d shards", len(cp.Replicas), cp.Shards)
+	}
+	for i, r := range cp.Replicas {
+		if r == nil {
+			return fmt.Errorf("shard: restore: replica %d snapshot is nil", i)
+		}
+	}
+	switch {
+	case cp.Band == nil && cfg.Band != nil:
+		return fmt.Errorf("shard: restore: checkpoint was taken under hash partitioning but the executor is band-partitioned")
+	case cp.Band != nil && cfg.Band == nil:
+		return fmt.Errorf("shard: restore: checkpoint was taken under band partitioning but the executor is hash-partitioned")
+	case cp.Band != nil && *cp.Band != *cfg.Band:
+		return fmt.Errorf("shard: restore: checkpoint band %+v does not match the executor band %+v", *cp.Band, *cfg.Band)
+	}
+	if cfg.RestoreFn == nil {
+		return fmt.Errorf("shard: restore: Config.RestoreFn is required to rebuild replicas from a checkpoint")
+	}
+	return nil
+}
+
+// Encode serializes the sharded checkpoint: a composite header followed by
+// the concatenated chain blobs of every replica.
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint32(nil, plan.CheckpointMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, ShardedCheckpointVersion)
+	buf = append(buf, plan.KindSharded)
+	buf = binary.AppendUvarint(buf, uint64(cp.Shards))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cp.Fed))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cp.RepFed))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cp.SincePunct))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cp.LastTime))
+	if cp.Band != nil {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(cp.Band.Width))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(cp.Band.MinKey))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(cp.Band.MaxKey))
+	} else {
+		buf = append(buf, 0)
+	}
+	if len(cp.Replicas) != cp.Shards {
+		return nil, fmt.Errorf("shard: checkpoint encode: %d replica snapshots for %d shards", len(cp.Replicas), cp.Shards)
+	}
+	for i, r := range cp.Replicas {
+		if r == nil {
+			return nil, fmt.Errorf("shard: checkpoint encode: replica %d snapshot is nil", i)
+		}
+		var err error
+		if buf, err = r.AppendTo(buf); err != nil {
+			return nil, fmt.Errorf("shard: checkpoint encode: replica %d: %w", i, err)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeCheckpoint decodes a sharded composite checkpoint blob.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < 7 {
+		return nil, fmt.Errorf("shard: checkpoint decode: truncated header (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data); m != plan.CheckpointMagic {
+		return nil, fmt.Errorf("shard: checkpoint decode: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != ShardedCheckpointVersion {
+		return nil, fmt.Errorf("shard: checkpoint decode: unsupported sharded blob version %d (this build reads version %d)", v, ShardedCheckpointVersion)
+	}
+	if k := data[6]; k != plan.KindSharded {
+		return nil, fmt.Errorf("shard: checkpoint decode: expected a sharded blob, got kind %d", k)
+	}
+	rest := data[7:]
+	shards, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: checkpoint decode: truncated shard count")
+	}
+	rest = rest[n:]
+	if len(rest) < 33 {
+		return nil, fmt.Errorf("shard: checkpoint decode: truncated frontier")
+	}
+	cp := &Checkpoint{
+		Shards:     int(shards),
+		Fed:        int(binary.LittleEndian.Uint64(rest)),
+		RepFed:     int(binary.LittleEndian.Uint64(rest[8:])),
+		SincePunct: int(binary.LittleEndian.Uint64(rest[16:])),
+		LastTime:   stream.Time(binary.LittleEndian.Uint64(rest[24:])),
+	}
+	hasBand := rest[32]
+	rest = rest[33:]
+	if hasBand == 1 {
+		if len(rest) < 24 {
+			return nil, fmt.Errorf("shard: checkpoint decode: truncated band shape")
+		}
+		cp.Band = &Band{
+			Width:  int64(binary.LittleEndian.Uint64(rest)),
+			MinKey: int64(binary.LittleEndian.Uint64(rest[8:])),
+			MaxKey: int64(binary.LittleEndian.Uint64(rest[16:])),
+		}
+		rest = rest[24:]
+	}
+	for i := 0; i < cp.Shards; i++ {
+		r, rem, err := plan.DecodeChainCheckpoint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("shard: checkpoint decode: replica %d: %w", i, err)
+		}
+		cp.Replicas = append(cp.Replicas, r)
+		rest = rem
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("shard: checkpoint decode: %d trailing bytes after the last replica blob", len(rest))
+	}
+	return cp, nil
+}

@@ -95,6 +95,7 @@ import (
 	"stateslice/internal/fault"
 	"stateslice/internal/operator"
 	"stateslice/internal/plan"
+	rec "stateslice/internal/recover"
 	"stateslice/internal/stream"
 )
 
@@ -184,6 +185,24 @@ type Config struct {
 	Windows []stream.Time
 	// Name labels the run's Result.
 	Name string
+	// Recovery, when non-nil, arms supervised replica restart: a replica
+	// that dies with a contained crash (fault.PanicError) is rebuilt from
+	// its last runner-local checkpoint and fed the delta from its replay
+	// ring, up to the policy's budget, instead of failing the session.
+	// Requires RestoreFn. nil keeps the fail-fast default — the first
+	// replica failure aborts the run.
+	Recovery *rec.Restart
+	// RestoreFn rebuilds one replica's chain from a checkpoint; required by
+	// Recovery and Restore. The public build layer supplies it, closing
+	// over the founding workload (predicates are code and never travel in
+	// a snapshot).
+	RestoreFn func(shard int, cp *plan.ChainCheckpoint) (*plan.StateSlicePlan, error)
+	// Restore, when non-nil, resumes the executor from a sharded
+	// checkpoint instead of a fresh start: every replica is rebuilt from
+	// its snapshot via RestoreFn, the engine frontiers and the driver's
+	// feed counters are seeded, and feeding continues where the snapshot
+	// was taken. The shard count and partitioning must match the snapshot.
+	Restore *Checkpoint
 }
 
 // resolveWorkers returns the assembly-worker pool size for the given query
@@ -254,13 +273,17 @@ type feedMsg struct {
 }
 
 // ctl is a barrier command: a migration when target is non-nil, an admission
-// when attach or detach is set, otherwise a drain. The runner acknowledges
-// on ack after the replica has quiesced.
+// when attach or detach is set, a checkpoint when snap is non-nil, otherwise
+// a drain. The runner acknowledges on ack after the replica has quiesced.
 type ctl struct {
 	target []stream.Time
 	attach *attachCmd
 	detach *int
-	ack    chan error
+	// snap receives each replica's chain snapshot at index idx; the slots
+	// are disjoint per runner and the driver reads them only after every
+	// acknowledgement, so the shared backing array is race-free.
+	snap []*plan.ChainCheckpoint
+	ack  chan error
 }
 
 // attachCmd fans one query admission out to every replica. The merger and
@@ -296,6 +319,15 @@ type outEdge struct {
 	// Slice-merge fast path:
 	slice int
 	asmIn chan sliceBatch
+	// Supervised-restart accounting (Config.Recovery; see recover.go).
+	// emitted counts items accepted into the batcher; emittedSnap is the
+	// count at the last runner-local snapshot; skip arms the replay
+	// suppression after a restart: the tap drops exactly emitted -
+	// emittedSnap replayed items, which by chain determinism are the items
+	// the merge layer already received. All three are runner-owned.
+	emitted     uint64
+	emittedSnap uint64
+	skip        uint64
 }
 
 // replica is one chain copy with its session and feed edge. All fields
@@ -312,6 +344,17 @@ type replica struct {
 	out  []*outEdge // per-query (or per-slice) result edges, runner-owned
 	res  *engine.Result
 	err  error
+
+	// Supervised-restart state (Config.Recovery; see recover.go), all
+	// runner-owned: the last runner-local snapshot (nil = the empty initial
+	// chain), the replay ring of feed slabs delivered since it, the
+	// snapshot cadence counter, and the degraded flag set when a
+	// post-restructure snapshot fails (the replica then falls back to
+	// fail-fast).
+	snapCp    *plan.ChainCheckpoint
+	ring      [][]stream.Item
+	sinceSnap int
+	norecover bool
 }
 
 // merger merges one query's per-shard result streams in (Time, Seq) order,
@@ -347,6 +390,11 @@ type Executor struct {
 	rpart    *RangePartitioner
 	workers  int
 	replicas []*replica
+	// sup supervises replica restarts (nil without Config.Recovery);
+	// buildFn is the replica factory, retained so a restart before the
+	// first snapshot can rebuild from scratch.
+	sup     *rec.Supervisor
+	buildFn func(shard int) (*plan.StateSlicePlan, error)
 	// Query-level merge path (nil under SliceMerge): per-query mergers
 	// distributed over the merge workers.
 	mergers      []*merger
@@ -418,12 +466,24 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	if cfg.Name == "" {
 		cfg.Name = "state-slice(sharded)"
 	}
+	if cfg.Recovery != nil && cfg.RestoreFn == nil {
+		return nil, errors.New("shard: Recovery requires Config.RestoreFn to rebuild replicas from their checkpoints")
+	}
+	if cfg.Restore != nil {
+		if err := validateRestore(cfg, cfg.Restore); err != nil {
+			return nil, err
+		}
+	}
 	e := &Executor{
 		cfg:       cfg,
 		part:      NewPartitioner(cfg.Shards),
 		feedB:     make([]stream.Batcher, cfg.Shards),
 		start:     time.Now(),
 		closeDone: make(chan struct{}),
+		buildFn:   build,
+	}
+	if cfg.Recovery != nil {
+		e.sup = rec.NewSupervisor(*cfg.Recovery, cfg.Shards)
 	}
 	parent := cfg.Ctx
 	if parent == nil {
@@ -441,7 +501,13 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	}
 	queries := -1
 	for i := 0; i < cfg.Shards; i++ {
-		sp, err := build(i)
+		var sp *plan.StateSlicePlan
+		var err error
+		if cfg.Restore != nil {
+			sp, err = cfg.RestoreFn(i, cfg.Restore.Replicas[i])
+		} else {
+			sp, err = build(i)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -463,7 +529,23 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 			sess: sess,
 			feed: make(chan feedMsg, feedBuf),
 		}
+		if cfg.Restore != nil {
+			snap := cfg.Restore.Replicas[i]
+			if err := sess.SeedFrontier(snap.Fed, snap.LastTime); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			// The restore point doubles as the replica's first runner-local
+			// snapshot, so an early crash restores from it instead of
+			// replaying the whole pre-checkpoint stream it never saw.
+			r.snapCp = snap
+		}
 		e.replicas = append(e.replicas, r)
+	}
+	if cfg.Restore != nil {
+		e.fed = cfg.Restore.Fed
+		e.repFed = cfg.Restore.RepFed
+		e.sincePunct = cfg.Restore.SincePunct
+		e.lastTime = cfg.Restore.LastTime
 	}
 	if cfg.SliceMerge {
 		if len(cfg.Windows) != queries {
@@ -521,24 +603,10 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	// always pass — duplicate-male punctuation only advances frontiers.
 	for _, r := range e.replicas {
 		if cfg.SliceMerge {
-			shardIdx := r.idx
-			foreign := e.foreignFn(shardIdx)
 			for si, j := range r.sp.Slices() {
 				o := &outEdge{b: new(stream.Batcher), slice: si, asmIn: e.asm.workers[e.asm.sliceOwner[si]].in}
 				r.out = append(r.out, o)
-				j.Result().AttachFunc(func(it stream.Item) {
-					if it.IsPunct() {
-						if it.Punct < stream.MaxTime {
-							it.Punct--
-						}
-					} else if foreign != nil && foreign(it.Tuple) {
-						return
-					}
-					o.b.Add(it)
-					if o.b.Full() {
-						o.asmIn <- sliceBatch{slice: o.slice, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
-					}
-				})
+				e.attachSliceTap(r, j, o)
 			}
 			continue
 		}
@@ -583,19 +651,51 @@ func (e *Executor) foreignFn(shardIdx int) func(*stream.Tuple) bool {
 // duplicates before batching.
 func (e *Executor) tapQuery(r *replica, u *operator.Union, sink *operator.Sink, m *merger, mw *mergeWorker) *outEdge {
 	o := &outEdge{b: new(stream.Batcher), m: m, mw: mw}
+	e.attachQueryTap(r, u, sink, o)
+	return o
+}
+
+// attachQueryTap (re)wires one query output of replica r's current chain
+// into edge o. Without supervision the tap is the plain two-branch closure
+// the hot path has always run; with supervision it additionally maintains
+// the edge's emitted count and drops the armed replay-suppression prefix
+// after a restart (see recover.go).
+func (e *Executor) attachQueryTap(r *replica, u *operator.Union, sink *operator.Sink, o *outEdge) {
 	shardIdx := r.idx
 	foreign := e.foreignFn(shardIdx)
-	tap := func(it stream.Item) {
-		if it.IsPunct() {
-			if it.Punct < stream.MaxTime {
-				it.Punct--
+	var tap func(stream.Item)
+	if e.sup == nil {
+		tap = func(it stream.Item) {
+			if it.IsPunct() {
+				if it.Punct < stream.MaxTime {
+					it.Punct--
+				}
+			} else if foreign != nil && foreign(it.Tuple) {
+				return
 			}
-		} else if foreign != nil && foreign(it.Tuple) {
-			return
+			o.b.Add(it)
+			if o.b.Full() {
+				o.mw.in <- taggedBatch{m: o.m, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
+			}
 		}
-		o.b.Add(it)
-		if o.b.Full() {
-			o.mw.in <- taggedBatch{m: o.m, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
+	} else {
+		tap = func(it stream.Item) {
+			if it.IsPunct() {
+				if it.Punct < stream.MaxTime {
+					it.Punct--
+				}
+			} else if foreign != nil && foreign(it.Tuple) {
+				return
+			}
+			if o.skip > 0 {
+				o.skip--
+				return
+			}
+			o.emitted++
+			o.b.Add(it)
+			if o.b.Full() {
+				o.mw.in <- taggedBatch{m: o.m, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
+			}
 		}
 	}
 	if u != nil {
@@ -604,7 +704,48 @@ func (e *Executor) tapQuery(r *replica, u *operator.Union, sink *operator.Sink, 
 	} else {
 		sink.OnItem(tap).TapOnly()
 	}
-	return o
+}
+
+// attachSliceTap (re)wires one raw slice result port of replica r's current
+// chain into edge o — the slice-merge counterpart of attachQueryTap, with
+// the same plain/counting split.
+func (e *Executor) attachSliceTap(r *replica, j *operator.SlicedBinaryJoin, o *outEdge) {
+	shardIdx := r.idx
+	foreign := e.foreignFn(shardIdx)
+	if e.sup == nil {
+		j.Result().AttachFunc(func(it stream.Item) {
+			if it.IsPunct() {
+				if it.Punct < stream.MaxTime {
+					it.Punct--
+				}
+			} else if foreign != nil && foreign(it.Tuple) {
+				return
+			}
+			o.b.Add(it)
+			if o.b.Full() {
+				o.asmIn <- sliceBatch{slice: o.slice, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
+			}
+		})
+		return
+	}
+	j.Result().AttachFunc(func(it stream.Item) {
+		if it.IsPunct() {
+			if it.Punct < stream.MaxTime {
+				it.Punct--
+			}
+		} else if foreign != nil && foreign(it.Tuple) {
+			return
+		}
+		if o.skip > 0 {
+			o.skip--
+			return
+		}
+		o.emitted++
+		o.b.Add(it)
+		if o.b.Full() {
+			o.asmIn <- sliceBatch{slice: o.slice, shard: shardIdx, items: o.b.TakeWith(e.getSlab())}
+		}
+	})
 }
 
 // newMerger builds one query merger — sink, k-way merge, collection and
@@ -680,10 +821,22 @@ func (e *Executor) runReplica(r *replica) {
 			msg.ctl.ack <- e.applyCtl(r, msg.ctl)
 			continue
 		}
-		if r.err == nil {
+		// The closing check makes mid-stream teardown event-driven: once
+		// Close (or a context cancellation, or a fail-fast abort) lands,
+		// buffered slabs are drained but not fed — an aborted run never
+		// reports results as complete, so feeding up to (feedBuf+1)*feedSlab
+		// inputs through the whole chain would only buy teardown latency.
+		if r.err == nil && !e.closing.Load() {
+			if e.recoveryArmed(r) {
+				e.recordSlab(r, msg.items)
+			}
 			if err := e.feedReplica(r, msg.items); err != nil {
-				r.err = err
-				e.noteErr(err)
+				if !e.recoverReplica(r, err) {
+					r.err = err
+					e.noteErr(err)
+				}
+			} else {
+				e.maybeSnapshot(r)
 			}
 		}
 		e.flushResults(r)
@@ -782,9 +935,25 @@ func (e *Executor) applyCtl(r *replica, c *ctl) (err error) {
 		} else {
 			err = r.sp.MigrateTo(r.sess, c.target)
 		}
+	case c.snap != nil:
+		var cp *plan.ChainCheckpoint
+		if cp, err = r.sp.Checkpoint(r.sess); err == nil {
+			c.snap[r.idx] = cp
+			if e.recoveryArmed(r) {
+				// A driver checkpoint is a fresh restart point for free:
+				// adopt it so the replay ring resets here too.
+				e.adoptSnapshot(r, cp)
+			}
+		}
 	default:
 		r.sess.Drain()
 		err = r.sess.Err()
+	}
+	if err == nil && (c.attach != nil || c.detach != nil || c.target != nil) {
+		// The chain's shape changed; the old snapshot and ring cannot
+		// reproduce the restructure, so refresh the restart point (or
+		// degrade this replica to fail-fast if that is impossible).
+		e.refreshSnapshot(r)
 	}
 	return err
 }
@@ -1279,6 +1448,10 @@ func (e *Executor) Finish() (*engine.Result, error) {
 		res.SinkCounts = append(res.SinkCounts, m.sink.Count())
 		res.OrderViolations += m.sink.OrderViolations()
 		res.Results = append(res.Results, m.sink.Results())
+	}
+	if e.sup != nil {
+		stats := e.sup.Stats()
+		res.Recovery = &stats
 	}
 	res.Err = err
 	return res, err

@@ -101,11 +101,14 @@ func (q *Queue) PushTuple(t *Tuple) { q.Push(TupleItem(t)) }
 // PushPunct appends a punctuation at the tail.
 func (q *Queue) PushPunct(ts Time) { q.Push(PunctItem(ts)) }
 
-// Pop removes and returns the head item. It panics if the queue is empty;
-// callers check Empty first (queues are internal plumbing, not user API).
+// Pop removes and returns the head item. On an empty queue it returns the
+// zero Item (a punctuation at time zero) rather than panicking; callers
+// check Empty first — queues are internal plumbing, and the guarded return
+// keeps a misuse from crashing the process ("no fault crashes the process"
+// has no carve-outs).
 func (q *Queue) Pop() Item {
 	if q.n == 0 {
-		panic("stream: Pop from empty queue")
+		return Item{}
 	}
 	it := q.buf[q.head]
 	q.buf[q.head] = Item{}
@@ -114,10 +117,11 @@ func (q *Queue) Pop() Item {
 	return it
 }
 
-// Peek returns the head item without removing it. It panics if empty.
+// Peek returns the head item without removing it, or the zero Item when the
+// queue is empty (see Pop).
 func (q *Queue) Peek() Item {
 	if q.n == 0 {
-		panic("stream: Peek on empty queue")
+		return Item{}
 	}
 	return q.buf[q.head]
 }

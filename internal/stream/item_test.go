@@ -126,13 +126,14 @@ func TestQueueSnapshotOrder(t *testing.T) {
 	}
 }
 
-func TestQueuePopEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Pop on empty queue must panic: it is an engine invariant violation")
-		}
-	}()
-	NewQueue().Pop()
+func TestQueuePopEmptyGuarded(t *testing.T) {
+	q := NewQueue()
+	if got := q.Pop(); got != (Item{}) {
+		t.Fatalf("Pop on empty queue = %v, want the zero Item", got)
+	}
+	if got := q.Peek(); got != (Item{}) {
+		t.Fatalf("Peek on empty queue = %v, want the zero Item", got)
+	}
 }
 
 func TestItemString(t *testing.T) {

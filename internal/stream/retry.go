@@ -1,0 +1,283 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"stateslice/internal/fault"
+)
+
+// RetrySource wraps a Source so that transient pull failures — a flaky
+// network producer, a timed-out fetch, even a panicking Next — no longer
+// abort the session that consumes it. Each pull retries with exponential
+// backoff and bounded jitter until the attempt budget is exhausted or the
+// error classifies as terminal; io.EOF is always terminal (it is the
+// end-of-stream contract, not a failure).
+//
+// With RetryPolicy.Timeout set, each attempt is bounded: the underlying
+// Next runs on a dedicated worker goroutine and an attempt that exceeds the
+// timeout counts as a transient failure. The abandoned pull keeps running —
+// Go cannot interrupt it — and its eventual result is consumed by a later
+// attempt, so a late success is delivered, never dropped. Without a timeout
+// the retry loop is purely synchronous and spawns nothing.
+//
+// Like every Source, a RetrySource is driven by one goroutine.
+type RetrySource struct {
+	src Source
+	pol RetryPolicy
+
+	rng   uint64              // splitmix64 state for deterministic jitter
+	sleep func(time.Duration) // test seam; time.Sleep by default
+
+	// Asynchronous pull plumbing, created lazily when Timeout > 0.
+	req     chan struct{}
+	resp    chan pullResult
+	done    chan struct{}
+	pending bool // a request is outstanding on the worker (timed out earlier)
+
+	failed error // sticky terminal error
+	closed bool
+
+	retries  uint64
+	timeouts uint64
+}
+
+// RetryPolicy tunes a RetrySource. The zero value is usable: up to
+// DefaultRetryAttempts synchronous attempts per pull with the default
+// backoff and no per-attempt timeout.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per pull, including the
+	// first. Zero or negative selects DefaultRetryAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry. Zero selects DefaultRetryBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero selects DefaultRetryMaxDelay.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each backoff delay that is randomized
+	// away, in [0, 1]: a retry sleeps between (1-Jitter)*delay and delay.
+	// Zero means deterministic full delays. The jitter stream is seeded
+	// deterministically, so runs are reproducible.
+	Jitter float64
+	// Timeout bounds each attempt. Zero means unbounded synchronous pulls
+	// (no worker goroutine is spawned).
+	Timeout time.Duration
+	// Classify reports whether an error is transient (retryable). When
+	// nil, every error is transient except io.EOF and errors wrapped by
+	// Terminal, which always classify terminal regardless of Classify.
+	Classify func(error) bool
+}
+
+// Defaults of the zero RetryPolicy.
+const (
+	DefaultRetryAttempts  = 4
+	DefaultRetryBaseDelay = time.Millisecond
+	DefaultRetryMaxDelay  = 100 * time.Millisecond
+)
+
+// ErrPullTimeout is the transient error a timed-out pull attempt records;
+// it surfaces (wrapped) only when the attempt budget is exhausted before
+// any attempt completes.
+var ErrPullTimeout = errors.New("stream: source pull timed out")
+
+// terminalError marks an error as terminal for retry classification.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return "terminal: " + e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// Terminal wraps err so a RetrySource gives up immediately instead of
+// retrying: sources return Terminal(err) for permanent failures (auth
+// rejection, malformed stream) that retrying cannot fix.
+func Terminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &terminalError{err: err}
+}
+
+// IsTerminal reports whether err (or an error it wraps) was marked with
+// Terminal.
+func IsTerminal(err error) bool {
+	var te *terminalError
+	return errors.As(err, &te)
+}
+
+type pullResult struct {
+	t   *Tuple
+	err error
+}
+
+// NewRetrySource wraps src with the given retry policy.
+func NewRetrySource(src Source, pol RetryPolicy) *RetrySource {
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = DefaultRetryAttempts
+	}
+	if pol.BaseDelay <= 0 {
+		pol.BaseDelay = DefaultRetryBaseDelay
+	}
+	if pol.MaxDelay <= 0 {
+		pol.MaxDelay = DefaultRetryMaxDelay
+	}
+	if pol.Jitter < 0 {
+		pol.Jitter = 0
+	}
+	if pol.Jitter > 1 {
+		pol.Jitter = 1
+	}
+	return &RetrySource{src: src, pol: pol, rng: 0x9e3779b97f4a7c15, sleep: time.Sleep}
+}
+
+// Next implements Source: it pulls from the wrapped source, retrying
+// transient failures per the policy. A terminal error (io.EOF, a
+// Terminal-wrapped error, or one the Classify hook rejects) is returned
+// immediately and sticks: every later Next returns it again.
+func (r *RetrySource) Next() (*Tuple, error) {
+	if r.failed != nil {
+		return nil, r.failed
+	}
+	if r.closed {
+		return nil, io.EOF
+	}
+	var last error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries++
+			r.sleep(r.backoff(attempt))
+		}
+		t, err := r.pull()
+		if err == nil {
+			return t, nil
+		}
+		if r.terminal(err) {
+			r.failed = err
+			return nil, err
+		}
+		last = err
+	}
+	r.failed = fmt.Errorf("stream: source retry budget exhausted after %d attempts: %w", r.pol.MaxAttempts, last)
+	return nil, r.failed
+}
+
+// Retries returns how many retry attempts (beyond each pull's first) the
+// source has performed.
+func (r *RetrySource) Retries() uint64 { return r.retries }
+
+// Timeouts returns how many attempts exceeded the policy timeout.
+func (r *RetrySource) Timeouts() uint64 { return r.timeouts }
+
+// Close releases the timeout worker, if one was spawned. A pull already in
+// flight on the worker finishes (and is discarded) before the goroutine
+// exits; Close does not wait for it. Close is idempotent and the source
+// reports io.EOF afterwards.
+func (r *RetrySource) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.done != nil {
+		close(r.done)
+	}
+}
+
+// terminal classifies an error: io.EOF and Terminal-wrapped errors are
+// always terminal; otherwise the Classify hook decides (nil hook: every
+// other error is transient).
+func (r *RetrySource) terminal(err error) bool {
+	if errors.Is(err, io.EOF) || IsTerminal(err) {
+		return true
+	}
+	if errors.Is(err, ErrPullTimeout) {
+		return false // the wrapper's own timeout is transient by definition
+	}
+	if r.pol.Classify != nil {
+		return !r.pol.Classify(err)
+	}
+	return false
+}
+
+// pull performs one attempt: synchronous when no timeout is configured,
+// through the worker goroutine otherwise.
+func (r *RetrySource) pull() (*Tuple, error) {
+	if r.pol.Timeout <= 0 {
+		return r.call()
+	}
+	if r.req == nil {
+		r.req = make(chan struct{})
+		r.resp = make(chan pullResult, 1)
+		r.done = make(chan struct{})
+		go r.worker()
+	}
+	// A previous attempt may have timed out with its pull still running:
+	// don't issue a second request, wait for the outstanding one — its
+	// (late) result is this attempt's result.
+	if !r.pending {
+		r.req <- struct{}{}
+		r.pending = true
+	}
+	timer := time.NewTimer(r.pol.Timeout)
+	defer timer.Stop()
+	select {
+	case res := <-r.resp:
+		r.pending = false
+		return res.t, res.err
+	case <-timer.C:
+		r.timeouts++
+		return nil, fmt.Errorf("attempt exceeded %v: %w", r.pol.Timeout, ErrPullTimeout)
+	}
+}
+
+// call invokes the wrapped source once, containing panics into the fault
+// taxonomy (same "source pull" boundary the engine's feed loop uses).
+func (r *RetrySource) call() (t *Tuple, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			t, err = nil, fault.Capture("source pull", -1, v)
+		}
+	}()
+	return r.src.Next()
+}
+
+// worker serves pull requests for the timeout path. It holds no locks and
+// owns nothing shared; the resp channel's buffer of one slot is enough
+// because at most one request is ever outstanding.
+func (r *RetrySource) worker() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.req:
+			t, err := r.call()
+			select {
+			case r.resp <- pullResult{t: t, err: err}:
+			case <-r.done:
+				return
+			}
+		}
+	}
+}
+
+// backoff computes the delay before the attempt-th attempt (attempt >= 1):
+// exponential from BaseDelay, capped at MaxDelay, with up to Jitter of the
+// delay removed by a deterministic splitmix64 draw.
+func (r *RetrySource) backoff(attempt int) time.Duration {
+	d := r.pol.BaseDelay
+	for i := 1; i < attempt && d < r.pol.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.pol.MaxDelay {
+		d = r.pol.MaxDelay
+	}
+	if r.pol.Jitter > 0 {
+		r.rng += 0x9e3779b97f4a7c15
+		z := r.rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		u := float64(z>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (1 - r.pol.Jitter*u))
+	}
+	return d
+}

@@ -1,0 +1,272 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptedSource replays a fixed sequence of pull outcomes; a func entry may
+// also panic to exercise the containment path.
+type scriptedSource struct {
+	steps []func() (*Tuple, error)
+	calls int
+}
+
+func (s *scriptedSource) Next() (*Tuple, error) {
+	if s.calls >= len(s.steps) {
+		return nil, io.EOF
+	}
+	step := s.steps[s.calls]
+	s.calls++
+	return step()
+}
+
+func yield(seq uint64) func() (*Tuple, error) {
+	return func() (*Tuple, error) { return &Tuple{Seq: seq}, nil }
+}
+
+func fail(err error) func() (*Tuple, error) {
+	return func() (*Tuple, error) { return nil, err }
+}
+
+// noSleep replaces the backoff seam so tests record delays instead of
+// sleeping through them.
+func noSleep(r *RetrySource) *[]time.Duration {
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	return &slept
+}
+
+func TestRetryTransientRecovers(t *testing.T) {
+	transient := errors.New("connection reset")
+	src := &scriptedSource{steps: []func() (*Tuple, error){
+		yield(1), fail(transient), fail(transient), yield(2), yield(3),
+	}}
+	r := NewRetrySource(src, RetryPolicy{MaxAttempts: 3})
+	slept := noSleep(r)
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(got) != 3 || got[0].Seq != 1 || got[1].Seq != 2 || got[2].Seq != 3 {
+		t.Fatalf("collected %d tuples, want the full sequence 1..3", len(got))
+	}
+	if r.Retries() != 2 {
+		t.Fatalf("Retries = %d, want 2", r.Retries())
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("backoff slept %d times, want 2", len(*slept))
+	}
+	if (*slept)[0] != DefaultRetryBaseDelay || (*slept)[1] != 2*DefaultRetryBaseDelay {
+		t.Fatalf("backoff delays %v, want exponential from the base delay", *slept)
+	}
+}
+
+func TestRetryBudgetExhaustedWrapsLastError(t *testing.T) {
+	transient := errors.New("connection reset")
+	src := &scriptedSource{steps: []func() (*Tuple, error){
+		fail(transient), fail(transient), fail(transient),
+	}}
+	r := NewRetrySource(src, RetryPolicy{MaxAttempts: 3})
+	noSleep(r)
+	if _, err := r.Next(); !errors.Is(err, transient) {
+		t.Fatalf("exhausted budget surfaced %v, want the last transient error wrapped", err)
+	}
+	// The failure sticks: the source does not silently resume.
+	if _, err := r.Next(); !errors.Is(err, transient) {
+		t.Fatalf("second Next after exhaustion returned %v, want the sticky error", err)
+	}
+	if src.calls != 3 {
+		t.Fatalf("underlying source was pulled %d times, want exactly MaxAttempts", src.calls)
+	}
+}
+
+func TestRetryTerminalImmediateAndSticky(t *testing.T) {
+	permanent := errors.New("auth rejected")
+	src := &scriptedSource{steps: []func() (*Tuple, error){
+		fail(Terminal(permanent)), yield(1),
+	}}
+	r := NewRetrySource(src, RetryPolicy{MaxAttempts: 5})
+	noSleep(r)
+	if _, err := r.Next(); !errors.Is(err, permanent) || !IsTerminal(err) {
+		t.Fatalf("Next = %v, want the Terminal-wrapped error", err)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("Retries = %d, want 0 (terminal errors never retry)", r.Retries())
+	}
+	if _, err := r.Next(); !errors.Is(err, permanent) {
+		t.Fatalf("terminal error did not stick: %v", err)
+	}
+	if src.calls != 1 {
+		t.Fatalf("underlying source was pulled %d times after a terminal error", src.calls)
+	}
+}
+
+func TestRetryEOFIsTerminal(t *testing.T) {
+	src := &scriptedSource{steps: nil}
+	r := NewRetrySource(src, RetryPolicy{MaxAttempts: 5})
+	noSleep(r)
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next = %v, want io.EOF untouched", err)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("Retries = %d; end-of-stream must not be retried", r.Retries())
+	}
+}
+
+func TestRetryClassifyHook(t *testing.T) {
+	flaky := errors.New("flaky")
+	fatal := errors.New("fatal")
+	classify := func(err error) bool { return errors.Is(err, flaky) }
+	src := &scriptedSource{steps: []func() (*Tuple, error){
+		fail(flaky), yield(1), fail(fatal), yield(2),
+	}}
+	r := NewRetrySource(src, RetryPolicy{MaxAttempts: 3, Classify: classify})
+	noSleep(r)
+	got, err := r.Next()
+	if err != nil || got.Seq != 1 {
+		t.Fatalf("Next after a classified-transient error = (%v, %v), want tuple 1", got, err)
+	}
+	if _, err := r.Next(); !errors.Is(err, fatal) {
+		t.Fatalf("Next = %v, want the classified-terminal error immediately", err)
+	}
+	if src.calls != 3 {
+		t.Fatalf("underlying source was pulled %d times, want 3 (no retry of the fatal error)", src.calls)
+	}
+}
+
+func TestRetryPanicContainedAndRetried(t *testing.T) {
+	src := &scriptedSource{steps: []func() (*Tuple, error){
+		func() (*Tuple, error) { panic("pull blew up") }, yield(7),
+	}}
+	r := NewRetrySource(src, RetryPolicy{MaxAttempts: 2})
+	noSleep(r)
+	got, err := r.Next()
+	if err != nil || got.Seq != 7 {
+		t.Fatalf("Next after a contained panic = (%v, %v), want tuple 7", got, err)
+	}
+	if r.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", r.Retries())
+	}
+}
+
+func TestRetryBackoffCapAndJitter(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	r := NewRetrySource(&scriptedSource{}, pol)
+	for attempt, want := range map[int]time.Duration{
+		1: time.Millisecond, 2: 2 * time.Millisecond,
+		3: 4 * time.Millisecond, 4: 4 * time.Millisecond, // capped
+	} {
+		if got := r.backoff(attempt); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	jittered := NewRetrySource(&scriptedSource{}, RetryPolicy{
+		BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Jitter: 0.5,
+	})
+	for attempt := 1; attempt <= 4; attempt++ {
+		full := r.backoff(attempt)
+		d := jittered.backoff(attempt)
+		if d > full || d < full/2 {
+			t.Errorf("jittered backoff(%d) = %v, want within [%v, %v]", attempt, d, full/2, full)
+		}
+	}
+}
+
+func TestRetryTimeoutDeliversLateSuccess(t *testing.T) {
+	release := make(chan struct{})
+	slow := &scriptedSource{steps: []func() (*Tuple, error){
+		func() (*Tuple, error) { <-release; return &Tuple{Seq: 9}, nil },
+	}}
+	r := NewRetrySource(slow, RetryPolicy{MaxAttempts: 3, Timeout: 5 * time.Millisecond})
+	var timedOut bool
+	r.sleep = func(time.Duration) {
+		// Between attempts, let the abandoned pull finish so the next
+		// attempt consumes its late result instead of re-pulling.
+		if !timedOut {
+			timedOut = true
+			close(release)
+		}
+	}
+	defer r.Close()
+	got, err := r.Next()
+	if err != nil || got.Seq != 9 {
+		t.Fatalf("Next = (%v, %v), want the late tuple delivered", got, err)
+	}
+	if r.Timeouts() == 0 {
+		t.Fatal("Timeouts = 0; the slow first attempt should have timed out")
+	}
+	if slow.calls != 1 {
+		t.Fatalf("underlying source was pulled %d times; the outstanding pull must be reused", slow.calls)
+	}
+}
+
+func TestRetryTimeoutBudgetExhausted(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	stuck := &scriptedSource{steps: []func() (*Tuple, error){
+		func() (*Tuple, error) { <-release; return nil, io.EOF },
+	}}
+	r := NewRetrySource(stuck, RetryPolicy{MaxAttempts: 2, Timeout: 2 * time.Millisecond})
+	noSleep(r)
+	defer r.Close()
+	if _, err := r.Next(); !errors.Is(err, ErrPullTimeout) {
+		t.Fatalf("Next = %v, want the pull-timeout error after an exhausted budget", err)
+	}
+	if r.Timeouts() != 2 {
+		t.Fatalf("Timeouts = %d, want one per attempt", r.Timeouts())
+	}
+}
+
+func TestRetryCloseIdempotentAndReleasesWorker(t *testing.T) {
+	before := runtime.NumGoroutine()
+	src := &scriptedSource{steps: []func() (*Tuple, error){yield(1)}}
+	r := NewRetrySource(src, RetryPolicy{Timeout: time.Second})
+	if got, err := r.Next(); err != nil || got.Seq != 1 {
+		t.Fatalf("Next = (%v, %v)", got, err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("worker goroutine leaked: %d running, started with %d", now, before)
+	}
+}
+
+func TestRetrySyncPathSpawnsNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	src := &scriptedSource{steps: []func() (*Tuple, error){yield(1), yield(2)}}
+	r := NewRetrySource(src, RetryPolicy{}) // no Timeout: purely synchronous
+	if _, err := Collect(r); err != nil {
+		t.Fatal(err)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("synchronous retry spawned goroutines: %d running, started with %d", now, before)
+	}
+	r.Close()
+}
+
+// Ensure the error text of an exhausted budget names the attempt count, so
+// operators can tune MaxAttempts from the log line alone.
+func TestRetryExhaustionMessage(t *testing.T) {
+	src := &scriptedSource{steps: []func() (*Tuple, error){
+		fail(errors.New("x")), fail(errors.New("x")),
+	}}
+	r := NewRetrySource(src, RetryPolicy{MaxAttempts: 2})
+	noSleep(r)
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("error %v does not name the attempt budget", err)
+	}
+}

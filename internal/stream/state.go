@@ -89,10 +89,12 @@ func (s *State) Insert(t *Tuple) {
 	}
 }
 
-// PopFront removes and returns the oldest tuple. It panics when empty.
+// PopFront removes and returns the oldest tuple, or nil when the state is
+// empty — a guarded return rather than a panic, so a caller bug degrades
+// into a visible nil instead of crashing the process.
 func (s *State) PopFront() *Tuple {
 	if s.n == 0 {
-		panic("stream: PopFront from empty state")
+		return nil
 	}
 	t := s.buf[s.head]
 	s.buf[s.head] = nil

@@ -154,11 +154,8 @@ func TestStateFIFOProperty(t *testing.T) {
 	}
 }
 
-func TestStatePopEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("PopFront on empty state must panic")
-		}
-	}()
-	NewState().PopFront()
+func TestStatePopEmptyGuarded(t *testing.T) {
+	if got := NewState().PopFront(); got != nil {
+		t.Fatalf("PopFront on empty state = %v, want nil", got)
+	}
 }

@@ -187,6 +187,128 @@ func TestLifecycleCloseDuringAttachBarrier(t *testing.T) {
 	assertGoroutinesReleased(t, base)
 }
 
+// TestLifecycleRestartLoopReleasesGoroutines drives a supervised session
+// through several restart cycles and asserts the rebuild loop leaks nothing:
+// every dead replica's runner and the rebuilt runner that replaced it must
+// unwind with the session.
+func TestLifecycleRestartLoopReleasesGoroutines(t *testing.T) {
+	base := goroutineBase()
+	input := chaosInput(t)
+	var fed atomic.Int64
+	restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+		if fed.Add(1)%250 == 0 {
+			panic("lifecycle: periodic replica crash")
+		}
+		return nil
+	})
+	defer restore()
+	p, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt,
+		stateslice.WithShards(4), stateslice.WithRecovery(testRestart(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatalf("Run through the restart loop returned %v, want nil", err)
+	}
+	if res.Recovery == nil || res.Recovery.Restarts < 2 {
+		t.Fatalf("Result.Recovery = %+v, want several restarts; the loop check is vacuous", res.Recovery)
+	}
+	assertGoroutinesReleased(t, base)
+}
+
+// TestLifecycleCheckpointRacingClose races Checkpoint against Close from
+// another goroutine: whichever wins, the loser must return an error (or a
+// valid snapshot) promptly instead of deadlocking, and everything unwinds.
+func TestLifecycleCheckpointRacingClose(t *testing.T) {
+	base := goroutineBase()
+	input := chaosInput(t)
+	for round := 0; round < 5; round++ {
+		p, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt, stateslice.WithShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := p.NewSession(stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Consume(stateslice.SliceSource(input[:300])); err != nil {
+			t.Fatal(err)
+		}
+		cpDone := make(chan error, 1)
+		go func() {
+			cp, err := sess.Checkpoint(context.Background())
+			if err == nil && cp == nil {
+				err = errors.New("Checkpoint returned neither a snapshot nor an error")
+			}
+			cpDone <- err
+		}()
+		closeDone := make(chan error, 1)
+		go func() { closeDone <- sess.Close(context.Background()) }()
+		if err := <-cpDone; err != nil && !errors.Is(err, stateslice.ErrClosed) {
+			t.Fatalf("round %d: Checkpoint racing Close returned %v, want a snapshot or an ErrClosed-classified abort", round, err)
+		}
+		if err := <-closeDone; err != nil && !errors.Is(err, stateslice.ErrClosed) {
+			t.Fatalf("round %d: Close returned %v", round, err)
+		}
+	}
+	assertGoroutinesReleased(t, base)
+}
+
+// TestLifecycleRestoreThenAttach restores a sharded checkpoint and admits a
+// new query on the restored session: the restored chain must accept live
+// admission like any migratable chain, and the session must unwind cleanly.
+func TestLifecycleRestoreThenAttach(t *testing.T) {
+	base := goroutineBase()
+	input := chaosInput(t)
+	opts := []stateslice.Option{stateslice.WithCollect(),
+		stateslice.WithShards(2), stateslice.WithMigratable()}
+	p, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(input) / 2
+	if err := sess.Consume(stateslice.SliceSource(input[:half])); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sess.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Finish()
+	sess.Close(context.Background())
+
+	rp, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt,
+		append([]stateslice.Option{stateslice.WithRestore(cp)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsess, err := rp.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rsess.Attach(stateslice.Query{Name: "Qlate", Window: 4 * stateslice.Second})
+	if err != nil {
+		t.Fatalf("Attach on a restored session: %v", err)
+	}
+	if err := rsess.Consume(stateslice.SliceSource(input[half:])); err != nil {
+		t.Fatal(err)
+	}
+	res := rsess.Finish()
+	if res.Err != nil {
+		t.Fatalf("restored session error: %v", res.Err)
+	}
+	if len(res.Results[id]) == 0 {
+		t.Fatal("the query attached after restore produced no results")
+	}
+	rsess.Close(context.Background())
+	assertGoroutinesReleased(t, base)
+}
+
 // TestLifecycleSequentialClose pins the sequential session's Close
 // semantics: a clean Close returns nil, later Feeds and Closes report
 // ErrClosed, and Finish classifies the aborted run without flushing.

@@ -1,0 +1,290 @@
+package stateslice_test
+
+// Recovery suite: with WithRecovery(Restart{...}), an injected replica panic
+// mid-stream must heal — the replica is rebuilt from its last runner-local
+// snapshot, the delta is replayed from the ring, replayed duplicates are
+// suppressed — and the merged output must be byte-identical to the unfaulted
+// sequential run, across (p ∈ {1,4}) × (query-merge, slice-merge) ×
+// (equijoin, band). Fail-fast must survive unchanged everywhere supervision
+// does not apply: merge-layer panics, non-panic errors, exhausted budgets,
+// and sessions without WithRecovery. The file runs under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stateslice"
+	"stateslice/internal/fault"
+)
+
+// testRestart is an aggressive policy so tests spend microseconds, not the
+// default milliseconds, backing off. SnapshotEvery is small enough that the
+// chaos input crosses several snapshot points, so restarts genuinely restore
+// from a mid-stream checkpoint instead of replaying from zero.
+func testRestart(maxRestarts int) stateslice.Restart {
+	return stateslice.Restart{
+		MaxRestarts:   maxRestarts,
+		Backoff:       10 * time.Microsecond,
+		MaxBackoff:    100 * time.Microsecond,
+		SnapshotEvery: 128,
+	}
+}
+
+// recoverCase is one leg of the recovery matrix.
+type recoverCase struct {
+	name string
+	w    stateslice.Workload
+	opts []stateslice.Option
+}
+
+// recoverMatrix is (p ∈ {1,4}) × (query-merge, slice-merge) × (equijoin,
+// band): WithMigratable forces the query-level merge (migratable chains are
+// ineligible for the slice-merge fast path); the unfiltered workloads are
+// slice-merge eligible without it.
+func recoverMatrix() []recoverCase {
+	eq := chaosWorkload()
+	band := bandWorkloadAPI(1)
+	keyRange := stateslice.WithKeyRange(0, 11)
+	var cases []recoverCase
+	for _, p := range []int{1, 4} {
+		shards := stateslice.WithShards(p)
+		cases = append(cases,
+			recoverCase{name: sprintCase("equijoin/query-merge", p), w: eq,
+				opts: []stateslice.Option{shards, stateslice.WithMigratable()}},
+			recoverCase{name: sprintCase("equijoin/slice-merge", p), w: eq,
+				opts: []stateslice.Option{shards}},
+			recoverCase{name: sprintCase("band/query-merge", p), w: band,
+				opts: []stateslice.Option{shards, stateslice.WithMigratable(), keyRange}},
+			recoverCase{name: sprintCase("band/slice-merge", p), w: band,
+				opts: []stateslice.Option{shards, keyRange}},
+		)
+	}
+	return cases
+}
+
+func sprintCase(kind string, p int) string {
+	if p == 1 {
+		return kind + "/p=1"
+	}
+	return kind + "/p=4"
+}
+
+// sequentialReference runs the workload unsharded and returns its rendered
+// per-query results — the byte-identity target for every recovered run.
+func sequentialReference(t *testing.T, w stateslice.Workload, input []*stateslice.Tuple) string {
+	t.Helper()
+	ref, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOutputs() == 0 {
+		t.Fatal("reference produced no results; the byte-identity check is vacuous")
+	}
+	return renderResults(res.Results)
+}
+
+// TestRecoverReplicaPanicByteIdentical is the tentpole acceptance matrix:
+// one injected replica-feed panic mid-stream on every topology, healed by
+// supervision, output byte-identical to the unfaulted sequential run.
+func TestRecoverReplicaPanicByteIdentical(t *testing.T) {
+	input := chaosInput(t)
+	for _, tc := range recoverMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			defer assertGoroutinesReleased(t, goroutineBase())
+			want := sequentialReference(t, tc.w, input)
+			var fed atomic.Int64
+			restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+				if fed.Add(1) == 300 {
+					panic("recover: replica blew up")
+				}
+				return nil
+			})
+			defer restore()
+			opts := append([]stateslice.Option{stateslice.WithCollect(),
+				stateslice.WithRecovery(testRestart(3))}, tc.opts...)
+			p, err := stateslice.Build(tc.w, stateslice.MemOpt, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := p.NewSession(stateslice.RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Consume(stateslice.SliceSource(input)); err != nil {
+				t.Fatalf("Consume after a supervised restart returned %v, want nil", err)
+			}
+			res := sess.Finish()
+			if res.Err != nil {
+				t.Fatalf("Result.Err = %v after a supervised restart, want nil", res.Err)
+			}
+			if fed.Load() < 300 {
+				t.Fatal("the fault never fired; the recovery check is vacuous")
+			}
+			if res.Recovery == nil || res.Recovery.Restarts == 0 {
+				t.Fatalf("Result.Recovery = %+v, want at least one recorded restart", res.Recovery)
+			}
+			if got := renderResults(res.Results); got != want {
+				t.Error("recovered output differs from the unfaulted sequential run")
+			}
+			sess.Close(context.Background())
+		})
+	}
+}
+
+// TestRecoverRepeatedPanics injects three panics spread across the stream on
+// a p=4 topology of each merge kind: every restart must restore from the
+// then-current snapshot and the final output must still be byte-identical.
+func TestRecoverRepeatedPanics(t *testing.T) {
+	input := chaosInput(t)
+	w := chaosWorkload()
+	want := sequentialReference(t, w, input)
+	for _, tc := range []struct {
+		name string
+		opts []stateslice.Option
+	}{
+		{"query-merge", []stateslice.Option{stateslice.WithShards(4), stateslice.WithMigratable()}},
+		{"slice-merge", []stateslice.Option{stateslice.WithShards(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer assertGoroutinesReleased(t, goroutineBase())
+			var fed atomic.Int64
+			restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+				switch fed.Add(1) {
+				case 150, 450, 700:
+					panic("recover: replica blew up again")
+				}
+				return nil
+			})
+			defer restore()
+			opts := append([]stateslice.Option{stateslice.WithCollect(),
+				stateslice.WithRecovery(testRestart(12))}, tc.opts...)
+			p, err := stateslice.Build(w, stateslice.MemOpt, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+			if err != nil {
+				t.Fatalf("Run with repeated supervised restarts returned %v, want nil", err)
+			}
+			if res.Recovery == nil || res.Recovery.Restarts != 3 {
+				t.Fatalf("Result.Recovery = %+v, want 3 recorded restarts", res.Recovery)
+			}
+			if got := renderResults(res.Results); got != want {
+				t.Error("output after repeated restarts differs from the unfaulted sequential run")
+			}
+		})
+	}
+}
+
+// TestRecoverExhaustedBudgetFailsFast pins the degradation rule: a replica
+// that keeps panicking past MaxRestarts must fail the session with the
+// classified PanicError, exactly like fail-fast, and release every goroutine.
+func TestRecoverExhaustedBudgetFailsFast(t *testing.T) {
+	input := chaosInput(t)
+	for _, tc := range []struct {
+		name string
+		opts []stateslice.Option
+	}{
+		{"query-merge", []stateslice.Option{stateslice.WithShards(4), stateslice.WithMigratable()}},
+		{"slice-merge", []stateslice.Option{stateslice.WithShards(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer assertGoroutinesReleased(t, goroutineBase())
+			var fed atomic.Int64
+			restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+				if fed.Add(1) >= 300 {
+					panic("recover: replica keeps dying")
+				}
+				return nil
+			})
+			defer restore()
+			tp := topology{name: tc.name, sharded: true,
+				opts: tc.opts}
+			err, res := runChaos(t, tp, input, stateslice.WithRecovery(testRestart(2)))
+			assertPanicErr(t, err, "replica runner")
+			if res.Recovery == nil || res.Recovery.Exhausted == 0 {
+				t.Fatalf("Result.Recovery = %+v, want an exhausted budget on record", res.Recovery)
+			}
+		})
+	}
+}
+
+// TestRecoverMergePanicStaysFailFast asserts supervision never extends to the
+// merge layer: a panic in a merge or assembly worker fails fast even with
+// WithRecovery armed (merge state cannot be rebuilt from a replica snapshot).
+func TestRecoverMergePanicStaysFailFast(t *testing.T) {
+	input := chaosInput(t)
+	for _, tc := range []struct {
+		name   string
+		point  fault.Point
+		wantOp string
+		opts   []stateslice.Option
+	}{
+		{"query-merge", fault.MergeApply, "merge worker",
+			[]stateslice.Option{stateslice.WithShards(4), stateslice.WithMigratable()}},
+		{"slice-merge", fault.AssembleApply, "assembly worker",
+			[]stateslice.Option{stateslice.WithShards(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer assertGoroutinesReleased(t, goroutineBase())
+			var applied atomic.Int64
+			restore := fault.Inject(tc.point, func(int) error {
+				if applied.Add(1) == 3 {
+					panic("recover: merge layer blew up")
+				}
+				return nil
+			})
+			defer restore()
+			tp := topology{name: tc.name, sharded: true, opts: tc.opts}
+			err, res := runChaos(t, tp, input, stateslice.WithRecovery(testRestart(3)))
+			assertPanicErr(t, err, tc.wantOp)
+			if res.Recovery != nil && res.Recovery.Restarts != 0 {
+				t.Fatalf("supervision restarted %d replicas on a merge fault", res.Recovery.Restarts)
+			}
+		})
+	}
+}
+
+// TestRecoverPlainErrorStaysFailFast asserts non-panic replica errors stay
+// ineligible: an error *return* from the feed path is a usage or data fault,
+// not a contained crash, and restarting would mask the bug.
+func TestRecoverPlainErrorStaysFailFast(t *testing.T) {
+	defer assertGoroutinesReleased(t, goroutineBase())
+	input := chaosInput(t)
+	injected := errors.New("recover: data fault")
+	var fed atomic.Int64
+	restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+		if fed.Add(1) == 300 {
+			return injected
+		}
+		return nil
+	})
+	defer restore()
+	tp := topology{name: "shards=4", sharded: true,
+		opts: []stateslice.Option{stateslice.WithShards(4)}}
+	err, res := runChaos(t, tp, input, stateslice.WithRecovery(testRestart(3)))
+	if !errors.Is(err, injected) {
+		t.Fatalf("replica error surfaced as %v, want the injected data fault", err)
+	}
+	if res.Recovery != nil && res.Recovery.Restarts != 0 {
+		t.Fatalf("supervision restarted %d replicas on a plain error", res.Recovery.Restarts)
+	}
+}
+
+// TestRecoverRequiresShards pins the option contract: supervision wraps the
+// sharded executor's replicas, so WithRecovery without WithShards must fail
+// at Build with a message naming the dependency.
+func TestRecoverRequiresShards(t *testing.T) {
+	_, err := stateslice.Build(chaosWorkload(), stateslice.MemOpt,
+		stateslice.WithRecovery(stateslice.Restart{}))
+	if err == nil {
+		t.Fatal("WithRecovery without WithShards must fail at Build")
+	}
+}

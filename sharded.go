@@ -81,7 +81,7 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 			return nil, err
 		}
 	}
-	return &shardedPlan{
+	sp := &shardedPlan{
 		name:       name,
 		strategy:   s,
 		w:          w,
@@ -96,10 +96,48 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 		sinks:      o.sinks,
 		handler:    o.resultHandler,
 		ctx:        o.ctx,
+		recovery:   o.recovery,
 		initEnds:   probe.Ends(),
-		ends:       probe.Ends(),
-		slots:      initialSlots(w),
-	}, nil
+		initSlots:  initialSlots(w),
+	}
+	if o.restore != nil {
+		// The restored layout and roster replace the probe's: sessions
+		// continue the snapshot's chain shape, not the founding one. A
+		// restore/band mismatch is caught again by the executor; checking
+		// the snapshot's replica layout here keeps the failure at Build.
+		sp.restore = o.restore.shard
+		rep0 := sp.restore.Replicas[0]
+		sp.initEnds = endsToTimes(rep0.Ends())
+		sp.initSlots = restoredSlots(w, rep0)
+	}
+	sp.ends = append([]Time(nil), sp.initEnds...)
+	sp.slots = append([]plan.QuerySlot(nil), sp.initSlots...)
+	return sp, nil
+}
+
+// endsToTimes converts stream.Time boundaries to the public alias slice.
+func endsToTimes(ends []stream.Time) []Time {
+	out := make([]Time, len(ends))
+	for i, e := range ends {
+		out[i] = e
+	}
+	return out
+}
+
+// restoredSlots reconstructs the Explain roster from a replica snapshot:
+// founding slots keep their workload queries (predicates included), slots
+// admitted mid-stream are re-synthesized from the snapshot, and dead slots
+// stay marked detached.
+func restoredSlots(w Workload, cp *plan.ChainCheckpoint) []plan.QuerySlot {
+	slots := make([]plan.QuerySlot, 0, len(cp.Slots))
+	for i, sl := range cp.Slots {
+		q := Query{Name: sl.Name, Window: sl.Window}
+		if i < len(w.Queries) {
+			q = w.Queries[i]
+		}
+		slots = append(slots, plan.QuerySlot{Query: q, Live: sl.Live})
+	}
+	return slots
 }
 
 // initialSlots builds the query roster of a fresh plan or session: the
@@ -139,9 +177,12 @@ type shardedPlan struct {
 	sinks      map[int]Sink
 	handler    func(QueryID, *Tuple) // WithResultHandler
 	ctx        context.Context       // WithContext bound for runs and sessions
+	recovery   *Restart              // WithRecovery: supervised replica restart
+	restore    *shard.Checkpoint     // WithRestore: seed replicas from a snapshot
 
-	initEnds []Time
-	ends     []Time // current layout (updated by Migrate and admission)
+	initEnds  []Time
+	initSlots []plan.QuerySlot // roster a fresh session starts from
+	ends      []Time           // current layout (updated by Migrate and admission)
 	// slots is the query roster the latest session has admitted — built-in
 	// and attached queries, detached ones marked dead — mirroring the
 	// replicas' plan.QuerySlots so Explain renders the live set without
@@ -202,6 +243,18 @@ func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
 	if scfg.SliceMerge {
 		scfg.Windows = queryWindows(w)
 	}
+	// The restore closure keeps workload knowledge (predicates, roles) out
+	// of the shard package: the executor hands back the raw per-replica
+	// snapshot and this plan rebuilds the chain around it. It serves both
+	// WithRestore seeding and supervised mid-run restarts, so it is wired
+	// whenever either could need it.
+	scfg.Recovery = p.recovery
+	scfg.Restore = p.restore
+	if p.recovery != nil || p.restore != nil {
+		scfg.RestoreFn = func(_ int, cp *plan.ChainCheckpoint) (*plan.StateSlicePlan, error) {
+			return plan.RestoreStateSlice(w, rcfg, cp)
+		}
+	}
 	return shard.New(scfg, func(int) (*plan.StateSlicePlan, error) {
 		return plan.BuildStateSlice(w, rcfg)
 	})
@@ -224,7 +277,7 @@ func (p *shardedPlan) NewSession(cfg RunConfig) (Session, error) {
 		return nil, err
 	}
 	p.ends = append([]Time(nil), p.initEnds...)
-	p.slots = initialSlots(p.w)
+	p.slots = append([]plan.QuerySlot(nil), p.initSlots...)
 	p.sess = &shardSession{e: e, p: p}
 	return p.sess, nil
 }
@@ -352,6 +405,22 @@ func (s *shardSession) Detach(id QueryID) error {
 	s.p.slots[id].Live = false
 	s.p.ends = ends
 	return nil
+}
+
+// Checkpoint implements Session: one barrier freezes every replica at the
+// same stream position, each snapshots its chain, and the driver composes
+// them with the partitioning metadata into one restorable unit.
+func (s *shardSession) Checkpoint(ctx context.Context) (*Checkpoint, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	cp, err := s.e.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{shard: cp}, nil
 }
 
 // Finish implements Session. A replica failure — which also surfaces on

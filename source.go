@@ -27,6 +27,38 @@ func GeneratorSource(cfg GeneratorConfig) (Source, error) { return stream.NewGen
 // plans the same input or for bridging to the deprecated batch APIs.
 func CollectSource(src Source) ([]*Tuple, error) { return stream.Collect(src) }
 
+// RetrySource wraps a Source so transient pull failures — a flaky network
+// producer, a timed-out fetch, even a panicking Next — retry with
+// exponential backoff and bounded jitter instead of aborting the consuming
+// session. io.EOF and Terminal-wrapped errors end the stream immediately;
+// with RetryPolicy.Timeout set, each attempt is bounded and a late success
+// is still delivered, never dropped. See NewRetrySource.
+type RetrySource = stream.RetrySource
+
+// RetryPolicy tunes a RetrySource: attempt budget, backoff shape, jitter,
+// per-attempt timeout, and the transient-vs-terminal classifier. The zero
+// value is usable.
+type RetryPolicy = stream.RetryPolicy
+
+// ErrPullTimeout is the transient error a timed-out pull attempt records; it
+// surfaces (wrapped) only when the attempt budget is exhausted before any
+// attempt completes.
+var ErrPullTimeout = stream.ErrPullTimeout
+
+// NewRetrySource wraps src with the given retry policy.
+func NewRetrySource(src Source, pol RetryPolicy) *RetrySource {
+	return stream.NewRetrySource(src, pol)
+}
+
+// Terminal wraps err so a RetrySource gives up immediately instead of
+// retrying: sources return Terminal(err) for permanent failures (auth
+// rejection, malformed stream) that retrying cannot fix.
+func Terminal(err error) error { return stream.Terminal(err) }
+
+// IsTerminal reports whether err (or an error it wraps) was marked with
+// Terminal.
+func IsTerminal(err error) bool { return stream.IsTerminal(err) }
+
 // Sink receives one query's result tuples as they are produced, in that
 // query's delivery order. Register sinks at build time with WithSink. For
 // sequential plans the callback runs on the goroutine driving the session;

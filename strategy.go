@@ -160,6 +160,8 @@ type buildOptions struct {
 	batchSize       int
 	batchSet        bool
 	ctx             context.Context
+	restore         *Checkpoint
+	recovery        *Restart
 	err             error
 }
 
@@ -374,6 +376,43 @@ func WithContext(ctx context.Context) Option {
 			o.err = errors.New("stateslice: WithContext needs a non-nil context (omit the option for an unbounded run)")
 		}
 		o.ctx = ctx
+	}
+}
+
+// WithRestore resumes the plan from a checkpoint taken by
+// Session.Checkpoint instead of a fresh start: the chain (or every chain
+// replica, for sharded snapshots) is rebuilt with the snapshot's slice
+// layout, window contents and query roster, the feed frontiers are seeded,
+// and feeding continues where the snapshot was taken — the restored session
+// produces exactly the results of the tuples fed after the restore point.
+// The workload must be the one the checkpointed plan was built from
+// (validated window-by-window; predicates are code and travel with the
+// build, not the blob), and a sharded snapshot needs the same shard count
+// and partitioning. Valid with the chain strategies MemOpt and CPUOpt.
+func WithRestore(cp *Checkpoint) Option {
+	return func(o *buildOptions) {
+		if cp == nil && o.err == nil {
+			o.err = errors.New("stateslice: WithRestore needs a non-nil checkpoint (omit the option for a fresh start)")
+		}
+		o.restore = cp
+	}
+}
+
+// WithRecovery arms supervised replica restart on a sharded plan (requires
+// WithShards): a replica that dies with a contained crash — a panicking
+// operator or callback, surfaced as a PanicError — is rebuilt from a
+// periodic runner-local checkpoint and fed the missing input delta from a
+// replay ring, while the other replicas and the merge layer keep running.
+// Replayed results are suppressed by count, so the merged output stays
+// byte-identical to an uninterrupted run. The policy bounds restarts per
+// replica and backs off exponentially between attempts; an exhausted budget
+// — and every non-crash failure class — degrades to the default fail-fast
+// teardown, so supervision never hides a fault. Build errors and driver
+// misuse are never retried.
+func WithRecovery(pol Restart) Option {
+	return func(o *buildOptions) {
+		p := pol
+		o.recovery = &p
 	}
 }
 
