@@ -1,9 +1,9 @@
 package stateslice_test
 
-// Tests of the strategy-driven Build API: equivalence with the deprecated
-// per-strategy constructors, streaming Source/Sink execution, the verbatim
-// CostModel semantics, hash-probing eligibility reporting, and first-class
-// chain migration.
+// Tests of the strategy-driven Build API: build determinism and Auto
+// resolution, streaming Source/Sink execution, the verbatim CostModel
+// semantics, hash-probing eligibility reporting, and first-class chain
+// migration.
 
 import (
 	"fmt"
@@ -27,19 +27,25 @@ func renderResults(results [][]*stateslice.Tuple) string {
 	return b.String()
 }
 
-// legacyCollected runs a deprecated constructor's plan and returns its
-// rendered results.
-func legacyCollected(t *testing.T, p *stateslice.ExecPlan, input []*stateslice.Tuple) string {
+// buildCollected builds the workload under a strategy, runs it, and returns
+// its rendered per-query results.
+func buildCollected(t *testing.T, w stateslice.Workload, s stateslice.Strategy, input []*stateslice.Tuple, opts ...stateslice.Option) string {
 	t.Helper()
-	res, err := stateslice.Run(p, input, stateslice.RunConfig{})
+	p, err := stateslice.Build(w, s, append([]stateslice.Option{stateslice.WithCollect()}, opts...)...)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("Build(%s): %v", s, err)
+	}
+	res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatalf("%s: %v", s, err)
 	}
 	return renderResults(res.Results)
 }
 
-// TestBuildEquivalence asserts that Build produces byte-identical per-query
-// results to each legacy constructor, for all five strategies.
+// TestBuildEquivalence asserts that Build is deterministic — two independent
+// builds of the same workload render byte-identical per-query results for
+// every strategy — and that Auto resolves to one of the chain layouts and
+// matches a direct build of the resolved strategy byte-for-byte.
 func TestBuildEquivalence(t *testing.T) {
 	w := exampleWorkload()
 	input := exampleInput(t)
@@ -50,52 +56,42 @@ func TestBuildEquivalence(t *testing.T) {
 		TupleKB:         stateslice.DefaultTupleKB,
 	}
 
-	legacy := map[stateslice.Strategy]string{}
-	if sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Collect: true}); err != nil {
-		t.Fatal(err)
-	} else {
-		legacy[stateslice.MemOpt] = legacyCollected(t, sp.Plan, input)
-	}
-	cp, err := stateslice.CPUOptPlan(w, stateslice.CPUOptParams{RateA: 25, RateB: 25, JoinSelectivity: 0.15}, stateslice.ChainConfig{Collect: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	legacy[stateslice.CPUOpt] = legacyCollected(t, cp.Plan, input)
-	if pu, err := stateslice.PullUpPlan(w, true); err != nil {
-		t.Fatal(err)
-	} else {
-		legacy[stateslice.PullUp] = legacyCollected(t, pu, input)
-	}
-	if pd, err := stateslice.PushDownPlan(w, true); err != nil {
-		t.Fatal(err)
-	} else {
-		legacy[stateslice.PushDown] = legacyCollected(t, pd, input)
-	}
-	if un, err := stateslice.UnsharedPlan(w, true); err != nil {
-		t.Fatal(err)
-	} else {
-		legacy[stateslice.Unshared] = legacyCollected(t, un, input)
-	}
-
 	for _, s := range stateslice.Strategies() {
-		opts := []stateslice.Option{stateslice.WithCollect()}
+		var opts []stateslice.Option
 		if s == stateslice.CPUOpt {
 			opts = append(opts, stateslice.WithCostParams(model))
 		}
-		p, err := stateslice.Build(w, s, opts...)
+		p, err := stateslice.Build(w, s, append(opts, stateslice.WithCollect())...)
 		if err != nil {
 			t.Fatalf("Build(%s): %v", s, err)
 		}
 		if got := p.Strategy(); got != s {
 			t.Errorf("Build(%s).Strategy() = %s", s, got)
 		}
-		res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
-		if err != nil {
-			t.Fatalf("%s: %v", s, err)
+		first := buildCollected(t, w, s, input, opts...)
+		second := buildCollected(t, w, s, input, opts...)
+		if first != second {
+			t.Errorf("Build(%s) is not deterministic", s)
 		}
-		if got := renderResults(res.Results); got != legacy[s] {
-			t.Errorf("Build(%s) results differ from the legacy constructor's", s)
-		}
+	}
+
+	// Auto defers the layout choice to the sharing pass; the built plan
+	// reports the resolved strategy and is byte-identical to building it
+	// directly.
+	auto, err := stateslice.Build(w, stateslice.Auto, stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := auto.Strategy()
+	if rs != stateslice.MemOpt && rs != stateslice.CPUOpt {
+		t.Fatalf("Auto resolved to %s, want mem-opt or cpu-opt", rs)
+	}
+	autoRes, err := auto.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderResults(autoRes.Results), buildCollected(t, w, rs, input); got != want {
+		t.Errorf("Auto results differ from a direct %s build", rs)
 	}
 }
 
@@ -336,22 +332,6 @@ func TestCostModelSemantics(t *testing.T) {
 		t.Errorf("Csys=15 chain has %d slices, want the clustered windows merged", got)
 	}
 
-	// The legacy params rewrite Csys=0 to the default — the ambiguity
-	// the CostModel removes. Document it by contrast: a legacy explicit
-	// zero lays out the chain exactly like a new build with DefaultCsys.
-	legacy, err := stateslice.CPUOptPlan(w, stateslice.CPUOptParams{RateA: 50, RateB: 50, JoinSelectivity: 0.15, Csys: 0}, stateslice.ChainConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	model.Csys = stateslice.DefaultCsys
-	pDefault, err := stateslice.Build(w, stateslice.CPUOpt, stateslice.WithCostParams(model))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, want := fmt.Sprint(legacy.Ends()), fmt.Sprint(pDefault.Ends()); got != want {
-		t.Errorf("legacy Csys=0 chain %v should match the DefaultCsys chain %v (silent rewrite)", got, want)
-	}
-
 	// Impossible zeros are errors, not defaults.
 	bad := model
 	bad.JoinSelectivity = 0
@@ -386,13 +366,6 @@ func TestHashProbingEligibility(t *testing.T) {
 	// State-slice chains contain only sliced joins: not eligible.
 	if _, err := stateslice.Build(eq, stateslice.MemOpt, stateslice.WithHashProbing()); err == nil {
 		t.Error("WithHashProbing on a sliced chain must be reported")
-	}
-	sp, err := stateslice.MemOptPlan(eq, stateslice.ChainConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := stateslice.EnableHashProbing(sp.Plan); err == nil {
-		t.Error("EnableHashProbing on a sliced chain must be reported")
 	}
 	// Pull-up over an equijoin is eligible.
 	if _, err := stateslice.Build(eq, stateslice.PullUp, stateslice.WithHashProbing()); err != nil {

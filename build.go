@@ -4,14 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
-	"stateslice/internal/chain"
 	"stateslice/internal/cost"
 	"stateslice/internal/engine"
 	"stateslice/internal/operator"
+	"stateslice/internal/optimizer"
 	"stateslice/internal/pipeline"
 	"stateslice/internal/plan"
 	"stateslice/internal/workload"
@@ -188,7 +189,7 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 			}
 		}
 	}
-	if o.recovery != nil && !o.shardsSet {
+	if o.recovery != nil && !o.shardsSet && !o.autoShards {
 		return nil, errors.New("stateslice: WithRecovery supervises the sharded executor's replicas and requires WithShards; sequential sessions stay fail-fast")
 	}
 	if o.restore != nil {
@@ -204,37 +205,84 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 		model = DefaultCostModel()
 	}
 
-	if o.concurrent && o.shardsSet {
+	if o.concurrent && (o.shardsSet || o.autoShards) {
 		return nil, errors.New("stateslice: WithConcurrency and WithShards select different executors for the same plan; choose one")
 	}
-	if o.assemblySet && !o.shardsSet {
+	if o.autoShards && o.shardsSet {
+		return nil, errors.New("stateslice: WithAutoShards and WithShards both set the shard count; choose one")
+	}
+	if o.assemblySet && !o.shardsSet && !o.autoShards {
 		return nil, errors.New("stateslice: WithAssemblyWorkers tunes the sharded executor's merge layer and requires WithShards")
 	}
-	if o.keyRangeSet && !o.shardsSet {
+	if o.keyRangeSet && !o.shardsSet && !o.autoShards {
 		return nil, errors.New("stateslice: WithKeyRange parameterizes the sharded executor's band partitioner and requires WithShards")
 	}
+
+	// The optimizer pass pipeline is the compilation spine every build runs —
+	// hand-built workloads and parsed SliceQL alike — so both paths make
+	// identical decisions and record identical traces (DESIGN.md
+	// "Compilation pipeline"). The passes decide; the builders below execute
+	// and stay the validators of their own shapes.
+	mode, ok := modeOf(s)
+	if !ok {
+		return nil, fmt.Errorf("stateslice: unknown strategy %s", s)
+	}
+	lg := &optimizer.Logical{
+		Workload:         w,
+		Params:           model.chainParams(),
+		PinnedEnds:       o.ends,
+		RequestedShards:  o.shards,
+		AutoShards:       o.autoShards,
+		KeyMin:           o.keyMin,
+		KeyMax:           o.keyMax,
+		KeyRangeDeclared: o.keyRangeSet,
+		MaxProcs:         runtime.GOMAXPROCS(0),
+		DisableLineage:   o.disableLineage,
+		Concurrent:       o.concurrent,
+	}
+	if err := optimizer.Compile(lg, optimizer.Preset(mode)); err != nil {
+		return nil, err
+	}
+	rs := s
+	if s == Auto {
+		rs = MemOpt
+		if lg.Sharing == optimizer.ChainCPU {
+			rs = CPUOpt
+		}
+	}
+	if o.autoShards {
+		o.shards = lg.Shards
+		o.shardsSet = true
+		if !lg.UseKeyRange {
+			// A declared key domain only capped the inferred count here;
+			// hash partitioning ignores it at run time and the sharded
+			// builder rejects it, so it stops here.
+			o.keyRangeSet = false
+		}
+	}
+
 	if o.concurrent {
 		if o.batchSet {
 			return nil, errors.New("stateslice: WithBatchSize tunes the sequential engine's micro-batch; the concurrent pipeline batches by channel slab and cannot be combined with it")
 		}
-		return buildConcurrent(w, s, o, model)
+		return buildConcurrent(w, rs, o, model, lg)
 	}
 	if o.shardsSet {
-		return buildSharded(w, s, o, model)
+		return buildSharded(w, rs, o, model, lg)
 	}
 
-	bp := &builtPlan{strategy: s, w: w, model: model, migratable: o.migratable, batchSize: o.batchSize, ctx: o.ctx}
-	switch s {
+	bp := &builtPlan{strategy: rs, w: w, model: model, migratable: o.migratable, batchSize: o.batchSize, ctx: o.ctx, trace: lg.Trace}
+	switch rs {
 	case MemOpt, CPUOpt:
-		cfg, err := chainConfig(w, s, o, model)
-		if err != nil {
-			return nil, err
-		}
+		cfg := chainConfig(rs, o, lg)
 		// Chains route WithResultHandler and WithSink through the plan's
 		// own result hook: sinks created later by Session.Attach then get
 		// the same composite, so admitted queries stream results too.
 		cfg.OnResult = sequentialOnResult(o)
-		var sp *plan.StateSlicePlan
+		var (
+			sp  *plan.StateSlicePlan
+			err error
+		)
 		if o.restore != nil {
 			sp, err = plan.RestoreStateSlice(w, cfg, o.restore.chain)
 			if err != nil {
@@ -254,7 +302,7 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 			p   *engine.Plan
 			err error
 		)
-		switch s {
+		switch rs {
 		case PullUp:
 			p, err = plan.BuildPullUp(w, o.collect)
 		case PushDown:
@@ -270,7 +318,7 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 		}
 		bp.exec = p
 	default:
-		return nil, fmt.Errorf("stateslice: unknown strategy %s", s)
+		return nil, fmt.Errorf("stateslice: unknown strategy %s", rs)
 	}
 
 	if o.hashProbing {
@@ -306,13 +354,35 @@ func sequentialOnResult(o buildOptions) func(int, *Tuple) {
 	}
 }
 
-// chainConfig assembles the chain configuration of a MemOpt or CPUOpt
-// build: explicit or optimizer-chosen slice boundaries, lineage, migration
-// wiring and the plan name. Both the sequential chain build and the sharded
-// replica factory compile from it.
-func chainConfig(w Workload, s Strategy, o buildOptions, model CostModel) (plan.StateSliceConfig, error) {
+// modeOf maps a public strategy onto its optimizer preset.
+func modeOf(s Strategy) (optimizer.Mode, bool) {
+	switch s {
+	case MemOpt:
+		return optimizer.ChainMem, true
+	case CPUOpt:
+		return optimizer.ChainCPU, true
+	case Auto:
+		return optimizer.ChainAuto, true
+	case PullUp:
+		return optimizer.ModePullUp, true
+	case PushDown:
+		return optimizer.ModePushDown, true
+	case Unshared:
+		return optimizer.ModeUnshared, true
+	default:
+		return 0, false
+	}
+}
+
+// chainConfig assembles the chain configuration of a MemOpt or CPUOpt build
+// from the optimizer's decisions: the sharing pass's slice boundaries
+// (caller-pinned, or Dijkstra-chosen for CPU-Opt; nil lets the chain builder
+// derive the Mem-Opt distinct windows), lineage, migration wiring and the
+// plan name. Both the sequential chain build and the sharded replica factory
+// compile from it.
+func chainConfig(s Strategy, o buildOptions, lg *optimizer.Logical) plan.StateSliceConfig {
 	cfg := plan.StateSliceConfig{
-		Ends:           o.ends,
+		Ends:           lg.Ends,
 		DisableLineage: o.disableLineage,
 		Migratable:     o.migratable,
 		Collect:        o.collect,
@@ -321,14 +391,7 @@ func chainConfig(w Workload, s Strategy, o buildOptions, model CostModel) (plan.
 	if cfg.Name == "" {
 		cfg.Name = "state-slice(" + s.String() + ")"
 	}
-	if s == CPUOpt {
-		res, err := chain.CPUOptEnds(workload.Specs(w), model.chainParams())
-		if err != nil {
-			return plan.StateSliceConfig{}, err
-		}
-		cfg.Ends = workload.EndsToTimes(res.Ends)
-	}
-	return cfg, nil
+	return cfg
 }
 
 // enableHashProbing switches every regular window join of the plan to
@@ -364,6 +427,7 @@ type builtPlan struct {
 	ctx        context.Context       // WithContext bound for runs and sessions
 	restore    *plan.ChainCheckpoint // WithRestore snapshot; sessions seed its frontier
 	sess       *engine.Session       // latest session, the migration target
+	trace      []optimizer.Note      // the pass pipeline's decision record
 }
 
 func (p *builtPlan) sealed() {}
@@ -554,7 +618,17 @@ func (p *builtPlan) Explain() string {
 		b.WriteString(op.Name())
 	}
 	b.WriteString("\n")
+	writeTrace(&b, p.trace)
 	return b.String()
+}
+
+// writeTrace appends the optimizer's pass trace to an Explain rendering.
+func writeTrace(b *strings.Builder, trace []optimizer.Note) {
+	if len(trace) == 0 {
+		return
+	}
+	b.WriteString("  passes:\n")
+	b.WriteString(optimizer.RenderTrace(trace))
 }
 
 // fmtTime renders a timestamp as compact seconds for Explain output.
@@ -684,7 +758,7 @@ func (m CostModel) chainParams() cost.ChainParams {
 }
 
 // buildConcurrent assembles the pipeline-backed Plan of WithConcurrency.
-func buildConcurrent(w Workload, s Strategy, o buildOptions, model CostModel) (Plan, error) {
+func buildConcurrent(w Workload, s Strategy, o buildOptions, model CostModel, lg *optimizer.Logical) (Plan, error) {
 	if s != MemOpt {
 		return nil, fmt.Errorf("stateslice: WithConcurrency supports the MemOpt chain only, not %s", s)
 	}
@@ -716,6 +790,7 @@ func buildConcurrent(w Workload, s Strategy, o buildOptions, model CostModel) (P
 		sinks:   o.sinks,
 		model:   model,
 		ctx:     o.ctx,
+		trace:   lg.Trace,
 	}, nil
 }
 
@@ -728,7 +803,8 @@ type concurrentPlan struct {
 	collect bool
 	sinks   map[int]Sink
 	model   CostModel
-	ctx     context.Context // WithContext bound for Run
+	ctx     context.Context  // WithContext bound for Run
+	trace   []optimizer.Note // the pass pipeline's decision record
 }
 
 func (p *concurrentPlan) sealed() {}
@@ -804,5 +880,6 @@ func (p *concurrentPlan) Explain() string {
 		start = e
 	}
 	fmt.Fprintf(&b, " ; %d order-preserving mergers, one goroutine per stage\n", len(p.w.Queries))
+	writeTrace(&b, p.trace)
 	return b.String()
 }

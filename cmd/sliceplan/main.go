@@ -12,6 +12,16 @@
 //
 // Windows are in seconds; -sels gives the per-query selection selectivities
 // (1 = unfiltered) and defaults to all-unfiltered.
+//
+// With -query, the workload is a SliceQL query set instead: the text is
+// compiled through the optimizer pass pipeline under -strategy, the plan
+// explains itself (including the pass trace), and then runs against the
+// synthetic generator:
+//
+//	sliceplan -strategy auto -query '
+//	  q1: SELECT * FROM temps JOIN hums ON temps.loc = hums.loc WINDOW 1s;
+//	  q2: SELECT * FROM temps JOIN hums ON temps.loc = hums.loc
+//	      WHERE temps.value >= 0.99 WINDOW 60s;'
 package main
 
 import (
@@ -33,8 +43,23 @@ func main() {
 		csys    = flag.Float64("csys", 3, "system overhead factor C_sys (comparisons per tuple per operator)")
 		tupleKB = flag.Float64("tuplekb", 0.1, "tuple size Mt in KB")
 		explain = flag.Bool("explain", false, "print the compiled operator graphs of both chains")
+
+		query    = flag.String("query", "", "SliceQL query set to compile and run (replaces -windows/-sels)")
+		strategy = flag.String("strategy", "auto", "build strategy for -query: auto, mem-opt, cpu-opt, pull-up, push-down, unshared")
+		duration = flag.Float64("duration", 90, "run length in virtual seconds for -query")
+		keys     = flag.Int64("keys", 100, "generator key domain for -query")
+		seed     = flag.Int64("seed", 1, "generator seed for -query")
 	)
 	flag.Parse()
+
+	if *query != "" {
+		model := stateslice.CostModel{
+			RateA: *rate, RateB: *rate,
+			JoinSelectivity: *s1, Csys: *csys, TupleKB: *tupleKB,
+		}
+		runQuery(*query, *strategy, model, *rate, *duration, *keys, *seed)
+		return
+	}
 
 	ws, err := parseFloats(*windows)
 	check(err)
@@ -123,6 +148,38 @@ func main() {
 		check(err)
 		fmt.Printf("  estimated: %.1f KB state, %.0f comparisons/s\n\n", est.MemoryKB, est.CPU)
 	}
+}
+
+// runQuery is the SliceQL path: parse -> compile through the optimizer
+// pipeline -> explain -> run on the synthetic generator.
+func runQuery(src, strategy string, model stateslice.CostModel, rate, duration float64, keys, seed int64) {
+	s, err := stateslice.ParseStrategy(strategy)
+	check(err)
+	w, err := stateslice.ParseWorkload(src)
+	check(err)
+	p, err := stateslice.CompileQuery(src, s, stateslice.WithCostParams(model))
+	check(err)
+	fmt.Print(p.Explain())
+
+	gen := stateslice.GeneratorConfig{
+		RateA: rate, RateB: rate,
+		Duration:  stateslice.Seconds(duration),
+		KeyDomain: keys,
+		Seed:      seed,
+	}
+	source, err := stateslice.GeneratorSource(gen)
+	check(err)
+	res, err := p.Run(source, stateslice.RunConfig{})
+	check(err)
+
+	fmt.Printf("\nprocessed %d tuples (%.0f virtual seconds) in %s\n",
+		res.Inputs, res.VirtualDuration.ToSeconds(), res.Wall)
+	for i, n := range res.SinkCounts {
+		fmt.Printf("  %s: %d results\n", w.QueryName(i), n)
+	}
+	fmt.Printf("state memory: avg %.0f tuples, peak %d tuples\n", res.Memory.Avg, res.Memory.Max)
+	fmt.Printf("CPU: %d comparisons (%d probe, %d purge)\n",
+		res.Meter.Comparisons(), res.Meter.Probe, res.Meter.Purge)
 }
 
 func parseFloats(s string) ([]float64, error) {

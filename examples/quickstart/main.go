@@ -1,12 +1,9 @@
 // Quickstart: share two window-join queries with the state-slice chain.
 //
-// This is the paper's motivating example (Section 1) scaled to seconds:
-//
-//	Q1: SELECT A.* FROM Temperature A, Humidity B
-//	    WHERE A.LocationId = B.LocationId               WINDOW 1 min
-//	Q2: SELECT A.* FROM Temperature A, Humidity B
-//	    WHERE A.LocationId = B.LocationId AND A.Value > Threshold
-//	    WINDOW 60 min
+// This is the paper's motivating example (Section 1) scaled to seconds,
+// written in SliceQL, the declarative front-end: the query text compiles
+// through the optimizer pass pipeline into exactly the plan a hand-built
+// Workload produces.
 //
 // Run with:
 //
@@ -20,26 +17,45 @@ import (
 	"stateslice"
 )
 
-func main() {
-	// Two continuous queries over the same join, windows 1s and 60s
-	// (the paper's 1 min / 60 min compressed 60x), Q2 filtered to the
-	// hottest 1% of readings.
-	w := stateslice.Workload{
-		Queries: []stateslice.Query{
-			{Name: "Q1", Window: 1 * stateslice.Second},
-			{Name: "Q2", Window: 60 * stateslice.Second, Filter: stateslice.Threshold{S: 0.01}},
-		},
-		Join: stateslice.Equijoin{},
-	}
+// The motivating workload: both queries read the same equijoin of the
+// temperature and humidity streams, with windows 1s and 60s (the paper's
+// 1 min / 60 min compressed 60x) and Q2 filtered to the hottest 1% of
+// readings.
+const workload = `
+	q1: SELECT * FROM temps JOIN hums ON temps.loc = hums.loc
+	    WINDOW 1 s;
+	q2: SELECT * FROM temps JOIN hums ON temps.loc = hums.loc
+	    WHERE temps.value >= 0.99
+	    WINDOW 60 s;
+`
 
-	// One Build call per strategy; MemOpt compiles the Mem-Opt chain:
-	// two sliced joins, (0,1s] and (1s,60s], with the selection pushed
-	// between them.
-	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+func main() {
+	// One CompileQuery call parses the text and builds it; MemOpt compiles
+	// the Mem-Opt chain: two sliced joins, (0,1s] and (1s,60s], with the
+	// selection pushed between them. Explain includes the optimizer's pass
+	// trace.
+	p, err := stateslice.CompileQuery(workload, stateslice.MemOpt, stateslice.WithCollect())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(p.Explain())
+
+	// The same workload built by hand lands on a byte-identical plan — the
+	// front-end and the Go API share one compilation pipeline.
+	w := stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Name: "q1", Window: 1 * stateslice.Second},
+			{Name: "q2", Window: 60 * stateslice.Second, Filter: stateslice.Threshold{S: 1 - 0.99}},
+		},
+		Join: stateslice.Equijoin{},
+	}
+	hand, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if hand.Explain() != p.Explain() {
+		log.Fatal("parsed and hand-built plans diverge")
+	}
 
 	// 90 virtual seconds of Poisson arrivals at 50 tuples/sec per stream,
 	// 100 sensor locations. The generator is consumed as a Source, one
@@ -70,7 +86,7 @@ func main() {
 		res.Meter.Comparisons(), res.Meter.Probe, res.Meter.Purge)
 
 	// A few joined results from the filtered query.
-	fmt.Println("\nfirst Q2 matches (hot temperature readings joined with humidity):")
+	fmt.Println("\nfirst q2 matches (hot temperature readings joined with humidity):")
 	for i, r := range res.Results[1] {
 		if i == 5 {
 			break
@@ -80,9 +96,9 @@ func main() {
 	}
 
 	// Compare against the naive shared plan (selection pull-up): same
-	// Build entry point, different strategy. A fresh generator source
-	// replays the identical input.
-	pu, err := stateslice.Build(w, stateslice.PullUp)
+	// query text, different strategy. A fresh generator source replays
+	// the identical input.
+	pu, err := stateslice.CompileQuery(workload, stateslice.PullUp)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,153 @@
+// Package sliceql implements SliceQL, the small declarative front-end of the
+// state-slice engine: a named set of continuous window-join queries over two
+// streams, written as text instead of Go Workload literals, like
+//
+//	Q1: SELECT * FROM A JOIN B ON A.key = B.key WINDOW 1s;
+//	Q2: SELECT * FROM A JOIN B ON A.key = B.key
+//	    WHERE A.value >= 0.99 WINDOW 60s;
+//
+// One statement per query:
+//
+//	[name:] SELECT * FROM <streamA> JOIN <streamB>
+//	        ON <a>.<col> = <b>.<col> | BAND(<a>.<col>, <b>.<col>, <width>)
+//	        [WHERE <stream>.value >= <x> [AND ...]]
+//	        WINDOW <duration>
+//	        [KEYS <min>..<max>]
+//
+// Keywords are case-insensitive; statements are separated by semicolons;
+// "--" starts a comment running to the end of the line. ON names the shared
+// join: equality on the key attribute, or BAND for the proximity join
+// |a.key - b.key| <= width. WHERE supports threshold selections on the value
+// attribute (the engine's selection fragment). WINDOW takes a duration with
+// unit us, ms, s or min. KEYS declares the inclusive key domain of the input
+// streams — the declaration the optimizer's shard-inference pass turns into
+// contiguous owner ranges for band-partitioned execution.
+//
+// Parse produces a positioned AST and never panics on malformed input (a
+// fuzz target pins that); Bind resolves the AST against the engine's stream
+// model into a plan.Workload plus the declared key domain. Both report
+// *sliceql.Error values carrying the 1-based line:column of the offending
+// token.
+package sliceql
+
+import "fmt"
+
+// Pos is a 1-based source position.
+type Pos struct {
+	// Line and Col locate the first character of the offending or
+	// defining token, both 1-based.
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is the error type of Parse and Bind: a message anchored to a source
+// position.
+type Error struct {
+	// Pos locates the error in the query text.
+	Pos Pos
+	// Msg describes what was expected or rejected.
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("sliceql:%s: %s", e.Pos, e.Msg) }
+
+// errf builds a positioned error.
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// QuerySet is a parsed SliceQL source: one statement per continuous query,
+// in source order.
+type QuerySet struct {
+	// Stmts are the parsed statements.
+	Stmts []*Stmt
+}
+
+// Stmt is one parsed query statement.
+type Stmt struct {
+	// Pos is the statement's starting position.
+	Pos Pos
+	// Name is the optional "name:" label; empty defaults to Q<i> at Bind.
+	Name string
+	// StreamA and StreamB are the FROM and JOIN stream names.
+	StreamA, StreamB string
+	// Join is the ON clause.
+	Join JoinClause
+	// Where lists the WHERE comparisons, in source order.
+	Where []Cmp
+	// Window is the WINDOW duration.
+	Window Duration
+	// Keys is the optional KEYS domain declaration, nil when absent.
+	Keys *KeyRange
+}
+
+// JoinKind discriminates the ON clause forms.
+type JoinKind int
+
+const (
+	// JoinEqui is the equality join a.col = b.col.
+	JoinEqui JoinKind = iota
+	// JoinBand is the proximity join BAND(a.col, b.col, width).
+	JoinBand
+)
+
+// String names the join kind.
+func (k JoinKind) String() string {
+	if k == JoinBand {
+		return "band"
+	}
+	return "equi"
+}
+
+// JoinClause is the parsed ON clause.
+type JoinClause struct {
+	// Pos is the clause's starting position.
+	Pos Pos
+	// Kind selects equality or band.
+	Kind JoinKind
+	// Left and Right are the joined columns (left from the FROM stream,
+	// right from the JOIN stream; Bind enforces the sides).
+	Left, Right ColRef
+	// Band is the band width in key units (JoinBand only).
+	Band int64
+}
+
+// ColRef is a stream-qualified column reference.
+type ColRef struct {
+	// Pos is the reference's starting position.
+	Pos Pos
+	// Stream and Column are the two identifiers of "stream.column".
+	Stream, Column string
+}
+
+// String renders the reference as written.
+func (c ColRef) String() string { return c.Stream + "." + c.Column }
+
+// Cmp is one WHERE comparison "stream.value >= threshold".
+type Cmp struct {
+	// Pos is the comparison's starting position.
+	Pos Pos
+	// Col is the compared column.
+	Col ColRef
+	// Threshold is the literal right-hand side.
+	Threshold float64
+}
+
+// Duration is a parsed window duration.
+type Duration struct {
+	// Pos is the duration's starting position.
+	Pos Pos
+	// Micros is the duration in microseconds, the engine's base unit.
+	Micros int64
+}
+
+// KeyRange is a parsed KEYS min..max domain declaration.
+type KeyRange struct {
+	// Pos is the declaration's starting position.
+	Pos Pos
+	// Min and Max bound the inclusive key domain.
+	Min, Max int64
+}

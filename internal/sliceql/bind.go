@@ -1,0 +1,164 @@
+package sliceql
+
+import (
+	"sort"
+	"strings"
+
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+// Bound is a query set resolved against the engine's stream model: the
+// workload the optimizer pipeline compiles, plus the front-end declarations
+// that parameterize its shard-inference pass.
+type Bound struct {
+	// Workload is the resolved query set, sorted by ascending window (the
+	// chain order Workload.Validate requires); equal windows keep their
+	// source order.
+	Workload plan.Workload
+	// Keys is the declared inclusive key domain, nil when no statement
+	// carries a KEYS clause.
+	Keys *KeyRange
+	// StreamA and StreamB are the declared stream names, for diagnostics.
+	StreamA, StreamB string
+}
+
+// Bind resolves a parsed query set: stream references are checked against
+// the FROM/JOIN declarations, every statement must share one join (the
+// sharing scenario the engine compiles), WHERE comparisons become threshold
+// predicates on the value attribute, and KEYS declarations are merged.
+// Errors carry the position of the offending clause.
+func Bind(qs *QuerySet) (*Bound, error) {
+	if qs == nil || len(qs.Stmts) == 0 {
+		return nil, errf(Pos{Line: 1, Col: 1}, "empty query set")
+	}
+	b := &Bound{StreamA: qs.Stmts[0].StreamA, StreamB: qs.Stmts[0].StreamB}
+	ref := qs.Stmts[0]
+	for _, st := range qs.Stmts {
+		if err := checkStreams(st); err != nil {
+			return nil, err
+		}
+		if !strings.EqualFold(st.StreamA, ref.StreamA) || !strings.EqualFold(st.StreamB, ref.StreamB) {
+			return nil, errf(st.Pos, "every query must read the same stream pair: got %s JOIN %s, the first statement reads %s JOIN %s",
+				st.StreamA, st.StreamB, ref.StreamA, ref.StreamB)
+		}
+		if err := checkSameJoin(st, ref); err != nil {
+			return nil, err
+		}
+		q, err := bindQuery(st)
+		if err != nil {
+			return nil, err
+		}
+		b.Workload.Queries = append(b.Workload.Queries, q)
+		if st.Keys != nil {
+			if b.Keys == nil {
+				b.Keys = st.Keys
+			} else if b.Keys.Min != st.Keys.Min || b.Keys.Max != st.Keys.Max {
+				return nil, errf(st.Keys.Pos, "conflicting KEYS declarations: %d..%d here, %d..%d earlier (declare one key domain for the query set)",
+					st.Keys.Min, st.Keys.Max, b.Keys.Min, b.Keys.Max)
+			}
+		}
+	}
+	switch ref.Join.Kind {
+	case JoinBand:
+		b.Workload.Join = stream.BandJoin{B: ref.Join.Band}
+	default:
+		b.Workload.Join = stream.Equijoin{}
+	}
+	// Chain order: ascending windows, stable so equal windows keep their
+	// source order and labeled names travel with their queries.
+	sort.SliceStable(b.Workload.Queries, func(i, j int) bool {
+		return b.Workload.Queries[i].Window < b.Workload.Queries[j].Window
+	})
+	return b, nil
+}
+
+// BindStmt resolves one parsed statement in isolation into a plan query —
+// the admission path, where a single query joins an already-running plan and
+// the query set's cross-statement checks do not apply.
+func BindStmt(st *Stmt) (plan.Query, error) {
+	if err := checkStreams(st); err != nil {
+		return plan.Query{}, err
+	}
+	return bindQuery(st)
+}
+
+// checkStreams validates a statement's stream declarations and ON sides.
+func checkStreams(st *Stmt) error {
+	if strings.EqualFold(st.StreamA, st.StreamB) {
+		return errf(st.Pos, "FROM and JOIN streams must differ, both are %q (self-joins are out of the sharing model)", st.StreamA)
+	}
+	if !strings.EqualFold(st.Join.Left.Stream, st.StreamA) {
+		return errf(st.Join.Left.Pos, "ON left side %s must reference the FROM stream %s", st.Join.Left, st.StreamA)
+	}
+	if !strings.EqualFold(st.Join.Right.Stream, st.StreamB) {
+		return errf(st.Join.Right.Pos, "ON right side %s must reference the JOIN stream %s", st.Join.Right, st.StreamB)
+	}
+	return nil
+}
+
+// checkSameJoin enforces one shared join across the query set — the
+// workload model shares a single join predicate; a second join shape would
+// need an independent plan.
+func checkSameJoin(st, ref *Stmt) error {
+	j, r := st.Join, ref.Join
+	if j.Kind != r.Kind {
+		return errf(j.Pos, "every query must share one join: this one is a %s join, the first statement's is %s", j.Kind, r.Kind)
+	}
+	if j.Kind == JoinBand && j.Band != r.Band {
+		return errf(j.Pos, "every query must share one join: band width %d here, %d in the first statement", j.Band, r.Band)
+	}
+	if !strings.EqualFold(j.Left.Column, r.Left.Column) || !strings.EqualFold(j.Right.Column, r.Right.Column) {
+		return errf(j.Pos, "every query must join the same columns: %s, %s here vs %s, %s in the first statement",
+			j.Left, j.Right, r.Left, r.Right)
+	}
+	return nil
+}
+
+// bindQuery resolves one statement into a plan query.
+func bindQuery(st *Stmt) (plan.Query, error) {
+	q := plan.Query{Name: st.Name, Window: stream.Time(st.Window.Micros)}
+	for _, c := range st.Where {
+		pred, onA, err := bindCmp(st, c)
+		if err != nil {
+			return plan.Query{}, err
+		}
+		if onA {
+			if q.Filter != nil {
+				return plan.Query{}, errf(c.Pos, "duplicate selection on stream %s (combine thresholds into one comparison)", st.StreamA)
+			}
+			q.Filter = pred
+		} else {
+			if q.FilterB != nil {
+				return plan.Query{}, errf(c.Pos, "duplicate selection on stream %s (combine thresholds into one comparison)", st.StreamB)
+			}
+			q.FilterB = pred
+		}
+	}
+	return q, nil
+}
+
+// bindCmp resolves one WHERE comparison into a threshold predicate and the
+// stream it selects on (true = stream A).
+func bindCmp(st *Stmt, c Cmp) (stream.Predicate, bool, error) {
+	var onA bool
+	switch {
+	case strings.EqualFold(c.Col.Stream, st.StreamA):
+		onA = true
+	case strings.EqualFold(c.Col.Stream, st.StreamB):
+		onA = false
+	default:
+		return nil, false, errf(c.Col.Pos, "unknown stream %q in WHERE (the query reads %s and %s)", c.Col.Stream, st.StreamA, st.StreamB)
+	}
+	if !strings.EqualFold(c.Col.Column, "value") {
+		return nil, false, errf(c.Col.Pos, "selections apply to the value attribute only, got %s (the engine's selection fragment is thresholds on value)", c.Col)
+	}
+	// Value is uniform on [0,1): "value >= x" is the engine's Threshold
+	// predicate with selectivity S = 1-x, which the cost model needs in
+	// (0, 1].
+	s := 1 - c.Threshold
+	if s <= 0 || s > 1 {
+		return nil, false, errf(c.Pos, "threshold %g yields selectivity %g outside (0,1]; value is uniform on [0,1), so thresholds must lie in [0,1)", c.Threshold, s)
+	}
+	return stream.Threshold{S: s}, onA, nil
+}

@@ -1,0 +1,57 @@
+package sliceql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse pins the front-end's no-panic contract: any byte sequence either
+// parses (and then binds or fails with a positioned error) or is rejected
+// with a *sliceql.Error — never a panic, never an unpositioned failure. CI
+// runs a short -fuzz smoke on top of the seeded corpus below.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		";",
+		"SELECT * FROM a JOIN b ON a.key = b.key WINDOW 1s",
+		"Q1: SELECT * FROM A JOIN B ON A.key = B.key WINDOW 1s;\nQ2: SELECT * FROM A JOIN B ON A.key = B.key WHERE A.value >= 0.99 WINDOW 60s;",
+		"SELECT * FROM a JOIN b ON BAND(a.key, b.key, 2) WINDOW 500ms KEYS -10..119",
+		"SELECT * FROM a JOIN b ON a.k = b.k WHERE a.value >= 0.5 AND b.value >= 0.25 WINDOW 2.5s",
+		"-- comment only",
+		"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 99999999999999999999 min",
+		"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s KEYS 0..9223372036854775807",
+		"select*from a join b on a.k=b.k window 1 s;;;",
+		"\xff\xfe",
+		"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s KEYS 1.5..2",
+		"q: q: SELECT",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		qs, err := Parse(src)
+		if err != nil {
+			requirePositioned(t, src, err)
+			return
+		}
+		if len(qs.Stmts) == 0 {
+			t.Fatalf("Parse(%q) returned an empty set without error", src)
+		}
+		if _, err := Bind(qs); err != nil {
+			requirePositioned(t, src, err)
+		}
+	})
+}
+
+func requirePositioned(t *testing.T, src string, err error) {
+	t.Helper()
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("Parse/Bind(%q): error %v has type %T, want *Error", src, err, err)
+	}
+	if e.Pos.Line < 1 || e.Pos.Col < 1 {
+		t.Fatalf("Parse/Bind(%q): unpositioned error %v", src, err)
+	}
+	if !strings.HasPrefix(err.Error(), "sliceql:") {
+		t.Fatalf("Parse/Bind(%q): error %q lacks the sliceql: prefix", src, err)
+	}
+}

@@ -1,0 +1,230 @@
+package sliceql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates the token classes of the SliceQL lexer.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // integer or decimal literal, possibly negative
+	tokDot
+	tokDotDot
+	tokComma
+	tokColon
+	tokSemi
+	tokLParen
+	tokRParen
+	tokEq
+	tokGE
+	tokStar
+)
+
+// String names the token kind for error messages.
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokDot:
+		return "'.'"
+	case tokDotDot:
+		return "'..'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokSemi:
+		return "';'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEq:
+		return "'='"
+	case tokGE:
+		return "'>='"
+	case tokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexed token with its source position and text.
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// describe renders a token for "got ..." error messages.
+func (t token) describe() string {
+	if t.kind == tokIdent || t.kind == tokNumber {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}
+
+// lexer scans SliceQL source into tokens. It is a plain byte scanner —
+// SliceQL keywords and identifiers are ASCII; other Unicode is rejected with
+// a positioned error rather than a panic.
+type lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+// newLexer positions a lexer at the start of src.
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// pos is the position of the next unread byte.
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// advance consumes one byte, tracking line/column.
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// peek returns the next byte without consuming it, or 0 at EOF.
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+// peek2 returns the byte after next, or 0.
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+// skipSpace consumes whitespace and "--" comments.
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		begin := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[begin:l.off], pos: start}, nil
+	case isDigit(c), c == '-' && isDigit(l.peek2()):
+		return l.lexNumber(start)
+	}
+	switch c {
+	case '.':
+		l.advance()
+		if l.peek() == '.' {
+			l.advance()
+			return token{kind: tokDotDot, text: "..", pos: start}, nil
+		}
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case ':':
+		l.advance()
+		return token{kind: tokColon, text: ":", pos: start}, nil
+	case ';':
+		l.advance()
+		return token{kind: tokSemi, text: ";", pos: start}, nil
+	case '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case '=':
+		l.advance()
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case '*':
+		l.advance()
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case '>':
+		l.advance()
+		if l.peek() != '=' {
+			return token{}, errf(start, "unexpected '>' (SliceQL selections are threshold comparisons, written '>=')")
+		}
+		l.advance()
+		return token{kind: tokGE, text: ">=", pos: start}, nil
+	}
+	if c < 0x80 && unicode.IsPrint(rune(c)) {
+		return token{}, errf(start, "unexpected character %q", string(rune(c)))
+	}
+	return token{}, errf(start, "unexpected byte 0x%02x", c)
+}
+
+// lexNumber scans an optionally-negative integer or decimal literal. A
+// trailing lone '.' is left for the next token ("0..9" lexes as 0 .. 9).
+func (l *lexer) lexNumber(start Pos) (token, error) {
+	begin := l.off
+	if l.peek() == '-' {
+		l.advance()
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	return token{kind: tokNumber, text: l.src[begin:l.off], pos: start}, nil
+}
+
+// isKeyword reports whether the identifier token equals the keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,356 @@
+package sliceql
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse scans and parses a SliceQL query set into its AST. The parse stops
+// at the first syntax error, returned as an *Error carrying the 1-based
+// line:column of the offending token; no input makes Parse panic.
+func Parse(src string) (*QuerySet, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	qs := &QuerySet{}
+	for {
+		// Tolerate stray separators between statements.
+		for p.cur.kind == tokSemi {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur.kind == tokEOF {
+			break
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		qs.Stmts = append(qs.Stmts, st)
+		switch p.cur.kind {
+		case tokSemi, tokEOF:
+		default:
+			return nil, errf(p.cur.pos, "expected ';' or end of input after the statement, got %s", p.cur.describe())
+		}
+	}
+	if len(qs.Stmts) == 0 {
+		return nil, errf(p.cur.pos, "empty query set: expected at least one SELECT statement")
+	}
+	return qs, nil
+}
+
+// parser is a recursive-descent parser with two tokens of lookahead (the
+// second distinguishes a "name:" label from the SELECT keyword).
+type parser struct {
+	lx       *lexer
+	cur, nxt token
+}
+
+// prime fills both lookahead slots.
+func (p *parser) prime() error {
+	var err error
+	if p.cur, err = p.lx.next(); err != nil {
+		return err
+	}
+	p.nxt, err = p.lx.next()
+	return err
+}
+
+// next advances the lookahead window by one token.
+func (p *parser) next() error {
+	p.cur = p.nxt
+	var err error
+	p.nxt, err = p.lx.next()
+	return err
+}
+
+// expectKeyword consumes the given case-insensitive keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur.isKeyword(kw) {
+		return errf(p.cur.pos, "expected %s, got %s", strings.ToUpper(kw), p.cur.describe())
+	}
+	return p.next()
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokKind) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, errf(p.cur.pos, "expected %s, got %s", kind, p.cur.describe())
+	}
+	t := p.cur
+	return t, p.next()
+}
+
+// ident consumes an identifier that is not a reserved keyword, described as
+// what for error messages.
+func (p *parser) ident(what string) (token, error) {
+	if p.cur.kind != tokIdent {
+		return token{}, errf(p.cur.pos, "expected %s, got %s", what, p.cur.describe())
+	}
+	for _, kw := range reservedKeywords {
+		if strings.EqualFold(p.cur.text, kw) {
+			return token{}, errf(p.cur.pos, "expected %s, got reserved keyword %s", what, strings.ToUpper(kw))
+		}
+	}
+	t := p.cur
+	return t, p.next()
+}
+
+// reservedKeywords cannot name streams or labels: accepting them would make
+// a missing clause parse as a name and move the error somewhere misleading.
+var reservedKeywords = []string{
+	"select", "from", "join", "on", "where", "window", "keys", "and", "band",
+}
+
+// stmt parses one query statement (the leading label included).
+func (p *parser) stmt() (*Stmt, error) {
+	st := &Stmt{Pos: p.cur.pos}
+	// Optional "name:" label.
+	if p.cur.kind == tokIdent && p.nxt.kind == tokColon && !p.cur.isKeyword("select") {
+		name, err := p.ident("query name")
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name.text
+		if err := p.next(); err != nil { // consume ':'
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar); err != nil {
+		return nil, errf(p.cur.pos, "expected '*' after SELECT (SliceQL projects whole joined tuples), got %s", p.cur.describe())
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	a, err := p.ident("stream name")
+	if err != nil {
+		return nil, err
+	}
+	st.StreamA = a.text
+	if err := p.expectKeyword("join"); err != nil {
+		return nil, err
+	}
+	b, err := p.ident("stream name")
+	if err != nil {
+		return nil, err
+	}
+	st.StreamB = b.text
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	if st.Join, err = p.joinClause(); err != nil {
+		return nil, err
+	}
+	if p.cur.isKeyword("where") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if st.Where, err = p.whereClause(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("window"); err != nil {
+		return nil, err
+	}
+	if st.Window, err = p.duration(); err != nil {
+		return nil, err
+	}
+	if p.cur.isKeyword("keys") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if st.Keys, err = p.keyRange(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// joinClause parses "a.col = b.col" or "BAND(a.col, b.col, width)".
+func (p *parser) joinClause() (JoinClause, error) {
+	jc := JoinClause{Pos: p.cur.pos}
+	if p.cur.isKeyword("band") {
+		jc.Kind = JoinBand
+		if err := p.next(); err != nil {
+			return jc, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return jc, err
+		}
+		var err error
+		if jc.Left, err = p.colRef(); err != nil {
+			return jc, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return jc, err
+		}
+		if jc.Right, err = p.colRef(); err != nil {
+			return jc, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return jc, err
+		}
+		width, err := p.intLiteral("band width")
+		if err != nil {
+			return jc, err
+		}
+		if width.val < 0 {
+			return jc, errf(width.pos, "band width must be non-negative, got %d", width.val)
+		}
+		jc.Band = width.val
+		if _, err := p.expect(tokRParen); err != nil {
+			return jc, err
+		}
+		return jc, nil
+	}
+	var err error
+	if jc.Left, err = p.colRef(); err != nil {
+		return jc, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return jc, err
+	}
+	jc.Right, err = p.colRef()
+	return jc, err
+}
+
+// whereClause parses "col >= x [AND col >= x]...".
+func (p *parser) whereClause() ([]Cmp, error) {
+	var cmps []Cmp
+	for {
+		c := Cmp{Pos: p.cur.pos}
+		var err error
+		if c.Col, err = p.colRef(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokGE); err != nil {
+			return nil, errf(p.cur.pos, "expected '>=' after %s (SliceQL selections are threshold comparisons), got %s", c.Col, p.cur.describe())
+		}
+		lit, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if c.Threshold, err = parseFloatLit(lit); err != nil {
+			return nil, err
+		}
+		cmps = append(cmps, c)
+		if !p.cur.isKeyword("and") {
+			return cmps, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// colRef parses "stream.column".
+func (p *parser) colRef() (ColRef, error) {
+	s, err := p.ident("stream-qualified column (like A.key)")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return ColRef{}, err
+	}
+	col, err := p.ident("column name")
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Pos: s.pos, Stream: s.text, Column: col.text}, nil
+}
+
+// duration parses "<number> <unit>", unit one of us, ms, s, sec, m, min.
+func (p *parser) duration() (Duration, error) {
+	lit, err := p.expect(tokNumber)
+	if err != nil {
+		return Duration{}, err
+	}
+	v, err := parseFloatLit(lit)
+	if err != nil {
+		return Duration{}, err
+	}
+	unit, err := p.expect(tokIdent)
+	if err != nil {
+		return Duration{}, errf(p.cur.pos, "expected a duration unit (us, ms, s, min) after %s, got %s", lit.text, p.cur.describe())
+	}
+	var mult float64
+	switch strings.ToLower(unit.text) {
+	case "us":
+		mult = 1
+	case "ms":
+		mult = 1e3
+	case "s", "sec":
+		mult = 1e6
+	case "m", "min":
+		mult = 6e7
+	default:
+		return Duration{}, errf(unit.pos, "unknown duration unit %q (want us, ms, s or min)", unit.text)
+	}
+	micros := v * mult
+	if !(micros > 0) {
+		return Duration{}, errf(lit.pos, "window duration must be positive, got %s%s", lit.text, unit.text)
+	}
+	if micros > math.MaxInt64/4 {
+		return Duration{}, errf(lit.pos, "window duration %s%s overflows the engine's microsecond clock", lit.text, unit.text)
+	}
+	return Duration{Pos: lit.pos, Micros: int64(math.Round(micros))}, nil
+}
+
+// keyRange parses "<int>..<int>" after KEYS.
+func (p *parser) keyRange() (*KeyRange, error) {
+	lo, err := p.intLiteral("key domain minimum")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDotDot); err != nil {
+		return nil, err
+	}
+	hi, err := p.intLiteral("key domain maximum")
+	if err != nil {
+		return nil, err
+	}
+	if lo.val > hi.val {
+		return nil, errf(lo.pos, "key domain needs min <= max, got %d..%d", lo.val, hi.val)
+	}
+	return &KeyRange{Pos: lo.pos, Min: lo.val, Max: hi.val}, nil
+}
+
+// intLit is a parsed integer literal with its position.
+type intLit struct {
+	val int64
+	pos Pos
+}
+
+// intLiteral consumes an integer number token.
+func (p *parser) intLiteral(what string) (intLit, error) {
+	if p.cur.kind != tokNumber {
+		return intLit{}, errf(p.cur.pos, "expected %s, got %s", what, p.cur.describe())
+	}
+	lit := p.cur
+	if err := p.next(); err != nil {
+		return intLit{}, err
+	}
+	if strings.Contains(lit.text, ".") {
+		return intLit{}, errf(lit.pos, "%s must be an integer, got %s", what, lit.text)
+	}
+	v, err := strconv.ParseInt(lit.text, 10, 64)
+	if err != nil {
+		return intLit{}, errf(lit.pos, "%s %q out of range", what, lit.text)
+	}
+	return intLit{val: v, pos: lit.pos}, nil
+}
+
+// parseFloatLit converts a number token, rejecting out-of-range literals.
+func parseFloatLit(t token) (float64, error) {
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, errf(t.pos, "number %q out of range", t.text)
+	}
+	return v, nil
+}

@@ -1,0 +1,220 @@
+package sliceql
+
+import (
+	"strings"
+	"testing"
+
+	"stateslice/internal/stream"
+)
+
+func TestParseQuerySet(t *testing.T) {
+	src := `
+-- the paper's motivating example
+Q1: SELECT * FROM temps JOIN hums ON temps.key = hums.key WINDOW 1s;
+Q2: SELECT * FROM temps JOIN hums ON temps.key = hums.key
+    WHERE temps.value >= 0.99
+    WINDOW 60s;
+`
+	qs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Stmts) != 2 {
+		t.Fatalf("parsed %d statements, want 2", len(qs.Stmts))
+	}
+	q1, q2 := qs.Stmts[0], qs.Stmts[1]
+	if q1.Name != "Q1" || q2.Name != "Q2" {
+		t.Errorf("names %q, %q", q1.Name, q2.Name)
+	}
+	if q1.StreamA != "temps" || q1.StreamB != "hums" {
+		t.Errorf("streams %q, %q", q1.StreamA, q1.StreamB)
+	}
+	if q1.Join.Kind != JoinEqui {
+		t.Errorf("join kind %v", q1.Join.Kind)
+	}
+	if q1.Window.Micros != 1e6 || q2.Window.Micros != 60e6 {
+		t.Errorf("windows %d, %d", q1.Window.Micros, q2.Window.Micros)
+	}
+	if len(q2.Where) != 1 || q2.Where[0].Threshold != 0.99 {
+		t.Errorf("where %+v", q2.Where)
+	}
+	if q1.Pos.Line != 3 || q1.Pos.Col != 1 {
+		t.Errorf("Q1 position %v, want 3:1", q1.Pos)
+	}
+}
+
+func TestParseBandAndKeys(t *testing.T) {
+	qs, err := Parse(`SELECT * FROM a JOIN b ON BAND(a.key, b.key, 2) WINDOW 500ms KEYS -10..119`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := qs.Stmts[0]
+	if st.Join.Kind != JoinBand || st.Join.Band != 2 {
+		t.Errorf("band join %+v", st.Join)
+	}
+	if st.Window.Micros != 5e5 {
+		t.Errorf("window %d", st.Window.Micros)
+	}
+	if st.Keys == nil || st.Keys.Min != -10 || st.Keys.Max != 119 {
+		t.Errorf("keys %+v", st.Keys)
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	for src, want := range map[string]int64{
+		"WINDOW 250us": 250,
+		"WINDOW 1.5ms": 1500,
+		"WINDOW 2.5s":  2_500_000,
+		"WINDOW 1 min": 60_000_000,
+		"WINDOW 3 sec": 3_000_000,
+	} {
+		qs, err := Parse("SELECT * FROM a JOIN b ON a.k = b.k " + src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := qs.Stmts[0].Window.Micros; got != want {
+			t.Errorf("%s parsed to %d us, want %d", src, got, want)
+		}
+	}
+}
+
+// TestParseErrors pins that malformed inputs produce positioned errors with
+// actionable messages — the front-end's contract with interactive users.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		pos  string // "line:col" prefix of the expected error
+		want string // substring of the message
+	}{
+		{"", "1:1", "empty query set"},
+		{"SELECT", "1:7", "expected '*'"},
+		{"SELECT * FROM a", "1:16", "expected JOIN"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k", "1:36", "expected WINDOW"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW", "1:43", "expected number"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 5", "1:45", "duration unit"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 5 fortnights", "1:46", "unknown duration unit"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 0s", "1:44", "must be positive"},
+		{"SELECT * FROM a JOIN b ON a.k < b.k WINDOW 1s", "1:31", "unexpected character"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WHERE a.value > 0.5 WINDOW 1s", "1:51", "'>='"},
+		{"SELECT * FROM a JOIN b ON BAND(a.k, b.k) WINDOW 1s", "1:40", "expected ','"},
+		{"SELECT * FROM a JOIN b ON BAND(a.k, b.k, -1) WINDOW 1s", "1:42", "non-negative"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s KEYS 9..3", "1:52", "min <= max"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s KEYS 1.5..3", "1:52", "must be an integer"},
+		{"SELECT * FROM select JOIN b ON a.k = b.k WINDOW 1s", "1:15", "reserved keyword"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s garbage", "1:47", "expected ';'"},
+		{"q: q: SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s", "1:4", "expected SELECT"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: no error, want %q", c.src, c.want)
+			continue
+		}
+		e, ok := err.(*Error)
+		if !ok {
+			t.Errorf("%q: error type %T, want *Error", c.src, err)
+			continue
+		}
+		if got := e.Pos.String(); got != c.pos {
+			t.Errorf("%q: error at %s, want %s (%v)", c.src, got, c.pos, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBind(t *testing.T) {
+	qs, err := Parse(`
+short: SELECT * FROM A JOIN B ON A.key = B.key WINDOW 60s;
+long:  SELECT * FROM A JOIN B ON A.key = B.key
+       WHERE A.value >= 0.6 AND B.value >= 0.2 WINDOW 2s;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted into chain order: the 2s query first.
+	if got := b.Workload.Queries[0].Name; got != "long" {
+		t.Errorf("first query after sorting is %q, want the small window", got)
+	}
+	if err := b.Workload.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := b.Workload.Queries[0]
+	th, ok := q.Filter.(stream.Threshold)
+	if !ok || th.S < 0.399 || th.S > 0.401 {
+		t.Errorf("stream-A predicate %#v, want Threshold{S:0.4}", q.Filter)
+	}
+	thB, ok := q.FilterB.(stream.Threshold)
+	if !ok || thB.S < 0.799 || thB.S > 0.801 {
+		t.Errorf("stream-B predicate %#v, want Threshold{S:0.8}", q.FilterB)
+	}
+	if _, ok := b.Workload.Join.(stream.Equijoin); !ok {
+		t.Errorf("join %#v, want Equijoin", b.Workload.Join)
+	}
+	if b.Keys != nil {
+		t.Errorf("no KEYS declared, got %+v", b.Keys)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"SELECT * FROM a JOIN a ON a.k = a.k WINDOW 1s", "must differ"},
+		{"SELECT * FROM a JOIN b ON b.k = a.k WINDOW 1s", "must reference the FROM stream"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s;\nSELECT * FROM x JOIN y ON x.k = y.k WINDOW 2s", "same stream pair"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s;\nSELECT * FROM a JOIN b ON BAND(a.k, b.k, 1) WINDOW 2s", "share one join"},
+		{"SELECT * FROM a JOIN b ON BAND(a.k, b.k, 1) WINDOW 1s;\nSELECT * FROM a JOIN b ON BAND(a.k, b.k, 2) WINDOW 2s", "band width"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s;\nSELECT * FROM a JOIN b ON a.j = b.k WINDOW 2s", "same columns"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WHERE c.value >= 0.5 WINDOW 1s", "unknown stream"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WHERE a.key >= 0.5 WINDOW 1s", "value attribute"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WHERE a.value >= 1 WINDOW 1s", "selectivity"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WHERE a.value >= 0.5 AND a.value >= 0.7 WINDOW 1s", "duplicate selection"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s KEYS 0..9;\nSELECT * FROM a JOIN b ON a.k = b.k WINDOW 2s KEYS 0..10", "conflicting KEYS"},
+	}
+	for _, c := range cases {
+		qs, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%q: parse error %v", c.src, err)
+			continue
+		}
+		_, err = Bind(qs)
+		if err == nil {
+			t.Errorf("%q: no bind error, want %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+		if _, ok := err.(*Error); !ok {
+			t.Errorf("%q: error type %T, want *Error", c.src, err)
+		}
+	}
+}
+
+func TestBindMergesKeys(t *testing.T) {
+	qs, err := Parse(`
+SELECT * FROM a JOIN b ON BAND(a.k, b.k, 1) WINDOW 1s KEYS 0..119;
+SELECT * FROM a JOIN b ON BAND(a.k, b.k, 1) WINDOW 2s KEYS 0..119;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Keys == nil || b.Keys.Min != 0 || b.Keys.Max != 119 {
+		t.Fatalf("merged keys %+v", b.Keys)
+	}
+	bj, ok := b.Workload.Join.(stream.BandJoin)
+	if !ok || bj.B != 1 {
+		t.Fatalf("join %#v", b.Workload.Join)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"stateslice/internal/optimizer"
 	"stateslice/internal/plan"
 	"stateslice/internal/shard"
 	"stateslice/internal/stream"
@@ -20,7 +21,7 @@ import (
 // output order (internal/shard).
 
 // buildSharded assembles the sharded Plan of WithShards.
-func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan, error) {
+func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel, lg *optimizer.Logical) (Plan, error) {
 	if !s.sliced() {
 		return nil, fmt.Errorf("stateslice: WithShards replicates a state-slice chain and applies to the chain strategies only, not %s", s)
 	}
@@ -48,10 +49,7 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 	default:
 		return nil, fmt.Errorf("stateslice: WithShards partitions by the join key and requires a key-partitionable or band-partitionable join predicate, got %q (a matching pair could be split across shards and lost)", w.Join)
 	}
-	cfg, err := chainConfig(w, s, o, model)
-	if err != nil {
-		return nil, err
-	}
+	cfg := chainConfig(s, o, lg)
 	// The cross-shard merge sinks collect and stream results; replica
 	// sinks only relay.
 	cfg.Collect = false
@@ -99,6 +97,7 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel) (Plan
 		recovery:   o.recovery,
 		initEnds:   probe.Ends(),
 		initSlots:  initialSlots(w),
+		trace:      lg.Trace,
 	}
 	if o.restore != nil {
 		// The restored layout and roster replace the probe's: sessions
@@ -188,7 +187,8 @@ type shardedPlan struct {
 	// replicas' plan.QuerySlots so Explain renders the live set without
 	// crossing into executor goroutines.
 	slots []plan.QuerySlot
-	sess  *shardSession // latest session, the migration and admission target
+	sess  *shardSession    // latest session, the migration and admission target
+	trace []optimizer.Note // the pass pipeline's decision record
 }
 
 func (p *shardedPlan) sealed() {}
@@ -344,6 +344,7 @@ func (p *shardedPlan) Explain() string {
 		fmt.Fprintf(&b, "  executor: %s -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers on %s workers\n",
 			part, p.shards, len(p.slots), workersLabel(p.workers))
 	}
+	writeTrace(&b, p.trace)
 	return b.String()
 }
 

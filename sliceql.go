@@ -1,0 +1,107 @@
+package stateslice
+
+// This file is the public face of SliceQL, the declarative front-end: a
+// query set written as text compiles through exactly the same optimizer pass
+// pipeline and Build call as a hand-built Workload, so the two paths produce
+// byte-identical plans and identical Explain traces (the equivalence tests
+// in sliceql_test.go pin this). The grammar:
+//
+//	[name:] SELECT * FROM <streamA> JOIN <streamB>
+//	        ON <a.col> = <b.col> | BAND(<a.col>, <b.col>, <width>)
+//	        [WHERE <stream.value> >= <x> [AND ...]]
+//	        WINDOW <n> <us|ms|s|min>
+//	        [KEYS <min>..<max>] ;
+//
+// Every statement must read the same stream pair through the same join —
+// the sharing scenario the paper optimizes. WHERE thresholds become
+// Threshold selections (value is uniform on [0,1), so "value >= x" has
+// selectivity 1-x), queries are sorted into chain order, and a KEYS clause
+// declares the key domain the optimizer's shard-inference pass uses.
+
+import (
+	"fmt"
+
+	"stateslice/internal/sliceql"
+	"stateslice/internal/stream"
+)
+
+// ParseWorkload parses a SliceQL query set into a Workload, sorted into
+// chain order (ascending windows). Use it when you want to compose Build
+// options yourself; CompileQuery additionally wires the declared KEYS domain
+// into the build. Errors carry the 1-based line:column of the offending
+// clause.
+func ParseWorkload(src string) (Workload, error) {
+	b, err := parseAndBind(src)
+	if err != nil {
+		return Workload{}, err
+	}
+	return b.Workload, nil
+}
+
+// CompileQuery parses a SliceQL query set and builds it under the given
+// strategy — the front-end's one-call path from text to Plan. The parsed
+// declarations feed the optimizer: a KEYS domain becomes the band
+// partitioner's key range when the build shards (WithShards or
+// WithAutoShards), and caps the inferred shard count under WithAutoShards.
+// Explicit options compose after the inferred ones and win conflicts the
+// usual way (Build rejects incompatible combinations).
+func CompileQuery(src string, s Strategy, opts ...Option) (Plan, error) {
+	b, err := parseAndBind(src)
+	if err != nil {
+		return nil, err
+	}
+	if b.Keys != nil {
+		// Peek at the caller's options to decide whether the declared
+		// domain participates: WithKeyRange is only valid on a sharded
+		// band-partitioned build, and under WithAutoShards the inference
+		// pass wants the domain even for hash-partitioned joins (it caps
+		// the count; Build drops it again before the partitioner).
+		var probe buildOptions
+		for _, opt := range opts {
+			opt(&probe)
+		}
+		_, bandOK := stream.PartitionableByBand(b.Workload.Join)
+		bandSharded := probe.shardsSet && bandOK && !stream.PartitionableByKey(b.Workload.Join)
+		if !probe.keyRangeSet && (probe.autoShards || bandSharded) {
+			opts = append(opts, WithKeyRange(b.Keys.Min, b.Keys.Max))
+		}
+	}
+	return Build(b.Workload, s, opts...)
+}
+
+// ParseQuery parses exactly one SliceQL statement into a Query — the
+// admission path: hand the result to Session.Attach (or use AttachQuery).
+// The cross-statement checks of a query set do not apply; the running plan
+// validates the query against its own roster and slice layout.
+func ParseQuery(src string) (Query, error) {
+	qs, err := sliceql.Parse(src)
+	if err != nil {
+		return Query{}, err
+	}
+	if len(qs.Stmts) != 1 {
+		return Query{}, fmt.Errorf("stateslice: ParseQuery takes exactly one statement, got %d (compile a query set with CompileQuery or ParseWorkload)", len(qs.Stmts))
+	}
+	return sliceql.BindStmt(qs.Stmts[0])
+}
+
+// AttachQuery parses one SliceQL statement and admits it to the running
+// session at a feed barrier — the query-string form of Session.Attach, with
+// the same preconditions (a migratable chain, an unfiltered workload and
+// query, a window within the chain).
+func AttachQuery(s Session, src string) (QueryID, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return 0, err
+	}
+	return s.Attach(q)
+}
+
+// parseAndBind runs the front-end: parse, then bind the query set against
+// the stream model.
+func parseAndBind(src string) (*sliceql.Bound, error) {
+	qs, err := sliceql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return sliceql.Bind(qs)
+}

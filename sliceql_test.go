@@ -1,0 +1,294 @@
+package stateslice_test
+
+// Tests of the SliceQL front-end at the public API: the equivalence matrix
+// pinning that query text compiles to byte-identical plans and results as
+// hand-built workloads (the front-end's core contract), strategy-name
+// round-trips, query admission from text, and golden-file Explain output
+// covering the optimizer pass trace. Refresh goldens with
+//
+//	go test -run TestExplainGolden -update .
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stateslice"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+const equiSrc = `
+	q1: SELECT * FROM a JOIN b ON a.k = b.k WINDOW 2 s;
+	q2: SELECT * FROM a JOIN b ON a.k = b.k WHERE a.value >= 0.6 WINDOW 8 s;
+`
+
+const bandSrc = `
+	q1: SELECT * FROM a JOIN b ON BAND(a.k, b.k, 2) WINDOW 2 s KEYS 0..63;
+	q2: SELECT * FROM a JOIN b ON BAND(a.k, b.k, 2) WHERE a.value >= 0.6 WINDOW 8 s;
+`
+
+// equiWorkload is the hand-built twin of equiSrc. The filter selectivity is
+// written 1-0.6 so it goes through the same arithmetic as the front-end's
+// binding of "value >= 0.6".
+func equiWorkload() stateslice.Workload {
+	return stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Name: "q1", Window: 2 * stateslice.Second},
+			{Name: "q2", Window: 8 * stateslice.Second, Filter: stateslice.Threshold{S: 1 - 0.6}},
+		},
+		Join: stateslice.Equijoin{},
+	}
+}
+
+func bandWorkload() stateslice.Workload {
+	w := equiWorkload()
+	w.Join = stateslice.BandJoin{B: 2}
+	return w
+}
+
+// TestSliceQLEquivalenceMatrix pins the front-end's core contract: a SliceQL
+// query set compiles — through the same optimizer pass pipeline — to the
+// same plan as the hand-built workload, with an identical Explain (including
+// the pass trace) and byte-identical per-query results, across sequential
+// and sharded builds of both shardable join shapes.
+func TestSliceQLEquivalenceMatrix(t *testing.T) {
+	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 20 * stateslice.Second, KeyDomain: 64, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joins := []struct {
+		name string
+		src  string
+		w    stateslice.Workload
+		band bool
+	}{
+		{"equijoin", equiSrc, equiWorkload(), false},
+		{"band", bandSrc, bandWorkload(), true},
+	}
+	for _, j := range joins {
+		for _, shards := range []int{0, 1, 4} {
+			name := j.name + "/sequential"
+			handOpts := []stateslice.Option{stateslice.WithCollect()}
+			qlOpts := []stateslice.Option{stateslice.WithCollect()}
+			if shards > 0 {
+				name = j.name + "/p" + string(rune('0'+shards))
+				handOpts = append(handOpts, stateslice.WithShards(shards))
+				qlOpts = append(qlOpts, stateslice.WithShards(shards))
+				if j.band {
+					// The hand-built path declares the key domain
+					// explicitly; the SliceQL path gets it from the
+					// KEYS clause.
+					handOpts = append(handOpts, stateslice.WithKeyRange(0, 63))
+				}
+			}
+			t.Run(name, func(t *testing.T) {
+				hand, err := stateslice.Build(j.w, stateslice.MemOpt, handOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ql, err := stateslice.CompileQuery(j.src, stateslice.MemOpt, qlOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := ql.Explain(), hand.Explain(); got != want {
+					t.Errorf("Explain diverges (pass traces must match):\n--- sliceql ---\n%s--- hand ---\n%s", got, want)
+				}
+				handRes, err := hand.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				qlRes, err := ql.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := renderResults(qlRes.Results), renderResults(handRes.Results); got != want {
+					t.Error("SliceQL results differ from the hand-built workload's")
+				}
+			})
+		}
+	}
+
+	// The same holds through the cost-based passes: CPU-Opt with an
+	// explicit model, from text and by hand.
+	t.Run("equijoin/cpu-opt", func(t *testing.T) {
+		model := stateslice.CostModel{
+			RateA: 25, RateB: 25,
+			JoinSelectivity: 0.1,
+			Csys:            stateslice.DefaultCsys,
+			TupleKB:         stateslice.DefaultTupleKB,
+		}
+		hand, err := stateslice.Build(equiWorkload(), stateslice.CPUOpt,
+			stateslice.WithCostParams(model), stateslice.WithCollect())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ql, err := stateslice.CompileQuery(equiSrc, stateslice.CPUOpt,
+			stateslice.WithCostParams(model), stateslice.WithCollect())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ql.Explain(), hand.Explain(); got != want {
+			t.Errorf("Explain diverges:\n--- sliceql ---\n%s--- hand ---\n%s", got, want)
+		}
+		handRes, err := hand.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qlRes, err := ql.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderResults(qlRes.Results), renderResults(handRes.Results); got != want {
+			t.Error("SliceQL CPU-Opt results differ from the hand-built workload's")
+		}
+	})
+}
+
+// TestParseStrategyRoundTrip covers every strategy name, including Auto,
+// which Strategies() deliberately omits (it is a resolution directive, not a
+// layout of its own).
+func TestParseStrategyRoundTrip(t *testing.T) {
+	all := append(stateslice.Strategies(), stateslice.Auto)
+	if len(all) != 6 {
+		t.Fatalf("%d strategies, want 6", len(all))
+	}
+	for _, s := range all {
+		back, err := stateslice.ParseStrategy(s.String())
+		if err != nil || back != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s.String(), back, err)
+		}
+	}
+	if _, err := stateslice.ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy must reject unknown names")
+	}
+}
+
+// TestParseWorkloadErrors asserts front-end errors carry the line:column of
+// the offending clause through the public API.
+func TestParseWorkloadErrors(t *testing.T) {
+	for _, tc := range []struct{ src, pos, want string }{
+		{"SELECT * FROM a JOIN b ON a.k = b.k", "1:36", "WINDOW"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s;\nSELECT * FROM a JOIN c ON a.k = c.k WINDOW 2s", "2:1", "same stream pair"},
+		{"SELECT * FROM a JOIN b ON a.k = b.k WHERE a.value >= 1.5 WINDOW 1s", "1:43", "selectivity"},
+	} {
+		_, err := stateslice.ParseWorkload(tc.src)
+		if err == nil {
+			t.Errorf("ParseWorkload(%q) succeeded", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.pos) || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseWorkload(%q) error %q, want position %s mentioning %q", tc.src, err, tc.pos, tc.want)
+		}
+	}
+	if _, err := stateslice.CompileQuery("not sliceql", stateslice.MemOpt); err == nil {
+		t.Error("CompileQuery must propagate parse errors")
+	}
+}
+
+// TestAttachQueryFromText admits a SliceQL statement into a running session
+// and checks the single-statement contract of ParseQuery.
+func TestAttachQueryFromText(t *testing.T) {
+	w := stateslice.Workload{
+		Queries: []stateslice.Query{
+			{Name: "q1", Window: 2 * stateslice.Second},
+			{Name: "q2", Window: 8 * stateslice.Second},
+		},
+		Join: stateslice.Equijoin{},
+	}
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithMigratable(), stateslice.WithCollect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := stateslice.Generate(stateslice.GeneratorConfig{
+		RateA: 25, RateB: 25, Duration: 10 * stateslice.Second, KeyDomain: 16, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Consume(stateslice.SliceSource(input[:len(input)/2])); err != nil {
+		t.Fatal(err)
+	}
+	id, err := stateslice.AttachQuery(sess, `q3: SELECT * FROM a JOIN b ON a.k = b.k WINDOW 4 s;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Consume(stateslice.SliceSource(input[len(input)/2:])); err != nil {
+		t.Fatal(err)
+	}
+	res := sess.Finish()
+	if res.OrderViolations != 0 {
+		t.Error("admission broke ordering")
+	}
+	if res.SinkCounts[id] == 0 {
+		t.Error("admitted query delivered no results")
+	}
+
+	// ParseQuery is strictly single-statement; parse errors propagate.
+	if _, err := stateslice.ParseQuery(equiSrc); err == nil || !strings.Contains(err.Error(), "exactly one statement") {
+		t.Errorf("ParseQuery on a query set: %v", err)
+	}
+	if _, err := stateslice.AttachQuery(sess, "nope"); err == nil {
+		t.Error("AttachQuery must propagate parse errors")
+	}
+}
+
+// TestExplainGolden pins the full Explain output — plan shape, operators,
+// and the optimizer pass trace — against golden files. The cases use
+// explicit shard counts (never WithAutoShards) so the output does not depend
+// on GOMAXPROCS.
+func TestExplainGolden(t *testing.T) {
+	model := stateslice.CostModel{
+		RateA: 40, RateB: 40,
+		JoinSelectivity: 0.025,
+		Csys:            3,
+		TupleKB:         0.1,
+	}
+	cases := []struct {
+		name string
+		src  string
+		s    stateslice.Strategy
+		opts []stateslice.Option
+	}{
+		{"memopt-chain", equiSrc, stateslice.MemOpt, nil},
+		{"cpuopt-chain", equiSrc, stateslice.CPUOpt, []stateslice.Option{stateslice.WithCostParams(model)}},
+		{"auto-chain", equiSrc, stateslice.Auto, []stateslice.Option{stateslice.WithCostParams(model)}},
+		{"sharded-equijoin", equiSrc, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2)}},
+		{"sharded-band", bandSrc, stateslice.MemOpt, []stateslice.Option{stateslice.WithShards(2)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := stateslice.CompileQuery(tc.src, tc.s, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.Explain()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run: go test -run TestExplainGolden -update .)", err)
+			}
+			if got != string(want) {
+				t.Errorf("Explain drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

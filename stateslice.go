@@ -162,22 +162,6 @@ type (
 	Query = plan.Query
 	// Workload is a set of queries sharing one join over two streams.
 	Workload = plan.Workload
-	// ExecPlan is the raw executable operator graph behind a Plan. The
-	// deprecated per-strategy constructors traffic in it directly.
-	//
-	// Deprecated: hold the Plan interface returned by Build instead.
-	ExecPlan = engine.Plan
-	// ChainPlan is an executable state-slice chain with online
-	// migration support (MergeSlices / SplitSlice).
-	//
-	// Deprecated: use Build with a chain strategy and WithMigratable;
-	// Plan.Migrate re-slices and Session.Attach / Session.Detach admit
-	// and remove queries without touching the raw chain.
-	ChainPlan = plan.StateSlicePlan
-	// ChainConfig tunes the deprecated state-slice plan constructors.
-	//
-	// Deprecated: Build expresses the same knobs as options.
-	ChainConfig = plan.StateSliceConfig
 	// RunConfig tunes an engine run.
 	RunConfig = engine.Config
 	// Result reports a finished run.

@@ -32,14 +32,14 @@ func exampleInput(t *testing.T) []*stateslice.Tuple {
 
 func TestQuickStartMemOpt(t *testing.T) {
 	w := exampleWorkload()
-	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Collect: true})
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithCollect())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(sp.Slices()); got != 2 {
+	if got := len(p.Ends()); got != 2 {
 		t.Fatalf("Mem-Opt chain has %d slices, want one per distinct window", got)
 	}
-	res, err := stateslice.Run(sp.Plan, exampleInput(t), stateslice.RunConfig{})
+	res, err := p.Run(stateslice.SliceSource(exampleInput(t)), stateslice.RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,42 +57,33 @@ func TestQuickStartMemOpt(t *testing.T) {
 func TestAllStrategiesAgree(t *testing.T) {
 	w := exampleWorkload()
 	input := exampleInput(t)
-	counts := make(map[string][]uint64)
-
-	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{})
-	if err != nil {
-		t.Fatal(err)
+	model := stateslice.CostModel{
+		RateA: 25, RateB: 25,
+		JoinSelectivity: 0.15,
+		Csys:            stateslice.DefaultCsys,
+		TupleKB:         stateslice.DefaultTupleKB,
 	}
-	cp, err := stateslice.CPUOptPlan(w, stateslice.CPUOptParams{RateA: 25, RateB: 25, JoinSelectivity: 0.15}, stateslice.ChainConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	pu, err := stateslice.PullUpPlan(w, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pd, err := stateslice.PushDownPlan(w, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	un, err := stateslice.UnsharedPlan(w, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, p := range map[string]*stateslice.ExecPlan{
-		"mem-opt": sp.Plan, "cpu-opt": cp.Plan, "pull-up": pu, "push-down": pd, "unshared": un,
-	} {
-		res, err := stateslice.Run(p, input, stateslice.RunConfig{})
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+	counts := make(map[stateslice.Strategy][]uint64)
+	for _, s := range stateslice.Strategies() {
+		var opts []stateslice.Option
+		if s == stateslice.CPUOpt {
+			opts = append(opts, stateslice.WithCostParams(model))
 		}
-		counts[name] = res.SinkCounts
+		p, err := stateslice.Build(w, s, opts...)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", s, err)
+		}
+		res, err := p.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		counts[s] = res.SinkCounts
 	}
-	want := counts["unshared"]
-	for name, got := range counts {
+	want := counts[stateslice.Unshared]
+	for s, got := range counts {
 		for qi := range want {
 			if got[qi] != want[qi] {
-				t.Errorf("%s query %d delivered %d results, unshared %d", name, qi, got[qi], want[qi])
+				t.Errorf("%s query %d delivered %d results, unshared %d", s, qi, got[qi], want[qi])
 			}
 		}
 	}
@@ -101,17 +92,17 @@ func TestAllStrategiesAgree(t *testing.T) {
 func TestSessionMigration(t *testing.T) {
 	w := exampleWorkload()
 	input := exampleInput(t)
-	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{Migratable: true})
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithMigratable())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := stateslice.NewSession(sp.Plan, stateslice.RunConfig{})
+	s, err := p.NewSession(stateslice.RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, tp := range input {
 		if i == len(input)/2 {
-			if err := sp.MergeSlices(s, 0); err != nil {
+			if err := p.Migrate([]stateslice.Time{8 * stateslice.Second}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -124,7 +115,7 @@ func TestSessionMigration(t *testing.T) {
 		t.Fatal("migration broke ordering")
 	}
 	// The merged chain has one slice serving both windows.
-	if got := len(sp.Slices()); got != 1 {
+	if got := len(p.Ends()); got != 1 {
 		t.Fatalf("%d slices after merge", got)
 	}
 }
@@ -172,7 +163,7 @@ func TestOptimizerFacade(t *testing.T) {
 	}
 }
 
-func TestRunChainConcurrent(t *testing.T) {
+func TestConcurrentMatchesSequential(t *testing.T) {
 	w := stateslice.Workload{
 		Queries: []stateslice.Query{
 			{Window: 2 * stateslice.Second},
@@ -181,15 +172,19 @@ func TestRunChainConcurrent(t *testing.T) {
 		Join: stateslice.FractionMatch{S: 0.15},
 	}
 	input := exampleInput(t)
-	conc, err := stateslice.RunChainConcurrent(w, input, false)
+	cp, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithConcurrency())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := stateslice.MemOptPlan(w, stateslice.ChainConfig{})
+	conc, err := cp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := stateslice.Run(sp.Plan, input, stateslice.RunConfig{})
+	sp, err := stateslice.Build(w, stateslice.MemOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sp.Run(stateslice.SliceSource(input), stateslice.RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,21 +197,21 @@ func TestRunChainConcurrent(t *testing.T) {
 		t.Error("concurrent execution broke ordering")
 	}
 	// Filtered workloads are rejected.
-	if _, err := stateslice.RunChainConcurrent(exampleWorkload(), input, false); err == nil {
+	if _, err := stateslice.Build(exampleWorkload(), stateslice.MemOpt, stateslice.WithConcurrency()); err == nil {
 		t.Error("filtered workload must be rejected")
 	}
 }
 
-func TestChainPlanWithEnds(t *testing.T) {
+func TestBuildWithEnds(t *testing.T) {
 	w := exampleWorkload()
-	sp, err := stateslice.ChainPlanWithEnds(w, []stateslice.Time{8 * stateslice.Second}, stateslice.ChainConfig{})
+	p, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithEnds(8*stateslice.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sp.Slices()) != 1 {
+	if len(p.Ends()) != 1 {
 		t.Fatal("explicit single boundary must build one slice")
 	}
-	if _, err := stateslice.ChainPlanWithEnds(w, []stateslice.Time{3 * stateslice.Second}, stateslice.ChainConfig{}); err == nil {
+	if _, err := stateslice.Build(w, stateslice.MemOpt, stateslice.WithEnds(3*stateslice.Second)); err == nil {
 		t.Error("boundary below the largest window must fail")
 	}
 }

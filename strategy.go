@@ -30,10 +30,17 @@ const (
 	PushDown
 	// Unshared builds one independent plan per query (Figure 2).
 	Unshared
+	// Auto builds whichever state-slice chain — Mem-Opt or CPU-Opt — the
+	// analytic cost model prices cheaper in comparisons for this workload
+	// (ties go to Mem-Opt, the smaller state). The optimizer's sharing
+	// pass makes the choice; the built plan reports the resolved concrete
+	// strategy, and Explain's pass trace records both candidates' costs.
+	Auto
 )
 
-// Strategies lists every build strategy, in a stable order convenient for
-// sweeps and tests.
+// Strategies lists every concrete build strategy, in a stable order
+// convenient for sweeps and tests. Auto is not listed: it resolves to one of
+// these at Build time.
 func Strategies() []Strategy { return []Strategy{MemOpt, CPUOpt, PullUp, PushDown, Unshared} }
 
 // String names the strategy as used in plan names and CLI flags.
@@ -49,23 +56,26 @@ func (s Strategy) String() string {
 		return "push-down"
 	case Unshared:
 		return "unshared"
+	case Auto:
+		return "auto"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
 }
 
-// ParseStrategy resolves a strategy name as produced by String.
+// ParseStrategy resolves a strategy name as produced by String, including
+// "auto".
 func ParseStrategy(name string) (Strategy, error) {
-	for _, s := range Strategies() {
+	for _, s := range append(Strategies(), Auto) {
 		if s.String() == name {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("stateslice: unknown strategy %q (want one of %v)", name, Strategies())
+	return 0, fmt.Errorf("stateslice: unknown strategy %q (want one of %v or auto)", name, Strategies())
 }
 
 // sliced reports whether the strategy builds a state-slice chain.
-func (s Strategy) sliced() bool { return s == MemOpt || s == CPUOpt }
+func (s Strategy) sliced() bool { return s == MemOpt || s == CPUOpt || s == Auto }
 
 // Cost-model defaults, the Section 7.1 experiment settings. DefaultCostModel
 // starts from these; WithCostParams never substitutes them silently.
@@ -85,7 +95,7 @@ const (
 // CostModel carries the inputs of the analytic cost model (Table 1): it
 // parameterizes the CPU-Opt chain optimizer and Plan.EstimatedCost.
 //
-// Unlike the deprecated CPUOptParams, a CostModel is taken verbatim: an
+// A CostModel is taken verbatim: an
 // explicit Csys of 0 means zero scheduling overhead (every slice boundary
 // is then free, so CPU-Opt degenerates to Mem-Opt) and is honored, not
 // rewritten to a default. Fields that cannot meaningfully be zero
@@ -148,6 +158,7 @@ type buildOptions struct {
 	concurrent      bool
 	shards          int
 	shardsSet       bool
+	autoShards      bool
 	assemblyWorkers int
 	assemblySet     bool
 	keyMin, keyMax  int64
@@ -284,6 +295,24 @@ func WithShards(p int) Option {
 		o.shards = p
 		o.shardsSet = true
 	}
+}
+
+// WithAutoShards lets the optimizer's shard-inference pass pick the shard
+// count instead of an explicit WithShards(p): the host parallelism
+// (GOMAXPROCS), capped at 16 and by the declared key domain — an equijoin
+// cannot use more shards than it has keys, and a band join wants roughly 4B
+// keys per shard before boundary replication dominates. The inferred count
+// appears in Explain's pass trace. Everything else follows WithShards
+// semantics: a chain strategy and a partitionable join are required, and a
+// band join still needs a declared key domain (WithKeyRange, or KEYS in a
+// SliceQL query). Cannot be combined with WithShards (the explicit request
+// would win silently) or WithConcurrency.
+//
+// The inferred count depends on the host, so plans built with WithAutoShards
+// are reproducible in results (sharding is byte-identical at every p) but
+// not in shape across machines; sweeps that pin p should use WithShards.
+func WithAutoShards() Option {
+	return func(o *buildOptions) { o.autoShards = true }
 }
 
 // WithKeyRange declares the inclusive [min, max] key domain of the input
