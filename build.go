@@ -120,6 +120,23 @@ type Session interface {
 	// strategy (MemOpt, CPUOpt); ctx only gates entry (a done context
 	// fails fast), it cannot interrupt the barrier itself.
 	Checkpoint(ctx context.Context) (*Checkpoint, error)
+	// Rebalance re-cuts a sharded session's shard ownership to equi-depth
+	// boundaries learned from the key distribution observed so far —
+	// contiguous key ranges of near-equal observed mass under band
+	// partitioning, hash-space intervals under hash partitioning — and
+	// moves the affected window state between the existing replicas at a
+	// feed barrier: every tuple fed so far is fully processed on every
+	// replica first, the barrier snapshot is redistributed under the new
+	// cuts, and feeding resumes. No later tuple overtakes the move on any
+	// shard and the merged output is byte-identical across the boundary.
+	// It returns true when ownership moved and false for a no-op — nothing
+	// observed yet, an already balanced load, or a skew no boundary change
+	// can improve (a single hot key). Requires WithShards; sequential
+	// sessions fail with ErrNotSharded. ctx only gates entry (a done
+	// context fails fast), it cannot interrupt the barrier itself.
+	// WithRebalance arms the same move on an automatic sustained-imbalance
+	// trigger.
+	Rebalance(ctx context.Context) (bool, error)
 	// Finish flushes the plan with a final punctuation and returns the
 	// run statistics. The session cannot be fed afterwards. For sharded
 	// sessions, the first replica or driver failure of the run — which
@@ -183,6 +200,7 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 			{o.concurrent, "WithConcurrency"},
 			{o.restore != nil, "WithRestore"},
 			{o.recovery != nil, "WithRecovery"},
+			{o.rebalance != nil, "WithRebalance"},
 		} {
 			if bad.set {
 				return nil, fmt.Errorf("stateslice: %s applies to state-slice chains only, not the %s strategy", bad.name, s)
@@ -191,6 +209,9 @@ func Build(w Workload, s Strategy, opts ...Option) (Plan, error) {
 	}
 	if o.recovery != nil && !o.shardsSet && !o.autoShards {
 		return nil, errors.New("stateslice: WithRecovery supervises the sharded executor's replicas and requires WithShards; sequential sessions stay fail-fast")
+	}
+	if o.rebalance != nil && !o.shardsSet && !o.autoShards {
+		return nil, errors.New("stateslice: WithRebalance redistributes state between shard replicas and requires WithShards; sequential sessions have nothing to rebalance")
 	}
 	if o.restore != nil {
 		if err := validateRestoreShape(o); err != nil {
@@ -515,6 +536,12 @@ func (cs *builtSession) Checkpoint(ctx context.Context) (*Checkpoint, error) {
 		return nil, err
 	}
 	return &Checkpoint{chain: cp}, nil
+}
+
+// Rebalance implements Session: sequential sessions have no replicas to
+// move state between, so the call is rejected with ErrNotSharded.
+func (cs *builtSession) Rebalance(context.Context) (bool, error) {
+	return false, fmt.Errorf("stateslice: Rebalance moves window state between shard replicas and requires WithShards: %w", ErrNotSharded)
 }
 
 // Finish implements Session.

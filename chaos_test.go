@@ -554,3 +554,124 @@ func TestChaosErrorTaxonomy(t *testing.T) {
 		}
 	})
 }
+
+// skewedChaosInput remaps the chaos feed onto a quadratic key skew so a
+// rebalance plan actually moves state (a balanced feed legally no-ops before
+// any fault point fires).
+func skewedChaosInput(t testing.TB) []*stateslice.Tuple {
+	input := chaosInput(t)
+	for _, tp := range input {
+		tp.Key = (tp.Key * tp.Key) / 12
+	}
+	return input
+}
+
+// TestChaosPanicInRebalanceApply injects a panic into the rebalance rebuild
+// on both sharded merge topologies: the fault must surface from Rebalance as
+// a PanicError contained at the replica barrier, the session must fail
+// sticky, and the teardown must release every goroutine — a crash halfway
+// through a state move may leave replicas diverged, so fail-fast is the only
+// safe verdict.
+func TestChaosPanicInRebalanceApply(t *testing.T) {
+	w := bandWorkloadAPI(1)
+	input := skewedChaosInput(t)
+	for _, tp := range []topology{
+		{name: "query-merge", opts: []stateslice.Option{
+			stateslice.WithShards(4), stateslice.WithMigratable(), stateslice.WithKeyRange(0, 11)}},
+		{name: "slice-merge", opts: []stateslice.Option{
+			stateslice.WithShards(4), stateslice.WithKeyRange(0, 11)}},
+	} {
+		t.Run(tp.name, func(t *testing.T) {
+			defer assertGoroutinesReleased(t, goroutineBase())
+			restore := fault.Inject(fault.RebalanceApply, func(int) error {
+				panic("chaos: rebalance apply blew up")
+			})
+			defer restore()
+			p, err := stateslice.Build(w, stateslice.MemOpt, tp.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := p.NewSession(stateslice.RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Consume(stateslice.SliceSource(input[:len(input)/2])); err != nil {
+				t.Fatal(err)
+			}
+			moved, rebErr := sess.Rebalance(context.Background())
+			assertPanicErr(t, rebErr, "replica barrier")
+			if moved {
+				t.Error("Rebalance reported moved state after a failed rebuild")
+			}
+			if err := sess.Feed(input[len(input)-1]); err == nil {
+				t.Error("Feed after a failed rebalance must fail sticky")
+			}
+			res := sess.Finish()
+			if res.Err == nil {
+				t.Error("Result.Err dropped the contained rebalance panic")
+			}
+			sess.Close(context.Background())
+		})
+	}
+}
+
+// TestChaosRecoveryAcrossRebalance crosses WithRecovery with a mid-stream
+// Rebalance: a replica crash after the move must restart from a snapshot
+// that carries the learned cuts, and a crash healed before the move must not
+// spoil the rebalance — byte-identical output either way.
+func TestChaosRecoveryAcrossRebalance(t *testing.T) {
+	w := bandWorkloadAPI(1)
+	input := skewedChaosInput(t)
+	ref := sequentialReference(t, w, input)
+	run := func(t *testing.T, crashAt int64) {
+		defer assertGoroutinesReleased(t, goroutineBase())
+		var fed atomic.Int64
+		restore := fault.Inject(fault.ReplicaFeed, func(int) error {
+			if fed.Add(1) == crashAt {
+				panic("chaos: replica crash around a rebalance")
+			}
+			return nil
+		})
+		defer restore()
+		p, err := stateslice.Build(w, stateslice.MemOpt,
+			stateslice.WithShards(4), stateslice.WithKeyRange(0, 11), stateslice.WithCollect(),
+			stateslice.WithRecovery(testRestart(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := p.NewSession(stateslice.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close(context.Background())
+		third := len(input) / 3
+		if err := sess.Consume(stateslice.SliceSource(input[:third])); err != nil {
+			t.Fatal(err)
+		}
+		moved, err := sess.Rebalance(context.Background())
+		if err != nil {
+			t.Fatalf("Rebalance: %v", err)
+		}
+		if !moved {
+			t.Fatal("Rebalance refused to move state on the skewed feed; the crash interaction is vacuous")
+		}
+		if err := sess.Consume(stateslice.SliceSource(input[third:])); err != nil {
+			t.Fatal(err)
+		}
+		res := sess.Finish()
+		if res.Err != nil {
+			t.Fatalf("supervised session error: %v", res.Err)
+		}
+		if res.Recovery == nil || res.Recovery.Restarts == 0 {
+			t.Fatalf("Result.Recovery = %+v, want a healed restart; the crash never fired", res.Recovery)
+		}
+		if got := renderResults(res.Results); got != ref {
+			t.Error("recovered+rebalanced output differs from the sequential engine")
+		}
+	}
+	// The per-replica feed counter passes ~1/8 of the stream to each of the 4
+	// replicas' counters combined per consumed tuple pair; the absolute counts
+	// below land the crash before and after the 1/3-point rebalance.
+	t.Run("crash-before-rebalance", func(t *testing.T) { run(t, 40) })
+	t.Run("crash-after-rebalance", func(t *testing.T) { run(t, int64(len(input)/2)) })
+}

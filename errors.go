@@ -43,6 +43,10 @@ var (
 	// ErrNoSession reports a Plan.Migrate with no active session driving
 	// the plan; call NewSession first.
 	ErrNoSession = fault.ErrNoSession
+	// ErrNotSharded reports a Session.Rebalance on a plan built without
+	// WithShards: rebalancing redistributes window state between shard
+	// replicas, so there is nothing to rebalance on a sequential session.
+	ErrNotSharded = fault.ErrNotSharded
 )
 
 // PanicError is the classified error a recovered panic surfaces as: every

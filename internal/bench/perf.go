@@ -152,6 +152,12 @@ type PerfReport struct {
 	// equivalence. Nil when the shard suites are disabled (the suite
 	// shares their equijoin twin workload).
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
+	// Rebalance is the adaptive-rebalancing suite: the probe imbalance of
+	// a quadratic-skew band feed on the fixed split versus learned
+	// equi-depth cuts, and the cost of the live move. Nil when the shard
+	// or band suites are disabled (the suite shares the band twin
+	// workload) or the sweep tracks fewer than two shards.
+	Rebalance *RebalanceReport `json:"rebalance,omitempty"`
 }
 
 // PerfConfig parameterises RunPerf. The zero value selects the tracked
@@ -306,6 +312,13 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 			return nil, err
 		}
 		rep.Recovery = rc
+		if cfg.BandWidth >= 0 {
+			rb, err := runRebalanceSuite(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rebalance = rb
+		}
 	}
 	return rep, nil
 }

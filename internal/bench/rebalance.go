@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"time"
+
+	"stateslice/internal/plan"
+	"stateslice/internal/shard"
+	"stateslice/internal/stream"
+	"stateslice/internal/workload"
+)
+
+// Rebalance suite: the payoff and the cost of adaptive shard rebalancing.
+// The band-join twin is fed a quadratic key skew (k -> floor(k^2/dom)), the
+// load a fixed equi-width range split handles worst: the low shards soak up
+// most of the probe work while the high shards idle. The suite runs the
+// skewed feed twice at the largest tracked shard count — once on the fixed
+// split, once rebalancing onto learned equi-depth cuts an eighth into the
+// stream — and records the per-replica probe-comparison imbalance of both,
+// the wall-clock cost of the rebalance barrier (snapshot, redistribute,
+// rebuild), and whether the rebalanced run still delivered the fixed run's
+// output count.
+
+// RebalanceReport is the adaptive-rebalancing suite of the machine-readable
+// report.
+type RebalanceReport struct {
+	// Shards is the replica count of both runs.
+	Shards int `json:"shards"`
+	// Inputs is the number of source tuples of the skewed feed.
+	Inputs int `json:"inputs"`
+	// ImbalanceBefore is the fixed split's max/mean per-replica
+	// probe-comparison ratio on the skewed feed (1 = perfectly balanced).
+	ImbalanceBefore float64 `json:"imbalance_before"`
+	// ImbalanceAfter is the same ratio for the run that rebalanced onto
+	// learned equi-depth cuts mid-stream.
+	ImbalanceAfter float64 `json:"imbalance_after"`
+	// RebalanceBarrierMicros is the wall-clock cost of the Rebalance call:
+	// checkpoint barrier, state redistribution, replica rebuild barrier.
+	RebalanceBarrierMicros float64 `json:"rebalance_barrier_micros"`
+	// Moved reports that the planner actually installed new cuts (false
+	// invalidates the suite: the skew scenario no-opped).
+	Moved bool `json:"moved"`
+	// OutputsMatch reports that the rebalanced run delivered exactly the
+	// fixed run's result count (false invalidates the suite).
+	OutputsMatch bool `json:"outputs_match"`
+}
+
+// runRebalanceSuite measures the skewed band feed on the fixed split and
+// through a mid-stream rebalance at the largest tracked shard count.
+func runRebalanceSuite(cfg PerfConfig) (*RebalanceReport, error) {
+	shards := 1
+	for _, p := range cfg.Shards {
+		if p > shards {
+			shards = p
+		}
+	}
+	if shards < 2 {
+		return nil, nil // nothing to rebalance
+	}
+	w, err := workload.NQueriesBand(cfg.Dist, cfg.Queries, cfg.BandWidth)
+	if err != nil {
+		return nil, err
+	}
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA:     cfg.Rate,
+		RateB:     cfg.Rate,
+		Duration:  stream.Seconds(cfg.DurationSec),
+		KeyDomain: workload.BandKeyDomain,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range input {
+		t.Key = (t.Key * t.Key) / workload.BandKeyDomain
+	}
+	windows := make([]stream.Time, len(w.Queries))
+	for i, q := range w.Queries {
+		windows[i] = q.Window
+	}
+	pcfg := plan.StateSliceConfig{Name: "perf", RawSliceResults: true}
+	band := &shard.Band{Width: cfg.BandWidth, MinKey: 0, MaxKey: workload.BandKeyDomain - 1}
+	newExec := func(name string) (*shard.Executor, error) {
+		return shard.New(shard.Config{
+			Shards:      shards,
+			SampleEvery: 1 << 30,
+			Band:        band,
+			SliceMerge:  true,
+			Windows:     windows,
+			Name:        name,
+			RestoreFn: func(_ int, cp *plan.ChainCheckpoint) (*plan.StateSlicePlan, error) {
+				return plan.RestoreStateSlice(w, pcfg, cp)
+			},
+		}, func(int) (*plan.StateSlicePlan, error) {
+			return plan.BuildStateSlice(w, pcfg)
+		})
+	}
+
+	fixed, err := newExec("perf-rebalance-fixed")
+	if err != nil {
+		return nil, err
+	}
+	fixedRes, err := fixed.Run(stream.NewSliceSource(input))
+	if err != nil {
+		return nil, err
+	}
+
+	reb, err := newExec("perf-rebalance")
+	if err != nil {
+		return nil, err
+	}
+	eighth := len(input) / 8
+	for _, t := range input[:eighth] {
+		if err := reb.Feed(t); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	moved, err := reb.Rebalance()
+	if err != nil {
+		return nil, err
+	}
+	barrier := time.Since(start)
+	for _, t := range input[eighth:] {
+		if err := reb.Feed(t); err != nil {
+			return nil, err
+		}
+	}
+	rebRes, err := reb.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	return &RebalanceReport{
+		Shards:                 shards,
+		Inputs:                 len(input),
+		ImbalanceBefore:        comparisonImbalance(fixedRes.ReplicaComparisons),
+		ImbalanceAfter:         comparisonImbalance(rebRes.ReplicaComparisons),
+		RebalanceBarrierMicros: float64(barrier.Microseconds()),
+		Moved:                  moved,
+		OutputsMatch:           rebRes.TotalOutputs() == fixedRes.TotalOutputs(),
+	}, nil
+}
+
+// comparisonImbalance is the max/mean ratio of per-replica probe-comparison
+// counts; 0 when no probes were recorded.
+func comparisonImbalance(counts []uint64) float64 {
+	var max, sum uint64
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(counts)) / float64(sum)
+}

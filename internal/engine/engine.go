@@ -112,6 +112,11 @@ type Result struct {
 	OrderViolations int
 	// Memory aggregates the sampled total state size (tuples).
 	Memory MemoryStats
+	// ReplicaComparisons holds the per-replica probe-comparison counts of a
+	// sharded run, in shard order — the load-balance signal the rebalancer
+	// and its benchmarks read (max/mean is the imbalance ratio). nil for
+	// sequential sessions.
+	ReplicaComparisons []uint64
 	// Wall is the real time the run took.
 	Wall time.Duration
 	// VirtualDuration is the timestamp of the last input tuple.

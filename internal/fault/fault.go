@@ -44,6 +44,9 @@ var (
 	ErrNotMigratable = errors.New("plan was not built as migratable")
 	// ErrNoSession: the operation needs an active session driving the plan.
 	ErrNoSession = errors.New("no active session drives this plan")
+	// ErrNotSharded: the operation (e.g. Rebalance) redistributes state
+	// between shard replicas and needs a sharded session (WithShards).
+	ErrNotSharded = errors.New("plan was not built with shards")
 )
 
 // PanicError is the classified error a recovered worker-goroutine or
@@ -102,6 +105,12 @@ const (
 	// hold the replica mid-barrier, which is how the chaos suite creates
 	// an in-flight barrier to Close through.
 	BarrierApply
+	// RebalanceApply fires before a replica runner rebuilds its chain from
+	// a redistributed checkpoint during a rebalance barrier — after
+	// BarrierApply, before any state moves. Unlike other barrier commands,
+	// an error here fails the replica: ownership has already been re-cut on
+	// the driver, so a replica that cannot adopt its share is corrupt.
+	RebalanceApply
 
 	numPoints
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"stateslice/internal/stream"
 )
@@ -75,6 +76,12 @@ func (b Band) Validate() error {
 // replication span of band-partitioned execution. Owner is monotone in the
 // key, which is what makes the replication span a contiguous shard interval
 // and the ownership lemma above hold for clamped out-of-domain keys too.
+//
+// With learned cuts installed (SetCuts), the fixed near-equal-width split is
+// replaced by equi-depth ranges: shard i owns keys in [cuts[i-1], cuts[i])
+// with the edge shards clamping as before. The cut vector is strictly
+// ascending, so Owner stays monotone and the replication span remains a
+// contiguous interval — the ownership lemma holds under any cut vector.
 type RangePartitioner struct {
 	n   int
 	min int64
@@ -82,6 +89,9 @@ type RangePartitioner struct {
 	// domain (2^64 does not fit in uint64).
 	span uint64
 	band int64
+	// cuts, when non-nil, holds n-1 strictly ascending key boundaries:
+	// cuts[i] is the smallest key owned by shard i+1.
+	cuts []int64
 }
 
 // NewRangePartitioner builds a partitioner splitting [b.MinKey, b.MaxKey]
@@ -121,6 +131,9 @@ func (p RangePartitioner) Owner(key int64) int {
 	if p.n <= 1 || key <= p.min {
 		return 0
 	}
+	if p.cuts != nil {
+		return sort.Search(len(p.cuts), func(i int) bool { return p.cuts[i] > key })
+	}
 	d := uint64(key) - uint64(p.min)
 	if p.span == 0 { // full domain: fixed width ceil(2^64 / n)
 		return int(d / (math.MaxUint64/uint64(p.n) + 1))
@@ -156,6 +169,33 @@ func (p RangePartitioner) Replicas(key int64) (lo, hi int) {
 		h = math.MaxInt64
 	}
 	return p.Owner(l), p.Owner(h)
+}
+
+// Cuts returns the installed key boundaries (nil when the fixed-width split
+// is in effect). The slice is the partitioner's own; callers must not mutate
+// it.
+func (p RangePartitioner) Cuts() []int64 { return p.cuts }
+
+// SetCuts installs learned equi-depth key boundaries, or restores the fixed
+// near-equal-width split when cuts is nil. len(cuts) must be Shards()-1 and
+// the values strictly ascending and above MinKey (keys <= MinKey always clamp
+// onto shard 0); violations are rejected so a corrupt cut vector can never
+// break the ownership lemma.
+func (p *RangePartitioner) SetCuts(cuts []int64) bool {
+	if cuts == nil {
+		p.cuts = nil
+		return true
+	}
+	if len(cuts) != p.n-1 {
+		return false
+	}
+	for i, c := range cuts {
+		if c <= p.min || (i > 0 && c <= cuts[i-1]) {
+			return false
+		}
+	}
+	p.cuts = cuts
+	return true
 }
 
 // bandOwnerKey returns the key that decides a result item's owner shard: the

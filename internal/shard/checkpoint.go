@@ -16,8 +16,10 @@ import (
 // runners.
 
 // ShardedCheckpointVersion is the current blob version for sharded
-// composite checkpoints.
-const ShardedCheckpointVersion uint16 = 1
+// composite checkpoints. Version 2 added the learned ownership cuts
+// (adaptive rebalancing); version-1 blobs decode with nil cuts — the
+// fixed Build-time split, which is what version 1 always ran.
+const ShardedCheckpointVersion uint16 = 2
 
 // Checkpoint is a barrier-consistent snapshot of a sharded run: the driver
 // feed frontier, the partitioning shape and one chain checkpoint per
@@ -37,6 +39,12 @@ type Checkpoint struct {
 	// Band records the range-partitioning shape, nil under hash
 	// partitioning; restore requires an identical configuration.
 	Band *Band
+	// BandCuts and HashCuts record the learned equi-depth ownership cuts
+	// in effect when the snapshot was taken (RangePartitioner.Cuts /
+	// Partitioner.Cuts) — the per-replica states are partitioned by them,
+	// so restore re-installs them. nil means the fixed Build-time split.
+	BandCuts []int64
+	HashCuts []uint64
 	// Replicas holds one chain snapshot per shard, in shard order.
 	Replicas []*plan.ChainCheckpoint
 }
@@ -85,6 +93,11 @@ func (e *Executor) Checkpoint() (*Checkpoint, error) {
 		b := *e.cfg.Band
 		cp.Band = &b
 	}
+	if e.rpart != nil {
+		cp.BandCuts = append([]int64(nil), e.rpart.Cuts()...)
+	} else {
+		cp.HashCuts = append([]uint64(nil), e.part.Cuts()...)
+	}
 	return cp, nil
 }
 
@@ -111,6 +124,16 @@ func validateRestore(cfg Config, cp *Checkpoint) error {
 	case cp.Band != nil && *cp.Band != *cfg.Band:
 		return fmt.Errorf("shard: restore: checkpoint band %+v does not match the executor band %+v", *cp.Band, *cfg.Band)
 	}
+	switch {
+	case cp.BandCuts != nil && cfg.Band == nil:
+		return fmt.Errorf("shard: restore: checkpoint carries band ownership cuts but the executor is hash-partitioned")
+	case cp.HashCuts != nil && cfg.Band != nil:
+		return fmt.Errorf("shard: restore: checkpoint carries hash ownership cuts but the executor is band-partitioned")
+	case cp.BandCuts != nil && len(cp.BandCuts) != cp.Shards-1:
+		return fmt.Errorf("shard: restore: checkpoint has %d band cuts for %d shards", len(cp.BandCuts), cp.Shards)
+	case cp.HashCuts != nil && len(cp.HashCuts) != cp.Shards-1:
+		return fmt.Errorf("shard: restore: checkpoint has %d hash cuts for %d shards", len(cp.HashCuts), cp.Shards)
+	}
 	if cfg.RestoreFn == nil {
 		return fmt.Errorf("shard: restore: Config.RestoreFn is required to rebuild replicas from a checkpoint")
 	}
@@ -136,6 +159,17 @@ func (cp *Checkpoint) Encode() ([]byte, error) {
 	} else {
 		buf = append(buf, 0)
 	}
+	// Version 2: the learned ownership cuts (a zero count means the fixed
+	// Build-time split was in effect — nil round-trips as nil because both
+	// cut vectors are non-empty whenever they are non-nil: len = Shards-1).
+	buf = binary.AppendUvarint(buf, uint64(len(cp.BandCuts)))
+	for _, c := range cp.BandCuts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(cp.HashCuts)))
+	for _, c := range cp.HashCuts {
+		buf = binary.LittleEndian.AppendUint64(buf, c)
+	}
 	if len(cp.Replicas) != cp.Shards {
 		return nil, fmt.Errorf("shard: checkpoint encode: %d replica snapshots for %d shards", len(cp.Replicas), cp.Shards)
 	}
@@ -159,8 +193,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if m := binary.LittleEndian.Uint32(data); m != plan.CheckpointMagic {
 		return nil, fmt.Errorf("shard: checkpoint decode: bad magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != ShardedCheckpointVersion {
-		return nil, fmt.Errorf("shard: checkpoint decode: unsupported sharded blob version %d (this build reads version %d)", v, ShardedCheckpointVersion)
+	version := binary.LittleEndian.Uint16(data[4:])
+	if version < 1 || version > ShardedCheckpointVersion {
+		return nil, fmt.Errorf("shard: checkpoint decode: unsupported sharded blob version %d (this build reads versions 1-%d)", version, ShardedCheckpointVersion)
 	}
 	if k := data[6]; k != plan.KindSharded {
 		return nil, fmt.Errorf("shard: checkpoint decode: expected a sharded blob, got kind %d", k)
@@ -193,6 +228,39 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 			MaxKey: int64(binary.LittleEndian.Uint64(rest[16:])),
 		}
 		rest = rest[24:]
+	}
+	if version >= 2 {
+		// The learned ownership cuts (version-1 blobs predate rebalancing
+		// and always ran the fixed split).
+		readCuts := func(section string) ([]uint64, error) {
+			n, w := binary.Uvarint(rest)
+			if w <= 0 {
+				return nil, fmt.Errorf("shard: checkpoint decode: truncated %s cut count", section)
+			}
+			rest = rest[w:]
+			if n == 0 {
+				return nil, nil
+			}
+			if uint64(len(rest)) < 8*n {
+				return nil, fmt.Errorf("shard: checkpoint decode: truncated %s cuts", section)
+			}
+			cuts := make([]uint64, n)
+			for i := range cuts {
+				cuts[i] = binary.LittleEndian.Uint64(rest[8*i:])
+			}
+			rest = rest[8*n:]
+			return cuts, nil
+		}
+		bc, err := readCuts("band")
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range bc {
+			cp.BandCuts = append(cp.BandCuts, int64(c))
+		}
+		if cp.HashCuts, err = readCuts("hash"); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < cp.Shards; i++ {
 		r, rem, err := plan.DecodeChainCheckpoint(rest)

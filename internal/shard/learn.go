@@ -1,0 +1,107 @@
+package shard
+
+import "math/bits"
+
+// Equi-depth boundary learning: turn the monitor's key-frequency histogram
+// into ownership cuts that give every shard a near-equal share of the
+// observed mass — the classical equi-depth histogram split, applied to the
+// band partitioner's key domain or the hash partitioner's 64-bit hash space.
+//
+// The learner is deliberately conservative: it proposes cuts, predicts the
+// resulting imbalance from the same histogram, and lets the caller compare
+// that prediction against the measured status quo (planCuts in
+// rebalance.go). Distributions no split can help — all mass on one key —
+// predict no improvement and turn the rebalance into a no-op instead of a
+// thrash.
+
+// equiDepthBuckets returns p-1 strictly ascending bucket boundaries
+// c_1 < ... < c_{p-1} in [1, nb-1] (shard k owns buckets [c_k, c_{k+1}),
+// with c_0 = 0 and c_p = nb) splitting hist into near-equal mass: c_k is
+// the first bucket whose prefix mass reaches k/p of the total, nudged where
+// needed to keep the cuts distinct. Returns nil when no valid cut vector
+// exists (fewer buckets than shards) or nothing was observed.
+func equiDepthBuckets(hist []uint64, p int) []int {
+	nb := len(hist)
+	if p < 2 || nb < p {
+		return nil
+	}
+	var total uint64
+	for _, h := range hist {
+		total += h
+	}
+	if total == 0 {
+		return nil
+	}
+	cuts := make([]int, p-1)
+	var cum uint64
+	b := 0
+	for k := 1; k < p; k++ {
+		// target = total*k/p without overflowing the product.
+		hi, lo := bits.Mul64(total, uint64(k))
+		target, _ := bits.Div64(hi, lo, uint64(p))
+		for b < nb && cum < target {
+			cum += hist[b]
+			b++
+		}
+		cuts[k-1] = b
+	}
+	// Nudge into validity: strictly ascending within [1, nb-1], leaving
+	// room for the cuts after (forward pass) and before (backward pass)
+	// each position. nb >= p guarantees both passes succeed.
+	for k := range cuts {
+		if lo := k + 1; cuts[k] < lo {
+			cuts[k] = lo
+		}
+		if k > 0 && cuts[k] <= cuts[k-1] {
+			cuts[k] = cuts[k-1] + 1
+		}
+	}
+	for k := len(cuts) - 1; k >= 0; k-- {
+		if hi := nb - (len(cuts) - k); cuts[k] > hi {
+			cuts[k] = hi
+		}
+	}
+	return cuts
+}
+
+// bucketShardWeights returns the per-shard histogram mass under the given
+// bucket boundaries.
+func bucketShardWeights(hist []uint64, cuts []int) []uint64 {
+	w := make([]uint64, len(cuts)+1)
+	s := 0
+	for b, h := range hist {
+		for s < len(cuts) && b >= cuts[s] {
+			s++
+		}
+		w[s] += h
+	}
+	return w
+}
+
+// learnCuts proposes equi-depth ownership cuts for p shards from the
+// monitor's histogram, returning the cut vector in the partitioner's cut
+// space — key cuts under band partitioning (hashCuts nil), hash cuts under
+// hash partitioning (bandCuts nil) — together with the predicted post-cut
+// imbalance ratio. ok is false when no valid cut vector exists.
+func (m *loadMonitor) learnCuts(p int) (bandCuts []int64, hashCuts []uint64, predicted float64, ok bool) {
+	bc := equiDepthBuckets(m.hist, p)
+	if bc == nil {
+		return nil, nil, 0, false
+	}
+	predicted = imbalance(bucketShardWeights(m.hist, bc))
+	if m.band {
+		bandCuts = make([]int64, len(bc))
+		for i, b := range bc {
+			// The bucket's lower-edge key: distinct buckets map onto
+			// distinct keys because the bucket width is >= 1 key (nb is
+			// clamped to the domain size at construction).
+			bandCuts[i] = int64(uint64(m.min) + m.bucketLowOffset(b))
+		}
+		return bandCuts, nil, predicted, true
+	}
+	hashCuts = make([]uint64, len(bc))
+	for i, b := range bc {
+		hashCuts[i] = m.bucketLowOffset(b)
+	}
+	return nil, hashCuts, predicted, true
+}

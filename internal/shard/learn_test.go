@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the equi-depth boundary learner on the distributions the
+// rebalancer targets — uniform (the learned cuts must reproduce the fixed
+// split), quadratic skew (the cuts must compress toward the hot end and
+// predict a near-balanced assignment), boundary-clustered keys — and on the
+// degenerate single-hot-key distribution, where no boundary change can help
+// and the learner's prediction must make planCuts a no-op.
+
+// observeUniform feeds every key of the monitor's band domain once per round.
+func observeUniform(m *loadMonitor, rp RangePartitioner, dom int64, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for k := int64(0); k < dom; k++ {
+			lo, hi := rp.Replicas(k)
+			m.observe(k, lo, hi)
+		}
+	}
+}
+
+func TestEquiDepthUniform(t *testing.T) {
+	const dom, p = 128, 8
+	band := Band{Width: 1, MinKey: 0, MaxKey: dom - 1}
+	rp, err := NewRangePartitioner(p, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newLoadMonitor(p, &band)
+	if m.nb != dom {
+		t.Fatalf("monitor over a %d-key domain uses %d buckets, want one per key", dom, m.nb)
+	}
+	observeUniform(m, rp, dom, 3)
+
+	bandCuts, hashCuts, predicted, ok := m.learnCuts(p)
+	if !ok || hashCuts != nil {
+		t.Fatalf("learnCuts = (%v, %v, %v, %v), want band cuts", bandCuts, hashCuts, predicted, ok)
+	}
+	// A uniform histogram learns exactly the fixed-width split.
+	for i, c := range bandCuts {
+		if want := int64((i + 1) * dom / p); c != want {
+			t.Errorf("uniform cut %d = %d, want the fixed-width boundary %d", i, c, want)
+		}
+	}
+	if predicted != 1 {
+		t.Errorf("uniform predicted imbalance %v, want exactly 1", predicted)
+	}
+}
+
+func TestEquiDepthQuadraticSkew(t *testing.T) {
+	const dom, p = 128, 8
+	band := Band{Width: 1, MinKey: 0, MaxKey: dom - 1}
+	rp, err := NewRangePartitioner(p, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newLoadMonitor(p, &band)
+	// Quadratic key remap: k -> floor(k^2/dom) piles the mass onto the low
+	// keys (the remap is concave, so many source keys collapse there).
+	for k := int64(0); k < dom; k++ {
+		kk := (k * k) / dom
+		lo, hi := rp.Replicas(kk)
+		m.observe(kk, lo, hi)
+	}
+
+	bandCuts, _, predicted, ok := m.learnCuts(p)
+	if !ok {
+		t.Fatal("learnCuts failed on a quadratic-skew histogram")
+	}
+	// The first cut must sit well inside the first fixed-width range: the
+	// hot low end is split fine, the cold high end coarse.
+	if fixed := int64(dom / p); bandCuts[0] >= fixed {
+		t.Errorf("first learned cut %d has not compressed toward the hot end (fixed-width boundary %d)", bandCuts[0], fixed)
+	}
+	for i := 1; i < len(bandCuts); i++ {
+		if bandCuts[i] <= bandCuts[i-1] {
+			t.Fatalf("learned cuts not strictly ascending: %v", bandCuts)
+		}
+	}
+	fixedImb := imbalance(m.loads)
+	if fixedImb < 1.5 {
+		t.Fatalf("quadratic skew produced fixed-split delivery imbalance %.2f; the scenario is too tame to test", fixedImb)
+	}
+	if predicted > 1.5 {
+		t.Errorf("equi-depth predicted imbalance %.2f, want near-balanced (<= 1.5)", predicted)
+	}
+	if predicted*defaultMinGain > fixedImb {
+		t.Errorf("predicted %.2f offers < MinGain improvement over measured %.2f; planCuts would refuse a clearly profitable rebalance", predicted, fixedImb)
+	}
+}
+
+func TestEquiDepthBoundaryClustered(t *testing.T) {
+	const dom = 16
+	band := Band{Width: 1, MinKey: 0, MaxKey: dom - 1}
+
+	// p=2: all mass on the boundary pair (7, 8). The learned cut must fall
+	// between the two hot keys, keeping the split perfectly balanced.
+	rp2, err := NewRangePartitioner(2, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newLoadMonitor(2, &band)
+	for i := 0; i < 100; i++ {
+		k := int64(7 + i%2)
+		lo, hi := rp2.Replicas(k)
+		m.observe(k, lo, hi)
+	}
+	bandCuts, _, predicted, ok := m.learnCuts(2)
+	if !ok {
+		t.Fatal("learnCuts failed on a boundary-clustered histogram")
+	}
+	if len(bandCuts) != 1 || bandCuts[0] != 8 {
+		t.Errorf("boundary-clustered p=2 learned cuts %v, want [8] (one hot key per shard)", bandCuts)
+	}
+	if predicted != 1 {
+		t.Errorf("boundary-clustered p=2 predicted imbalance %v, want exactly 1", predicted)
+	}
+
+	// p=4: two hot keys cannot occupy four shards — key granularity caps the
+	// best reachable balance at max/mean = 2. The learner must still emit a
+	// valid, strictly ascending cut vector and predict that cap honestly.
+	m4 := newLoadMonitor(4, &band)
+	for i := 0; i < 100; i++ {
+		m4.observe(int64(7+i%2), 0, 0)
+	}
+	bandCuts, _, predicted, ok = m4.learnCuts(4)
+	if !ok {
+		t.Fatal("learnCuts failed for p=4")
+	}
+	if len(bandCuts) != 3 {
+		t.Fatalf("p=4 learned %d cuts, want 3", len(bandCuts))
+	}
+	for i := 1; i < len(bandCuts); i++ {
+		if bandCuts[i] <= bandCuts[i-1] {
+			t.Fatalf("learned cuts not strictly ascending: %v", bandCuts)
+		}
+	}
+	if bandCuts[0] != 8 {
+		t.Errorf("p=4 first cut %d, want 8 (the hot keys must split apart)", bandCuts[0])
+	}
+	if predicted != 2 {
+		t.Errorf("p=4 predicted imbalance %v, want exactly 2 (two keys over four shards)", predicted)
+	}
+}
+
+// TestEquiDepthSingleHotKey pins the degenerate distribution no split can
+// help: with all mass on one key, every cut vector leaves one shard with
+// everything, the prediction equals the measured imbalance, and the planCuts
+// MinGain guard turns the rebalance into a no-op instead of a thrash.
+func TestEquiDepthSingleHotKey(t *testing.T) {
+	const dom, p = 64, 4
+	band := Band{Width: 1, MinKey: 0, MaxKey: dom - 1}
+	rp, err := NewRangePartitioner(p, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newLoadMonitor(p, &band)
+	for i := 0; i < 200; i++ {
+		lo, hi := rp.Replicas(13)
+		m.observe(13, lo, hi)
+	}
+	bandCuts, _, predicted, ok := m.learnCuts(p)
+	if !ok {
+		t.Fatal("learnCuts failed on a single-hot-key histogram")
+	}
+	for i := 1; i < len(bandCuts); i++ {
+		if bandCuts[i] <= bandCuts[i-1] {
+			t.Fatalf("learned cuts not strictly ascending: %v", bandCuts)
+		}
+	}
+	if predicted != float64(p) {
+		t.Errorf("single hot key predicted imbalance %v, want %d (one shard keeps everything)", predicted, p)
+	}
+	// The no-op guard: the measured imbalance equals the prediction, so no
+	// MinGain >= 1 lets the rebalance through.
+	if current := imbalance(m.loads); current >= predicted*defaultMinGain {
+		t.Errorf("measured imbalance %.2f >= predicted %.2f * MinGain %.2f; planCuts would thrash on an unimprovable skew",
+			current, predicted, defaultMinGain)
+	}
+}
+
+// TestEquiDepthDegenerate pins the inputs on which no cut vector exists.
+func TestEquiDepthDegenerate(t *testing.T) {
+	hist := make([]uint64, 16)
+	if got := equiDepthBuckets(hist, 1); got != nil {
+		t.Errorf("p=1: %v, want nil (nothing to cut)", got)
+	}
+	hist[3] = 10
+	if got := equiDepthBuckets(hist[:4], 8); got != nil {
+		t.Errorf("fewer buckets than shards: %v, want nil", got)
+	}
+	if got := equiDepthBuckets(make([]uint64, 16), 4); got != nil {
+		t.Errorf("empty histogram: %v, want nil", got)
+	}
+}
+
+// TestEquiDepthRandomizedInvariants checks the structural invariants on
+// random histograms: p-1 strictly ascending cuts in [1, nb-1], and the
+// per-shard weights repartition exactly the observed total.
+func TestEquiDepthRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nb := 2 + rng.Intn(511)
+		p := 2 + rng.Intn(15)
+		if nb < p {
+			nb, p = p, nb
+		}
+		hist := make([]uint64, nb)
+		var total uint64
+		for i := range hist {
+			if rng.Intn(3) == 0 { // sparse, with occasional heavy spikes
+				hist[i] = uint64(rng.Intn(1000))
+				if rng.Intn(10) == 0 {
+					hist[i] += 1 << 40
+				}
+				total += hist[i]
+			}
+		}
+		if total == 0 {
+			hist[nb/2] = 1
+			total = 1
+		}
+		cuts := equiDepthBuckets(hist, p)
+		if cuts == nil {
+			t.Fatalf("trial %d (nb=%d p=%d): no cuts for a non-empty histogram", trial, nb, p)
+		}
+		if len(cuts) != p-1 {
+			t.Fatalf("trial %d: %d cuts, want %d", trial, len(cuts), p-1)
+		}
+		prev := 0
+		for _, c := range cuts {
+			if c <= prev || c > nb-1 {
+				t.Fatalf("trial %d (nb=%d p=%d): invalid cut vector %v", trial, nb, p, cuts)
+			}
+			prev = c
+		}
+		var sum uint64
+		for _, w := range bucketShardWeights(hist, cuts) {
+			sum += w
+		}
+		if sum != total {
+			t.Fatalf("trial %d: shard weights sum to %d, want %d", trial, sum, total)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Load monitoring for adaptive rebalancing (see rebalance.go).
+//
+// The monitor is driver-owned and updated inline on the feed path with the
+// driver gate held, so it needs no synchronization of its own. It keeps two
+// things: an approximate key-frequency histogram over the partitioned domain
+// — the key space under band partitioning, the mixed 64-bit hash space under
+// hash partitioning — from which the equi-depth learner (learn.go) derives
+// new ownership cuts, and cumulative per-replica delivery counters whose
+// windowed deltas measure the live imbalance the trigger policy watches.
+
+// histBuckets is the histogram resolution. 512 buckets resolve skew far
+// finer than any practical shard count while costing one cache line-sized
+// array walk per rebalance decision; small band domains shrink to one bucket
+// per key, making the histogram exact.
+const histBuckets = 512
+
+// loadMonitor is the per-executor load monitor. All fields are driver-owned.
+type loadMonitor struct {
+	// nb is the bucket count; hist[b] counts fed tuples whose key (or key
+	// hash) fell into bucket b, and total is their sum.
+	nb    int
+	hist  []uint64
+	total uint64
+	// band selects key-space bucketing over the [min, min+span) domain;
+	// span 0 encodes the full int64 domain. Hash bucketing mixes the key
+	// first, so bucket order follows hash order, matching the hash
+	// partitioner's cut space.
+	band bool
+	min  int64
+	span uint64
+	// loads counts per-replica tuple deliveries since the last rebalance
+	// (band replication counts each copy); prev snapshots loads at the last
+	// policy evaluation, so evaluations compare windowed deltas, not the
+	// whole history. sinceCheck counts fed tuples since that evaluation and
+	// sustained counts consecutive over-threshold evaluations.
+	loads      []uint64
+	prev       []uint64
+	sinceCheck int
+	sustained  int
+}
+
+// newLoadMonitor builds a monitor for p replicas; band selects key-space
+// bucketing (nil selects hash-space bucketing).
+func newLoadMonitor(p int, band *Band) *loadMonitor {
+	m := &loadMonitor{nb: histBuckets, loads: make([]uint64, p), prev: make([]uint64, p)}
+	if band != nil {
+		m.band = true
+		m.min = band.MinKey
+		m.span = uint64(band.MaxKey) - uint64(band.MinKey) + 1
+		if m.span != 0 && m.span < histBuckets {
+			// One bucket per key: the histogram becomes exact and every
+			// bucket boundary maps onto a distinct key cut.
+			m.nb = int(m.span)
+		}
+	}
+	m.hist = make([]uint64, m.nb)
+	return m
+}
+
+// bucket maps a key onto its histogram bucket, mirroring the partitioners'
+// clamping so learned cuts and live ownership agree on the domain edges.
+func (m *loadMonitor) bucket(key int64) int {
+	if m.band {
+		if key <= m.min {
+			return 0
+		}
+		d := uint64(key) - uint64(m.min)
+		if m.span == 0 { // full domain: fixed width ceil(2^64 / nb)
+			return int(d / (math.MaxUint64/uint64(m.nb) + 1))
+		}
+		if d >= m.span {
+			return m.nb - 1
+		}
+		hi, lo := bits.Mul64(d, uint64(m.nb))
+		q, _ := bits.Div64(hi, lo, m.span)
+		return int(q)
+	}
+	return int(mix64(uint64(key)) / (math.MaxUint64/uint64(m.nb) + 1))
+}
+
+// bucketLowOffset returns the domain offset of bucket b's first key (band)
+// or first hash (hash space) — the inverse of bucket at the bucket's lower
+// edge, used to turn learned bucket boundaries into partitioner cuts.
+func (m *loadMonitor) bucketLowOffset(b int) uint64 {
+	if m.band && m.span != 0 {
+		hi, lo := bits.Mul64(m.span, uint64(b))
+		q, _ := bits.Div64(hi, lo, uint64(m.nb))
+		return q
+	}
+	return uint64(b) * (math.MaxUint64/uint64(m.nb) + 1)
+}
+
+// observe records one fed tuple: its key-frequency bucket and its delivery
+// to the inclusive replica span [lo, hi] (lo == hi under hash partitioning).
+func (m *loadMonitor) observe(key int64, lo, hi int) {
+	m.hist[m.bucket(key)]++
+	m.total++
+	for i := lo; i <= hi; i++ {
+		m.loads[i]++
+	}
+	m.sinceCheck++
+}
+
+// imbalance returns the max/mean ratio of the given per-replica counts
+// (1 when nothing was counted).
+func imbalance(counts []uint64) float64 {
+	var max, sum uint64
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(counts)) / float64(sum)
+}
+
+// windowImbalance returns the max/mean delivery ratio of the window since
+// the last policy evaluation.
+func (m *loadMonitor) windowImbalance() float64 {
+	d := make([]uint64, len(m.loads))
+	for i := range d {
+		d[i] = m.loads[i] - m.prev[i]
+	}
+	return imbalance(d)
+}
+
+// cycle closes the current evaluation window.
+func (m *loadMonitor) cycle() {
+	copy(m.prev, m.loads)
+	m.sinceCheck = 0
+}
+
+// resetLoads zeroes the delivery counters after a rebalance, so the next
+// evaluation measures the new ownership, not the imbalance that triggered
+// the move. The histogram is kept: it describes the key distribution, which
+// the rebalance did not change.
+func (m *loadMonitor) resetLoads() {
+	clear(m.loads)
+	clear(m.prev)
+	m.sinceCheck = 0
+	m.sustained = 0
+}

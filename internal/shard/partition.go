@@ -1,5 +1,7 @@
 package shard
 
+import "sort"
+
 // Partitioner maps equijoin keys onto shard indexes. Tuples with equal keys
 // land on the same shard, so each shard's chain replica holds exactly the
 // window state its own males probe — the disjointness that makes sharded
@@ -10,8 +12,17 @@ package shard
 // consecutive or clustered key values still spread across shards; heavy
 // frequency skew on a single key value is irreducible (that key's whole
 // state must live on one shard) and caps the achievable speedup instead.
+//
+// With learned cuts installed (SetCuts), the modulo is replaced by an
+// equi-depth split of the 64-bit hash space: shard i owns hashes in
+// [cuts[i-1], cuts[i]) with cuts[-1] = 0 and cuts[n-1] = 2^64. Equal keys
+// still hash identically, so key-disjointness — the property sharded
+// equijoin execution relies on — is preserved under any cut vector.
 type Partitioner struct {
 	n uint64
+	// cuts, when non-nil, holds n-1 ascending hash-space boundaries:
+	// cuts[i] is the smallest hash owned by shard i+1.
+	cuts []uint64
 }
 
 // NewPartitioner returns a partitioner over the given shard count (>= 1).
@@ -30,7 +41,37 @@ func (p Partitioner) Shard(key int64) int {
 	if p.n <= 1 {
 		return 0
 	}
-	return int(mix64(uint64(key)) % p.n)
+	h := mix64(uint64(key))
+	if p.cuts != nil {
+		return sort.Search(len(p.cuts), func(i int) bool { return p.cuts[i] > h })
+	}
+	return int(h % p.n)
+}
+
+// Cuts returns the installed hash-space boundaries (nil when the modulo
+// split is in effect). The slice is the partitioner's own; callers must not
+// mutate it.
+func (p Partitioner) Cuts() []uint64 { return p.cuts }
+
+// SetCuts installs learned equi-depth hash-space boundaries, or restores the
+// modulo split when cuts is nil. len(cuts) must be Shards()-1 and the values
+// strictly ascending; violations are rejected so a corrupt cut vector can
+// never mis-route keys.
+func (p *Partitioner) SetCuts(cuts []uint64) bool {
+	if cuts == nil {
+		p.cuts = nil
+		return true
+	}
+	if uint64(len(cuts)) != p.n-1 {
+		return false
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return false
+		}
+	}
+	p.cuts = cuts
+	return true
 }
 
 // mix64 is the splitmix64 finalizer, a cheap full-avalanche bijection.

@@ -1,0 +1,503 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"stateslice/internal/engine"
+	"stateslice/internal/fault"
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+// Live shard rebalancing.
+//
+// A rebalance moves window state between the existing replicas so ownership
+// follows the observed key distribution instead of the Build-time split. It
+// runs entirely at feed barriers, the drain-edit-drain points where every
+// queue is empty and the sliced window states are the complete execution
+// state — the same property migration, admission and checkpointing exploit,
+// so no in-flight work ever has to be replayed or reconciled:
+//
+//  1. A checkpoint barrier snapshots every replica's chain at one global
+//     stream position (the fan-out Checkpoint already uses).
+//  2. The driver learns equi-depth cuts from the monitor's key histogram
+//     (learn.go) and redistributes the snapshot's state tuples onto the
+//     replicas the new cuts assign them to — deep-copying every tuple, so
+//     the rebuilt states never alias the snapshot or each other.
+//  3. The new cuts are installed on the partitioner. The runners are
+//     quiescent between the two barriers and the rebuild command below is
+//     delivered over the feed channels, so the channel send orders the cut
+//     write before every tap or feed that reads it.
+//  4. A rebuild barrier hands each replica its redistributed checkpoint;
+//     the runner rebuilds its chain from it (reusing the supervised-restart
+//     restore path, minus the replay ring) and re-taps the merge edges.
+//
+// Correctness of the state move: a replica's window state is a superset of
+// the sequentially retained state for its keys (its purge frontier can only
+// lag the global one), and every tuple a post-rebalance probe could match is
+// present on the probing male's new owner shard — under hash partitioning
+// each key's whole state moves with it; under band partitioning only the
+// owner's canonical copy of each tuple is kept and it is re-replicated onto
+// the full span the new cuts require. Tuples a purge already dropped are
+// beyond the largest window of every future arrival, so dropping their
+// surviving boundary copies too never loses a result. Because replicas purge
+// at their own pace, slice positions are normalized to the barrier frontier
+// during the move (see redistribute) — otherwise merged states would violate
+// the time-sorted order the purge-then-probe discipline depends on, and
+// expired stragglers could match probes out of window. Each merged state
+// list is re-sorted by (Time, Seq) — the
+// global arrival order — so probes scan state in the sequential engine's
+// order and merged output stays byte-identical across the boundary.
+//
+// The merge layer is untouched: the chain shape (slice layout, query roster)
+// does not change, each male's results still come from exactly one shard
+// under the new cuts, and the kmerge no-ties invariant holds as before —
+// which is why rebalancing works on both merge topologies, including the
+// slice-merge fast path that rejects Migrate/Attach/Detach.
+//
+// Failure semantics: an error applying a rebuild is replica-fatal (the
+// driver has already re-cut ownership, so a replica that kept its old state
+// is corrupt), and any rebuild-barrier error fails the whole session
+// fail-fast. The snapshot barrier mutates nothing and keeps Checkpoint's
+// plain-error semantics.
+
+// Default trigger-policy values (see RebalancePolicy).
+const (
+	defaultThreshold  = 1.5
+	defaultCheckEvery = 4096
+	defaultSustained  = 2
+	defaultMinGain    = 1.2
+)
+
+// RebalancePolicy configures the automatic rebalance trigger: every
+// CheckEvery fed tuples the driver evaluates the per-replica delivery
+// imbalance of the window since the last evaluation, and after Sustained
+// consecutive evaluations at or above Threshold it rebalances — provided the
+// learned cuts predict at least a MinGain improvement, so distributions no
+// split can help (a single hot key) never thrash.
+type RebalancePolicy struct {
+	// Threshold is the max/mean per-replica delivery ratio that counts as
+	// imbalanced; <= 0 selects 1.5.
+	Threshold float64
+	// CheckEvery is the fed-tuple period of imbalance evaluations; <= 0
+	// selects 4096.
+	CheckEvery int
+	// Sustained is the number of consecutive imbalanced evaluations that
+	// trigger a rebalance; <= 0 selects 2.
+	Sustained int
+	// MinGain is the minimum predicted improvement factor (measured
+	// imbalance over predicted post-rebalance imbalance) a rebalance must
+	// offer; <= 0 selects 1.2.
+	MinGain float64
+}
+
+// withDefaults fills unset fields with the documented defaults.
+func (p RebalancePolicy) withDefaults() RebalancePolicy {
+	if p.Threshold <= 0 {
+		p.Threshold = defaultThreshold
+	}
+	if p.CheckEvery <= 0 {
+		p.CheckEvery = defaultCheckEvery
+	}
+	if p.Sustained <= 0 {
+		p.Sustained = defaultSustained
+	}
+	if p.MinGain <= 0 {
+		p.MinGain = defaultMinGain
+	}
+	return p
+}
+
+// Rebalance re-cuts shard ownership to equi-depth boundaries learned from
+// the observed key distribution and moves the affected window state between
+// the replicas at a feed barrier. It returns true when ownership moved and
+// false for a no-op — nothing observed yet, a balanced load, or a skew no
+// boundary change can improve (a single hot key). All tuples fed so far are
+// processed before the move; no later tuple overtakes it on any shard; the
+// merged output is byte-identical across the boundary.
+func (e *Executor) Rebalance() (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.usable("Rebalance"); err != nil {
+		return false, err
+	}
+	return e.rebalanceLocked()
+}
+
+// rebalanceLocked is the Rebalance body, with mu held; the automatic trigger
+// calls it directly from the feed path.
+func (e *Executor) rebalanceLocked() (bool, error) {
+	if e.cfg.Shards < 2 || e.mon == nil {
+		return false, nil
+	}
+	if e.cfg.RestoreFn == nil {
+		return false, errors.New("shard: Rebalance requires Config.RestoreFn to rebuild replicas from redistributed checkpoints")
+	}
+	bandCuts, hashCuts, ok := e.planCuts()
+	if !ok {
+		return false, nil
+	}
+
+	snap := make([]*plan.ChainCheckpoint, len(e.replicas))
+	if err := e.barrier(ctl{snap: snap}); err != nil {
+		return false, err
+	}
+	for i, cp := range snap {
+		if cp == nil {
+			err := fmt.Errorf("shard: Rebalance: replica %d produced no snapshot", i)
+			e.failLocked(err)
+			return false, err
+		}
+	}
+
+	rebuilt, err := e.redistribute(snap, bandCuts, hashCuts)
+	if err != nil {
+		e.failLocked(err)
+		return false, err
+	}
+
+	// Install the new cuts. The runners are quiescent between the barriers
+	// and the rebuild sends below order this write before every read.
+	if e.rpart != nil {
+		if !e.rpart.SetCuts(bandCuts) {
+			err := fmt.Errorf("shard: Rebalance: learned band cuts %v are invalid", bandCuts)
+			e.failLocked(err)
+			return false, err
+		}
+	} else if !e.part.SetCuts(hashCuts) {
+		err := fmt.Errorf("shard: Rebalance: learned hash cuts %v are invalid", hashCuts)
+		e.failLocked(err)
+		return false, err
+	}
+
+	if err := e.barrier(ctl{rebuild: rebuilt}); err != nil {
+		// Ownership has been re-cut; a replica that failed (or never
+		// received) its rebuild holds state the cuts no longer describe.
+		// An abandoned barrier is already sticky (abandonBarrier) and its
+		// teardown belongs to Close; everything else fails fast here.
+		if !e.closing.Load() {
+			e.failLocked(err)
+		}
+		return false, err
+	}
+	e.mon.resetLoads()
+	return true, nil
+}
+
+// planCuts learns candidate cuts from the monitor and gates them on the
+// no-op guard: the measured per-replica delivery imbalance must exceed the
+// histogram's predicted post-rebalance imbalance by the policy's MinGain.
+func (e *Executor) planCuts() (bandCuts []int64, hashCuts []uint64, ok bool) {
+	minGain := defaultMinGain
+	if p := e.cfg.Rebalance; p != nil {
+		minGain = p.MinGain
+	}
+	bandCuts, hashCuts, predicted, ok := e.mon.learnCuts(e.cfg.Shards)
+	if !ok {
+		return nil, nil, false
+	}
+	if current := imbalance(e.mon.loads); current < predicted*minGain {
+		return nil, nil, false
+	}
+	return bandCuts, hashCuts, true
+}
+
+// maybeAutoRebalance is the feed-path trigger: with a policy armed it
+// evaluates the delivery imbalance every CheckEvery fed tuples and
+// rebalances after Sustained consecutive imbalanced windows. mu held.
+func (e *Executor) maybeAutoRebalance() error {
+	pol := e.cfg.Rebalance
+	if pol == nil || e.mon == nil || e.mon.sinceCheck < pol.CheckEvery {
+		return nil
+	}
+	if e.mon.windowImbalance() >= pol.Threshold {
+		e.mon.sustained++
+	} else {
+		e.mon.sustained = 0
+	}
+	e.mon.cycle()
+	if e.mon.sustained < pol.Sustained {
+		return nil
+	}
+	e.mon.sustained = 0
+	_, err := e.rebalanceLocked()
+	return err
+}
+
+// redistribute builds one fresh chain checkpoint per replica from the
+// barrier snapshot, with every state tuple moved to the replica(s) the new
+// cuts assign it. Tuples are deep-copied: RestoreState aliases the pointers
+// it is given into live window state, so the rebuilt replicas must never
+// share tuple instances with each other or with a retained snapshot.
+func (e *Executor) redistribute(snap []*plan.ChainCheckpoint, bandCuts []int64, hashCuts []uint64) ([]*plan.ChainCheckpoint, error) {
+	p := len(snap)
+	base := snap[0]
+	for i, cp := range snap[1:] {
+		if len(cp.Slices) != len(base.Slices) {
+			return nil, fmt.Errorf("shard: Rebalance: replica %d has %d slices, replica 0 has %d", i+1, len(cp.Slices), len(base.Slices))
+		}
+		for si := range cp.Slices {
+			if cp.Slices[si].Start != base.Slices[si].Start || cp.Slices[si].End != base.Slices[si].End {
+				return nil, fmt.Errorf("shard: Rebalance: replica %d slice %d range [%s,%s) diverges from replica 0's [%s,%s)",
+					i+1, si, cp.Slices[si].Start, cp.Slices[si].End, base.Slices[si].Start, base.Slices[si].End)
+			}
+		}
+	}
+
+	// The new ownership, evaluated on scratch copies so the live
+	// partitioners stay untouched until the snapshot barrier has succeeded
+	// and every checkpoint is rebuilt.
+	var span func(key int64) (int, int)
+	var oldOwner func(key int64) int
+	if e.rpart != nil {
+		np := *e.rpart
+		if !np.SetCuts(bandCuts) {
+			return nil, fmt.Errorf("shard: Rebalance: learned band cuts %v are invalid", bandCuts)
+		}
+		span = np.Replicas
+		oldOwner = e.rpart.Owner
+	} else {
+		np := e.part
+		if !np.SetCuts(hashCuts) {
+			return nil, fmt.Errorf("shard: Rebalance: learned hash cuts %v are invalid", hashCuts)
+		}
+		span = func(key int64) (int, int) { s := np.Shard(key); return s, s }
+	}
+
+	out := make([]*plan.ChainCheckpoint, p)
+	for i, cp := range snap {
+		ncp := &plan.ChainCheckpoint{Name: cp.Name, Slots: cp.Slots, Fed: cp.Fed, LastTime: cp.LastTime,
+			Slices: make([]plan.SliceCheckpoint, len(cp.Slices))}
+		for si := range cp.Slices {
+			ncp.Slices[si] = plan.SliceCheckpoint{Start: cp.Slices[si].Start, End: cp.Slices[si].End}
+		}
+		out[i] = ncp
+	}
+
+	// Slice positions are normalized to the barrier frontier. Replicas purge
+	// at their own pace (a purge runs only when a male of an owned key
+	// arrives), so the same-aged tuple can sit one slice earlier on a lagging
+	// replica than on an advanced one. Merging such states verbatim lets a
+	// later cross-purge funnel the straggler into the next slice BEHIND
+	// younger tuples, breaking the time-sorted state order purge-then-probe
+	// relies on — purge stops at the first in-window front tuple, and the
+	// expired stragglers behind it would match probes out of window. Instead,
+	// every tuple is placed into the slice whose age range holds it relative
+	// to the drained stream time: safe, because every future male arrives at
+	// now or later and would purge it at least that far before probing.
+	now := e.lastTime
+	normalize := func(si int, t *stream.Tuple) int {
+		for si < len(base.Slices) && now-t.Time > base.Slices[si].End {
+			si++
+		}
+		return si
+	}
+	place := func(src, si int, t *stream.Tuple, a bool) {
+		if oldOwner != nil && oldOwner(t.Key) != src {
+			// A boundary-replicated copy; the owner's canonical copy is
+			// redistributed instead (if a purge already dropped it there,
+			// the tuple is beyond every future arrival's largest window
+			// and can never join again).
+			return
+		}
+		if si = normalize(si, t); si == len(base.Slices) {
+			// Beyond the largest window of every future arrival: the next
+			// male would purge it out of the chain before any probe.
+			return
+		}
+		lo, hi := span(t.Key)
+		for s := lo; s <= hi; s++ {
+			c := *t
+			if a {
+				out[s].Slices[si].A = append(out[s].Slices[si].A, &c)
+			} else {
+				out[s].Slices[si].B = append(out[s].Slices[si].B, &c)
+			}
+		}
+	}
+	for src, cp := range snap {
+		for si := range cp.Slices {
+			for _, t := range cp.Slices[si].A {
+				place(src, si, t, true)
+			}
+			for _, t := range cp.Slices[si].B {
+				place(src, si, t, false)
+			}
+		}
+	}
+	// Each merged list must be in global arrival order — the order probes
+	// scan state in, which the byte-identity of merged results depends on.
+	byArrival := func(ts []*stream.Tuple) {
+		sort.Slice(ts, func(i, j int) bool {
+			if ts[i].Time != ts[j].Time {
+				return ts[i].Time < ts[j].Time
+			}
+			return ts[i].Seq < ts[j].Seq
+		})
+	}
+	for _, ncp := range out {
+		for si := range ncp.Slices {
+			byArrival(ncp.Slices[si].A)
+			byArrival(ncp.Slices[si].B)
+		}
+	}
+	return out, nil
+}
+
+// applyRebuild rebuilds one replica's chain from its redistributed
+// checkpoint, on the runner goroutine inside a rebuild barrier. It mirrors
+// the supervised-restart restore path (restartReplica) without the replay
+// ring: the barrier guarantees the merge layer already holds everything the
+// old chain emitted, so the edges resume with no suppression prefix.
+func (e *Executor) applyRebuild(r *replica, cp *plan.ChainCheckpoint) error {
+	if err := fault.Fire(fault.RebalanceApply, r.idx); err != nil {
+		return fmt.Errorf("shard %d: rebalance: %w", r.idx, err)
+	}
+	// The fresh session starts a zero cost meter; bank the old session's
+	// counts so Finish reports the whole run and the per-replica probe
+	// counts stay cumulative across the move.
+	r.meterBase.Add(*r.sess.Meter())
+	sp, err := e.cfg.RestoreFn(r.idx, cp)
+	if err != nil {
+		return fmt.Errorf("shard %d: rebalance rebuild: %w", r.idx, err)
+	}
+	sess, err := engine.NewSession(sp.Plan, engine.Config{
+		BatchSize:   e.cfg.BatchSize,
+		SampleEvery: e.cfg.SampleEvery,
+	})
+	if err != nil {
+		return fmt.Errorf("shard %d: rebalance session: %w", r.idx, err)
+	}
+	if err := sess.SeedFrontier(cp.Fed, cp.LastTime); err != nil {
+		return fmt.Errorf("shard %d: rebalance: %w", r.idx, err)
+	}
+	r.sp, r.sess = sp, sess
+	for _, o := range r.out {
+		o.skip = 0
+	}
+	e.reattachTaps(r)
+	if e.recoveryArmed(r) {
+		// The redistributed checkpoint is the replica's new restart point;
+		// the old snapshot and ring describe state this replica no longer
+		// owns.
+		e.adoptSnapshot(r, cp)
+	}
+	return nil
+}
+
+// OwnerShare describes one replica's current ownership for Explain: the
+// owned range and its observed share of the delivered load.
+type OwnerShare struct {
+	// Shard is the replica index.
+	Shard int
+	// Range renders the owned key range (band partitioning) or hash-space
+	// interval (hash partitioning).
+	Range string
+	// Share is the replica's fraction of all per-replica tuple deliveries
+	// observed so far (0 before anything was fed).
+	Share float64
+}
+
+// Ownership returns the live ownership table, one entry per replica. Safe
+// to call at any time; it reflects the cuts and load counters at the moment
+// of the call.
+func (e *Executor) Ownership() []OwnerShare {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.cfg.Shards
+	out := make([]OwnerShare, n)
+	var sum uint64
+	if e.mon != nil {
+		for _, l := range e.mon.loads {
+			sum += l
+		}
+	}
+	for i := range out {
+		out[i] = OwnerShare{Shard: i, Range: e.ownedRange(i)}
+		if e.mon != nil && sum > 0 {
+			out[i].Share = float64(e.mon.loads[i]) / float64(sum)
+		}
+	}
+	return out
+}
+
+// ownedRange renders replica i's owned interval under the current cuts.
+func (e *Executor) ownedRange(i int) string {
+	n := e.cfg.Shards
+	if e.rpart != nil {
+		lo, hi := e.rpart.ownedKeys(i)
+		switch {
+		case i == 0 && i == n-1:
+			return "all keys"
+		case i == 0:
+			return fmt.Sprintf("keys <= %d", hi)
+		case i == n-1:
+			return fmt.Sprintf("keys >= %d", lo)
+		default:
+			return fmt.Sprintf("keys [%d, %d]", lo, hi)
+		}
+	}
+	if cuts := e.part.Cuts(); cuts != nil {
+		lo, hi := uint64(0), uint64(0)
+		if i > 0 {
+			lo = cuts[i-1]
+		}
+		if i < n-1 {
+			hi = cuts[i]
+		} else {
+			hi = ^uint64(0)
+		}
+		const pct = 100.0
+		return fmt.Sprintf("hash [%.1f%%, %.1f%%)", pct*float64(lo)/float64(^uint64(0)), pct*float64(hi)/float64(^uint64(0)))
+	}
+	return fmt.Sprintf("splitmix64(Key) mod %d == %d", n, i)
+}
+
+// ownedKeys returns the inclusive key interval replica i owns under the
+// current cuts (or the fixed-width split), clamping the edge replicas onto
+// the domain bounds.
+func (p *RangePartitioner) ownedKeys(i int) (lo, hi int64) {
+	lo, hi = p.min, p.domainMax()
+	if p.cuts != nil {
+		if i > 0 {
+			lo = p.cuts[i-1]
+		}
+		if i < p.n-1 {
+			hi = p.cuts[i] - 1
+		}
+		return lo, hi
+	}
+	if i > 0 {
+		lo = p.fixedLowKey(i)
+	}
+	if i < p.n-1 {
+		hi = p.fixedLowKey(i+1) - 1
+	}
+	return lo, hi
+}
+
+// domainMax returns the inclusive upper bound of the partitioned domain.
+func (p *RangePartitioner) domainMax() int64 {
+	if p.span == 0 {
+		return int64(uint64(p.min) - 1) // full int64 domain wraps to min-1
+	}
+	return int64(uint64(p.min) + p.span - 1)
+}
+
+// fixedLowKey returns the smallest key of fixed-width range i (i >= 1): the
+// smallest offset d with floor(d*n/span) == i, which is ceil(i*span/n).
+func (p *RangePartitioner) fixedLowKey(i int) int64 {
+	if p.span == 0 {
+		w := ^uint64(0)/uint64(p.n) + 1
+		return int64(uint64(p.min) + uint64(i)*w)
+	}
+	hi, lo := bits.Mul64(p.span, uint64(i))
+	q, rem := bits.Div64(hi, lo, uint64(p.n))
+	if rem != 0 {
+		q++
+	}
+	return int64(uint64(p.min) + q)
+}

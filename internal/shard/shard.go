@@ -203,6 +203,13 @@ type Config struct {
 	// feed counters are seeded, and feeding continues where the snapshot
 	// was taken. The shard count and partitioning must match the snapshot.
 	Restore *Checkpoint
+	// Rebalance, when non-nil, arms the automatic rebalance trigger: the
+	// feed path evaluates the per-replica delivery imbalance on the
+	// policy's cadence and re-cuts ownership to learned equi-depth
+	// boundaries after sustained imbalance (see rebalance.go). Requires
+	// RestoreFn. Executor.Rebalance also works on demand without a policy;
+	// the policy only automates the trigger.
+	Rebalance *RebalancePolicy
 }
 
 // resolveWorkers returns the assembly-worker pool size for the given query
@@ -273,8 +280,9 @@ type feedMsg struct {
 }
 
 // ctl is a barrier command: a migration when target is non-nil, an admission
-// when attach or detach is set, a checkpoint when snap is non-nil, otherwise
-// a drain. The runner acknowledges on ack after the replica has quiesced.
+// when attach or detach is set, a checkpoint when snap is non-nil, a
+// rebalance rebuild when rebuild is non-nil, otherwise a drain. The runner
+// acknowledges on ack after the replica has quiesced.
 type ctl struct {
 	target []stream.Time
 	attach *attachCmd
@@ -283,7 +291,13 @@ type ctl struct {
 	// are disjoint per runner and the driver reads them only after every
 	// acknowledgement, so the shared backing array is race-free.
 	snap []*plan.ChainCheckpoint
-	ack  chan error
+	// rebuild hands each runner its redistributed checkpoint at index idx;
+	// the runner rebuilds its chain from it (see rebalance.go). Unlike
+	// other barrier commands an error here fails the replica: ownership
+	// has already been re-cut on the driver, so a replica that kept its
+	// old state is corrupt.
+	rebuild []*plan.ChainCheckpoint
+	ack     chan error
 }
 
 // attachCmd fans one query admission out to every replica. The merger and
@@ -345,6 +359,12 @@ type replica struct {
 	res  *engine.Result
 	err  error
 
+	// meterBase banks the cost meters of sessions retired by a rebalance
+	// rebuild, so Finish aggregates the whole run and the per-replica
+	// probe counts stay cumulative across a move. Runner-owned mid-run;
+	// the runner's exit (runWG) orders it before Finish's read.
+	meterBase operator.CostMeter
+
 	// Supervised-restart state (Config.Recovery; see recover.go), all
 	// runner-owned: the last runner-local snapshot (nil = the empty initial
 	// chain), the replay ring of feed slabs delivered since it, the
@@ -390,6 +410,9 @@ type Executor struct {
 	rpart    *RangePartitioner
 	workers  int
 	replicas []*replica
+	// mon is the load monitor feeding adaptive rebalancing (nil for a
+	// single shard); driver-owned, updated inline on the feed path.
+	mon *loadMonitor
 	// sup supervises replica restarts (nil without Config.Recovery);
 	// buildFn is the replica factory, retained so a restart before the
 	// first snapshot can rebuild from scratch.
@@ -469,6 +492,13 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 	if cfg.Recovery != nil && cfg.RestoreFn == nil {
 		return nil, errors.New("shard: Recovery requires Config.RestoreFn to rebuild replicas from their checkpoints")
 	}
+	if cfg.Rebalance != nil {
+		if cfg.RestoreFn == nil {
+			return nil, errors.New("shard: Rebalance requires Config.RestoreFn to rebuild replicas from redistributed checkpoints")
+		}
+		p := cfg.Rebalance.withDefaults()
+		cfg.Rebalance = &p
+	}
 	if cfg.Restore != nil {
 		if err := validateRestore(cfg, cfg.Restore); err != nil {
 			return nil, err
@@ -498,6 +528,21 @@ func New(cfg Config, build func(shard int) (*plan.StateSlicePlan, error)) (*Exec
 			return nil, err
 		}
 		e.rpart = &rp
+	}
+	if cfg.Shards > 1 {
+		e.mon = newLoadMonitor(cfg.Shards, cfg.Band)
+	}
+	if cfg.Restore != nil {
+		// Re-install the snapshot's learned ownership cuts: the restored
+		// replicas hold state partitioned by them, so resuming on the
+		// fixed split would route keys onto shards that do not own their
+		// state.
+		if cuts := cfg.Restore.BandCuts; cuts != nil && (e.rpart == nil || !e.rpart.SetCuts(cuts)) {
+			return nil, fmt.Errorf("shard: restore: checkpoint band cuts %v are invalid for this partitioning", cuts)
+		}
+		if cuts := cfg.Restore.HashCuts; cuts != nil && (e.rpart != nil || !e.part.SetCuts(cuts)) {
+			return nil, fmt.Errorf("shard: restore: checkpoint hash cuts %v are invalid for this partitioning", cuts)
+		}
 	}
 	queries := -1
 	for i := 0; i < cfg.Shards; i++ {
@@ -935,6 +980,14 @@ func (e *Executor) applyCtl(r *replica, c *ctl) (err error) {
 		} else {
 			err = r.sp.MigrateTo(r.sess, c.target)
 		}
+	case c.rebuild != nil:
+		if err = e.applyRebuild(r, c.rebuild[r.idx]); err != nil {
+			// Ownership was re-cut on the driver before this barrier; a
+			// replica that could not adopt its share is corrupt, so the
+			// error is replica-fatal (unlike other barrier rejections).
+			r.err = err
+			e.noteErr(err)
+		}
 	case c.snap != nil:
 		var cp *plan.ChainCheckpoint
 		if cp, err = r.sp.Checkpoint(r.sess); err == nil {
@@ -1180,6 +1233,9 @@ func (e *Executor) feed(t *stream.Tuple) error {
 			}
 		}
 		e.repFed += hi - lo + 1
+		if e.mon != nil {
+			e.mon.observe(t.Key, lo, hi)
+		}
 	} else {
 		s := e.part.Shard(t.Key)
 		b := &e.feedB[s]
@@ -1188,6 +1244,9 @@ func (e *Executor) feed(t *stream.Tuple) error {
 			e.send(s)
 		}
 		e.repFed++
+		if e.mon != nil {
+			e.mon.observe(t.Key, s, s)
+		}
 	}
 	e.fed++
 	e.sincePunct++
@@ -1195,7 +1254,7 @@ func (e *Executor) feed(t *stream.Tuple) error {
 		e.sincePunct = 0
 		e.broadcast(t.Time - 1)
 	}
-	return nil
+	return e.maybeAutoRebalance()
 }
 
 // Consume feeds the executor from a source until it is exhausted, holding
@@ -1427,13 +1486,17 @@ func (e *Executor) Finish() (*engine.Result, error) {
 		if r.err != nil && err == nil {
 			err = r.err
 		}
+		comp := r.meterBase.Probe
+		res.Meter.Add(r.meterBase)
 		if r.res != nil {
+			comp += r.res.Meter.Probe
 			res.Meter.Add(r.res.Meter)
 			res.Memory.Samples += r.res.Memory.Samples
 			res.Memory.Avg += r.res.Memory.Avg
 			res.Memory.Max += r.res.Memory.Max
 			res.Memory.Last += r.res.Memory.Last
 		}
+		res.ReplicaComparisons = append(res.ReplicaComparisons, comp)
 	}
 	if cause := context.Cause(e.ctx); err == nil && cause != nil && !errors.Is(cause, fault.ErrSessionFinished) {
 		// An aborted run must never report its partial statistics as a

@@ -1,0 +1,186 @@
+package workload
+
+// Randomized metamorphic equivalence cases for the sharded executor: each
+// seed deterministically expands into a full scenario — query count and
+// window distribution, join shape, key-skew profile, shard count and
+// mid-stream rebalance points — whose sharded-and-rebalanced execution must
+// render byte-identically to the sequential engine. The generator lives here
+// so the test corpus, the CI sweep and the benchmarks all draw from one
+// definition; the assertions live in the root package tests.
+
+import (
+	"fmt"
+	"math"
+
+	"stateslice/internal/plan"
+	"stateslice/internal/stream"
+)
+
+// Skew names a key-skew profile of the metamorphic generator.
+type Skew string
+
+// The skew profiles: the distributions range partitioning handles worst.
+const (
+	// SkewUniform leaves the generator's uniform keys untouched.
+	SkewUniform Skew = "uniform"
+	// SkewQuadratic remaps k to floor(k^2/dom): concave, so the low keys
+	// soak up most of the mass.
+	SkewQuadratic Skew = "quadratic"
+	// SkewBoundary collapses the keys onto a hot pair straddling the middle
+	// of the domain — an owner-range boundary for every even shard count.
+	SkewBoundary Skew = "boundary"
+)
+
+// MetamorphicCase is one fully-determined equivalence scenario.
+type MetamorphicCase struct {
+	// Seed drives both the case shape and the input generator.
+	Seed uint64
+	// Queries is the shared query count (even, >= 4).
+	Queries int
+	// Dist is the window distribution the query windows are drawn from.
+	Dist Distribution
+	// Band selects the band-join twin (width BandWidth) over the equijoin.
+	Band bool
+	// Skew is the key-skew profile applied to the generated input.
+	Skew Skew
+	// Shards is the replica count.
+	Shards int
+	// RebalanceAt lists stream positions, as fractions of the input length,
+	// at which the driver calls Rebalance mid-stream.
+	RebalanceAt []float64
+}
+
+// metamorphicWindowScale shrinks the paper's up-to-30s windows to test
+// length: the largest window becomes 8 seconds.
+const metamorphicWindowScale = 8.0 / 30.0
+
+// metamorphicDuration is the generated stream length in seconds.
+const metamorphicDuration = 20.0
+
+// splitmix64 advances the state and returns the next mixed value (the
+// standard splitmix64 generator; deterministic across platforms).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewMetamorphicCase expands a seed into its scenario. The expansion is a
+// fixed splitmix64 draw chain, so a seed names the same case forever.
+func NewMetamorphicCase(seed uint64) MetamorphicCase {
+	s := seed
+	c := MetamorphicCase{Seed: seed}
+	c.Queries = 4 + 2*int(splitmix64(&s)%2) // 4 or 6
+	dists := DistributionsN()
+	c.Dist = dists[splitmix64(&s)%uint64(len(dists))]
+	c.Band = splitmix64(&s)%2 == 0
+	skews := []Skew{SkewUniform, SkewQuadratic, SkewBoundary}
+	c.Skew = skews[splitmix64(&s)%uint64(len(skews))]
+	shards := []int{2, 3, 8}
+	c.Shards = shards[splitmix64(&s)%uint64(len(shards))]
+	for i, n := 0, 1+int(splitmix64(&s)%2); i < n; i++ {
+		// Fractions in [0.2, 0.8): early enough to observe skew, late
+		// enough that state exists to move.
+		c.RebalanceAt = append(c.RebalanceAt, 0.2+0.6*float64(splitmix64(&s)%1000)/1000)
+	}
+	for i := 1; i < len(c.RebalanceAt); i++ {
+		if c.RebalanceAt[i] < c.RebalanceAt[i-1] {
+			c.RebalanceAt[i], c.RebalanceAt[i-1] = c.RebalanceAt[i-1], c.RebalanceAt[i]
+		}
+	}
+	return c
+}
+
+// Name renders the case compactly for subtest labels.
+func (c MetamorphicCase) Name() string {
+	join := "equijoin"
+	if c.Band {
+		join = "band"
+	}
+	return fmt.Sprintf("seed=%d/n=%d/%s/%s/%s/p=%d/reb=%d",
+		c.Seed, c.Queries, c.Dist, join, c.Skew, c.Shards, len(c.RebalanceAt))
+}
+
+// KeyDomain returns the uniform key domain the case generates over.
+func (c MetamorphicCase) KeyDomain() int64 {
+	if c.Band {
+		// Smaller than BandKeyDomain so a width-1 band at test rates still
+		// produces a dense result stream.
+		return 24
+	}
+	return EquijoinKeyDomain
+}
+
+// Workload builds the case's shared query workload, windows scaled to test
+// length.
+func (c MetamorphicCase) Workload() (plan.Workload, error) {
+	ws, err := WindowsN(c.Dist, c.Queries)
+	if err != nil {
+		return plan.Workload{}, err
+	}
+	w := plan.Workload{Join: stream.Equijoin{}}
+	if c.Band {
+		w.Join = stream.BandJoin{B: BandWidth}
+	}
+	for _, sec := range ws {
+		w.Queries = append(w.Queries, plan.Query{Window: stream.Seconds(sec * metamorphicWindowScale)})
+	}
+	return w, w.Validate()
+}
+
+// Input generates the case's skewed input stream. Both the sequential
+// reference and the sharded run must consume exactly this slice.
+func (c MetamorphicCase) Input() ([]*stream.Tuple, error) {
+	dom := c.KeyDomain()
+	input, err := stream.Generate(stream.GeneratorConfig{
+		RateA: 25, RateB: 25,
+		Duration:  stream.Seconds(metamorphicDuration),
+		KeyDomain: dom,
+		Seed:      int64(c.Seed%math.MaxInt32) + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch c.Skew {
+	case SkewQuadratic:
+		for _, t := range input {
+			t.Key = (t.Key * t.Key) / dom
+		}
+	case SkewBoundary:
+		for _, t := range input {
+			t.Key = dom/2 - 1 + t.Key%2
+		}
+	}
+	return input, nil
+}
+
+// Positions resolves RebalanceAt onto concrete input indices, deduplicated
+// and ascending.
+func (c MetamorphicCase) Positions(inputLen int) []int {
+	var out []int
+	for _, f := range c.RebalanceAt {
+		p := int(f * float64(inputLen))
+		if p <= 0 || p >= inputLen {
+			continue
+		}
+		if len(out) > 0 && p <= out[len(out)-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// MetamorphicCorpus is the short deterministic corpus every `go test` run
+// covers; the CI sweep extends it with further seeds. The seeds are chosen
+// so the corpus spans both join shapes, all three skews and all three shard
+// counts (see TestMetamorphicCorpusCoverage).
+func MetamorphicCorpus() []MetamorphicCase {
+	out := make([]MetamorphicCase, 0, 10)
+	for seed := uint64(1); seed <= 10; seed++ {
+		out = append(out, NewMetamorphicCase(seed))
+	}
+	return out
+}

@@ -309,6 +309,88 @@ func TestLifecycleRestoreThenAttach(t *testing.T) {
 	assertGoroutinesReleased(t, base)
 }
 
+// TestLifecycleCloseDuringRebalanceBarrier closes the session while every
+// replica is blocked inside the rebalance rebuild barrier: the in-flight
+// Rebalance must abort with an ErrClosed-classified error instead of
+// deadlocking, Close with a too-short context reports the deadline while the
+// teardown keeps unwinding, and once the replicas unblock everything is
+// released.
+func TestLifecycleCloseDuringRebalanceBarrier(t *testing.T) {
+	base := goroutineBase()
+	input := skewedChaosInput(t)
+	p, err := stateslice.Build(bandWorkloadAPI(1), stateslice.MemOpt,
+		stateslice.WithShards(4), stateslice.WithKeyRange(0, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the skewed half first: a balanced feed would no-op the plan before
+	// any replica reaches the blocking hook.
+	if err := sess.Consume(stateslice.SliceSource(input[:len(input)/2])); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	restore := fault.Inject(fault.RebalanceApply, func(int) error {
+		entered <- struct{}{}
+		<-release
+		return nil
+	})
+	defer restore()
+	rebErr := make(chan error, 1)
+	go func() {
+		_, err := sess.Rebalance(context.Background())
+		rebErr <- err
+	}()
+	<-entered // at least one replica is blocked mid-rebuild
+
+	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	err = sess.Close(shortCtx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close against blocked replicas returned %v, want the context deadline", err)
+	}
+	if err := <-rebErr; !errors.Is(err, stateslice.ErrClosed) {
+		t.Fatalf("in-flight Rebalance returned %v, want an ErrClosed-classified abort", err)
+	}
+	close(release)
+	if err := sess.Close(context.Background()); !errors.Is(err, stateslice.ErrClosed) {
+		t.Fatalf("second Close returned %v, want ErrClosed", err)
+	}
+	assertGoroutinesReleased(t, base)
+}
+
+// TestLifecycleAbandonedAfterRebalanceError drops the session without Finish
+// or Close after a rebalance rebuild fails — the natural reaction to a fatal
+// error — and every executor goroutine must still unwind.
+func TestLifecycleAbandonedAfterRebalanceError(t *testing.T) {
+	base := goroutineBase()
+	input := skewedChaosInput(t)
+	injected := errors.New("lifecycle: rebuild fault")
+	restore := fault.Inject(fault.RebalanceApply, func(int) error { return injected })
+	defer restore()
+	p, err := stateslice.Build(bandWorkloadAPI(1), stateslice.MemOpt,
+		stateslice.WithShards(4), stateslice.WithKeyRange(0, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Consume(stateslice.SliceSource(input[:len(input)/2])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Rebalance(context.Background()); !errors.Is(err, injected) {
+		t.Fatalf("Rebalance returned %v, want the injected rebuild fault", err)
+	}
+	sess = nil // abandon: no Finish, no Close
+	assertGoroutinesReleased(t, base)
+}
+
 // TestLifecycleSequentialClose pins the sequential session's Close
 // semantics: a clean Close returns nil, later Feeds and Closes report
 // ErrClosed, and Finish classifies the aborted run without flushing.

@@ -1,0 +1,125 @@
+package stateslice_test
+
+// Randomized metamorphic equivalence harness: every seeded case from
+// internal/workload expands into a query set, join shape, skew profile,
+// shard count and rebalance schedule, and the sharded-and-rebalanced session
+// must render byte-identically to the sequential engine on the same input.
+// `go test` always runs the deterministic corpus; CI extends it with a
+// longer seeded sweep via METAMORPHIC_SEEDS=lo-hi.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"stateslice"
+	"stateslice/internal/workload"
+)
+
+// runMetamorphicCase asserts the equivalence property for one case.
+func runMetamorphicCase(t *testing.T, c workload.MetamorphicCase) {
+	t.Helper()
+	w, err := c.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := c.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sequentialReference(t, w, input)
+
+	opts := []stateslice.Option{stateslice.WithShards(c.Shards), stateslice.WithCollect()}
+	if c.Band {
+		opts = append(opts, stateslice.WithKeyRange(0, c.KeyDomain()-1))
+	}
+	p, err := stateslice.Build(w, stateslice.MemOpt, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.NewSession(stateslice.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(context.Background())
+
+	prev := 0
+	for _, pos := range append(c.Positions(len(input)), len(input)) {
+		if err := sess.Consume(stateslice.SliceSource(input[prev:pos])); err != nil {
+			t.Fatal(err)
+		}
+		if pos == len(input) {
+			break
+		}
+		// moved may be false — a balanced or unimprovable distribution is a
+		// legal no-op; the equivalence property must hold either way.
+		if _, err := sess.Rebalance(context.Background()); err != nil {
+			t.Fatalf("Rebalance at %d: %v", pos, err)
+		}
+		prev = pos
+	}
+	res := sess.Finish()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := renderResults(res.Results); got != ref {
+		t.Errorf("case %s: sharded+rebalanced output differs from the sequential engine", c.Name())
+	}
+}
+
+// TestMetamorphicRebalanceEquivalence runs the deterministic corpus.
+func TestMetamorphicRebalanceEquivalence(t *testing.T) {
+	for _, c := range workload.MetamorphicCorpus() {
+		t.Run(c.Name(), func(t *testing.T) { runMetamorphicCase(t, c) })
+	}
+}
+
+// TestMetamorphicSweep runs the extended seeded sweep when METAMORPHIC_SEEDS
+// is set to an inclusive "lo-hi" seed range (the CI long leg).
+func TestMetamorphicSweep(t *testing.T) {
+	spec := os.Getenv("METAMORPHIC_SEEDS")
+	if spec == "" {
+		t.Skip("METAMORPHIC_SEEDS not set; the corpus test covers the deterministic seeds")
+	}
+	var lo, hi uint64
+	if _, err := fmt.Sscanf(spec, "%d-%d", &lo, &hi); err != nil || hi < lo {
+		t.Fatalf("METAMORPHIC_SEEDS=%q, want an inclusive range like 11-40", spec)
+	}
+	for seed := lo; seed <= hi; seed++ {
+		c := workload.NewMetamorphicCase(seed)
+		t.Run(c.Name(), func(t *testing.T) { runMetamorphicCase(t, c) })
+	}
+}
+
+// TestMetamorphicCorpusCoverage pins the deterministic corpus's span: both
+// join shapes, every skew profile and every shard count must appear, so a
+// generator change that collapses the corpus is caught here rather than by
+// silently weaker equivalence coverage.
+func TestMetamorphicCorpusCoverage(t *testing.T) {
+	joins := map[bool]bool{}
+	skews := map[workload.Skew]bool{}
+	shards := map[int]bool{}
+	rebalances := 0
+	for _, c := range workload.MetamorphicCorpus() {
+		joins[c.Band] = true
+		skews[c.Skew] = true
+		shards[c.Shards] = true
+		rebalances += len(c.RebalanceAt)
+		if len(c.RebalanceAt) == 0 {
+			t.Errorf("case %s schedules no rebalance", c.Name())
+		}
+	}
+	if len(joins) != 2 {
+		t.Error("corpus misses a join shape")
+	}
+	if len(skews) != 3 {
+		t.Errorf("corpus covers skews %v, want all three", skews)
+	}
+	if len(shards) != 3 {
+		t.Errorf("corpus covers shard counts %v, want {2,3,8}", shards)
+	}
+	if rebalances < len(workload.MetamorphicCorpus()) {
+		t.Error("corpus schedules fewer rebalances than cases")
+	}
+}

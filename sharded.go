@@ -95,6 +95,7 @@ func buildSharded(w Workload, s Strategy, o buildOptions, model CostModel, lg *o
 		handler:    o.resultHandler,
 		ctx:        o.ctx,
 		recovery:   o.recovery,
+		rebalance:  o.rebalance,
 		initEnds:   probe.Ends(),
 		initSlots:  initialSlots(w),
 		trace:      lg.Trace,
@@ -177,6 +178,7 @@ type shardedPlan struct {
 	handler    func(QueryID, *Tuple) // WithResultHandler
 	ctx        context.Context       // WithContext bound for runs and sessions
 	recovery   *Restart              // WithRecovery: supervised replica restart
+	rebalance  *Rebalance            // WithRebalance: automatic load-adaptive rebalancing
 	restore    *shard.Checkpoint     // WithRestore: seed replicas from a snapshot
 
 	initEnds  []Time
@@ -245,15 +247,22 @@ func (p *shardedPlan) executor(cfg RunConfig) (*shard.Executor, error) {
 	}
 	// The restore closure keeps workload knowledge (predicates, roles) out
 	// of the shard package: the executor hands back the raw per-replica
-	// snapshot and this plan rebuilds the chain around it. It serves both
-	// WithRestore seeding and supervised mid-run restarts, so it is wired
-	// whenever either could need it.
+	// snapshot and this plan rebuilds the chain around it. It serves
+	// WithRestore seeding, supervised mid-run restarts and rebalance
+	// rebuilds; Session.Rebalance works on demand without any option, so
+	// the closure is wired unconditionally.
 	scfg.Recovery = p.recovery
 	scfg.Restore = p.restore
-	if p.recovery != nil || p.restore != nil {
-		scfg.RestoreFn = func(_ int, cp *plan.ChainCheckpoint) (*plan.StateSlicePlan, error) {
-			return plan.RestoreStateSlice(w, rcfg, cp)
+	if p.rebalance != nil {
+		scfg.Rebalance = &shard.RebalancePolicy{
+			Threshold:  p.rebalance.Threshold,
+			CheckEvery: p.rebalance.CheckEvery,
+			Sustained:  p.rebalance.Sustained,
+			MinGain:    p.rebalance.MinGain,
 		}
+	}
+	scfg.RestoreFn = func(_ int, cp *plan.ChainCheckpoint) (*plan.StateSlicePlan, error) {
+		return plan.RestoreStateSlice(w, rcfg, cp)
 	}
 	return shard.New(scfg, func(int) (*plan.StateSlicePlan, error) {
 		return plan.BuildStateSlice(w, rcfg)
@@ -344,6 +353,16 @@ func (p *shardedPlan) Explain() string {
 		fmt.Fprintf(&b, "  executor: %s -> %d chain replicas (one engine goroutine each) -> %d order-preserving per-query mergers on %s workers\n",
 			part, p.shards, len(p.slots), workersLabel(p.workers))
 	}
+	if p.sess != nil {
+		// A live session carries the current (possibly rebalanced)
+		// ownership cuts and the observed load shares; render them so
+		// Explain shows what the static partitioning line above cannot —
+		// where the keys actually went.
+		b.WriteString("  ownership (live):\n")
+		for _, os := range p.sess.e.Ownership() {
+			fmt.Fprintf(&b, "    shard %d: %s  share %.1f%%\n", os.Shard, os.Range, 100*os.Share)
+		}
+	}
 	writeTrace(&b, p.trace)
 	return b.String()
 }
@@ -422,6 +441,19 @@ func (s *shardSession) Checkpoint(ctx context.Context) (*Checkpoint, error) {
 		return nil, err
 	}
 	return &Checkpoint{shard: cp}, nil
+}
+
+// Rebalance implements Session: one barrier snapshots every replica at the
+// same stream position, the snapshot is redistributed under equi-depth cuts
+// learned from the observed key distribution, and each replica rebuilds its
+// chain from its new share before feeding resumes.
+func (s *shardSession) Rebalance(ctx context.Context) (bool, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+	}
+	return s.e.Rebalance()
 }
 
 // Finish implements Session. A replica failure — which also surfaces on

@@ -173,6 +173,7 @@ type buildOptions struct {
 	ctx             context.Context
 	restore         *Checkpoint
 	recovery        *Restart
+	rebalance       *Rebalance
 	err             error
 }
 
@@ -442,6 +443,48 @@ func WithRecovery(pol Restart) Option {
 	return func(o *buildOptions) {
 		p := pol
 		o.recovery = &p
+	}
+}
+
+// Rebalance configures the automatic load-adaptive rebalance trigger of
+// WithRebalance. Zero or negative fields select the documented defaults, so
+// the zero value Rebalance{} is a complete, conservative policy.
+type Rebalance struct {
+	// Threshold is the max/mean per-replica delivery ratio of an
+	// evaluation window that counts as imbalanced (a perfectly balanced
+	// window measures 1.0). <= 0 selects 1.5.
+	Threshold float64
+	// CheckEvery is how many fed tuples pass between imbalance
+	// evaluations. <= 0 selects 4096.
+	CheckEvery int
+	// Sustained is how many consecutive imbalanced evaluations trigger a
+	// rebalance — a burst shorter than Sustained windows never moves
+	// state. <= 0 selects 2.
+	Sustained int
+	// MinGain is the minimum predicted improvement factor (measured
+	// imbalance over the learned cuts' predicted imbalance) a rebalance
+	// must offer; skews no boundary change can improve — a single hot key
+	// — predict no gain and are skipped instead of thrashed on. <= 0
+	// selects 1.2.
+	MinGain float64
+}
+
+// WithRebalance arms automatic load-adaptive shard rebalancing on a sharded
+// plan (requires WithShards): the session monitors the observed key
+// distribution and the per-replica delivery balance on the feed path, and
+// after sustained imbalance it re-cuts ownership to learned equi-depth
+// boundaries — contiguous key ranges holding near-equal observed mass under
+// band partitioning (WithKeyRange), hash-space intervals under hash
+// partitioning — moving the affected window state between the existing
+// replicas at a feed barrier. All tuples fed so far are processed before the
+// move, no later tuple overtakes it on any shard, and the merged output is
+// byte-identical across the boundary at every shard count. The policy only
+// automates the trigger; Session.Rebalance performs the same move on demand
+// without this option.
+func WithRebalance(pol Rebalance) Option {
+	return func(o *buildOptions) {
+		p := pol
+		o.rebalance = &p
 	}
 }
 
